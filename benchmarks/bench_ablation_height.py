@@ -1,0 +1,83 @@
+"""Experiment A1 -- ablation: block height ``h`` (the Eq. (1) knob).
+
+Sweeps the block height of the DDL for a column-at-a-time consumer (no
+local transpose buffer) and for whole-block fetches, printing achieved
+memory bandwidth per ``h``.  The paper's Eq. (1) predicts a knee at
+``h = t_diff_row / t_in_row = 12.5`` (rounded to 16) in the same-bank
+regime: below it activations leak through, at and above it the column
+streams run at device peak.  Whole-block fetches (the permutation-network
+architecture) stay at peak for every ``h`` -- that is precisely the
+hardware the optimization buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.core import AnalyticModel
+from repro.layouts import BlockDDLLayout, optimal_block_geometry
+from repro.memory3d import Memory3D
+from repro.trace import block_column_read_trace
+
+N = 2048
+HEIGHTS = (1, 2, 4, 8, 16, 32)
+SAMPLE = 131_072
+
+
+def sweep(system_config, whole_blocks: bool) -> dict[int, float]:
+    memory = Memory3D(system_config.memory)
+    results = {}
+    for h in HEIGHTS:
+        layout = BlockDDLLayout(N, N, width=32 // h, height=h)
+        trace = block_column_read_trace(
+            layout, n_streams=16, whole_blocks=whole_blocks, block_cols=range(16)
+        )
+        stats = memory.simulate(trace, "per_vault", sample=SAMPLE)
+        results[h] = stats.utilization(system_config.peak_bandwidth)
+    return results
+
+
+def test_height_sweep_column_at_a_time(system_config, benchmark):
+    """Throughput vs h without local transposition: the Eq. (1) knee."""
+    results = benchmark.pedantic(
+        sweep, args=(system_config, False), rounds=1, iterations=1
+    )
+    print(banner("A1: block-height sweep, column-at-a-time consumer (N=2048)"))
+    for h, util in results.items():
+        bar = "#" * int(50 * util)
+        print(f"  h={h:2d}  {100 * util:5.1f}% of peak  {bar}")
+    geo = optimal_block_geometry(system_config.memory, N)
+    # Below the Eq. (1) height, activations leak; at it, peak is reached.
+    assert results[geo.height] > 0.99
+    assert results[geo.height // 2] < 0.75
+    assert results[1] < 0.25
+    # Utilization is monotone in h.
+    values = [results[h] for h in HEIGHTS]
+    assert values == sorted(values)
+
+
+def test_height_sweep_whole_blocks(system_config, benchmark):
+    """With whole-block fetches every height streams at peak."""
+    results = benchmark.pedantic(
+        sweep, args=(system_config, True), rounds=1, iterations=1
+    )
+    print(banner("A1: block-height sweep, whole-block fetches (N=2048)"))
+    for h, util in results.items():
+        print(f"  h={h:2d}  {100 * util:5.1f}% of peak")
+    for util in results.values():
+        assert util > 0.99
+
+
+def test_eq1_height_sits_at_the_knee(system_config, benchmark):
+    """Eq. (1) picks the smallest height that reaches peak -- minimal
+    staging buffer for full bandwidth."""
+    results = benchmark.pedantic(
+        sweep, args=(system_config, False), rounds=1, iterations=1
+    )
+    geo = optimal_block_geometry(system_config.memory, N)
+    at_knee = [h for h in HEIGHTS if results[h] > 0.99]
+    assert min(at_knee) == geo.height
+    # The staging cost h*N doubles with every extra step above the knee.
+    model = AnalyticModel(system_config)
+    assert model.geometry(N).height == geo.height

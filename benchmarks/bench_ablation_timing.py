@@ -1,0 +1,85 @@
+"""Experiment A4 -- ablation: sensitivity to the row-activation penalty.
+
+Sweeps ``t_diff_row`` (the same-bank activate-to-activate minimum) and
+reports (a) the baseline column throughput, (b) the Eq. (1) block height,
+and (c) the optimized throughput.  The baseline degrades linearly with the
+penalty while the optimized design stays kernel-bound -- Eq. (1) absorbs
+slower rows by growing the block height, which is the whole point of
+making the layout a function of the memory's timing parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.core import AnalyticModel
+from repro.core.config import SystemConfig
+from repro.memory3d import Memory3DConfig, TimingParameters
+
+N = 4096
+ROW_PENALTIES = (10.0, 20.0, 40.0, 80.0)
+
+
+def sweep() -> dict[float, tuple[float, int, float]]:
+    results = {}
+    for t_diff_row in ROW_PENALTIES:
+        timing = TimingParameters(
+            t_in_row=1.6, t_in_vault=4.8, t_diff_bank=10.0, t_diff_row=t_diff_row
+        )
+        config = SystemConfig(memory=Memory3DConfig(timing=timing))
+        model = AnalyticModel(config)
+        base = model.baseline_column_phase(N).throughput_gbps
+        geo = model.geometry(N)
+        opt = model.optimized_column_phase(N).throughput_gbps
+        results[t_diff_row] = (base, geo.height, opt)
+    return results
+
+
+def test_timing_sensitivity(benchmark):
+    results = benchmark(sweep)
+    print(banner("A4: t_diff_row sensitivity (N=4096)"))
+    print(f"  {'t_diff_row':>10s} {'baseline GB/s':>14s} {'Eq.(1) h':>9s} {'optimized GB/s':>15s}")
+    for penalty, (base, height, opt) in results.items():
+        print(f"  {penalty:>8.0f}ns {base:>14.2f} {height:>9d} {opt:>15.2f}")
+    # Baseline throughput is inversely proportional to the penalty.
+    assert results[10.0][0] == pytest.approx(2 * results[20.0][0], rel=0.01)
+    assert results[20.0][0] == pytest.approx(2 * results[40.0][0], rel=0.01)
+    # Eq. (1) grows the block height to keep hiding activations.
+    heights = [results[p][1] for p in ROW_PENALTIES]
+    assert heights == sorted(heights)
+    assert heights[-1] > heights[0]
+    # The optimized design stays kernel-bound throughout.
+    for _, (_, _, opt) in results.items():
+        assert opt == pytest.approx(25.6, rel=0.01)
+
+
+def test_beat_time_scaling(benchmark):
+    """Doubling the TSV beat halves both peak and the optimized rate cap."""
+
+    def run():
+        fast = TimingParameters(t_in_row=1.6, t_in_vault=4.8,
+                                t_diff_bank=10.0, t_diff_row=20.0)
+        slow = TimingParameters(t_in_row=3.2, t_in_vault=4.8,
+                                t_diff_bank=10.0, t_diff_row=20.0)
+        out = {}
+        for name, timing, tsv_freq in (
+            ("fast", fast, 1.25e9), ("slow", slow, 0.625e9),
+        ):
+            config = SystemConfig(
+                memory=Memory3DConfig(timing=timing, tsv_freq_hz=tsv_freq)
+            )
+            model = AnalyticModel(config)
+            out[name] = (
+                config.peak_bandwidth,
+                model.optimized_column_phase(N).throughput_gbps,
+            )
+        return out
+
+    out = benchmark(run)
+    print(banner("A4b: TSV beat-time scaling (N=4096)"))
+    for name, (peak, opt) in out.items():
+        print(f"  {name}: peak {peak / 1e9:.1f} GB/s, optimized {opt:.2f} GB/s")
+    assert out["fast"][0] == pytest.approx(2 * out["slow"][0], rel=0.01)
+    # At half the memory bandwidth (40 GB/s) the kernel (25.6) still binds.
+    assert out["slow"][1] == pytest.approx(25.6, rel=0.01)

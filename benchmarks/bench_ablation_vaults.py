@@ -1,0 +1,66 @@
+"""Experiment A2 -- ablation: vault-level parallelism.
+
+Sweeps the number of parallel column streams (one per engaged vault) in
+the optimized column phase.  Memory bandwidth scales linearly with the
+engaged vaults (5 GB/s each) until the 16-lane kernel (32 GB/s at N=2048)
+binds; the crossover sits between 6 and 7 vaults.  This is the
+"parallelism employed in the third dimension" claim of the abstract made
+quantitative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.core import AnalyticModel
+from repro.core.config import SystemConfig
+from repro.core.simulate import simulate_optimized_column_phase
+from repro.layouts import BlockDDLLayout, optimal_block_geometry
+
+N = 2048
+STREAM_COUNTS = (1, 2, 4, 8, 16)
+SAMPLE = 131_072
+
+
+def sweep(base_config: SystemConfig) -> dict[int, tuple[float, str]]:
+    geo = optimal_block_geometry(base_config.memory, N)
+    layout = BlockDDLLayout(N, N, geo.width, geo.height)
+    results = {}
+    for streams in STREAM_COUNTS:
+        config = SystemConfig(
+            memory=base_config.memory,
+            kernel=base_config.kernel,
+            column_streams=streams,
+        )
+        phase = simulate_optimized_column_phase(
+            config, N, layout, max_requests=SAMPLE
+        )
+        results[streams] = (phase.throughput_gbps, phase.bound)
+    return results
+
+
+def test_vault_parallelism_sweep(system_config, benchmark):
+    results = benchmark.pedantic(sweep, args=(system_config,), rounds=1, iterations=1)
+    print(banner("A2: column-stream (vault) parallelism sweep (N=2048)"))
+    for streams, (gbps, bound) in results.items():
+        print(f"  n_v={streams:2d}  {gbps:6.2f} GB/s  ({bound}-bound)")
+    # Linear memory-bound region: 5 GB/s per vault.
+    assert results[1][0] == pytest.approx(5.0, rel=0.03)
+    assert results[2][0] == pytest.approx(10.0, rel=0.03)
+    assert results[4][0] == pytest.approx(20.0, rel=0.03)
+    # Kernel-bound region: capped at 32 GB/s.
+    assert results[8][0] == pytest.approx(32.0, rel=0.03)
+    assert results[16][0] == pytest.approx(32.0, rel=0.03)
+    assert results[4][1] == "memory"
+    assert results[16][1] == "kernel"
+
+
+def test_crossover_matches_model(system_config, benchmark):
+    """The analytic model puts the crossover at kernel_rate / vault_rate."""
+    model = AnalyticModel(system_config)
+    crossover = benchmark(
+        lambda: model.kernel_rate(N) / system_config.memory.vault_peak_bandwidth
+    )
+    print(f"\nA2 crossover: kernel binds beyond {crossover:.2f} vaults")
+    assert 6.0 < crossover < 7.0

@@ -1,0 +1,77 @@
+"""Experiment E1 (extension) -- row-activation energy savings of the DDL.
+
+The paper extends ref [6], whose headline is DRAM *row-activation energy*
+reduction for stride access.  This bench reproduces that result on the 3D
+memory: for the column phase, the baseline performs one activation per
+element while the DDL performs one per 32-element row, so activation
+energy falls ~32x and total column-phase memory energy falls severalfold,
+comfortably paying for the on-chip staging the DDL introduces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.energy import EnergyModel
+from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
+from repro.memory3d import Memory3D
+from repro.trace import block_column_read_trace, column_walk_trace
+
+N = 2048
+SAMPLE = 131_072
+
+
+def measure(system_config):
+    memory = Memory3D(system_config.memory)
+    model = EnergyModel()
+    geo = optimal_block_geometry(system_config.memory, N)
+    layout = BlockDDLLayout(N, N, geo.width, geo.height)
+
+    cols = 16
+    base_stats = memory.simulate(
+        column_walk_trace(RowMajorLayout(N, N), cols=range(cols)),
+        "in_order",
+        sample=SAMPLE,
+    )
+    block_cols = cols // geo.width
+    ddl_stats = memory.simulate(
+        block_column_read_trace(layout, n_streams=block_cols,
+                                block_cols=range(block_cols)),
+        "per_vault",
+        sample=SAMPLE,
+    )
+    staged = block_cols * layout.n_block_rows * layout.block_elements
+    base = model.memory_energy(base_stats)
+    ddl = model.memory_energy(ddl_stats) + model.reorganization_energy(staged)
+    return base_stats, ddl_stats, base, ddl
+
+
+def test_activation_energy_savings(system_config, benchmark):
+    base_stats, ddl_stats, base, ddl = benchmark.pedantic(
+        measure, args=(system_config,), rounds=1, iterations=1
+    )
+    print(banner(f"E1: column-phase energy, 16 columns of N={N}"))
+    print(f"  baseline: {base.summary()}")
+    print(f"            ({base_stats.row_activations} activations)")
+    print(f"  DDL     : {ddl.summary()}")
+    print(f"            ({ddl_stats.row_activations} activations + staging)")
+    ratio = base.total_nj / ddl.total_nj
+    print(f"  total energy ratio: {ratio:.1f}x in favour of the DDL")
+    # One activation per element vs one per 32-element row.
+    assert base_stats.row_activations == pytest.approx(
+        32 * ddl_stats.row_activations, rel=0.02
+    )
+    assert base.activation_nj > 30 * ddl.activation_nj
+    assert ratio > 3.0
+
+
+def test_energy_per_element(system_config, benchmark):
+    _, ddl_stats, base, ddl = benchmark.pedantic(
+        measure, args=(system_config,), rounds=1, iterations=1
+    )
+    elements = ddl_stats.requests
+    print(banner("E1: energy per element (column phase)"))
+    print(f"  baseline: {base.per_element_pj(elements):7.1f} pJ/element")
+    print(f"  DDL     : {ddl.per_element_pj(elements):7.1f} pJ/element")
+    assert ddl.per_element_pj(elements) < base.per_element_pj(elements) / 3

@@ -1,0 +1,68 @@
+"""Experiment A10 (extension) -- the 3D FFT (multidimensional row-column).
+
+The related work calls the row-column method "the simplest
+multidimensional FFT algorithm"; in 3D it has two strided phases (stride
+n and stride n^2), so a static layout loses even more than in 2D.  This
+bench prices both designs for cubic volumes and verifies the 3D
+improvement exceeds the 2D one, plus checks the functional 3D transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.core import AnalyticModel
+from repro.fft.fft3d import FFT3D, FFT3DModel
+
+SIZES = (256, 1024, 2048)
+
+
+def survey(system_config):
+    model = FFT3DModel(system_config)
+    return {
+        n: (model.baseline(n), model.optimized(n)) for n in SIZES
+    }
+
+
+def test_fft3d_three_phase_table(system_config, benchmark):
+    results = benchmark(survey, system_config)
+    print(banner("A10: cubic 3D FFT, three-phase model"))
+    print(f"  {'N^3':>7s} {'baseline':>10s} {'optimized':>10s} {'improvement':>12s}")
+    model2d = AnalyticModel(system_config)
+    for n, (base, opt) in results.items():
+        improvement = opt.improvement_over(base)
+        print(
+            f"  {n:>5d}^3 {base.throughput_gbps:>9.2f}G {opt.throughput_gbps:>9.2f}G "
+            f"{improvement:>11.1f}%"
+        )
+        base2, opt2 = model2d.table2((n,))[0]
+        assert improvement > opt2.improvement_over(base2)
+    # The optimized design is kernel-bound at the 2D rates.
+    assert results[2048][1].throughput_gbps == pytest.approx(32.0, rel=0.01)
+
+
+def test_fft3d_phase_breakdown(system_config, benchmark):
+    model = FFT3DModel(system_config)
+    metrics = benchmark(model.baseline, 2048)
+    print(banner("A10: baseline phase breakdown (2048^3)"))
+    for phase in metrics.phases:
+        print(
+            f"  {phase.name}-phase: {phase.throughput_gbps:8.3f} GB/s "
+            f"({phase.bound}-bound)"
+        )
+    x, y, z = metrics.phases
+    assert x.bound == "kernel"
+    assert y.throughput_gbitps == pytest.approx(6.4, rel=0.02)
+    assert z.throughput_gbitps == pytest.approx(3.2, rel=0.02)
+
+
+def test_fft3d_functional(benchmark):
+    rng = np.random.default_rng(4)
+    volume = rng.standard_normal((16, 16, 16)) + 1j * rng.standard_normal(
+        (16, 16, 16)
+    )
+    fft = FFT3D(16, 16, 16)
+    result = benchmark(fft.transform, volume)
+    assert np.allclose(result, np.fft.fftn(volume), atol=1e-8)

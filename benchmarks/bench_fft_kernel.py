@@ -1,0 +1,87 @@
+"""Experiment F2 -- the 1D FFT kernel (paper Fig. 2 components).
+
+Reports the kernel hardware model (stages, buffer words, ROM words,
+multipliers, fill latency, streaming throughput) for the three evaluated
+sizes and benchmarks the software kernel's numerical transform against
+``numpy.fft`` for correctness and relative speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.fft import StreamingFFT1D
+
+SIZES = (2048, 4096, 8192)
+PAPER_RATES_GB = {2048: 32.0, 4096: 25.6, 8192: 23.04}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_kernel_hardware_model(system_config, benchmark, n):
+    kernel_cfg = system_config.kernel
+    kernel = StreamingFFT1D(
+        n, radix=kernel_cfg.radix, lanes=kernel_cfg.lanes,
+        clock_hz=kernel_cfg.clock_for(n),
+    )
+    hardware = benchmark(lambda: kernel.hardware.summary())
+    print(banner(f"F2: kernel model, N={n}"))
+    print(hardware)
+    assert kernel.hardware.throughput_bytes_per_s == pytest.approx(
+        PAPER_RATES_GB[n] * 1e9
+    )
+    # Radix-4 on power-of-two sizes: log4 stages (+1 radix-2 when log2 is odd).
+    import math
+
+    bits = int(math.log2(n))
+    assert kernel.hardware.stages == bits // 2 + bits % 2
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_kernel_numerics_benchmark(benchmark, n):
+    """Benchmark the software transform; verify against numpy."""
+    rng = np.random.default_rng(7)
+    kernel = StreamingFFT1D(n)
+    batch = rng.standard_normal((8, n)) + 1j * rng.standard_normal((8, n))
+    result = benchmark(kernel.transform, batch)
+    assert np.allclose(result, np.fft.fft(batch, axis=-1), atol=1e-7 * n)
+
+
+def test_fill_latency_grows_with_size(system_config, benchmark):
+    """Deeper pipelines (bigger FFTs) take longer to fill."""
+    kernel_cfg = system_config.kernel
+
+    def latencies():
+        return {
+            n: StreamingFFT1D(
+                n, radix=kernel_cfg.radix, lanes=kernel_cfg.lanes,
+                clock_hz=kernel_cfg.clock_for(n),
+            ).hardware.latency_ns
+            for n in SIZES
+        }
+
+    values = benchmark(latencies)
+    print(banner("F2: kernel fill latency"))
+    for n, latency in values.items():
+        print(f"  N={n}: {latency:.1f} ns")
+    ordered = [values[n] for n in SIZES]
+    assert ordered == sorted(ordered)
+
+
+def test_cycle_level_r2sdf_pipeline(benchmark):
+    """The cycle-level R2SDF pipeline: exact numerics, N-1 fill latency,
+    and sustained one-sample-per-cycle operation over back-to-back frames."""
+    from repro.fft.streaming import R2SDFPipeline
+
+    n = 256
+    rng = np.random.default_rng(5)
+    frames = rng.standard_normal((4, n)) + 1j * rng.standard_normal((4, n))
+    pipeline = R2SDFPipeline(n)
+    result = benchmark.pedantic(
+        pipeline.transform_stream, args=(frames,), rounds=1, iterations=1
+    )
+    assert np.allclose(result, np.fft.fft(frames, axis=-1), atol=1e-9 * n)
+    assert pipeline.latency_cycles == n - 1
+    print(f"\nF2: R2SDF cycle pipeline N={n}: latency {pipeline.latency_cycles} "
+          "cycles (= N-1), 1 sample/cycle sustained")

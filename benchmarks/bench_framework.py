@@ -1,0 +1,76 @@
+"""Experiment A6 (extension) -- the automatic layout framework.
+
+Runs the planner (the paper's stated future work) over three kernels and
+verifies it rediscovers the paper's conclusions on its own: block-DDL for
+the FFT intermediate, row/column-major for transposition's two matrices,
+a column-friendly layout for matmul's B matrix -- and quantifies the
+premium over naive all-row-major planning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.framework import (
+    LayoutPlanner,
+    fft2d_spec,
+    matmul_spec,
+    transpose_spec,
+)
+from repro.framework.candidates import candidate_layouts
+
+N = 1024
+
+
+@pytest.fixture(scope="module")
+def planner(request):
+    from repro.memory3d import pact15_hmc_config
+
+    return LayoutPlanner(pact15_hmc_config(), sample_requests=32_768)
+
+
+def test_planner_on_three_kernels(planner, benchmark):
+    def run():
+        return {
+            spec.name: planner.plan(spec)
+            for spec in (fft2d_spec(N), transpose_spec(N), matmul_spec(N))
+        }
+
+    plans = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("A6: automatic layout plans"))
+    for plan in plans.values():
+        print(plan.describe())
+    fft_plan = plans[f"fft2d-{N}"]
+    assert fft_plan.matrices["intermediate"].layout_name.startswith("block-ddl")
+    tr_plan = plans[f"transpose-{N}"]
+    assert tr_plan.matrices["source"].layout_name == "row-major"
+    mm_plan = plans[f"matmul-{N}-t128"]
+    assert mm_plan.matrices["B"].layout_name != "row-major"
+
+
+def test_planning_premium_over_row_major(planner, benchmark):
+    """How much throughput the planner buys vs the naive default."""
+
+    def run():
+        plan = planner.plan(fft2d_spec(N))
+        chosen = plan.matrices["intermediate"]
+        ranking = dict(chosen.ranking)
+        return chosen.throughput_bytes_per_s, ranking["row-major"]
+
+    best, naive = benchmark.pedantic(run, rounds=1, iterations=1)
+    premium = best / naive
+    print(banner("A6: planning premium (FFT intermediate)"))
+    print(f"  planned: {best / 1e9:6.1f} GB/s")
+    print(f"  naive  : {naive / 1e9:6.1f} GB/s")
+    print(f"  premium: {premium:.1f}x")
+    assert premium > 10.0
+
+
+def test_candidate_space_size(planner, benchmark):
+    """The search space stays small (the paper's design-time budget)."""
+    candidates = benchmark(
+        candidate_layouts, planner.config, N, N
+    )
+    print(f"\nA6: {len(candidates)} candidate layouts per matrix")
+    assert 4 <= len(candidates) <= 12

@@ -1,0 +1,99 @@
+"""Experiment L2 (extension) -- multi-tenant interference.
+
+The 3D stack's per-vault controllers suggest graceful sharing; whether a
+tenant plays nicely depends on its layout.  This bench co-runs a 2D-FFT
+column-phase tenant with a streaming tenant (a camera feed, a DMA):
+
+* a **block-DDL** column tenant and the stream split the device evenly,
+  combined throughput ~= peak;
+* a **row-major** column tenant poisons the shared vaults with
+  activate-to-activate stalls -- its own throughput collapses *and* the
+  combined throughput falls far below peak.
+
+Layout is not just a single-application concern: a bad layout is a bad
+neighbour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
+from repro.memory3d import Memory3D
+from repro.trace import block_column_read_trace, column_walk_trace, linear_trace
+from repro.trace.generators import interleave_tenant_traces
+
+N = 1024
+REQUESTS = 16_384
+
+
+def co_run(system_config):
+    memory = Memory3D(system_config.memory)
+    geo = optimal_block_geometry(system_config.memory, N)
+    layout = BlockDDLLayout(N, N, geo.width, geo.height)
+    results = {}
+    for name, fft_tenant in (
+        (
+            "row-major FFT",
+            column_walk_trace(RowMajorLayout(N, N), cols=range(32)).head(REQUESTS),
+        ),
+        (
+            "block-DDL FFT",
+            block_column_read_trace(
+                layout, n_streams=16, block_cols=range(16)
+            ).head(REQUESTS),
+        ),
+    ):
+        stream_tenant = linear_trace(1 << 26, REQUESTS)
+        merged, tags = interleave_tenant_traces(
+            [fft_tenant, stream_tenant], granularity=32
+        )
+        stats = memory.simulate_tagged(merged, tags)
+        results[name] = stats
+    return results
+
+
+def test_neighbourliness(system_config, benchmark):
+    results = benchmark.pedantic(
+        co_run, args=(system_config,), rounds=1, iterations=1
+    )
+    peak = system_config.peak_bandwidth
+    print(banner(f"L2: FFT column tenant + streaming tenant (N={N})"))
+    for name, stats in results.items():
+        print(
+            f"  {name:14s}: FFT {stats[0].bandwidth_gbps:6.2f} GB/s, "
+            f"stream {stats[1].bandwidth_gbps:6.2f} GB/s, "
+            f"combined {stats[-1].bandwidth_gbps:6.2f} GB/s "
+            f"({100 * stats[-1].utilization(peak):.0f}% of peak)"
+        )
+    bad = results["row-major FFT"]
+    good = results["block-DDL FFT"]
+    # The DDL pairing keeps the device near peak; the row-major pairing
+    # drags everything down.
+    assert good[-1].utilization(peak) > 0.95
+    assert bad[-1].utilization(peak) < 0.5
+    # The streaming tenant itself suffers from the bad neighbour.
+    assert bad[1].bandwidth_gbps < 0.6 * good[1].bandwidth_gbps
+
+
+def test_solo_vs_shared_slowdown(system_config, benchmark):
+    """The DDL tenant loses ~2x when sharing (fair), not more."""
+
+    def run():
+        memory = Memory3D(system_config.memory)
+        geo = optimal_block_geometry(system_config.memory, N)
+        layout = BlockDDLLayout(N, N, geo.width, geo.height)
+        ddl = block_column_read_trace(
+            layout, n_streams=16, block_cols=range(16)
+        ).head(REQUESTS)
+        solo = memory.simulate(ddl, "per_vault")
+        stream = linear_trace(1 << 26, REQUESTS)
+        merged, tags = interleave_tenant_traces([ddl, stream], granularity=32)
+        shared = memory.simulate_tagged(merged, tags)[0]
+        return solo, shared
+
+    solo, shared = benchmark.pedantic(run, rounds=1, iterations=1)
+    slowdown = solo.bandwidth_bytes_per_s / shared.bandwidth_bytes_per_s
+    print(f"\nL2: DDL tenant slowdown under 50/50 sharing: {slowdown:.2f}x")
+    assert slowdown == pytest.approx(2.0, abs=0.4)

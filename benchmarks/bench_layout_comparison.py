@@ -1,0 +1,128 @@
+"""Experiment A3 -- layout comparison across memories.
+
+Compares, for the column phase of a 1024x1024 2D FFT:
+
+* row-major (the baseline),
+* column-major (ideal for phase 2 -- but it wrecks phase 1, shown too),
+* the tiled layout of Akin et al. [2] (tile = row buffer),
+* the paper's block DDL,
+
+on the 3D memory, plus row-major vs DDL on the planar DDR channel (the
+setting of the authors' earlier work [6]).  The DDL must match
+column-major's phase-2 bandwidth *without* giving up phase-1 bandwidth --
+the "mutually conflicting layouts" problem of Section 1 resolved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.layouts import (
+    BlockDDLLayout,
+    ColumnMajorLayout,
+    RowMajorLayout,
+    TiledLayout,
+    optimal_block_geometry,
+)
+from repro.memory2d import Memory2D, ddr3_like_config
+from repro.memory3d import Memory3D
+from repro.trace import (
+    block_column_read_trace,
+    block_write_trace,
+    column_walk_trace,
+    row_walk_trace,
+    tiled_walk_trace,
+)
+
+N = 1024
+SAMPLE = 131_072
+
+
+def column_phase_utilization(system_config) -> dict[str, float]:
+    memory = Memory3D(system_config.memory)
+    peak = system_config.peak_bandwidth
+    geo = optimal_block_geometry(system_config.memory, N)
+    ddl = BlockDDLLayout(N, N, geo.width, geo.height)
+    tiled = TiledLayout(N, N, tile_rows=1, tile_cols=32)
+
+    results = {}
+    trace = column_walk_trace(RowMajorLayout(N, N), cols=range(8))
+    results["row-major"] = memory.simulate(trace, "in_order", sample=SAMPLE)
+    trace = column_walk_trace(ColumnMajorLayout(N, N), cols=range(8))
+    results["column-major"] = memory.simulate(trace, "per_vault", sample=SAMPLE)
+    # Akin-style tiles read tile-by-tile through the local transposer.
+    trace = tiled_walk_trace(tiled, 1, 32)
+    results["tiled [2]"] = memory.simulate(trace, "per_vault", sample=SAMPLE)
+    trace = block_column_read_trace(ddl, n_streams=16, block_cols=range(16))
+    results["block DDL"] = memory.simulate(trace, "per_vault", sample=SAMPLE)
+    return {name: stats.utilization(peak) for name, stats in results.items()}
+
+
+def row_phase_utilization(system_config) -> dict[str, float]:
+    memory = Memory3D(system_config.memory)
+    peak = system_config.peak_bandwidth
+    geo = optimal_block_geometry(system_config.memory, N)
+    ddl = BlockDDLLayout(N, N, geo.width, geo.height)
+
+    results = {}
+    trace = row_walk_trace(RowMajorLayout(N, N), rows=range(32), is_write=True)
+    results["row-major"] = memory.simulate(trace, "per_vault", sample=SAMPLE)
+    trace = row_walk_trace(ColumnMajorLayout(N, N), rows=range(32), is_write=True)
+    results["column-major"] = memory.simulate(trace, "in_order", sample=SAMPLE)
+    trace = block_write_trace(ddl, block_rows=range(8))
+    results["block DDL"] = memory.simulate(trace, "per_vault", sample=SAMPLE)
+    return {name: stats.utilization(peak) for name, stats in results.items()}
+
+
+def test_column_phase_layout_comparison(system_config, benchmark):
+    results = benchmark.pedantic(
+        column_phase_utilization, args=(system_config,), rounds=1, iterations=1
+    )
+    print(banner("A3: column-phase bandwidth by layout (3D memory, N=1024)"))
+    for name, util in results.items():
+        print(f"  {name:14s} {100 * util:6.2f}% of peak")
+    assert results["row-major"] < 0.03
+    assert results["block DDL"] > 0.99
+    assert results["tiled [2]"] > 0.9
+    # DDL matches the phase-2-ideal column-major layout.
+    assert results["block DDL"] >= results["column-major"] * 0.95
+
+
+def test_row_phase_layout_comparison(system_config, benchmark):
+    """Column-major wins phase 2 but loses phase 1; the DDL wins both."""
+    results = benchmark.pedantic(
+        row_phase_utilization, args=(system_config,), rounds=1, iterations=1
+    )
+    print(banner("A3: row-phase bandwidth by layout (3D memory, N=1024)"))
+    for name, util in results.items():
+        print(f"  {name:14s} {100 * util:6.2f}% of peak")
+    assert results["row-major"] > 0.95
+    assert results["block DDL"] > 0.95
+    assert results["column-major"] < 0.05
+
+
+def test_ddl_on_planar_dram(benchmark):
+    """Ref [6]'s setting: the DDL also rescues a single-channel DDR part."""
+
+    def run():
+        memory = Memory2D(ddr3_like_config())
+        peak = memory.config.peak_bandwidth
+        view = memory.config.as_memory3d()
+        geo = optimal_block_geometry(view, N)
+        ddl = BlockDDLLayout(N, N, geo.width, geo.height)
+        base = memory.simulate(
+            column_walk_trace(RowMajorLayout(N, N), cols=range(4)), sample=SAMPLE
+        )
+        opt = memory.simulate(
+            block_column_read_trace(ddl, n_streams=1, block_cols=range(2)),
+            sample=SAMPLE,
+        )
+        return base.utilization(peak), opt.utilization(peak), geo
+
+    base_util, opt_util, geo = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("A3: DDL on planar DDR (ref [6] setting, N=1024)"))
+    print(f"  row-major column walk: {100 * base_util:5.1f}% of peak")
+    print(f"  block DDL (w={geo.width}, h={geo.height}): {100 * opt_util:5.1f}% of peak")
+    assert opt_util > 3 * base_util
+    assert opt_util > 0.8

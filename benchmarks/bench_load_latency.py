@@ -1,0 +1,83 @@
+"""Experiment L1 (extension) -- loaded latency (the hockey-stick curve).
+
+A third, independent lens on the paper's result: inject each pattern's
+requests open loop at increasing fractions of peak bandwidth and measure
+queueing latency.  The baseline column pattern saturates at ~2 % of peak
+(its knee), after which latency explodes; the DDL block pattern stays
+flat out to full peak.  The knee positions equal the closed-loop
+bandwidths of Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
+from repro.memory3d import Memory3D
+from repro.memory3d.load_latency import knee_fraction, latency_load_curve
+from repro.trace import block_column_read_trace, column_walk_trace
+
+N = 1024
+SAMPLE = 16_384
+
+
+def curves(system_config):
+    memory = Memory3D(system_config.memory)
+    base_trace = column_walk_trace(RowMajorLayout(N, N), cols=range(8))
+    base = latency_load_curve(
+        memory, base_trace,
+        fractions=(0.005, 0.01, 0.02, 0.05, 0.25),
+        discipline="in_order", sample=SAMPLE,
+    )
+    geo = optimal_block_geometry(system_config.memory, N)
+    layout = BlockDDLLayout(N, N, geo.width, geo.height)
+    ddl_trace = block_column_read_trace(layout, n_streams=16, block_cols=range(16))
+    ddl = latency_load_curve(
+        memory, ddl_trace,
+        fractions=(0.25, 0.5, 0.75, 0.9, 1.0),
+        sample=SAMPLE,
+    )
+    return base, ddl
+
+
+def test_hockey_stick_curves(system_config, benchmark):
+    base, ddl = benchmark.pedantic(
+        curves, args=(system_config,), rounds=1, iterations=1
+    )
+    print(banner(f"L1: loaded latency, N={N} column patterns"))
+    print("  baseline (row-major):")
+    for point in base:
+        print(
+            f"    offered {100 * point.offered_fraction:5.1f}%: "
+            f"latency {point.mean_latency_ns:10.1f} ns "
+            f"({'SATURATED' if point.saturated else 'ok'})"
+        )
+    print("  optimized (block DDL):")
+    for point in ddl:
+        print(
+            f"    offered {100 * point.offered_fraction:5.1f}%: "
+            f"latency {point.mean_latency_ns:10.1f} ns "
+            f"({'SATURATED' if point.saturated else 'ok'})"
+        )
+    # Knees match the Table-1 closed-loop bandwidths.
+    assert knee_fraction(base) <= 0.05
+    assert knee_fraction(ddl) == 1.0
+    # Under saturation the baseline latency explodes vs its idle latency.
+    assert base[-1].mean_latency_ns > 1000 * base[0].mean_latency_ns
+    # The DDL's latency stays within a small multiple of the beat time.
+    assert ddl[-1].mean_latency_ns < 50 * system_config.memory.timing.t_in_row
+
+
+def test_knee_equals_closed_loop_bandwidth(system_config, benchmark):
+    """The saturation knee of the baseline pattern sits at its Table-1
+    closed-loop fraction (~2 % for N=1024)."""
+    base, _ = benchmark.pedantic(
+        curves, args=(system_config,), rounds=1, iterations=1
+    )
+    unsaturated = [p for p in base if not p.saturated]
+    best = max(p.achieved_bytes_per_s for p in unsaturated)
+    closed_loop_fraction = best / system_config.peak_bandwidth
+    print(f"\nL1: baseline sustains {100 * closed_loop_fraction:.1f}% of peak "
+          "before its knee")
+    assert closed_loop_fraction == pytest.approx(0.02, abs=0.005)

@@ -1,0 +1,71 @@
+"""Experiment A9 (extension) -- matrix multiplication (refs [13, 14]).
+
+The authors' companion papers model matmul on the same 3D MI-FPGA; this
+bench shows the dynamic-layout lesson transfers: with row-major B the
+streaming-panel kernel is memory-bound at the activate gap, with B in the
+Eq. (1) block layout it becomes compute-bound at the MAC array's rate --
+the same bound-flip the 2D FFT exhibits in Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.matmul import MatMulArchitecture, matmul_baseline, matmul_optimized
+
+N = 1024
+SAMPLE = 32_768
+
+
+def survey(system_config):
+    results = {}
+    for name, arch in (
+        ("row-major B", matmul_baseline(N, system_config)),
+        ("column-major B", MatMulArchitecture(N, system_config,
+                                              b_layout="column-major")),
+        ("block-DDL B", matmul_optimized(N, system_config)),
+    ):
+        results[name] = arch.evaluate(max_requests=SAMPLE)
+    return results
+
+
+def test_matmul_layout_survey(system_config, benchmark):
+    results = benchmark.pedantic(
+        survey, args=(system_config,), rounds=1, iterations=1
+    )
+    print(banner(f"A9: {N}x{N} streaming-panel matmul by B layout"))
+    for name, metrics in results.items():
+        print(
+            f"  {name:15s}: {metrics.gflops:7.1f} GFLOP/s "
+            f"({metrics.bound}-bound, B stream "
+            f"{metrics.b_stream_bandwidth / 1e9:5.1f} GB/s)"
+        )
+    base = results["row-major B"]
+    opt = results["block-DDL B"]
+    assert base.bound == "memory"
+    assert opt.bound == "compute"
+    assert opt.speedup_over(base) > 5.0
+    # Peak MAC-array rate: 512 complex MACs at 250 MHz = 1024 GFLOP/s.
+    assert opt.gflops == pytest.approx(1024.0, rel=0.02)
+
+
+def test_matmul_functional_through_layouts(system_config, benchmark):
+    """The functional path multiplies correctly through every B layout."""
+    import numpy as np
+
+    rng = np.random.default_rng(2)
+    n = 64
+    a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+
+    def run():
+        return {
+            layout: MatMulArchitecture(n, b_layout=layout).compute(a, b)
+            for layout in ("row-major", "column-major", "block-ddl")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    want = a @ b
+    for layout, got in results.items():
+        assert np.allclose(got, want, atol=1e-8), layout

@@ -1,0 +1,59 @@
+"""Simulator engineering bench: hot-loop engine vs reference model.
+
+Not a paper artifact -- this guards the performance of the simulator
+itself (the array-state loop must stay well ahead of the readable
+reference implementation and both must agree), so that the table-scale
+experiments stay tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import RowMajorLayout
+from repro.memory3d import Memory3D
+from repro.trace import TraceArray, column_walk_trace
+
+REQUESTS = 20_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(11)
+    return TraceArray(rng.integers(0, 1 << 18, size=REQUESTS, dtype=np.int64) * 8)
+
+
+def test_fast_engine_throughput(system_config, benchmark, trace):
+    memory = Memory3D(system_config.memory)
+    stats = benchmark(memory.simulate, trace, "per_vault")
+    assert stats.requests == REQUESTS
+
+
+def test_reference_engine_throughput(system_config, benchmark, trace):
+    memory = Memory3D(system_config.memory)
+    stats = benchmark.pedantic(
+        memory.simulate_reference, args=(trace, "per_vault"), rounds=1, iterations=1
+    )
+    assert stats.requests == REQUESTS
+
+
+def test_engines_agree_on_bench_trace(system_config, benchmark, trace):
+    memory = Memory3D(system_config.memory)
+
+    def both():
+        return (
+            memory.simulate(trace, "in_order"),
+            memory.simulate_reference(trace, "in_order"),
+        )
+
+    fast, reference = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert fast.elapsed_ns == pytest.approx(reference.elapsed_ns)
+    assert fast.row_activations == reference.row_activations
+
+
+def test_structured_column_walk_speed(system_config, benchmark):
+    memory = Memory3D(system_config.memory)
+    trace = column_walk_trace(RowMajorLayout(2048, 2048), cols=range(10))
+    stats = benchmark(memory.simulate, trace, "in_order")
+    assert stats.bandwidth_gbitps == pytest.approx(6.4, rel=0.02)

@@ -1,0 +1,107 @@
+"""Experiment F3 (component) -- the permutation network and controlling unit.
+
+The optimized architecture's extra hardware is the permutation network the
+CU reconfigures at the phase boundary.  This bench prices that hardware
+(buffer words, routing latency, conflict-freedom) for the Eq. (1) block
+permutations across problem sizes, and benchmarks slab reorganization
+throughput -- the data-reorganization overhead the paper insists must stay
+small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.layouts import BlockDDLLayout, optimal_block_geometry
+from repro.permutation import ControllingUnit
+
+SIZES = (2048, 4096, 8192)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_block_permutation_routing(system_config, benchmark, n):
+    geo = optimal_block_geometry(system_config.memory, n)
+    cu = ControllingUnit(geo, width=system_config.kernel.lanes)
+    schedule = benchmark(cu.configure_for_write)
+    print(banner(f"F3: write-path permutation routing, N={n}"))
+    print(
+        f"  frame={schedule.frame} lanes={schedule.width} "
+        f"buffer={schedule.buffer_words} words "
+        f"latency={schedule.latency_cycles} cycles "
+        f"conflict_free={schedule.conflict_free}"
+    )
+    # The frame is one block: tiny compared to the tiled alternative's
+    # full row-buffer transposer.
+    assert schedule.frame == geo.elements == 32
+    assert schedule.buffer_words <= 4 * geo.elements
+
+
+def test_slab_reorganization_throughput(system_config, benchmark):
+    """Software model of the CU's phase-1 reorder; value-checked."""
+    n = 2048
+    geo = optimal_block_geometry(system_config.memory, n)
+    layout = BlockDDLLayout(n, n, geo.width, geo.height)
+    cu = ControllingUnit(geo)
+    rng = np.random.default_rng(3)
+    slab = rng.standard_normal((geo.height, n)) + 0j
+
+    stream = benchmark(cu.reorganize_slab, slab, layout)
+    assert np.allclose(cu.restore_slab(stream, layout), slab)
+
+
+def test_reorganization_buffer_is_modest(system_config, benchmark):
+    """Staging h rows is KBs of BRAM, not the MB-scale full transpose."""
+
+    def staging():
+        return {
+            n: BlockDDLLayout(
+                n, n,
+                optimal_block_geometry(system_config.memory, n).width,
+                optimal_block_geometry(system_config.memory, n).height,
+            ).staging_buffer_elements()
+            for n in SIZES
+        }
+
+    sizes = benchmark(staging)
+    print(banner("F3: phase-1 staging buffer (double-buffered h x N)"))
+    for n, words in sizes.items():
+        full_transpose = n * n
+        print(
+            f"  N={n}: {words} words ({words * 8 / 1024:.0f} KiB) "
+            f"vs full transpose {full_transpose * 8 / (1 << 20):.0f} MiB"
+        )
+        assert words < full_transpose / 50
+
+
+def test_bitonic_router_comparison(system_config, benchmark):
+    """Ref [7]: the bitonic fabric as the permutation network's substrate.
+
+    Compares the crossbar+buffer network's cost against the bitonic
+    router for the same block permutation and verifies functional
+    equality."""
+    import numpy as np
+
+    from repro.permutation.bitonic import BitonicPermutationRouter
+
+    geo = optimal_block_geometry(system_config.memory, 2048)
+    cu = ControllingUnit(geo, width=system_config.kernel.lanes)
+    perm = cu.block_write_permutation()
+
+    def run():
+        router = BitonicPermutationRouter(perm.size)
+        router.configure(perm)
+        return router
+
+    router = benchmark(run)
+    schedule = cu.configure_for_write()
+    rng = np.random.default_rng(0)
+    frame = rng.standard_normal(perm.size)
+    assert np.allclose(router.apply(frame), cu.write_network.permute(frame))
+    print(banner("F3: crossbar+buffer network vs bitonic router (32-frame)"))
+    print(f"  crossbar network: {schedule.buffer_words} buffer words, "
+          f"{schedule.latency_cycles} cycle latency")
+    print(f"  bitonic router  : {router.comparator_count} comparators over "
+          f"{router.stage_count} stages, {router.control_bits} control bits")
+    assert router.stage_count == 15  # k(k+1)/2 for k = 5

@@ -1,0 +1,48 @@
+"""Experiment Q1 (extension) -- fixed-point word-length trade study.
+
+The paper's kernel is single-precision floating point; production FPGA
+FFTs often go fixed point for DSP density.  This bench maps fractional
+word length to output SNR for the kernel sizes the paper evaluates,
+recovering the classic ~6 dB/bit law and the ~0.5 dB-per-stage noise
+growth -- the numbers a designer needs to swap datapaths safely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.fft.quantization import snr_vs_wordlength
+
+BITS = (7, 11, 15, 23)
+
+
+def test_snr_vs_wordlength(benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: snr_vs_wordlength(n, BITS) for n in (256, 2048)},
+        rounds=1,
+        iterations=1,
+    )
+    print(banner("Q1: fixed-point SNR vs fractional bits"))
+    print(f"  {'frac bits':>10s}" + "".join(f"  N={n:>5d}" for n in results))
+    for bits in BITS:
+        row = "".join(f" {results[n][bits]:7.1f}" for n in results)
+        print(f"  {bits:>10d}{row} dB")
+    for n, table in results.items():
+        values = [table[b] for b in BITS]
+        assert values == sorted(values)  # SNR monotone in word length
+        # ~6 dB per extra bit (within tolerance).
+        per_bit = (table[23] - table[7]) / (23 - 7)
+        assert per_bit == pytest.approx(6.0, abs=0.8)
+    # Bigger transforms are noisier at fixed width (more stages).
+    assert results[2048][15] < results[256][15]
+
+
+def test_16bit_kernel_adequate_for_radar(benchmark):
+    """A Q1.15 datapath keeps > 55 dB SNR at N=2048 -- comfortably above
+    the ~40 dB a pulse-Doppler map needs."""
+    snr = benchmark.pedantic(
+        lambda: snr_vs_wordlength(2048, (15,))[15], rounds=1, iterations=1
+    )
+    print(f"\nQ1: Q1.15 datapath at N=2048: {snr:.1f} dB")
+    assert snr > 55.0

@@ -1,0 +1,78 @@
+"""Experiment A5 (extension) -- scheduling is not a substitute for layout.
+
+Sweeps the lookahead window of an FR-FCFS-style open-page controller on
+the baseline (row-major) column walk and compares against the DDL with a
+plain in-order controller.  Same-row pairs in a stride-N walk are a full
+column apart, so hit rate stays ~0 until the window approaches N, and
+even a window of N+ recovers only a fraction of what the layout change
+delivers for free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
+from repro.memory3d import Memory3D
+from repro.memory3d.scheduler import OpenPageScheduler
+from repro.trace import block_column_read_trace, column_walk_trace
+
+N = 1024
+WINDOWS = (1, 16, 64, 256, N + 16)
+SAMPLE = 16_384
+
+
+def sweep(system_config):
+    memory = Memory3D(system_config.memory)
+    trace = column_walk_trace(RowMajorLayout(N, N), cols=range(8))
+    results = {}
+    for window in WINDOWS:
+        scheduled = OpenPageScheduler(memory, window=window).simulate(
+            trace, sample=SAMPLE
+        )
+        results[window] = (
+            scheduled.stats.bandwidth_gbps,
+            scheduled.stats.row_hit_rate,
+        )
+    geo = optimal_block_geometry(system_config.memory, N)
+    layout = BlockDDLLayout(N, N, geo.width, geo.height)
+    ddl_trace = block_column_read_trace(layout, n_streams=16, block_cols=range(16))
+    ddl = memory.simulate(ddl_trace, "per_vault", sample=SAMPLE)
+    return results, ddl.bandwidth_gbps
+
+
+def test_window_sweep_vs_ddl(system_config, benchmark):
+    results, ddl_gbps = benchmark.pedantic(
+        sweep, args=(system_config,), rounds=1, iterations=1
+    )
+    print(banner("A5: open-page scheduler window sweep vs DDL (N=1024)"))
+    for window, (gbps, hit_rate) in results.items():
+        print(f"  window {window:5d}: {gbps:6.2f} GB/s, hit rate {hit_rate:6.1%}")
+    print(f"  block DDL (no reordering): {ddl_gbps:6.2f} GB/s")
+    # Small windows recover nothing.
+    assert results[16][1] == 0.0
+    assert results[64][1] == 0.0
+    base = results[1][0]
+    assert results[64][0] == pytest.approx(base, rel=0.02)
+    # Even a column-spanning window stays far below the DDL.
+    giant = results[N + 16][0]
+    assert giant < ddl_gbps / 2
+    assert ddl_gbps > 0.99 * system_config.peak_bandwidth / 1e9
+
+
+def test_reorder_cost_reported(system_config, benchmark):
+    memory = Memory3D(system_config.memory)
+    trace = column_walk_trace(RowMajorLayout(N, N), cols=range(4))
+
+    def run():
+        return OpenPageScheduler(memory, window=N + 16).simulate(
+            trace, sample=8192
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nA5: giant-window controller displaced "
+        f"{result.reorder_fraction:.0%} of requests to find hits"
+    )
+    assert result.displaced > 0

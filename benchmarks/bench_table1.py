@@ -1,0 +1,89 @@
+"""Experiment T1 -- paper Table 1: column-wise FFT throughput.
+
+Regenerates, for N in {2048, 4096, 8192}:
+
+* baseline column-phase throughput (Gb/s) and peak-bandwidth utilization,
+* optimized (DDL) column-phase throughput (GB/s) and utilization,
+
+from (a) the analytic model and (b) the trace-driven simulator, and checks
+the paper's numbers: 6.4 / 3.2 / 3.2 Gb/s at ~1 / 0.5 / 0.5 % for the
+baseline, 32 / 25.6 / 23.04 GB/s at 40 / 32 / 28.8 % for the optimized
+design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_SAMPLE, banner
+from repro.core import AnalyticModel, format_table1
+from repro.core.simulate import (
+    simulate_baseline_column_phase,
+    simulate_optimized_column_phase,
+)
+from repro.layouts import BlockDDLLayout, optimal_block_geometry
+
+SIZES = (2048, 4096, 8192)
+
+PAPER_BASELINE_GBIT = {2048: 6.4, 4096: 3.2, 8192: 3.2}
+PAPER_OPTIMIZED_GB = {2048: 32.0, 4096: 25.6, 8192: 23.04}
+PAPER_OPTIMIZED_UTIL = {2048: 0.40, 4096: 0.32, 8192: 0.288}
+
+
+def test_table1_analytic(system_config, benchmark):
+    """The closed-form model reproduces Table 1 exactly."""
+    model = AnalyticModel(system_config)
+    rows = benchmark(model.table1, SIZES)
+    print(banner("Table 1 (analytic model)"))
+    print(format_table1(rows))
+    for row in rows:
+        assert row.baseline_gbitps == pytest.approx(
+            PAPER_BASELINE_GBIT[row.fft_size], rel=0.01
+        )
+        assert row.optimized_gbps == pytest.approx(
+            PAPER_OPTIMIZED_GB[row.fft_size], rel=0.01
+        )
+        assert row.optimized_utilization == pytest.approx(
+            PAPER_OPTIMIZED_UTIL[row.fft_size], rel=0.01
+        )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_baseline_simulated(system_config, benchmark, n):
+    """Trace-driven baseline column phase matches the paper row."""
+    phase = benchmark.pedantic(
+        simulate_baseline_column_phase,
+        args=(system_config, n),
+        kwargs={"max_requests": BENCH_SAMPLE},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nT1 baseline N={n}: {phase.throughput_gbitps:.2f} Gb/s "
+        f"({100 * phase.utilization(system_config.peak_bandwidth):.2f}% of peak)"
+    )
+    assert phase.throughput_gbitps == pytest.approx(
+        PAPER_BASELINE_GBIT[n], rel=0.02
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_optimized_simulated(system_config, benchmark, n):
+    """Trace-driven DDL column phase is kernel-bound at the paper's rate."""
+    geo = optimal_block_geometry(system_config.memory, n)
+    layout = BlockDDLLayout(n, n, geo.width, geo.height)
+    phase = benchmark.pedantic(
+        simulate_optimized_column_phase,
+        args=(system_config, n, layout),
+        kwargs={"max_requests": BENCH_SAMPLE},
+        rounds=1,
+        iterations=1,
+    )
+    util = phase.utilization(system_config.peak_bandwidth)
+    print(
+        f"\nT1 optimized N={n}: {phase.throughput_gbps:.2f} GB/s "
+        f"({100 * util:.1f}% of peak, bound={phase.bound})"
+    )
+    assert phase.throughput_gbps == pytest.approx(PAPER_OPTIMIZED_GB[n], rel=0.02)
+    assert util == pytest.approx(PAPER_OPTIMIZED_UTIL[n], rel=0.02)
+    assert phase.bound == "kernel"

@@ -1,0 +1,79 @@
+"""Experiment T2 -- paper Table 2: entire 2D FFT application.
+
+Regenerates throughput, latency, data parallelism and the throughput
+improvement for baseline vs optimized at N in {2048, 4096, 8192}, from
+both the analytic model and trace-driven architecture simulation, and
+checks the paper's headline numbers: 32 / 25.6 / 23.04 GB/s optimized and
+95.1 / 97.0 / 96.6 % improvement, with latency reduced ~3x and beyond.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_SAMPLE, banner
+from repro.core import (
+    AnalyticModel,
+    BaselineArchitecture,
+    OptimizedArchitecture,
+    format_table2,
+)
+
+SIZES = (2048, 4096, 8192)
+
+PAPER_OPTIMIZED_GB = {2048: 32.0, 4096: 25.6, 8192: 23.04}
+PAPER_IMPROVEMENT = {2048: 95.1, 4096: 97.0, 8192: 96.6}
+
+
+def test_table2_analytic(system_config, benchmark):
+    """Closed-form Table 2."""
+    model = AnalyticModel(system_config)
+    pairs = benchmark(model.table2, SIZES)
+    print(banner("Table 2 (analytic model)"))
+    print(format_table2(pairs))
+    for baseline, optimized in pairs:
+        n = optimized.fft_size
+        assert optimized.throughput_gbps == pytest.approx(
+            PAPER_OPTIMIZED_GB[n], rel=0.01
+        )
+        assert optimized.improvement_over(baseline) == pytest.approx(
+            PAPER_IMPROVEMENT[n], abs=0.2
+        )
+        assert optimized.data_parallelism == 16
+        assert baseline.data_parallelism == 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_table2_simulated(system_config, benchmark, n):
+    """Trace-driven architectures reproduce the Table 2 row for one size."""
+
+    def run():
+        baseline = BaselineArchitecture(n, system_config).evaluate(
+            max_requests=BENCH_SAMPLE
+        )
+        optimized = OptimizedArchitecture(n, system_config).evaluate(
+            max_requests=BENCH_SAMPLE
+        )
+        return baseline, optimized
+
+    baseline, optimized = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner(f"Table 2 (simulated, N={n})"))
+    print(format_table2([(baseline, optimized)]))
+    assert optimized.throughput_gbps == pytest.approx(PAPER_OPTIMIZED_GB[n], rel=0.02)
+    assert optimized.improvement_over(baseline) == pytest.approx(
+        PAPER_IMPROVEMENT[n], abs=0.3
+    )
+    assert optimized.latency_ns < baseline.latency_ns / 2.5
+
+
+def test_table2_latency_reduction_shape(system_config, benchmark):
+    """Paper: 'latency is reduced by up to 3x' -- N=2048 lands at ~3x."""
+    model = AnalyticModel(system_config)
+    pairs = benchmark(model.table2, SIZES)
+    reductions = {
+        opt.fft_size: opt.latency_reduction_over(base) for base, opt in pairs
+    }
+    print("\nT2 latency reductions:", {k: round(v, 2) for k, v in reductions.items()})
+    assert reductions[2048] == pytest.approx(3.0, abs=0.1)
+    assert reductions[4096] > reductions[2048]
+    assert reductions[8192] > reductions[2048]

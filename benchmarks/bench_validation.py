@@ -1,0 +1,58 @@
+"""Experiment V1 -- model-vs-simulator validation grid.
+
+The paper validates its analysis with experiments; here the closed-form
+model and the trace-driven simulator are swept over phases x sizes (and a
+second memory technology) and must agree within a few percent at every
+point.  Any regression that decouples them fails this bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.core.config import KernelConfig, SystemConfig
+from repro.memory3d.config import hmc_gen2_config
+from repro.validation import validate_model
+
+
+def test_validation_grid_paper_config(system_config, benchmark):
+    report = benchmark.pedantic(
+        validate_model,
+        kwargs={"config": system_config, "max_requests": 65_536},
+        rounds=1,
+        iterations=1,
+    )
+    print(banner("V1: analytic model vs simulator (paper configuration)"))
+    print(report.describe())
+    assert report.max_relative_error < 0.05
+    assert report.mean_relative_error < 0.02
+
+
+def test_validation_grid_gen2(benchmark):
+    config = SystemConfig(
+        memory=hmc_gen2_config(), kernel=KernelConfig(), column_streams=16
+    )
+    report = benchmark.pedantic(
+        validate_model,
+        kwargs={"config": config, "sizes": (1024, 2048), "max_requests": 65_536},
+        rounds=1,
+        iterations=1,
+    )
+    print(banner("V1: analytic model vs simulator (gen2-class stack)"))
+    print(report.describe())
+    assert report.max_relative_error < 0.05
+
+
+def test_worst_point_identified(system_config, benchmark):
+    report = benchmark.pedantic(
+        validate_model,
+        kwargs={"config": system_config, "sizes": (512, 2048),
+                "max_requests": 32_768},
+        rounds=1,
+        iterations=1,
+    )
+    worst = report.worst()
+    print(f"\nV1: worst point {worst.label}: "
+          f"{100 * worst.relative_error:.2f}% error")
+    assert worst.relative_error == report.max_relative_error

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one of the paper's evaluation
+artifacts (see DESIGN.md section 4 for the experiment index).  Benchmarks
+print the regenerated table/series to stdout (run with ``-s`` to see them
+inline; they are also summarised in EXPERIMENTS.md) and assert the paper's
+*shape* -- who wins and by roughly what factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+
+
+def banner(title: str) -> str:
+    line = "=" * max(64, len(title) + 4)
+    return f"\n{line}\n{title}\n{line}"
+
+
+@pytest.fixture(scope="session")
+def system_config() -> SystemConfig:
+    """The paper-calibrated system, shared across benchmark files."""
+    return SystemConfig()
+
+
+#: Request budget for exactly-simulated trace prefixes in benchmarks.
+BENCH_SAMPLE = 131_072

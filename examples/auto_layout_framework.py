@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The paper's future work, built: automatic data-layout optimization.
+
+The conclusion of the paper promises "a design framework targeted at
+throughput-oriented signal processing kernels, which enables automatic
+data layout optimizations addressing new 3D memory technologies".  This
+example drives that framework: describe a kernel's access phases, let the
+planner score every candidate layout against the memory model, and read
+off the chosen layouts -- for the paper's 2D FFT, for matrix
+transposition, and for the blocked matrix multiplication of the authors'
+companion papers.  It then re-plans the FFT for a hypothetical future
+stack with a 4x slower row cycle to show the plan adapting.
+
+Run:  python examples/auto_layout_framework.py
+"""
+
+from repro.framework import (
+    LayoutPlanner,
+    fft2d_spec,
+    matmul_spec,
+    transpose_spec,
+)
+from repro.memory3d import Memory3DConfig, TimingParameters, pact15_hmc_config
+
+
+def main() -> None:
+    planner = LayoutPlanner(pact15_hmc_config(), sample_requests=65_536)
+
+    for spec in (fft2d_spec(2048), transpose_spec(2048), matmul_spec(2048)):
+        print(spec.describe())
+        plan = planner.plan(spec)
+        print(plan.describe())
+        for label, planned in plan.matrices.items():
+            top = ", ".join(
+                f"{name} {gbps / 1e9:.0f}GB/s" for name, gbps in planned.ranking[:3]
+            )
+            print(f"    top candidates for {label}: {top}")
+        print()
+
+    # ------------------------------ a future memory: 4x slower row cycle
+    future = Memory3DConfig(
+        timing=TimingParameters(
+            t_in_row=1.6, t_in_vault=4.8, t_diff_bank=10.0, t_diff_row=80.0
+        )
+    )
+    print("re-planning the 2D FFT for a stack with t_diff_row = 80 ns,")
+    print("with NO permutation network (column streams read h at a time):")
+    from repro.framework import AccessPattern, KernelSpec, PhaseSpec
+
+    spec = KernelSpec(
+        name="fft2d-2048-no-network",
+        matrices={"intermediate": (2048, 2048)},
+        phases=(
+            PhaseSpec("row writes", "intermediate", AccessPattern.ROW_WALK,
+                      is_write=True, block_reorder=False),
+            PhaseSpec("column reads", "intermediate", AccessPattern.COLUMN_WALK,
+                      block_reorder=False),
+        ),
+    )
+    for name, config in (("today (20 ns)", pact15_hmc_config()),
+                         ("future (80 ns)", future)):
+        plan = LayoutPlanner(config, sample_requests=65_536).plan(spec)
+        chosen = plan.matrices["intermediate"]
+        print(f"  {name}: {chosen.layout_name} "
+              f"({chosen.throughput_bytes_per_s / 1e9:.1f} GB/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Signal processing on the 3D MI-FPGA: radar range-Doppler maps.
+
+A pulse-Doppler radar collects a matrix of samples -- fast time (range)
+along rows, slow time (pulse number) along columns.  Producing a
+range-Doppler map is exactly the paper's workload: a 1D FFT along every
+row, then a 1D FFT along every column, with the two phases demanding
+conflicting memory layouts.  This example synthesises echoes from moving
+targets with the library's radar toolkit (``repro.apps.radar``), forms
+the map through the optimized architecture's data path, detects the
+targets, and reports how many coherent processing intervals per second
+each architecture would sustain.
+
+Run:  python examples/radar_range_doppler.py
+"""
+
+from repro import AnalyticModel, OptimizedArchitecture
+from repro.apps import (
+    RadarTarget,
+    detect_peaks,
+    range_doppler_map,
+    synthesize_returns,
+)
+
+
+def main() -> None:
+    n = 256
+    targets = [
+        RadarTarget(range_bin=40, doppler_bin=200, amplitude=1.0),
+        RadarTarget(range_bin=130, doppler_bin=60, amplitude=0.7),
+        RadarTarget(range_bin=220, doppler_bin=220, amplitude=0.5),
+    ]
+    cpi = synthesize_returns(n, targets, noise_std=0.05, seed=5)
+
+    # Range-Doppler map = 2D FFT of the pulse/range matrix, through the
+    # optimized architecture (row FFTs = range compression, column FFTs =
+    # Doppler processing).
+    arch = OptimizedArchitecture(n)
+    power_db = range_doppler_map(cpi, architecture=arch)
+
+    detections = detect_peaks(power_db, rel_threshold_db=9.0)
+    print(f"Range-Doppler processing of a {n}-pulse x {n}-gate CPI")
+    print("  injected targets  (doppler, range): "
+          f"{[(t.doppler_bin, t.range_bin) for t in targets]}")
+    print(f"  detected cells within 9 dB of peak: {sorted(detections)}")
+    found = all(
+        (t.doppler_bin, t.range_bin) in detections for t in targets
+    )
+    print(f"  all targets detected: {found}")
+    print()
+
+    # ------------------------------------------------- sustained CPI rates
+    model = AnalyticModel()
+    print("Coherent processing intervals per second (2048 x 2048 CPI):")
+    for name, system in (
+        ("baseline", model.baseline_system(2048)),
+        ("optimized", model.optimized_system(2048)),
+    ):
+        cpi_per_s = 1e9 / system.total_time_ns
+        print(
+            f"  {name:9s}: {cpi_per_s:8.2f} CPI/s, "
+            f"first output after {system.latency_ns / 1e3:.1f} us of phase 2"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,163 @@
+"""repro -- Optimal Dynamic Data Layouts for 2D FFT on 3D Memory Integrated FPGA.
+
+A from-scratch Python reproduction of Chen, Singapura & Prasanna
+(PACT 2015): an HMC-like 3D memory timing simulator, streaming FFT
+kernels with FPGA cost models, the block dynamic data layout with the
+paper's Eq. (1) optimizer, an on-chip permutation network, and the
+baseline/optimized 2D FFT architectures with analytic and trace-driven
+evaluation.
+
+Quickstart::
+
+    from repro import AnalyticModel, format_table1
+
+    model = AnalyticModel()
+    print(format_table1(model.table1()))
+
+See README.md for the full tour, DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import (
+    AnalyticModel,
+    Architecture2DFFT,
+    BaselineArchitecture,
+    KernelConfig,
+    MemoryImage,
+    OptimizedArchitecture,
+    PhaseMetrics,
+    SystemConfig,
+    SystemMetrics,
+    format_table1,
+    format_table2,
+)
+from repro.apps import (
+    RadarTarget,
+    fft_convolve2d,
+    filter_image,
+    range_doppler_map,
+)
+from repro.core.config import pact15_system_config
+from repro.core.pipeline import PipelineConfig, StreamingPipeline
+from repro.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    EnergyParameters,
+    pact15_energy_params,
+)
+from repro.fft import FFT2D, StreamingFFT1D
+from repro.fft.fft3d import FFT3D, FFT3DModel
+from repro.framework import (
+    AccessPattern,
+    KernelSpec,
+    LayoutPlanner,
+    PhaseSpec,
+    fft2d_spec,
+    matmul_spec,
+    transpose_spec,
+)
+from repro.layouts import (
+    BlockDDLLayout,
+    BlockGeometry,
+    ColumnMajorLayout,
+    Layout,
+    LayoutRegime,
+    RowMajorLayout,
+    TiledLayout,
+    optimal_block_geometry,
+)
+from repro.memory2d import Memory2D, Memory2DConfig, ddr3_like_config
+from repro.memory3d import (
+    AccessStats,
+    AddressMapping,
+    Memory3D,
+    Memory3DConfig,
+    TimingParameters,
+    pact15_hmc_config,
+)
+from repro.fft.streaming import ParallelStreamingFFT, R2SDFPipeline
+from repro.matmul import MatMulArchitecture, matmul_baseline, matmul_optimized
+from repro.memory3d.scheduler import OpenPageScheduler
+from repro.permutation import ControllingUnit, PermutationNetwork
+from repro.permutation.bitonic import BitonicPermutationRouter
+from repro.reporting import reproduce_report
+from repro.trace import (
+    Request,
+    TraceArray,
+    block_column_read_trace,
+    block_write_trace,
+    column_walk_trace,
+    row_walk_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPattern",
+    "AccessStats",
+    "AddressMapping",
+    "AnalyticModel",
+    "Architecture2DFFT",
+    "BaselineArchitecture",
+    "BitonicPermutationRouter",
+    "BlockDDLLayout",
+    "BlockGeometry",
+    "ColumnMajorLayout",
+    "ControllingUnit",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParameters",
+    "FFT2D",
+    "FFT3D",
+    "FFT3DModel",
+    "KernelConfig",
+    "KernelSpec",
+    "Layout",
+    "LayoutPlanner",
+    "LayoutRegime",
+    "MatMulArchitecture",
+    "Memory2D",
+    "Memory2DConfig",
+    "Memory3D",
+    "Memory3DConfig",
+    "MemoryImage",
+    "OpenPageScheduler",
+    "OptimizedArchitecture",
+    "ParallelStreamingFFT",
+    "PermutationNetwork",
+    "PhaseMetrics",
+    "PhaseSpec",
+    "PipelineConfig",
+    "R2SDFPipeline",
+    "RadarTarget",
+    "Request",
+    "RowMajorLayout",
+    "StreamingFFT1D",
+    "StreamingPipeline",
+    "SystemConfig",
+    "SystemMetrics",
+    "TiledLayout",
+    "TimingParameters",
+    "TraceArray",
+    "block_column_read_trace",
+    "block_write_trace",
+    "column_walk_trace",
+    "ddr3_like_config",
+    "fft2d_spec",
+    "fft_convolve2d",
+    "filter_image",
+    "format_table1",
+    "format_table2",
+    "matmul_baseline",
+    "matmul_optimized",
+    "matmul_spec",
+    "optimal_block_geometry",
+    "pact15_energy_params",
+    "pact15_hmc_config",
+    "pact15_system_config",
+    "range_doppler_map",
+    "reproduce_report",
+    "row_walk_trace",
+    "transpose_spec",
+    "__version__",
+]

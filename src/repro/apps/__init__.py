@@ -1,0 +1,52 @@
+"""Application-level building blocks on top of the 2D FFT system.
+
+The paper motivates the architecture with signal- and image-processing
+workloads; this package provides those workloads as library functions so
+downstream users (and this repo's examples) call a tested API instead of
+re-deriving the math:
+
+* :mod:`repro.apps.convolution` -- frequency-domain 2D filtering;
+* :mod:`repro.apps.radar` -- pulse-Doppler range-Doppler processing;
+* :mod:`repro.apps.spectrogram` -- short-time Fourier analysis;
+* :mod:`repro.apps.ofdm` -- a QPSK-over-OFDM modem.
+"""
+
+from repro.apps.convolution import (
+    fft_convolve2d,
+    filter_image,
+    gaussian_lowpass_response,
+)
+from repro.apps.ofdm import (
+    OFDMConfig,
+    OFDMModem,
+    awgn_channel,
+    bit_error_rate,
+)
+from repro.apps.radar import (
+    RadarTarget,
+    detect_peaks,
+    range_doppler_map,
+    synthesize_returns,
+)
+from repro.apps.spectrogram import (
+    dominant_frequency_track,
+    spectrogram,
+    window_coefficients,
+)
+
+__all__ = [
+    "OFDMConfig",
+    "OFDMModem",
+    "RadarTarget",
+    "awgn_channel",
+    "bit_error_rate",
+    "detect_peaks",
+    "dominant_frequency_track",
+    "fft_convolve2d",
+    "filter_image",
+    "gaussian_lowpass_response",
+    "range_doppler_map",
+    "spectrogram",
+    "synthesize_returns",
+    "window_coefficients",
+]

@@ -1,0 +1,150 @@
+"""OFDM modem built on the streaming 1D kernel.
+
+Orthogonal frequency-division multiplexing is *the* FFT workload in
+communications: the transmitter runs an inverse FFT per symbol, the
+receiver a forward FFT.  Both are contiguous streaming transforms (the
+1D kernel's home turf), included to round out the application library
+with a full modulate -> channel -> demodulate round trip, QPSK symbol
+mapping and error-rate measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fft.kernel1d import StreamingFFT1D
+from repro.units import is_power_of_two
+
+#: Gray-coded QPSK constellation (unit energy).
+_QPSK = np.array([1 + 1j, -1 + 1j, 1 - 1j, -1 - 1j]) / np.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class OFDMConfig:
+    """Modem parameters.
+
+    Attributes:
+        n_subcarriers: FFT length (power of two).
+        cyclic_prefix: samples copied from the symbol tail to its head;
+            absorbs channel memory up to that many taps.
+    """
+
+    n_subcarriers: int = 1024
+    cyclic_prefix: int = 64
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n_subcarriers) or self.n_subcarriers < 4:
+            raise ConfigError(
+                f"n_subcarriers must be a power of two >= 4, got {self.n_subcarriers}"
+            )
+        if not (0 <= self.cyclic_prefix < self.n_subcarriers):
+            raise ConfigError(
+                f"cyclic_prefix must be in [0, {self.n_subcarriers}), "
+                f"got {self.cyclic_prefix}"
+            )
+
+    @property
+    def symbol_samples(self) -> int:
+        """Time-domain samples per OFDM symbol including the prefix."""
+        return self.n_subcarriers + self.cyclic_prefix
+
+
+class OFDMModem:
+    """QPSK-over-OFDM modulator/demodulator."""
+
+    def __init__(self, config: OFDMConfig | None = None) -> None:
+        self.config = config or OFDMConfig()
+        self._kernel = StreamingFFT1D(self.config.n_subcarriers)
+
+    # ---------------------------------------------------------------- bits
+    def map_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Pack bit pairs into QPSK symbols (bits length must be even)."""
+        bits = np.asarray(bits, dtype=np.int64)
+        if bits.ndim != 1 or bits.size % 2:
+            raise ConfigError("bits must be a 1-D array of even length")
+        if bits.size and not np.isin(bits, (0, 1)).all():
+            raise ConfigError("bits must be 0/1")
+        index = bits[0::2] * 2 + bits[1::2]
+        return _QPSK[index]
+
+    def demap_symbols(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision QPSK demapping back to bits.
+
+        Inverse of :meth:`map_bits`: constellation index ``b0*2 + b1``
+        puts ``b0`` on the imaginary sign and ``b1`` on the real sign.
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        first = (symbols.imag < 0).astype(np.int64)
+        second = (symbols.real < 0).astype(np.int64)
+        bits = np.empty(symbols.size * 2, dtype=np.int64)
+        bits[0::2] = first
+        bits[1::2] = second
+        return bits
+
+    # -------------------------------------------------------------- symbols
+    def modulate(self, frequency_symbols: np.ndarray) -> np.ndarray:
+        """One OFDM symbol: IFFT + cyclic prefix.
+
+        Args:
+            frequency_symbols: ``n_subcarriers`` constellation points.
+        """
+        n = self.config.n_subcarriers
+        data = np.asarray(frequency_symbols, dtype=np.complex128)
+        if data.shape != (n,):
+            raise ConfigError(f"expected {n} subcarrier symbols, got {data.shape}")
+        time_domain = self._kernel.inverse(data) * np.sqrt(n)
+        prefix = time_domain[-self.config.cyclic_prefix :] if self.config.cyclic_prefix else time_domain[:0]
+        return np.concatenate([prefix, time_domain])
+
+    def demodulate(self, samples: np.ndarray) -> np.ndarray:
+        """Strip the prefix and FFT back to subcarrier symbols."""
+        expected = self.config.symbol_samples
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.shape != (expected,):
+            raise ConfigError(f"expected {expected} samples, got {samples.shape}")
+        body = samples[self.config.cyclic_prefix :]
+        return self._kernel.transform(body) / np.sqrt(self.config.n_subcarriers)
+
+    # ---------------------------------------------------------------- e2e
+    def transmit_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Bits -> one OFDM symbol's worth of time-domain samples."""
+        symbols = self.map_bits(bits)
+        if symbols.size != self.config.n_subcarriers:
+            raise ConfigError(
+                f"need exactly {2 * self.config.n_subcarriers} bits per symbol"
+            )
+        return self.modulate(symbols)
+
+    def receive_bits(self, samples: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`transmit_bits` (no equalisation)."""
+        return self.demap_symbols(self.demodulate(samples))
+
+
+def awgn_channel(
+    samples: np.ndarray, snr_db: float, seed: int = 0
+) -> np.ndarray:
+    """Additive white Gaussian noise at the given per-sample SNR."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    signal_power = float(np.mean(np.abs(samples) ** 2))
+    if signal_power == 0.0:
+        return samples.copy()
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    rng = np.random.default_rng(seed)
+    noise = np.sqrt(noise_power / 2) * (
+        rng.standard_normal(samples.shape) + 1j * rng.standard_normal(samples.shape)
+    )
+    return samples + noise
+
+
+def bit_error_rate(sent: np.ndarray, received: np.ndarray) -> float:
+    """Fraction of differing bits."""
+    sent = np.asarray(sent)
+    received = np.asarray(received)
+    if sent.shape != received.shape:
+        raise ConfigError("bit arrays must have equal shape")
+    if sent.size == 0:
+        raise ConfigError("bit arrays must be non-empty")
+    return float(np.mean(sent != received))

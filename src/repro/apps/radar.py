@@ -1,0 +1,102 @@
+"""Pulse-Doppler radar processing on the 2D FFT system.
+
+A coherent processing interval (CPI) is a pulses x range-gates matrix;
+the range-Doppler map is its 2D FFT -- a 1D FFT along fast time per pulse
+(range compression) and a 1D FFT along slow time per gate (Doppler),
+exactly the paper's two conflicting phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.architecture import Architecture2DFFT, OptimizedArchitecture
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RadarTarget:
+    """A synthetic point target.
+
+    Attributes:
+        range_bin: fast-time frequency bin (distance).
+        doppler_bin: slow-time frequency bin (radial velocity).
+        amplitude: return strength relative to unit.
+    """
+
+    range_bin: int
+    doppler_bin: int
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.range_bin < 0 or self.doppler_bin < 0:
+            raise ConfigError("target bins must be non-negative")
+        if self.amplitude <= 0:
+            raise ConfigError("target amplitude must be positive")
+
+
+def synthesize_returns(
+    n: int,
+    targets: list[RadarTarget],
+    noise_std: float = 0.05,
+    seed: int = 0,
+) -> np.ndarray:
+    """Raw CPI data: ``n`` pulses x ``n`` range gates plus receiver noise.
+
+    Each target is a positive-frequency complex tone in both dimensions,
+    so its map peak lands exactly at (doppler_bin, range_bin).
+    """
+    if n < 2:
+        raise ConfigError(f"CPI size must be >= 2, got {n}")
+    if noise_std < 0:
+        raise ConfigError("noise_std must be non-negative")
+    rng = np.random.default_rng(seed)
+    pulse = np.arange(n)[:, None]
+    sample = np.arange(n)[None, :]
+    data = noise_std * (
+        rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    )
+    for target in targets:
+        if target.range_bin >= n or target.doppler_bin >= n:
+            raise ConfigError(f"target {target} outside the {n}-bin CPI")
+        data = data + target.amplitude * np.exp(
+            2j * np.pi * (
+                target.range_bin * sample / n + target.doppler_bin * pulse / n
+            )
+        )
+    return data
+
+
+def range_doppler_map(
+    cpi: np.ndarray,
+    architecture: Architecture2DFFT | None = None,
+) -> np.ndarray:
+    """Power map in dB (relative to a unit-amplitude, coherently
+    integrated target) of one CPI, via the architecture's 2D FFT."""
+    data = np.asarray(cpi, dtype=np.complex128)
+    if data.ndim != 2 or data.shape[0] != data.shape[1]:
+        raise ConfigError(f"CPI must be square, got shape {data.shape}")
+    n = data.shape[0]
+    arch = architecture or OptimizedArchitecture(n)
+    if arch.n != n:
+        raise ConfigError(f"architecture is sized for {arch.n}, CPI is {n}")
+    spectrum = arch.compute(data)
+    return 20.0 * np.log10(np.abs(spectrum) / n + 1e-12)
+
+
+def detect_peaks(
+    power_db: np.ndarray, rel_threshold_db: float = 9.0
+) -> list[tuple[int, int]]:
+    """Cells within ``rel_threshold_db`` of the strongest return.
+
+    A coarse CFAR stand-in adequate for integer-bin synthetic targets.
+    """
+    power = np.asarray(power_db, dtype=np.float64)
+    if power.size == 0:
+        raise ConfigError("power map must not be empty")
+    if rel_threshold_db <= 0:
+        raise ConfigError("threshold must be positive")
+    peaks = np.argwhere(power > power.max() - rel_threshold_db)
+    return [(int(r), int(c)) for r, c in peaks]

@@ -1,0 +1,87 @@
+"""Short-time Fourier analysis on the streaming 1D kernel.
+
+The third signal-processing staple after filtering and range-Doppler: a
+spectrogram slices a long signal into (optionally overlapping) windowed
+frames and FFTs each frame -- a pure streaming workload for the paper's
+1D kernel, with no layout conflict (every frame is a contiguous read),
+which is exactly why the paper's problem only appears in >= 2D
+transforms.  Included to round out the application library and as the
+natural consumer of back-to-back kernel frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fft.kernel1d import StreamingFFT1D
+from repro.units import is_power_of_two
+
+#: Supported window functions.
+WINDOWS = ("rectangular", "hann", "hamming")
+
+
+def window_coefficients(frame: int, kind: str = "hann") -> np.ndarray:
+    """Analysis window of length ``frame``."""
+    if kind not in WINDOWS:
+        raise ConfigError(f"window must be one of {WINDOWS}, got {kind!r}")
+    if frame < 2:
+        raise ConfigError(f"frame must be >= 2, got {frame}")
+    n = np.arange(frame)
+    if kind == "rectangular":
+        return np.ones(frame)
+    if kind == "hann":
+        return 0.5 - 0.5 * np.cos(2 * np.pi * n / frame)
+    return 0.54 - 0.46 * np.cos(2 * np.pi * n / frame)  # hamming
+
+
+def spectrogram(
+    signal: np.ndarray,
+    frame: int = 256,
+    hop: int | None = None,
+    window: str = "hann",
+) -> np.ndarray:
+    """Power spectrogram in dB: frames x frequency bins.
+
+    Args:
+        signal: 1-D real or complex samples.
+        frame: FFT length per slice (power of two).
+        hop: samples between frame starts (default ``frame // 2``).
+        window: analysis window name.
+
+    Returns:
+        ``(n_frames, frame)`` array of dB power values.
+    """
+    x = np.asarray(signal, dtype=np.complex128)
+    if x.ndim != 1:
+        raise ConfigError(f"signal must be 1-D, got shape {x.shape}")
+    if not is_power_of_two(frame) or frame < 4:
+        raise ConfigError(f"frame must be a power of two >= 4, got {frame}")
+    step = hop if hop is not None else frame // 2
+    if step < 1:
+        raise ConfigError(f"hop must be >= 1, got {step}")
+    if x.size < frame:
+        raise ConfigError(f"signal ({x.size}) shorter than one frame ({frame})")
+
+    n_frames = 1 + (x.size - frame) // step
+    starts = np.arange(n_frames) * step
+    frames = np.stack([x[s : s + frame] for s in starts])
+    frames = frames * window_coefficients(frame, window)[np.newaxis, :]
+
+    kernel = StreamingFFT1D(frame)
+    spectra = kernel.transform(frames)
+    power = np.abs(spectra) ** 2 / frame
+    return 10.0 * np.log10(power + 1e-300)
+
+
+def dominant_frequency_track(
+    power_db: np.ndarray, sample_rate_hz: float
+) -> np.ndarray:
+    """Per-frame frequency (Hz) of the strongest bin in the lower half."""
+    power = np.asarray(power_db)
+    if power.ndim != 2:
+        raise ConfigError(f"expected a spectrogram matrix, got {power.shape}")
+    frame = power.shape[1]
+    half = power[:, : frame // 2]
+    bins = np.argmax(half, axis=1)
+    return bins * sample_rate_hz / frame

@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's evaluation artifacts:
+
+* ``table1``           -- column-wise FFT throughput comparison (Table 1)
+* ``table2``           -- entire-application comparison (Table 2)
+* ``describe-memory``  -- the 3D memory organisation (Fig. 1 structure)
+* ``kernel``           -- 1D FFT kernel resource model (Fig. 2 components)
+* ``geometry``         -- Eq. (1) block geometry for a problem size
+* ``simulate``         -- trace-driven validation of one size
+* ``plan``             -- automatic layout optimization for a kernel
+* ``energy``           -- column-phase energy, baseline vs DDL
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import (
+    AnalyticModel,
+    BaselineArchitecture,
+    OptimizedArchitecture,
+    format_table1,
+    format_table2,
+)
+from repro.core.config import SystemConfig
+from repro.fft import StreamingFFT1D
+from repro.layouts import optimal_block_geometry
+from repro.memory3d import pact15_hmc_config
+
+
+def _add_sizes(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[2048, 4096, 8192],
+        help="2D FFT sizes N (N x N matrices)",
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    model = AnalyticModel()
+    print(format_table1(model.table1(tuple(args.sizes))))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    model = AnalyticModel()
+    print(format_table2(model.table2(tuple(args.sizes))))
+    return 0
+
+
+def _cmd_describe_memory(_: argparse.Namespace) -> int:
+    print(pact15_hmc_config().describe())
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    config = SystemConfig()
+    for n in args.sizes:
+        kernel = StreamingFFT1D(
+            n,
+            radix=config.kernel.radix,
+            lanes=config.kernel.lanes,
+            clock_hz=config.kernel.clock_for(n),
+        )
+        print(kernel.hardware.summary())
+        print()
+    return 0
+
+
+def _cmd_geometry(args: argparse.Namespace) -> int:
+    memory = pact15_hmc_config()
+    for n in args.sizes:
+        geo = optimal_block_geometry(memory, n, n_v=args.n_v)
+        print(
+            f"N={n}: w={geo.width} h={geo.height} "
+            f"(raw h={geo.raw_height:.2f}, regime={geo.regime.value})"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    for n in args.sizes:
+        baseline = BaselineArchitecture(n).evaluate(max_requests=args.max_requests)
+        optimized = OptimizedArchitecture(n).evaluate(max_requests=args.max_requests)
+        print(format_table2([(baseline, optimized)], title=f"Simulated N={n}"))
+        print()
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.framework import (
+        LayoutPlanner,
+        fft2d_spec,
+        matmul_spec,
+        transpose_spec,
+    )
+
+    specs = {
+        "fft2d": fft2d_spec,
+        "transpose": transpose_spec,
+        "matmul": matmul_spec,
+    }
+    planner = LayoutPlanner(pact15_hmc_config(), sample_requests=args.max_requests)
+    for n in args.sizes:
+        spec = specs[args.kernel](n)
+        print(spec.describe())
+        print(planner.plan(spec).describe())
+        print()
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.energy import EnergyModel
+    from repro.layouts import (
+        BlockDDLLayout,
+        RowMajorLayout,
+        optimal_block_geometry,
+    )
+    from repro.memory3d import Memory3D
+    from repro.trace import block_column_read_trace, column_walk_trace
+
+    memory = Memory3D(pact15_hmc_config())
+    model = EnergyModel()
+    for n in args.sizes:
+        geo = optimal_block_geometry(memory.config, n)
+        cols = 2 * geo.width
+        base_stats = memory.simulate(
+            column_walk_trace(RowMajorLayout(n, n), cols=range(cols)),
+            "in_order",
+            sample=args.max_requests,
+        )
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        ddl_stats = memory.simulate(
+            block_column_read_trace(layout, n_streams=2, block_cols=range(2)),
+            "per_vault",
+            sample=args.max_requests,
+        )
+        base = model.memory_energy(base_stats)
+        ddl = model.memory_energy(ddl_stats) + model.reorganization_energy(
+            2 * layout.n_block_rows * layout.block_elements
+        )
+        print(f"N={n}, column phase over {cols} columns:")
+        print(f"  baseline: {base.summary()}")
+        print(f"  DDL     : {ddl.summary()}")
+        print(f"  ratio   : {base.total_nj / ddl.total_nj:.1f}x")
+        print()
+    return 0
+
+
+def _cmd_fft3d(args: argparse.Namespace) -> int:
+    from repro.fft.fft3d import FFT3DModel
+
+    model = FFT3DModel()
+    print(f"{'N^3':>7s} {'baseline':>10s} {'optimized':>10s} {'improvement':>12s}")
+    for n in args.sizes:
+        base = model.baseline(n)
+        opt = model.optimized(n)
+        print(
+            f"{n:>5d}^3 {base.throughput_gbps:>9.2f}G {opt.throughput_gbps:>9.2f}G "
+            f"{opt.improvement_over(base):>11.1f}%"
+        )
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.layouts import (
+        BlockDDLLayout,
+        RowMajorLayout,
+        optimal_block_geometry,
+    )
+    from repro.memory3d import Memory3D
+    from repro.trace import block_column_read_trace, column_walk_trace
+    from repro.viz import sparkline
+
+    memory = Memory3D(pact15_hmc_config())
+    peak = memory.config.peak_bandwidth
+    for n in args.sizes:
+        base_trace = column_walk_trace(RowMajorLayout(n, n), cols=range(4))
+        base = memory.bandwidth_timeline(
+            base_trace, "in_order", bucket_ns=args.bucket_ns,
+            sample=args.max_requests,
+        )
+        geo = optimal_block_geometry(memory.config, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        opt_trace = block_column_read_trace(
+            layout, n_streams=16, block_cols=range(16)
+        )
+        opt = memory.bandwidth_timeline(
+            opt_trace, "per_vault", bucket_ns=args.bucket_ns,
+            sample=args.max_requests,
+        )
+        print(f"N={n} column-phase bandwidth over time "
+              f"({args.bucket_ns:.0f} ns buckets, % of peak):")
+        print(f"  baseline : {sparkline((base / peak).tolist(), bounds=(0, 1))} "
+              f"(mean {100 * base.mean() / peak:.1f}%)")
+        print(f"  optimized: {sparkline((opt / peak).tolist(), bounds=(0, 1))} "
+              f"(mean {100 * opt.mean() / peak:.1f}%)")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import validate_model
+
+    report = validate_model(
+        sizes=tuple(args.sizes), max_requests=args.max_requests
+    )
+    print(report.describe())
+    return 0 if report.max_relative_error < 0.05 else 1
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.reporting import reproduce_report
+
+    report = reproduce_report(
+        sizes=tuple(args.sizes), max_requests=args.max_requests
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="reproduce Table 1 (analytic model)")
+    _add_sizes(p1)
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="reproduce Table 2 (analytic model)")
+    _add_sizes(p2)
+    p2.set_defaults(func=_cmd_table2)
+
+    pm = sub.add_parser("describe-memory", help="3D memory organisation")
+    pm.set_defaults(func=_cmd_describe_memory)
+
+    pk = sub.add_parser("kernel", help="FFT kernel resource model")
+    _add_sizes(pk)
+    pk.set_defaults(func=_cmd_kernel)
+
+    pg = sub.add_parser("geometry", help="Eq. (1) block geometry")
+    _add_sizes(pg)
+    pg.add_argument("--n-v", type=int, default=1, help="vaults per stream")
+    pg.set_defaults(func=_cmd_geometry)
+
+    ps = sub.add_parser("simulate", help="trace-driven validation")
+    _add_sizes(ps)
+    ps.add_argument(
+        "--max-requests",
+        type=int,
+        default=262_144,
+        help="exactly-simulated requests per phase (rest extrapolated)",
+    )
+    ps.set_defaults(func=_cmd_simulate)
+
+    pp = sub.add_parser("plan", help="automatic layout optimization")
+    _add_sizes(pp)
+    pp.add_argument(
+        "--kernel",
+        choices=["fft2d", "transpose", "matmul"],
+        default="fft2d",
+        help="which kernel spec to plan for",
+    )
+    pp.add_argument("--max-requests", type=int, default=65_536)
+    pp.set_defaults(func=_cmd_plan)
+
+    pe = sub.add_parser("energy", help="column-phase energy comparison")
+    _add_sizes(pe)
+    pe.add_argument("--max-requests", type=int, default=65_536)
+    pe.set_defaults(func=_cmd_energy)
+
+    p3 = sub.add_parser("fft3d", help="three-phase 3D FFT model")
+    _add_sizes(p3)
+    p3.set_defaults(func=_cmd_fft3d)
+
+    pt = sub.add_parser("timeline", help="bandwidth-over-time sparklines")
+    _add_sizes(pt)
+    pt.add_argument("--bucket-ns", type=float, default=500.0)
+    pt.add_argument("--max-requests", type=int, default=32_768)
+    pt.set_defaults(func=_cmd_timeline)
+
+    pv = sub.add_parser("validate", help="analytic model vs simulator grid")
+    _add_sizes(pv)
+    pv.add_argument("--max-requests", type=int, default=65_536)
+    pv.set_defaults(func=_cmd_validate)
+
+    pr = sub.add_parser(
+        "reproduce", help="regenerate every paper artifact as markdown"
+    )
+    _add_sizes(pr)
+    pr.add_argument("--max-requests", type=int, default=131_072)
+    pr.add_argument("--out", type=str, default=None,
+                    help="write the report to a file instead of stdout")
+    pr.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

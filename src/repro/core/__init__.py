@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the 2D FFT system architectures.
+
+This package ties the substrates together:
+
+* :class:`~repro.core.config.SystemConfig` -- 3D memory + FFT kernel +
+  stream parallelism, with the paper-calibrated default.
+* :class:`~repro.core.model.AnalyticModel` -- closed-form throughput,
+  latency and utilization (the paper's model-based evaluation).
+* :mod:`repro.core.simulate` -- trace-driven phase simulations that
+  validate the analytic numbers.
+* :class:`~repro.core.architecture.BaselineArchitecture` and
+  :class:`~repro.core.architecture.OptimizedArchitecture` -- runnable
+  models of Fig. 3, including a functional data path that computes real
+  2D FFTs through the layout/permutation plumbing.
+* :mod:`~repro.core.report` -- paper-style table rendering.
+"""
+
+from repro.core.config import KernelConfig, SystemConfig
+from repro.core.metrics import PhaseMetrics, SystemMetrics
+from repro.core.model import AnalyticModel
+from repro.core.architecture import (
+    Architecture2DFFT,
+    BaselineArchitecture,
+    OptimizedArchitecture,
+)
+from repro.core.memory_image import MemoryImage
+from repro.core.report import format_table1, format_table2
+
+__all__ = [
+    "AnalyticModel",
+    "Architecture2DFFT",
+    "BaselineArchitecture",
+    "KernelConfig",
+    "MemoryImage",
+    "OptimizedArchitecture",
+    "PhaseMetrics",
+    "SystemConfig",
+    "SystemMetrics",
+    "format_table1",
+    "format_table2",
+]

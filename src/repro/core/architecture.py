@@ -1,0 +1,179 @@
+"""The two 2D-FFT processor architectures (paper Fig. 3).
+
+Both architectures share the memory stack and the streaming kernel; they
+differ only in the intermediate data layout and the phase-2 access
+machinery:
+
+* :class:`BaselineArchitecture` keeps the row-major layout, so the column
+  phase issues one strided element at a time (``in_order`` discipline);
+* :class:`OptimizedArchitecture` routes the row-phase results through the
+  controlling unit's permutation network into the Eq. (1) block layout and
+  drains phase 2 with parallel per-vault block streams.
+
+Each architecture offers two faces:
+
+* :meth:`~Architecture2DFFT.evaluate` -- performance: trace-driven
+  simulation packaged as :class:`~repro.core.metrics.SystemMetrics`;
+* :meth:`~Architecture2DFFT.compute` -- function: an actual 2D FFT whose
+  intermediate truly round-trips through a :class:`MemoryImage` in the
+  architecture's layout, proving the addressing/permutation plumbing is
+  value-correct (checked against ``numpy.fft.fft2`` in the tests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.memory_image import MemoryImage
+from repro.core.metrics import SystemMetrics
+from repro.core.simulate import (
+    DEFAULT_SAMPLE_REQUESTS,
+    simulate_baseline_column_phase,
+    simulate_optimized_column_phase,
+    simulate_row_phase,
+)
+from repro.errors import ConfigError
+from repro.fft.fft2d import FFT2D
+from repro.layouts.block_ddl import BlockDDLLayout
+from repro.layouts.optimizer import BlockGeometry, optimal_block_geometry
+from repro.layouts.row_major import RowMajorLayout
+from repro.permutation.control import ControllingUnit
+from repro.units import is_power_of_two
+
+
+class Architecture2DFFT(ABC):
+    """Common scaffolding of both architectures."""
+
+    name = "abstract"
+
+    def __init__(self, n: int, config: SystemConfig | None = None) -> None:
+        if n < 4 or not is_power_of_two(n):
+            raise ConfigError(f"2D FFT size must be a power of two >= 4, got {n}")
+        self.n = n
+        self.config = config or SystemConfig()
+        footprint = n * n * 8
+        capacity = self.config.memory.capacity_bytes
+        if footprint > capacity:
+            raise ConfigError(
+                f"a {n}x{n} intermediate ({footprint >> 20} MiB) does not fit "
+                f"the {capacity >> 20} MiB device"
+            )
+        kernel = self.config.kernel
+        self.fft = FFT2D(
+            n, n, radix=kernel.radix, lanes=kernel.lanes,
+            clock_hz=kernel.clock_for(n),
+        )
+
+    # ------------------------------------------------------------ performance
+    @abstractmethod
+    def evaluate(self, max_requests: int = DEFAULT_SAMPLE_REQUESTS) -> SystemMetrics:
+        """Simulate both phases and return system metrics."""
+
+    # -------------------------------------------------------------- function
+    @abstractmethod
+    def compute(self, matrix: np.ndarray) -> np.ndarray:
+        """2D FFT with the intermediate stored through this architecture's
+        layout in a functional memory image."""
+
+    def _check_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        data = np.asarray(matrix, dtype=np.complex128)
+        if data.shape != (self.n, self.n):
+            raise ConfigError(
+                f"expected a {self.n}x{self.n} matrix, got {data.shape}"
+            )
+        return data
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class BaselineArchitecture(Architecture2DFFT):
+    """Row-major intermediate; strided column fetches."""
+
+    name = "baseline"
+
+    def evaluate(self, max_requests: int = DEFAULT_SAMPLE_REQUESTS) -> SystemMetrics:
+        row = simulate_row_phase(self.config, self.n, layout=None,
+                                 max_requests=max_requests)
+        col = simulate_baseline_column_phase(self.config, self.n,
+                                             max_requests=max_requests)
+        return SystemMetrics(
+            architecture=self.name,
+            fft_size=self.n,
+            row_phase=row,
+            column_phase=col,
+            data_parallelism=1,
+        )
+
+    def compute(self, matrix: np.ndarray) -> np.ndarray:
+        data = self._check_matrix(matrix)
+        layout = RowMajorLayout(self.n, self.n)
+        image = MemoryImage(layout.footprint_bytes)
+        # Phase 1: row FFTs, written back row-major.
+        image.store_matrix(layout, self.fft.row_phase(data))
+        # Phase 2: strided column fetches, column FFTs.
+        intermediate = image.load_columns(layout, range(self.n))
+        return self.fft.col_kernel.transform(intermediate.T).T
+
+
+class OptimizedArchitecture(Architecture2DFFT):
+    """Block-DDL intermediate via the controlling unit (Fig. 3)."""
+
+    name = "optimized"
+
+    def __init__(
+        self,
+        n: int,
+        config: SystemConfig | None = None,
+        geometry: BlockGeometry | None = None,
+    ) -> None:
+        super().__init__(n, config)
+        self.geometry = geometry or optimal_block_geometry(self.config.memory, n)
+        self.layout = BlockDDLLayout(
+            n, n, self.geometry.width, self.geometry.height
+        )
+        self.controlling_unit = ControllingUnit(
+            self.geometry, width=self.config.kernel.lanes
+        )
+
+    def evaluate(self, max_requests: int = DEFAULT_SAMPLE_REQUESTS) -> SystemMetrics:
+        row = simulate_row_phase(self.config, self.n, layout=self.layout,
+                                 max_requests=max_requests)
+        col = simulate_optimized_column_phase(
+            self.config, self.n, self.layout, max_requests=max_requests
+        )
+        return SystemMetrics(
+            architecture=self.name,
+            fft_size=self.n,
+            row_phase=row,
+            column_phase=col,
+            data_parallelism=self.config.column_streams,
+        )
+
+    def compute(self, matrix: np.ndarray) -> np.ndarray:
+        data = self._check_matrix(matrix)
+        layout = self.layout
+        cu = self.controlling_unit
+        image = MemoryImage(layout.footprint_bytes)
+        h = layout.height
+        # Phase 1: stage h row-FFT rows, reorganize through the CU, write
+        # each slab as the contiguous block stream the vaults receive.
+        from repro.trace.generators import block_write_trace  # local: avoid cycle
+
+        for block_r in range(layout.n_block_rows):
+            rows = slice(block_r * h, (block_r + 1) * h)
+            slab = self.fft.row_phase(data[rows])
+            stream = cu.reorganize_slab(slab, layout)
+            trace = block_write_trace(layout, block_rows=range(block_r, block_r + 1))
+            image.store_stream(trace.addresses, stream)
+        # Phase 2: whole-block column streams, de-blocked back to columns.
+        intermediate = image.load_columns(layout, range(self.n))
+        return self.fft.col_kernel.transform(intermediate.T).T
+
+    @property
+    def reorganization_buffer_words(self) -> int:
+        """On-chip staging the DDL costs (the paper's reorg overhead)."""
+        return self.layout.staging_buffer_elements()

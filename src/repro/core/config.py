@@ -1,0 +1,111 @@
+"""System-level configuration: kernel parameters plus the 3D memory.
+
+The FPGA kernel's post-place-and-route clock degrades with problem size
+(deeper pipelines, longer routes); the paper's implied clocks for its
+three evaluation sizes are the calibration constants here (DESIGN.md
+section 3).  Clocks for other sizes interpolate geometrically in
+``log2 N`` between the calibrated points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.memory3d.config import Memory3DConfig, pact15_hmc_config
+from repro.units import ELEMENT_BYTES, is_power_of_two, mhz
+
+
+def _default_clock_table() -> dict[int, float]:
+    return {2048: mhz(250.0), 4096: mhz(200.0), 8192: mhz(180.0)}
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Streaming FFT kernel parameters.
+
+    Attributes:
+        lanes: data parallelism ``P`` in elements per clock (the Fig. 3
+            design streams one element per vault into a 16-wide kernel).
+        radix: butterfly radix (the paper's kernel is radix-4).
+        clock_table_hz: calibrated post-P&R clock per FFT size.
+    """
+
+    lanes: int = 16
+    radix: int = 4
+    clock_table_hz: dict[int, float] = field(default_factory=_default_clock_table)
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0 or not is_power_of_two(self.lanes):
+            raise ConfigError(f"lanes must be a positive power of two, got {self.lanes}")
+        if self.radix not in (2, 4):
+            raise ConfigError(f"radix must be 2 or 4, got {self.radix}")
+        if not self.clock_table_hz:
+            raise ConfigError("clock table must not be empty")
+        for size, clock in self.clock_table_hz.items():
+            if not is_power_of_two(size) or clock <= 0:
+                raise ConfigError(f"bad clock table entry {size}: {clock}")
+
+    def clock_for(self, n: int) -> float:
+        """Kernel clock for an ``n``-point 1D FFT.
+
+        Exact table hits return the calibrated clock; sizes below/above the
+        table clamp to the nearest entry; sizes in between interpolate
+        geometrically in ``log2 n``.
+        """
+        if n <= 0:
+            raise ConfigError(f"FFT size must be positive, got {n}")
+        table = sorted(self.clock_table_hz.items())
+        if n in self.clock_table_hz:
+            return self.clock_table_hz[n]
+        if n <= table[0][0]:
+            return table[0][1]
+        if n >= table[-1][0]:
+            return table[-1][1]
+        for (lo_n, lo_clk), (hi_n, hi_clk) in zip(table, table[1:]):
+            if lo_n < n < hi_n:
+                frac = (math.log2(n) - math.log2(lo_n)) / (
+                    math.log2(hi_n) - math.log2(lo_n)
+                )
+                return lo_clk * (hi_clk / lo_clk) ** frac
+        raise ConfigError(f"clock interpolation failed for n={n}")  # pragma: no cover
+
+    def throughput_bytes_per_s(self, n: int) -> float:
+        """Kernel streaming rate for an ``n``-point FFT: P elements/clock."""
+        return self.lanes * ELEMENT_BYTES * self.clock_for(n)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete system: 3D memory, kernel, and stream parallelism.
+
+    ``column_streams`` is the number of parallel column streams the
+    optimized architecture runs in phase 2 -- one per engaged vault in the
+    evaluated design.
+    """
+
+    memory: Memory3DConfig = field(default_factory=pact15_hmc_config)
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    column_streams: int = 16
+
+    def __post_init__(self) -> None:
+        if self.column_streams <= 0:
+            raise ConfigError(
+                f"column_streams must be positive, got {self.column_streams}"
+            )
+        if self.column_streams > self.memory.vaults:
+            raise ConfigError(
+                f"column_streams={self.column_streams} exceeds "
+                f"{self.memory.vaults} vaults"
+            )
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Device peak bandwidth, bytes/second."""
+        return self.memory.peak_bandwidth
+
+
+def pact15_system_config() -> SystemConfig:
+    """The full paper-calibrated system (80 GB/s stack, 16-lane kernel)."""
+    return SystemConfig()

@@ -1,0 +1,93 @@
+"""Functional (contents-only) view of the external memory.
+
+The timing simulator cares about *when* bytes move; :class:`MemoryImage`
+cares about *what* they are.  The architecture models use it to prove the
+whole data path -- layout addressing, slab staging, permutation network --
+is value-correct: data written through a layout and read back through
+another path must reproduce the matrix exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AddressError
+from repro.layouts.base import Layout
+from repro.units import ELEMENT_BYTES
+
+
+class MemoryImage:
+    """A flat array of complex elements addressed by byte address."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0 or capacity_bytes % ELEMENT_BYTES:
+            raise AddressError(
+                f"capacity must be a positive multiple of {ELEMENT_BYTES}, "
+                f"got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._cells = np.zeros(capacity_bytes // ELEMENT_BYTES, dtype=np.complex128)
+
+    # ------------------------------------------------------------ raw access
+    def _indices(self, addresses: np.ndarray) -> np.ndarray:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size:
+            if addresses.min() < 0 or addresses.max() >= self.capacity_bytes:
+                raise AddressError("address outside memory image capacity")
+            if np.any(addresses % ELEMENT_BYTES):
+                raise AddressError("unaligned address in memory image access")
+        return addresses // ELEMENT_BYTES
+
+    def write(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Store ``values`` at element-aligned byte ``addresses``."""
+        idx = self._indices(addresses)
+        values = np.asarray(values, dtype=np.complex128)
+        if values.shape != idx.shape:
+            raise AddressError(
+                f"value shape {values.shape} does not match address shape {idx.shape}"
+            )
+        self._cells[idx] = values
+
+    def read(self, addresses: np.ndarray) -> np.ndarray:
+        """Load the elements at element-aligned byte ``addresses``."""
+        return self._cells[self._indices(addresses)].copy()
+
+    # --------------------------------------------------------- layout helpers
+    def store_matrix(self, layout: Layout, matrix: np.ndarray) -> None:
+        """Write a whole matrix through a layout."""
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (layout.n_rows, layout.n_cols):
+            raise AddressError(
+                f"matrix shape {matrix.shape} does not match layout "
+                f"{layout.n_rows}x{layout.n_cols}"
+            )
+        rows, cols = np.divmod(
+            np.arange(layout.n_elements, dtype=np.int64), layout.n_cols
+        )
+        self.write(layout.address_array(rows, cols), matrix.reshape(-1))
+
+    def load_matrix(self, layout: Layout) -> np.ndarray:
+        """Read a whole matrix back through a layout."""
+        rows, cols = np.divmod(
+            np.arange(layout.n_elements, dtype=np.int64), layout.n_cols
+        )
+        flat = self.read(layout.address_array(rows, cols))
+        return flat.reshape(layout.n_rows, layout.n_cols)
+
+    def load_rows(self, layout: Layout, rows: range) -> np.ndarray:
+        """Read a band of matrix rows through a layout."""
+        row_idx = np.repeat(np.fromiter(rows, dtype=np.int64), layout.n_cols)
+        col_idx = np.tile(np.arange(layout.n_cols, dtype=np.int64), len(rows))
+        flat = self.read(layout.address_array(row_idx, col_idx))
+        return flat.reshape(len(rows), layout.n_cols)
+
+    def load_columns(self, layout: Layout, cols: range) -> np.ndarray:
+        """Read a band of matrix columns through a layout (column-major)."""
+        col_idx = np.repeat(np.fromiter(cols, dtype=np.int64), layout.n_rows)
+        row_idx = np.tile(np.arange(layout.n_rows, dtype=np.int64), len(cols))
+        flat = self.read(layout.address_array(row_idx, col_idx))
+        return flat.reshape(len(cols), layout.n_rows).T
+
+    def store_stream(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Alias of :meth:`write` for trace-ordered streams."""
+        self.write(addresses, values)

@@ -1,0 +1,131 @@
+"""Evaluation metrics (paper Section 4.5).
+
+*Throughput* is the sustained rate at which the application streams data
+through the memory, in GB/s; since the architectures stream every cycle,
+it fixes the total execution time.  *Latency* is the time from the first
+memory access of the column phase to the first element the column-FFT
+kernel emits (reported both per-phase and end-to-end, since the paper's
+Table 2 column is OCR-ambiguous -- see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.memory3d.stats import AccessStats
+from repro.units import to_gbitps, to_gbps
+
+
+@dataclass(frozen=True)
+class PhaseMetrics:
+    """One phase (row-wise or column-wise 1D FFTs) of the application.
+
+    Attributes:
+        name: "row" or "column".
+        n_bytes: payload bytes the phase moves through memory.
+        memory_time_ns: time the memory system needs for the phase's trace.
+        kernel_time_ns: time the FFT kernel needs to stream the same data.
+        first_output_latency_ns: first memory access to first kernel output
+            of this phase (fetching one full 1D-FFT input plus pipe fill).
+        stats: memory simulation detail, if the phase was simulated.
+    """
+
+    name: str
+    n_bytes: int
+    memory_time_ns: float
+    kernel_time_ns: float
+    first_output_latency_ns: float
+    stats: AccessStats | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_bytes <= 0:
+            raise SimulationError(f"phase {self.name}: n_bytes must be positive")
+        if self.memory_time_ns <= 0 or self.kernel_time_ns <= 0:
+            raise SimulationError(f"phase {self.name}: times must be positive")
+
+    @property
+    def time_ns(self) -> float:
+        """Phase duration: the slower of memory and kernel (both stream)."""
+        return max(self.memory_time_ns, self.kernel_time_ns)
+
+    @property
+    def bound(self) -> str:
+        """Which side limits the phase."""
+        return "memory" if self.memory_time_ns > self.kernel_time_ns else "kernel"
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        return self.n_bytes / (self.time_ns / 1e9)
+
+    @property
+    def throughput_gbps(self) -> float:
+        return to_gbps(self.throughput_bytes_per_s)
+
+    @property
+    def throughput_gbitps(self) -> float:
+        return to_gbitps(self.throughput_bytes_per_s)
+
+    def utilization(self, peak_bandwidth: float) -> float:
+        """Fraction of device peak bandwidth this phase sustains."""
+        return self.throughput_bytes_per_s / peak_bandwidth
+
+
+@dataclass(frozen=True)
+class SystemMetrics:
+    """The entire 2D FFT application (both phases)."""
+
+    architecture: str
+    fft_size: int
+    row_phase: PhaseMetrics
+    column_phase: PhaseMetrics
+    data_parallelism: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.row_phase.n_bytes + self.column_phase.n_bytes
+
+    @property
+    def total_time_ns(self) -> float:
+        """Phases execute back to back (phase 2 depends on all of phase 1)."""
+        return self.row_phase.time_ns + self.column_phase.time_ns
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Application throughput over both phases."""
+        return self.total_bytes / (self.total_time_ns / 1e9)
+
+    @property
+    def throughput_gbps(self) -> float:
+        return to_gbps(self.throughput_bytes_per_s)
+
+    @property
+    def latency_ns(self) -> float:
+        """Column-phase latency: first phase-2 fetch to first final output."""
+        return self.column_phase.first_output_latency_ns
+
+    @property
+    def end_to_end_latency_ns(self) -> float:
+        """First phase-1 fetch to the first final output."""
+        return self.row_phase.time_ns + self.column_phase.first_output_latency_ns
+
+    def utilization(self, peak_bandwidth: float) -> float:
+        """Application throughput as a fraction of device peak bandwidth."""
+        return self.throughput_bytes_per_s / peak_bandwidth
+
+    def improvement_over(self, baseline: "SystemMetrics") -> float:
+        """Throughput improvement the paper reports:
+        ``(optimized - baseline) / optimized * 100`` percent."""
+        if self.throughput_bytes_per_s <= 0:
+            raise SimulationError("cannot compute improvement for zero throughput")
+        return (
+            (self.throughput_bytes_per_s - baseline.throughput_bytes_per_s)
+            / self.throughput_bytes_per_s
+            * 100.0
+        )
+
+    def latency_reduction_over(self, baseline: "SystemMetrics") -> float:
+        """Factor by which this architecture shrinks the column latency."""
+        if self.latency_ns <= 0:
+            raise SimulationError("cannot compute latency reduction: zero latency")
+        return baseline.latency_ns / self.latency_ns

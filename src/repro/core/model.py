@@ -1,0 +1,202 @@
+"""Closed-form performance model (the paper's model-based evaluation).
+
+Every number in Tables 1 and 2 derives from a handful of expressions:
+
+* the **baseline column walk** pays one activate-to-activate gap per
+  element; the gap class follows from how the stride maps onto
+  vault/bank/layer (Section 3.1's parameters);
+* the **optimized column phase** streams whole blocks from all engaged
+  vaults, so memory runs at (nearly) peak and the *kernel* becomes the
+  bottleneck: ``P`` elements per clock at the size-dependent clock;
+* the **row phase** is a unit-stride stream in both architectures, also
+  kernel-bound;
+* application throughput combines the two phases over their summed time,
+  and latency is the first-column fetch plus the kernel fill.
+
+The trace-driven simulator (:mod:`repro.core.simulate`) reproduces these
+numbers from first principles; the test suite checks agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import PhaseMetrics, SystemMetrics
+from repro.errors import ConfigError
+from repro.fft.kernel1d import KernelHardwareModel
+from repro.layouts.optimizer import BlockGeometry, optimal_block_geometry
+from repro.units import ELEMENT_BYTES
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table 1 (column-wise FFT)."""
+
+    fft_size: int
+    baseline_gbitps: float
+    baseline_utilization: float
+    optimized_gbps: float
+    optimized_utilization: float
+
+
+class AnalyticModel:
+    """Closed-form throughput/latency/utilization for both architectures."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+
+    # -------------------------------------------------------------- plumbing
+    def kernel_rate(self, n: int) -> float:
+        """Kernel streaming rate for ``n``-point FFTs, bytes/second."""
+        return self.config.kernel.throughput_bytes_per_s(n)
+
+    def kernel_fill_latency_ns(self, n: int) -> float:
+        """Pipeline fill latency of the ``n``-point kernel."""
+        kernel = self.config.kernel
+        model = KernelHardwareModel(
+            n=n, radix=kernel.radix, lanes=kernel.lanes, clock_hz=kernel.clock_for(n)
+        )
+        return model.latency_ns
+
+    def geometry(self, n: int, n_v: int = 1) -> BlockGeometry:
+        """Eq. (1) block geometry for an ``n x n`` problem."""
+        return optimal_block_geometry(self.config.memory, n, n_v=n_v)
+
+    # -------------------------------------------------------- baseline column
+    def baseline_column_gap_ns(self, n: int) -> float:
+        """Per-element service gap of a stride-``n``-element column walk."""
+        return self.stride_gap_ns(n * ELEMENT_BYTES)
+
+    def stride_gap_ns(self, stride_bytes: int) -> float:
+        """Per-element service gap of a fixed-byte-stride walk.
+
+        Follows the address map: the stride in row-buffer chunks decides
+        whether successive accesses change vault, bank (same or different
+        layer) or only row, and the matching Section-3.1 parameter applies.
+        When the walk cycles through ``p`` banks of one vault, the row
+        cycle ``t_diff_row / p`` can still bind.
+        """
+        mem = self.config.memory
+        timing = mem.timing
+        if stride_bytes < mem.row_bytes:
+            # Several column elements share a row: amortized activation.
+            hits = mem.row_bytes // stride_bytes
+            return (timing.t_diff_row + (hits - 1) * timing.t_in_row) / hits
+        stride_chunks = stride_bytes // mem.row_bytes
+        if stride_chunks % mem.vaults:
+            # Vaults rotate access to access; activations overlap fully.
+            return timing.t_in_row
+        bank_step = (stride_chunks // mem.vaults) % mem.banks_per_vault
+        if bank_step == 0:
+            return timing.t_diff_row
+        cycle = mem.banks_per_vault // math.gcd(bank_step, mem.banks_per_vault)
+        same_layer = bank_step % mem.layers == 0
+        pair_gap = timing.t_diff_bank if same_layer else timing.t_in_vault
+        return max(pair_gap, timing.t_diff_row / cycle)
+
+    def baseline_column_rate(self, n: int) -> float:
+        """Baseline column-phase memory rate, bytes/second."""
+        return ELEMENT_BYTES / self.baseline_column_gap_ns(n) * 1e9
+
+    # --------------------------------------------------------------- phases
+    def _phase(
+        self,
+        name: str,
+        n: int,
+        memory_rate: float,
+        first_fetch_ns: float,
+    ) -> PhaseMetrics:
+        n_bytes = n * n * ELEMENT_BYTES
+        kernel_rate = self.kernel_rate(n)
+        return PhaseMetrics(
+            name=name,
+            n_bytes=n_bytes,
+            memory_time_ns=n_bytes / memory_rate * 1e9,
+            kernel_time_ns=n_bytes / kernel_rate * 1e9,
+            first_output_latency_ns=first_fetch_ns + self.kernel_fill_latency_ns(n),
+        )
+
+    def baseline_row_phase(self, n: int) -> PhaseMetrics:
+        """Phase 1: unit-stride stream across all vaults (near peak)."""
+        mem_rate = self.config.peak_bandwidth
+        first_fetch = n * ELEMENT_BYTES / self.kernel_rate(n) * 1e9
+        return self._phase("row", n, mem_rate, first_fetch)
+
+    def baseline_column_phase(self, n: int) -> PhaseMetrics:
+        """Phase 2 of the baseline: one activate gap per element."""
+        gap = self.baseline_column_gap_ns(n)
+        first_fetch = n * gap  # one full column, one element per gap
+        return self._phase("column", n, self.baseline_column_rate(n), first_fetch)
+
+    def optimized_row_phase(self, n: int) -> PhaseMetrics:
+        """Phase 1 with DDL write-back: still a full-bandwidth stream."""
+        return self.baseline_row_phase(n)
+
+    def optimized_column_phase(self, n: int) -> PhaseMetrics:
+        """Phase 2 under the DDL: whole-block streams from n_v vaults."""
+        cfg = self.config
+        mem_rate = min(
+            cfg.peak_bandwidth,
+            cfg.column_streams * cfg.memory.vault_peak_bandwidth,
+        )
+        geometry = self.geometry(n)
+        # A stream assembles its first column after fetching w blocks' worth
+        # of its block column: N/h blocks x (w*h) elements at the vault beat.
+        first_fetch = (
+            n * geometry.width * cfg.memory.timing.t_in_row
+        )
+        return self._phase("column", n, mem_rate, first_fetch)
+
+    # ---------------------------------------------------------------- systems
+    def baseline_system(self, n: int) -> SystemMetrics:
+        """Entire-application metrics for the baseline architecture."""
+        self._check_size(n)
+        return SystemMetrics(
+            architecture="baseline",
+            fft_size=n,
+            row_phase=self.baseline_row_phase(n),
+            column_phase=self.baseline_column_phase(n),
+            data_parallelism=1,
+        )
+
+    def optimized_system(self, n: int) -> SystemMetrics:
+        """Entire-application metrics for the optimized architecture."""
+        self._check_size(n)
+        return SystemMetrics(
+            architecture="optimized",
+            fft_size=n,
+            row_phase=self.optimized_row_phase(n),
+            column_phase=self.optimized_column_phase(n),
+            data_parallelism=self.config.column_streams,
+        )
+
+    # ----------------------------------------------------------------- tables
+    def table1_row(self, n: int) -> Table1Row:
+        """The paper's Table 1 numbers for one FFT size."""
+        peak = self.config.peak_bandwidth
+        base = self.baseline_column_phase(n)
+        opt = self.optimized_column_phase(n)
+        return Table1Row(
+            fft_size=n,
+            baseline_gbitps=base.throughput_gbitps,
+            baseline_utilization=base.utilization(peak),
+            optimized_gbps=opt.throughput_gbps,
+            optimized_utilization=opt.utilization(peak),
+        )
+
+    def table1(self, sizes: tuple[int, ...] = (2048, 4096, 8192)) -> list[Table1Row]:
+        """The paper's Table 1 over the given sizes."""
+        return [self.table1_row(n) for n in sizes]
+
+    def table2(
+        self, sizes: tuple[int, ...] = (2048, 4096, 8192)
+    ) -> list[tuple[SystemMetrics, SystemMetrics]]:
+        """(baseline, optimized) system metrics per size."""
+        return [(self.baseline_system(n), self.optimized_system(n)) for n in sizes]
+
+    # --------------------------------------------------------------- internal
+    def _check_size(self, n: int) -> None:
+        if n < 2:
+            raise ConfigError(f"FFT size must be >= 2, got {n}")

@@ -1,0 +1,73 @@
+"""Paper-style table rendering for Tables 1 and 2."""
+
+from __future__ import annotations
+
+from repro.core.metrics import SystemMetrics
+from repro.core.model import Table1Row
+
+
+def _fmt_time(ns: float) -> str:
+    """Human latency formatting (ns / us / ms)."""
+    if ns < 1e3:
+        return f"{ns:.1f} ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns / 1e6:.3f} ms"
+
+
+def format_table1(rows: list[Table1Row], title: str = "Table 1") -> str:
+    """Render the column-wise FFT comparison like the paper's Table 1."""
+    header = [f"{title}: Throughput Comparison -- Column-wise FFT"]
+    sizes = " | ".join(f"{r.fft_size}x{r.fft_size}" for r in rows)
+    header.append(f"{'':44s}  {sizes}")
+    lines = [
+        (
+            "Throughput of column-wise FFT (Baseline)",
+            [f"{r.baseline_gbitps:.1f} Gb/s" for r in rows],
+        ),
+        (
+            "Peak bandwidth utilization (Baseline)",
+            [f"{100 * r.baseline_utilization:.2f}%" for r in rows],
+        ),
+        (
+            "Throughput of column-wise FFT (Optimized)",
+            [f"{r.optimized_gbps:.2f} GB/s" for r in rows],
+        ),
+        (
+            "Peak bandwidth utilization (Optimized)",
+            [f"{100 * r.optimized_utilization:.1f}%" for r in rows],
+        ),
+    ]
+    out = list(header)
+    for label, cells in lines:
+        out.append(f"{label:44s}  " + " | ".join(f"{c:>11s}" for c in cells))
+    return "\n".join(out)
+
+
+def format_table2(
+    pairs: list[tuple[SystemMetrics, SystemMetrics]],
+    title: str = "Table 2",
+) -> str:
+    """Render the entire-application comparison like the paper's Table 2.
+
+    ``pairs`` holds (baseline, optimized) metrics per FFT size.
+    """
+    out = [f"{title}: Performance Comparison -- Entire 2D FFT application"]
+    head = (
+        f"{'FFT size':>10s} | {'arch':>9s} | {'tput GB/s':>9s} | "
+        f"{'latency':>10s} | {'parallel':>8s} | {'improvement':>11s}"
+    )
+    out.append(head)
+    out.append("-" * len(head))
+    for baseline, optimized in pairs:
+        improvement = optimized.improvement_over(baseline)
+        for metrics, impr in ((baseline, ""), (optimized, f"{improvement:.1f}%")):
+            out.append(
+                f"{metrics.fft_size:>6d}x{metrics.fft_size:<4d}| "
+                f"{metrics.architecture:>9s} | "
+                f"{metrics.throughput_gbps:>9.2f} | "
+                f"{_fmt_time(metrics.latency_ns):>10s} | "
+                f"{metrics.data_parallelism:>8d} | "
+                f"{impr:>11s}"
+            )
+    return "\n".join(out)

@@ -1,0 +1,71 @@
+"""Energy parameters.
+
+Values are HMC-generation estimates (the Hybrid Memory Cube literature
+quotes ~10 pJ/bit end-to-end vs ~65-70 pJ/bit for DDR3): a row activation
+moves a full row between the array and the row buffer and costs nanojoule
+scale; streaming an open row costs picojoules per byte; TSV transport is
+cheap; on-chip SRAM is cheaper still.  The *ratios* are what the
+experiments depend on — the DDL wins by replacing per-element activations
+with per-row activations — and those ratios are robust across published
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-event energy costs.
+
+    Attributes:
+        activation_nj: energy of one row activation (array precharge +
+            activate + restore), in nanojoules.
+        dram_access_pj_per_byte: moving a byte between the row buffer and
+            the vault interface.
+        tsv_pj_per_byte: moving a byte across the TSV bundle to the FPGA.
+        sram_pj_per_byte: one on-chip buffer access (read or write).
+        fft_op_pj: one real arithmetic operation (add/sub/multiply) in the
+            FFT datapath, including its share of register traffic.
+    """
+
+    activation_nj: float = 1.0
+    dram_access_pj_per_byte: float = 4.0
+    tsv_pj_per_byte: float = 2.0
+    sram_pj_per_byte: float = 0.5
+    fft_op_pj: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "activation_nj",
+            "dram_access_pj_per_byte",
+            "tsv_pj_per_byte",
+            "sram_pj_per_byte",
+            "fft_op_pj",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    @property
+    def memory_pj_per_byte(self) -> float:
+        """Streaming cost per byte once a row is open (array + TSV)."""
+        return self.dram_access_pj_per_byte + self.tsv_pj_per_byte
+
+
+def pact15_energy_params() -> EnergyParameters:
+    """HMC-flavoured defaults (see module docstring for provenance)."""
+    return EnergyParameters()
+
+
+def ddr3_energy_params() -> EnergyParameters:
+    """Planar-DRAM flavour: bigger rows, costlier activation and I/O."""
+    return EnergyParameters(
+        activation_nj=15.0,
+        dram_access_pj_per_byte=20.0,
+        tsv_pj_per_byte=40.0,  # the off-chip bus, reusing the field
+        sram_pj_per_byte=0.5,
+        fft_op_pj=1.5,
+    )

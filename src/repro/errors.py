@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class AddressError(ReproError):
+    """An address cannot be decoded or is outside the device capacity."""
+
+
+class LayoutError(ReproError):
+    """A data layout is invalid for the requested matrix geometry."""
+
+
+class TraceError(ReproError):
+    """An access trace is malformed (non-aligned, empty where forbidden, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven with inconsistent inputs."""
+
+
+class FFTError(ReproError):
+    """An FFT kernel was configured with an unsupported size or radix."""

@@ -1,0 +1,42 @@
+"""Streaming FFT kernels.
+
+The paper's 1D FFT kernel (Section 4.1, Fig. 2) concatenates radix
+(butterfly) blocks, data-path permutation (DPP) units and twiddle-factor
+computation (TFC) units into a pipeline that accepts ``P`` elements per
+clock.  This package provides:
+
+* a numerically exact software implementation with the same stage
+  structure (:class:`~repro.fft.kernel1d.StreamingFFT1D`), validated
+  against ``numpy.fft``;
+* hardware cost models for each component (buffer words, ROM words,
+  multipliers) and for the whole kernel
+  (:class:`~repro.fft.kernel1d.KernelHardwareModel`);
+* the row-column 2D FFT built on the 1D kernel
+  (:class:`~repro.fft.fft2d.FFT2D`).
+"""
+
+from repro.fft.twiddle import TwiddleROM, TFCUnitModel, twiddle_factors
+from repro.fft.radix import (
+    RadixBlockModel,
+    butterfly_radix2,
+    butterfly_radix4,
+)
+from repro.fft.dpp import DPPUnitModel, stride_permutation_indices
+from repro.fft.kernel1d import KernelHardwareModel, StreamingFFT1D
+from repro.fft.fft2d import FFT2D
+# NOTE: repro.fft.fft3d depends on repro.core and is imported lazily by the
+# top-level package to avoid a cycle; import it as repro.fft.fft3d directly.
+
+__all__ = [
+    "DPPUnitModel",
+    "FFT2D",
+    "KernelHardwareModel",
+    "RadixBlockModel",
+    "StreamingFFT1D",
+    "TFCUnitModel",
+    "TwiddleROM",
+    "butterfly_radix2",
+    "butterfly_radix4",
+    "stride_permutation_indices",
+    "twiddle_factors",
+]

@@ -1,0 +1,99 @@
+"""Data-path permutation (DPP) units -- paper Fig. 2b.
+
+Between butterfly stages a streaming FFT must reorder data: stage ``s``
+pairs elements that are ``N / r^(s+1)`` apart.  In hardware this is done
+with multiplexers writing into data buffers and reading them back after a
+stage-dependent delay; the buffer capacity is what the paper's energy
+optimizations (refs [3-5]) target.
+
+This module provides both the *functional* permutation (index arrays the
+software kernel applies) and the *cost model* (buffer words, multiplexers,
+per-stage latency) used by the kernel hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FFTError
+from repro.units import is_power_of_two
+
+
+def stride_permutation_indices(n: int, stride: int) -> np.ndarray:
+    """Index array of the stride permutation ``L^n_stride``.
+
+    ``y[i] = x[perm[i]]`` reads the input in ``stride``-strided order:
+    element ``j`` of output group ``g`` is input ``j * (n // stride) + g``
+    -- the classic corner-turn used between FFT stages.
+
+    Args:
+        n: total elements (power of two).
+        stride: permutation stride; must divide ``n``.
+    """
+    if not is_power_of_two(n):
+        raise FFTError(f"permutation size {n} must be a power of two")
+    if n % stride:
+        raise FFTError(f"stride {stride} must divide {n}")
+    return np.arange(n).reshape(n // stride, stride).T.reshape(-1)
+
+
+def digit_reversal_indices(n: int, radix: int) -> np.ndarray:
+    """Digit-reversal permutation for a radix-``radix`` DIF FFT.
+
+    A DIF FFT emits results in digit-reversed index order; this is the
+    reorder the final DPP stage applies to restore natural order.  For a
+    mixed radix-4 kernel with one leading radix-2 stage (odd ``log2 n``),
+    the reversal treats the first digit as binary and the rest as base-4.
+    """
+    if not is_power_of_two(n):
+        raise FFTError(f"size {n} must be a power of two")
+    bits = n.bit_length() - 1
+    if radix == 2:
+        digits = [2] * bits
+    elif radix == 4:
+        digits = [2] * (bits % 2) + [4] * (bits // 2)
+    else:
+        raise FFTError(f"unsupported radix {radix}")
+    indices = np.arange(n)
+    result = np.zeros(n, dtype=np.int64)
+    remaining = indices.copy()
+    for base in digits:
+        result = result * base + remaining % base
+        remaining //= base
+    return result
+
+
+@dataclass(frozen=True)
+class DPPUnitModel:
+    """Cost model of the DPP unit between two butterfly stages.
+
+    Attributes:
+        segment: elements between paired butterflies at this stage
+            (``N / r^(s+1)`` for stage ``s``); determines buffer depth.
+        lanes: streaming parallelism (elements per cycle).
+        radix: butterflies' arity (each lane group uses ``2 * radix``
+            ``radix``-to-1 multiplexers, as in Fig. 2b).
+    """
+
+    segment: int
+    lanes: int
+    radix: int
+
+    @property
+    def buffer_words(self) -> int:
+        """Complex words buffered; a lane's FIFO holds ``segment / lanes``
+        elements (at least one) and there is one FIFO per lane."""
+        per_lane = max(1, self.segment // max(self.lanes, 1))
+        return per_lane * self.lanes
+
+    @property
+    def multiplexers(self) -> int:
+        """``radix``-to-1 multiplexers in front of and behind the buffers."""
+        return 2 * self.lanes
+
+    @property
+    def latency_cycles(self) -> int:
+        """Cycles a sample spends crossing this unit's buffers."""
+        return max(1, self.segment // max(self.lanes, 1))

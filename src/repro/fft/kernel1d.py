@@ -1,0 +1,267 @@
+"""The streaming 1D FFT kernel (paper Section 4.1).
+
+:class:`StreamingFFT1D` mirrors the hardware pipeline's structure: a
+sequence of decimation-in-frequency butterfly stages, each of which is a
+radix block (arithmetic), a TFC unit (twiddle multiplication from stage
+ROMs) and a DPP unit (the inter-stage reorder, realised here as the final
+digit-reversal since the software arrays are random access).  The
+numerical output is exact -- the test suite checks it against
+``numpy.fft`` to floating-point tolerance.
+
+:class:`KernelHardwareModel` prices the same pipeline in FPGA terms:
+streaming parallelism ``P`` elements/cycle, per-stage buffer words, ROM
+words, multiplier counts and the fill latency -- the quantities behind the
+paper's throughput and latency metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import FFTError
+from repro.fft.dpp import DPPUnitModel
+from repro.fft.radix import RadixBlockModel, butterfly
+from repro.fft.twiddle import TFCUnitModel, twiddle_factors
+from repro.units import ELEMENT_BYTES, is_power_of_two, period_ns
+
+
+def stage_radices(n: int, radix: int) -> tuple[int, ...]:
+    """Per-stage radices for an ``n``-point kernel.
+
+    A radix-4 kernel on an odd power of two leads with one radix-2 stage
+    (the usual mixed-radix trick); a radix-2 kernel is all 2s.
+    """
+    if not is_power_of_two(n) or n < 2:
+        raise FFTError(f"FFT size must be a power of two >= 2, got {n}")
+    bits = n.bit_length() - 1
+    if radix == 2:
+        return (2,) * bits
+    if radix == 4:
+        return (2,) * (bits % 2) + (4,) * (bits // 2)
+    raise FFTError(f"unsupported radix {radix}; this kernel implements 2 and 4")
+
+
+def dif_output_permutation(n: int, radices: tuple[int, ...]) -> np.ndarray:
+    """Positions of natural-order outputs in the DIF pipeline's emission order.
+
+    ``X_natural[k] = y_pipeline[perm[k]]``.  A DIF stage of radix ``r``
+    sends output ``k`` to sub-block ``k mod r`` at index ``k // r``,
+    recursively; this computes that mixed-radix digit reversal for the
+    whole stage list.
+    """
+    k = np.arange(n, dtype=np.int64)
+    position = np.zeros(n, dtype=np.int64)
+    block = n
+    for r in radices:
+        q = block // r
+        m = k % r
+        k = k // r
+        position += m * q
+        block = q
+    return position
+
+
+class StreamingFFT1D:
+    """An ``n``-point streaming FFT kernel: exact math + hardware model.
+
+    Args:
+        n: transform length (power of two).
+        radix: 2 or 4 (paper uses radix-4 blocks, Fig. 2a).
+        lanes: streaming data parallelism ``P`` in elements per clock;
+            only the hardware model depends on it.
+        clock_hz: kernel clock for latency/throughput figures.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        radix: int = 4,
+        lanes: int = 16,
+        clock_hz: float = 250e6,
+    ) -> None:
+        if lanes <= 0 or not is_power_of_two(lanes):
+            raise FFTError(f"lanes must be a positive power of two, got {lanes}")
+        if clock_hz <= 0:
+            raise FFTError(f"clock must be positive, got {clock_hz}")
+        self.n = n
+        self.radix = radix
+        self.lanes = lanes
+        self.clock_hz = clock_hz
+        self.radices = stage_radices(n, radix)
+        self._output_perm = dif_output_permutation(n, self.radices)
+
+    # ------------------------------------------------------------- numerics
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """FFT along the last axis (must have length ``n``).
+
+        Accepts any leading batch shape; returns complex128.
+        """
+        x = np.asarray(data, dtype=np.complex128)
+        if x.shape[-1] != self.n:
+            raise FFTError(
+                f"last axis must have length {self.n}, got {x.shape[-1]}"
+            )
+        batch_shape = x.shape[:-1]
+        x = x.reshape(-1, self.n)
+        block = self.n
+        for r in self.radices:
+            q = block // r
+            groups = self.n // block
+            work = x.reshape(-1, groups, r, q)
+            work = butterfly(np.moveaxis(work, 2, -1), r)
+            work = np.moveaxis(work, -1, 2)
+            if q > 1:
+                k = np.arange(q, dtype=np.int64)
+                m = np.arange(r, dtype=np.int64)
+                stage_tw = twiddle_factors(block, np.outer(m, k))
+                work = work * stage_tw[np.newaxis, np.newaxis, :, :]
+            x = work.reshape(-1, self.n)
+            block = q
+        # The final DPP restores natural order from digit-reversed emission.
+        result = np.empty_like(x)
+        result = x[:, self._output_perm]
+        return result.reshape(*batch_shape, self.n)
+
+    def inverse(self, data: np.ndarray) -> np.ndarray:
+        """Inverse FFT along the last axis (conjugate trick, exact)."""
+        x = np.asarray(data, dtype=np.complex128)
+        return np.conj(self.transform(np.conj(x))) / self.n
+
+    # -------------------------------------------------------------- modelling
+    @cached_property
+    def hardware(self) -> "KernelHardwareModel":
+        """Resource/latency model of this kernel instance."""
+        return KernelHardwareModel(
+            n=self.n, radix=self.radix, lanes=self.lanes, clock_hz=self.clock_hz
+        )
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Streaming throughput: ``P`` elements per clock."""
+        return self.lanes * ELEMENT_BYTES * self.clock_hz
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingFFT1D(n={self.n}, radix={self.radix}, "
+            f"lanes={self.lanes}, clock={self.clock_hz / 1e6:.0f} MHz)"
+        )
+
+
+@dataclass(frozen=True)
+class KernelHardwareModel:
+    """FPGA cost and latency model of a streaming FFT kernel.
+
+    The pipeline alternates radix blocks, TFC units and DPP units, one set
+    per stage.  Costs follow the component models in
+    :mod:`repro.fft.radix`, :mod:`repro.fft.twiddle` and
+    :mod:`repro.fft.dpp`; latency is the buffer fill of every DPP plus a
+    small fixed compute depth per stage.
+    """
+
+    n: int
+    radix: int
+    lanes: int
+    clock_hz: float
+
+    #: Pipeline register depth of one butterfly + twiddle multiply.
+    STAGE_COMPUTE_CYCLES = 4
+
+    @property
+    def radices(self) -> tuple[int, ...]:
+        return stage_radices(self.n, self.radix)
+
+    @property
+    def stages(self) -> int:
+        return len(self.radices)
+
+    def _stage_segments(self) -> list[tuple[int, int]]:
+        """(radix, post-stage segment q) per stage."""
+        result = []
+        block = self.n
+        for r in self.radices:
+            q = block // r
+            result.append((r, q))
+            block = q
+        return result
+
+    @property
+    def dpp_units(self) -> list[DPPUnitModel]:
+        """DPP models between stages (segment shrinks with depth)."""
+        return [
+            DPPUnitModel(segment=max(q, 1), lanes=self.lanes, radix=r)
+            for r, q in self._stage_segments()
+        ]
+
+    @property
+    def tfc_units(self) -> list[TFCUnitModel]:
+        """TFC models; stages whose twiddles are all 1 (q == 1) need none."""
+        return [
+            TFCUnitModel(rom_depth=q, lanes=self.lanes)
+            for _, q in self._stage_segments()
+            if q > 1
+        ]
+
+    @property
+    def radix_blocks_per_stage(self) -> int:
+        """Parallel butterfly instances a stage needs for ``P`` lanes."""
+        return max(1, self.lanes // self.radix)
+
+    # ------------------------------------------------------------- aggregates
+    @property
+    def buffer_words(self) -> int:
+        """Total complex buffer words in all DPP units."""
+        return sum(unit.buffer_words for unit in self.dpp_units)
+
+    @property
+    def rom_words(self) -> int:
+        """Total twiddle ROM words across TFC units."""
+        return sum(unit.rom_words for unit in self.tfc_units)
+
+    @property
+    def real_multipliers(self) -> int:
+        """Total real multipliers (DSP slices before packing)."""
+        return sum(unit.real_multipliers for unit in self.tfc_units)
+
+    @property
+    def real_addsubs(self) -> int:
+        """Real adder/subtractors in radix blocks and TFC units."""
+        per_stage = RadixBlockModel(self.radix).real_addsubs
+        radix_total = per_stage * self.radix_blocks_per_stage * self.stages
+        tfc_total = sum(unit.real_adders for unit in self.tfc_units)
+        return radix_total + tfc_total
+
+    @property
+    def latency_cycles(self) -> int:
+        """Input-to-first-output fill latency of the pipeline."""
+        dpp = sum(unit.latency_cycles for unit in self.dpp_units)
+        return dpp + self.STAGE_COMPUTE_CYCLES * self.stages
+
+    @property
+    def latency_ns(self) -> float:
+        """Fill latency in nanoseconds at the configured clock."""
+        return self.latency_cycles * period_ns(self.clock_hz)
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """``P`` elements per clock, in bytes/second."""
+        return self.lanes * ELEMENT_BYTES * self.clock_hz
+
+    def summary(self) -> str:
+        """Multi-line resource summary (used by the kernel benchmark)."""
+        return "\n".join(
+            [
+                f"{self.n}-point radix-{self.radix} kernel, "
+                f"{self.lanes} lanes @ {self.clock_hz / 1e6:.0f} MHz",
+                f"  stages:        {self.stages} ({'x'.join(map(str, self.radices))})",
+                f"  buffer words:  {self.buffer_words}",
+                f"  ROM words:     {self.rom_words}",
+                f"  multipliers:   {self.real_multipliers}",
+                f"  add/subs:      {self.real_addsubs}",
+                f"  fill latency:  {self.latency_cycles} cycles "
+                f"({self.latency_ns:.1f} ns)",
+                f"  throughput:    {self.throughput_bytes_per_s / 1e9:.2f} GB/s",
+            ]
+        )

@@ -1,0 +1,139 @@
+"""Fixed-point kernel emulation and SNR analysis.
+
+The paper's kernel is single-precision floating point (64-bit complex
+elements), but FPGA FFTs are routinely built fixed point to pack more
+butterflies per DSP slice.  This module emulates a fixed-point datapath
+on top of the exact kernel -- quantizing the input and re-quantizing
+after every butterfly stage, with per-stage scaling to prevent overflow
+-- and measures the signal-to-noise ratio against the exact transform.
+The ``bench_quantization`` experiment maps word length to SNR, the
+trade study a designer would run before swapping the paper's
+floating-point kernel for a fixed-point one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FFTError
+from repro.fft.kernel1d import StreamingFFT1D, stage_radices
+from repro.fft.radix import butterfly
+from repro.fft.twiddle import twiddle_factors
+from repro.units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``frac_bits`` fractional bits.
+
+    Values are clamped to ``[-range_limit, range_limit)`` where the limit
+    comes from ``int_bits`` integer bits (sign excluded).
+    """
+
+    frac_bits: int = 15
+    int_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.frac_bits < 1 or self.int_bits < 0:
+            raise FFTError(
+                f"invalid format Q{self.int_bits}.{self.frac_bits}"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Word length including the sign bit."""
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def step(self) -> float:
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def limit(self) -> float:
+        return float(2**self.int_bits)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-to-nearest quantization with saturation, complex-aware."""
+        data = np.asarray(values, dtype=np.complex128)
+        real = np.clip(np.round(data.real / self.step) * self.step,
+                       -self.limit, self.limit - self.step)
+        imag = np.clip(np.round(data.imag / self.step) * self.step,
+                       -self.limit, self.limit - self.step)
+        return real + 1j * imag
+
+
+class FixedPointFFT:
+    """The streaming kernel with stage-by-stage quantization.
+
+    Each stage scales its butterfly outputs by ``1/radix`` (the standard
+    overflow guard, giving an overall ``1/N`` scaling) and re-quantizes,
+    exactly as a fixed-point datapath with rounding after every multiply
+    would.  :meth:`transform` therefore returns the FFT **divided by N**.
+    """
+
+    def __init__(self, n: int, fmt: FixedPointFormat | None = None,
+                 radix: int = 4) -> None:
+        if not is_power_of_two(n) or n < 2:
+            raise FFTError(f"size must be a power of two >= 2, got {n}")
+        self.n = n
+        self.fmt = fmt or FixedPointFormat()
+        self.radices = stage_radices(n, radix)
+        self._reference = StreamingFFT1D(n, radix=radix)
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Quantized, 1/N-scaled FFT along the last axis."""
+        x = np.asarray(data, dtype=np.complex128)
+        if x.shape[-1] != self.n:
+            raise FFTError(f"last axis must be {self.n}, got {x.shape[-1]}")
+        batch = x.reshape(-1, self.n)
+        work = self.fmt.quantize(batch)
+        block = self.n
+        for r in self.radices:
+            q = block // r
+            groups = self.n // block
+            shaped = work.reshape(-1, groups, r, q)
+            shaped = butterfly(np.moveaxis(shaped, 2, -1), r)
+            shaped = np.moveaxis(shaped, -1, 2)
+            if q > 1:
+                k = np.arange(q, dtype=np.int64)
+                m = np.arange(r, dtype=np.int64)
+                stage_tw = self.fmt.quantize(
+                    twiddle_factors(block, np.outer(m, k))
+                )
+                shaped = shaped * stage_tw[np.newaxis, np.newaxis, :, :]
+            work = self.fmt.quantize(shaped.reshape(-1, self.n) / r)
+            block = q
+        perm = self._reference._output_perm
+        return work[:, perm].reshape(x.shape)
+
+    def snr_db(self, data: np.ndarray) -> float:
+        """Output SNR vs the exact (1/N-scaled) transform, in dB."""
+        x = np.asarray(data, dtype=np.complex128)
+        exact = self._reference.transform(x) / self.n
+        approx = self.transform(x)
+        signal = float(np.sum(np.abs(exact) ** 2))
+        noise = float(np.sum(np.abs(approx - exact) ** 2))
+        if noise == 0.0:
+            return float("inf")
+        return 10.0 * np.log10(signal / noise)
+
+
+def snr_vs_wordlength(
+    n: int,
+    frac_bits: tuple[int, ...] = (7, 11, 15, 23),
+    seed: int = 0,
+    batch: int = 4,
+) -> dict[int, float]:
+    """Measured SNR (dB) per fractional word length for random inputs."""
+    rng = np.random.default_rng(seed)
+    scale = 0.5  # keep inputs inside the fixed-point range
+    x = scale * (
+        rng.standard_normal((batch, n)) + 1j * rng.standard_normal((batch, n))
+    ) / np.sqrt(2)
+    results = {}
+    for bits in frac_bits:
+        fft = FixedPointFFT(n, FixedPointFormat(frac_bits=bits))
+        results[bits] = fft.snr_db(x)
+    return results

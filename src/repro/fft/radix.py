@@ -1,0 +1,84 @@
+"""Radix butterfly blocks (paper Fig. 2a).
+
+A radix-``r`` block takes ``r`` inputs, applies the ``r``-point DFT matrix
+built from complex adders/subtractors (for r = 2, 4 no general multipliers
+are needed -- the radix-4 matrix's only non-trivial factors are +-j, which
+are wiring), and emits ``r`` outputs in parallel.
+
+The functions operate on arrays whose **last axis** is the butterfly input
+index, so a whole stage of butterflies evaluates in one vectorized call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FFTError
+
+
+def butterfly_radix2(pairs: np.ndarray) -> np.ndarray:
+    """2-point DFT along the last axis: ``(a + b, a - b)``."""
+    if pairs.shape[-1] != 2:
+        raise FFTError(f"radix-2 butterfly needs a trailing axis of 2, got {pairs.shape}")
+    a = pairs[..., 0]
+    b = pairs[..., 1]
+    return np.stack((a + b, a - b), axis=-1)
+
+
+def butterfly_radix4(quads: np.ndarray) -> np.ndarray:
+    """4-point DFT along the last axis.
+
+    Implemented as two radix-2 levels (the Fig. 2a adder/subtractor tree)::
+
+        t0 = a + c    t1 = a - c
+        t2 = b + d    t3 = -j * (b - d)
+        y  = (t0 + t2,  t1 + t3,  t0 - t2,  t1 - t3)
+    """
+    if quads.shape[-1] != 4:
+        raise FFTError(f"radix-4 butterfly needs a trailing axis of 4, got {quads.shape}")
+    a = quads[..., 0]
+    b = quads[..., 1]
+    c = quads[..., 2]
+    d = quads[..., 3]
+    t0 = a + c
+    t1 = a - c
+    t2 = b + d
+    t3 = -1j * (b - d)
+    return np.stack((t0 + t2, t1 + t3, t0 - t2, t1 - t3), axis=-1)
+
+
+def butterfly(inputs: np.ndarray, radix: int) -> np.ndarray:
+    """Dispatch to the radix-2 or radix-4 block."""
+    if radix == 2:
+        return butterfly_radix2(inputs)
+    if radix == 4:
+        return butterfly_radix4(inputs)
+    raise FFTError(f"unsupported radix {radix}; this kernel implements 2 and 4")
+
+
+@dataclass(frozen=True)
+class RadixBlockModel:
+    """Resource model of one radix block instance.
+
+    Complex adder/subtractor counts follow the Fig. 2a trees: a radix-2
+    block is one adder and one subtractor; a radix-4 block is eight
+    adder/subtractors (two per output over two levels).  The -j rotations
+    in radix-4 are swaps/negations, not multipliers.
+    """
+
+    radix: int
+
+    def __post_init__(self) -> None:
+        if self.radix not in (2, 4):
+            raise FFTError(f"unsupported radix {self.radix}")
+
+    @property
+    def complex_addsubs(self) -> int:
+        return 2 if self.radix == 2 else 8
+
+    @property
+    def real_addsubs(self) -> int:
+        """Each complex add/sub is two real operations."""
+        return 2 * self.complex_addsubs

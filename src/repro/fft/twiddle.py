@@ -1,0 +1,98 @@
+"""Twiddle factors and the TFC (twiddle factor computation) unit model.
+
+A TFC unit (paper Fig. 2c) pairs lookup-table ROMs holding the twiddle
+coefficients of one butterfly stage with a complex multiplier (four real
+multipliers plus two real adders).  The ROM depth depends on the stage's
+position and the FFT problem size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import FFTError
+from repro.units import is_power_of_two
+
+
+@lru_cache(maxsize=64)
+def _twiddle_cache(n: int) -> np.ndarray:
+    k = np.arange(n)
+    return np.exp(-2j * np.pi * k / n).astype(np.complex128)
+
+
+def twiddle_factors(n: int, indices: np.ndarray | None = None) -> np.ndarray:
+    """Twiddle factors ``W_n^k = exp(-2*pi*i*k/n)``.
+
+    Args:
+        n: transform size the twiddles belong to (power of two).
+        indices: exponents ``k``; defaults to ``0..n-1``.
+    """
+    if not is_power_of_two(n):
+        raise FFTError(f"twiddle base {n} must be a power of two")
+    table = _twiddle_cache(n)
+    if indices is None:
+        return table.copy()
+    return table[np.asarray(indices, dtype=np.int64) % n]
+
+
+class TwiddleROM:
+    """A stage's coefficient lookup table (functional ROM).
+
+    Stores the distinct twiddles a butterfly stage multiplies by; the
+    streaming address generator walks it with the stage's control counter.
+    """
+
+    def __init__(self, base: int, exponent_stride: int, depth: int) -> None:
+        if depth <= 0:
+            raise FFTError(f"ROM depth must be positive, got {depth}")
+        self.base = base
+        self.exponent_stride = exponent_stride
+        self.depth = depth
+        self._table = twiddle_factors(
+            base, np.arange(depth, dtype=np.int64) * exponent_stride
+        )
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def read(self, address: int) -> complex:
+        """Coefficient at a ROM address (wraps like hardware counters do)."""
+        return complex(self._table[address % self.depth])
+
+    def read_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read`."""
+        return self._table[np.asarray(addresses, dtype=np.int64) % self.depth]
+
+    @property
+    def storage_words(self) -> int:
+        """Complex words of ROM storage (each 64 bits on the FPGA)."""
+        return self.depth
+
+
+@dataclass(frozen=True)
+class TFCUnitModel:
+    """Resource model of one TFC unit (Fig. 2c).
+
+    Each complex multiplier is four real multipliers and two real
+    adder/subtractors; the ROM count matches the lane parallelism so every
+    lane multiplies each cycle.
+    """
+
+    rom_depth: int
+    lanes: int
+
+    @property
+    def rom_words(self) -> int:
+        """Total coefficient words across the unit's ROMs."""
+        return self.rom_depth * self.lanes
+
+    @property
+    def real_multipliers(self) -> int:
+        return 4 * self.lanes
+
+    @property
+    def real_adders(self) -> int:
+        return 2 * self.lanes

@@ -1,0 +1,36 @@
+"""Automatic data-layout optimization framework.
+
+The paper's conclusion promises "a design framework targeted at
+throughput-oriented signal processing kernels, which enables automatic
+data layout optimizations addressing new 3D memory technologies".  This
+package builds that framework:
+
+* :mod:`repro.framework.spec` -- describe a kernel as matrices plus the
+  access phases that walk them;
+* :mod:`repro.framework.candidates` -- enumerate candidate layouts
+  (row/column major, tiled, every block-DDL shape, the Eq. (1) choice);
+* :mod:`repro.framework.planner` -- evaluate each candidate against the
+  memory model (trace-driven, sampled) and pick the best layout per
+  matrix;
+* :mod:`repro.framework.kernels` -- ready-made specs: 2D FFT, matrix
+  transposition, and blocked matrix multiplication (the workload of the
+  authors' companion modelling papers [13, 14]).
+"""
+
+from repro.framework.spec import AccessPattern, KernelSpec, PhaseSpec
+from repro.framework.candidates import candidate_layouts
+from repro.framework.planner import LayoutPlan, LayoutPlanner, PlannedMatrix
+from repro.framework.kernels import fft2d_spec, matmul_spec, transpose_spec
+
+__all__ = [
+    "AccessPattern",
+    "KernelSpec",
+    "LayoutPlan",
+    "LayoutPlanner",
+    "PhaseSpec",
+    "PlannedMatrix",
+    "candidate_layouts",
+    "fft2d_spec",
+    "matmul_spec",
+    "transpose_spec",
+]

@@ -1,0 +1,70 @@
+"""Candidate layout enumeration.
+
+For an ``n_rows x n_cols`` matrix on a given memory, the planner
+considers:
+
+* row-major and column-major (the two static extremes of Section 1);
+* the row-buffer-sized tiled layout of Akin et al. [2];
+* every power-of-two block-DDL shape ``w x h`` with ``w * h`` equal to
+  the row-buffer capacity (the Eq. (1) choice is one of these, and the
+  planner should *discover* it rather than be told).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.layouts import (
+    BlockDDLLayout,
+    ColumnMajorLayout,
+    Layout,
+    RowMajorLayout,
+    TiledLayout,
+)
+from repro.memory3d.config import Memory3DConfig
+
+
+@dataclass(frozen=True)
+class LayoutCandidate:
+    """A named layout factory the planner can score."""
+
+    name: str
+    build: Callable[[int, int], Layout]
+
+    def __repr__(self) -> str:
+        return f"LayoutCandidate({self.name})"
+
+
+def _divides(layout_dim: int, block_dim: int) -> bool:
+    return block_dim > 0 and layout_dim % block_dim == 0
+
+
+def candidate_layouts(
+    config: Memory3DConfig, n_rows: int, n_cols: int
+) -> list[LayoutCandidate]:
+    """All candidates applicable to the matrix on this memory."""
+    s = config.row_elements
+    candidates: list[LayoutCandidate] = [
+        LayoutCandidate("row-major", lambda r, c: RowMajorLayout(r, c)),
+        LayoutCandidate("column-major", lambda r, c: ColumnMajorLayout(r, c)),
+    ]
+    if _divides(n_cols, s):
+        candidates.append(
+            LayoutCandidate(
+                f"tiled-1x{s}",
+                lambda r, c, tc=s: TiledLayout(r, c, 1, tc),
+            )
+        )
+    height = 2
+    while height <= s:
+        width = s // height
+        if _divides(n_rows, height) and _divides(n_cols, width):
+            candidates.append(
+                LayoutCandidate(
+                    f"block-ddl-w{width}h{height}",
+                    lambda r, c, w=width, h=height: BlockDDLLayout(r, c, w, h),
+                )
+            )
+        height *= 2
+    return candidates

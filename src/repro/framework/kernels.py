@@ -1,0 +1,106 @@
+"""Ready-made kernel specifications.
+
+Three throughput-oriented kernels from the paper's context:
+
+* :func:`fft2d_spec` -- the paper's workload: the intermediate matrix is
+  written row-wise (phase 1) and read column-wise (phase 2);
+* :func:`transpose_spec` -- out-of-place transposition, the pure form of
+  the conflicting-access problem (read rows, write columns);
+* :func:`matmul_spec` -- blocked matrix multiplication, the workload of
+  the authors' companion modelling papers [13, 14]: A is streamed by
+  rows, B by columns (``n / tile`` times -- once per block row of A), C
+  written by rows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.framework.spec import AccessPattern, KernelSpec, PhaseSpec
+
+
+def fft2d_spec(n: int, streams: int = 16) -> KernelSpec:
+    """The 2D FFT's intermediate matrix between the two phases."""
+    if n < 2:
+        raise ConfigError(f"FFT size must be >= 2, got {n}")
+    return KernelSpec(
+        name=f"fft2d-{n}",
+        matrices={"intermediate": (n, n)},
+        phases=(
+            PhaseSpec(
+                name="row-wise FFTs (write)",
+                matrix="intermediate",
+                pattern=AccessPattern.ROW_WALK,
+                is_write=True,
+                streams=streams,
+            ),
+            PhaseSpec(
+                name="column-wise FFTs (read)",
+                matrix="intermediate",
+                pattern=AccessPattern.COLUMN_WALK,
+                streams=streams,
+            ),
+        ),
+    )
+
+
+def transpose_spec(n: int, streams: int = 16) -> KernelSpec:
+    """Out-of-place matrix transposition: the access conflict, distilled."""
+    if n < 2:
+        raise ConfigError(f"matrix size must be >= 2, got {n}")
+    return KernelSpec(
+        name=f"transpose-{n}",
+        matrices={"source": (n, n), "destination": (n, n)},
+        phases=(
+            PhaseSpec(
+                name="read source rows",
+                matrix="source",
+                pattern=AccessPattern.ROW_WALK,
+                streams=streams,
+            ),
+            PhaseSpec(
+                name="write destination columns",
+                matrix="destination",
+                pattern=AccessPattern.COLUMN_WALK,
+                is_write=True,
+                streams=streams,
+            ),
+        ),
+    )
+
+
+def matmul_spec(n: int, tile: int = 128, streams: int = 16) -> KernelSpec:
+    """Blocked n x n matrix multiplication (refs [13, 14]).
+
+    With on-chip tiles of ``tile x tile``, every block row of A re-reads
+    all of B column-wise -- B's column walk runs ``n / tile`` times, which
+    is why B's layout dominates the kernel's memory behaviour.
+    """
+    if n < 2 or tile < 1 or n % tile:
+        raise ConfigError(f"tile {tile} must divide matrix size {n}")
+    passes = n // tile
+    return KernelSpec(
+        name=f"matmul-{n}-t{tile}",
+        matrices={"A": (n, n), "B": (n, n), "C": (n, n)},
+        phases=(
+            PhaseSpec(
+                name="stream A rows",
+                matrix="A",
+                pattern=AccessPattern.ROW_WALK,
+                streams=streams,
+            ),
+            PhaseSpec(
+                name="stream B columns (per block row)",
+                matrix="B",
+                pattern=AccessPattern.COLUMN_WALK,
+                weight=float(passes),
+                streams=streams,
+            ),
+            PhaseSpec(
+                name="write C rows",
+                matrix="C",
+                pattern=AccessPattern.ROW_WALK,
+                is_write=True,
+                streams=streams,
+            ),
+        ),
+    )

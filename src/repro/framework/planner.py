@@ -1,0 +1,193 @@
+"""The layout planner: score candidates, pick winners.
+
+For every matrix of a :class:`~repro.framework.spec.KernelSpec`, the
+planner generates each phase's real access trace under each candidate
+layout, prices it on the trace-driven memory simulator (sampled), and
+selects the layout with the highest combined throughput over the
+matrix's phases (time-weighted: phases execute back to back, so the
+score is total bytes over summed phase times).
+
+Ties break toward the earliest candidate, which orders the simplest
+layouts first -- a kernel that only ever streams rows gets row-major,
+not an equally-fast but needlessly exotic blocked layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.framework.candidates import LayoutCandidate, candidate_layouts
+from repro.framework.spec import AccessPattern, KernelSpec, PhaseSpec
+from repro.layouts import BlockDDLLayout, Layout
+from repro.memory3d.config import Memory3DConfig
+from repro.memory3d.memory import Memory3D
+from repro.trace.generators import (
+    block_column_read_trace,
+    block_write_trace,
+    column_walk_trace,
+    row_walk_trace,
+    tiled_walk_trace,
+)
+from repro.trace.request import TraceArray
+from repro.units import ELEMENT_BYTES
+
+#: Default cap on exactly-simulated requests per (phase, candidate).
+DEFAULT_SAMPLE = 65_536
+
+
+@dataclass(frozen=True)
+class PlannedMatrix:
+    """The planner's verdict for one matrix."""
+
+    matrix: str
+    layout_name: str
+    candidate: LayoutCandidate
+    throughput_bytes_per_s: float
+    phase_utilization: dict[str, float]
+    ranking: tuple[tuple[str, float], ...]
+
+    def build_layout(self, n_rows: int, n_cols: int) -> Layout:
+        """Instantiate the winning layout."""
+        return self.candidate.build(n_rows, n_cols)
+
+
+@dataclass(frozen=True)
+class LayoutPlan:
+    """Layouts for all matrices of a kernel."""
+
+    kernel: str
+    matrices: dict[str, PlannedMatrix]
+
+    def describe(self) -> str:
+        """Human-readable plan summary."""
+        lines = [f"layout plan for {self.kernel}:"]
+        for label, planned in self.matrices.items():
+            utils = ", ".join(
+                f"{name} {100 * u:.0f}%"
+                for name, u in planned.phase_utilization.items()
+            )
+            lines.append(
+                f"  {label}: {planned.layout_name} "
+                f"({planned.throughput_bytes_per_s / 1e9:.1f} GB/s; {utils})"
+            )
+        return "\n".join(lines)
+
+
+class LayoutPlanner:
+    """Automatic data-layout optimization against a 3D memory model."""
+
+    def __init__(
+        self,
+        config: Memory3DConfig,
+        sample_requests: int = DEFAULT_SAMPLE,
+    ) -> None:
+        if sample_requests <= 0:
+            raise ConfigError("sample_requests must be positive")
+        self.config = config
+        self.memory = Memory3D(config)
+        self.sample_requests = sample_requests
+
+    # ------------------------------------------------------------------ plan
+    def plan(self, kernel: KernelSpec) -> LayoutPlan:
+        """Choose a layout for every matrix of the kernel."""
+        planned = {
+            label: self._plan_matrix(kernel, label, shape)
+            for label, shape in kernel.matrices.items()
+        }
+        return LayoutPlan(kernel=kernel.name, matrices=planned)
+
+    def _plan_matrix(
+        self, kernel: KernelSpec, label: str, shape: tuple[int, int]
+    ) -> PlannedMatrix:
+        n_rows, n_cols = shape
+        phases = kernel.phases_of(label)
+        if not phases:
+            raise ConfigError(
+                f"kernel {kernel.name}: matrix {label} has no phases to plan for"
+            )
+        best: tuple[float, LayoutCandidate, dict[str, float]] | None = None
+        ranking: list[tuple[str, float]] = []
+        for candidate in candidate_layouts(self.config, n_rows, n_cols):
+            layout = candidate.build(n_rows, n_cols)
+            throughput, utils = self._score(layout, phases)
+            ranking.append((candidate.name, throughput))
+            if best is None or throughput > best[0] * (1 + 1e-6):
+                best = (throughput, candidate, utils)
+        assert best is not None  # candidate list is never empty
+        throughput, candidate, utils = best
+        ranking.sort(key=lambda item: item[1], reverse=True)
+        return PlannedMatrix(
+            matrix=label,
+            layout_name=candidate.name,
+            candidate=candidate,
+            throughput_bytes_per_s=throughput,
+            phase_utilization=utils,
+            ranking=tuple(ranking),
+        )
+
+    # ----------------------------------------------------------------- score
+    def _score(
+        self, layout: Layout, phases: tuple[PhaseSpec, ...]
+    ) -> tuple[float, dict[str, float]]:
+        """Combined throughput over the matrix's phases under one layout."""
+        peak = self.config.peak_bandwidth
+        total_bytes = 0.0
+        total_time_s = 0.0
+        utils: dict[str, float] = {}
+        for phase in phases:
+            trace, discipline = self._phase_trace(layout, phase)
+            stats = self.memory.simulate(
+                trace, discipline, sample=self.sample_requests
+            )
+            utilization = max(stats.utilization(peak), 1e-9)
+            utils[phase.name] = min(utilization, 1.0)
+            phase_bytes = phase.weight * layout.n_elements * ELEMENT_BYTES
+            total_bytes += phase_bytes
+            total_time_s += phase_bytes / (utilization * peak)
+        return total_bytes / total_time_s, utils
+
+    def _phase_trace(
+        self, layout: Layout, phase: PhaseSpec
+    ) -> tuple[TraceArray, str]:
+        """The real trace the phase would issue under the layout."""
+        limit = self.sample_requests
+        discipline = "per_vault" if phase.streams > 1 else "in_order"
+        n_rows, n_cols = layout.n_rows, layout.n_cols
+        if phase.pattern is AccessPattern.ROW_WALK:
+            if isinstance(layout, BlockDDLLayout) and phase.block_reorder:
+                # The controlling unit stages h rows and emits whole blocks.
+                slab = layout.height * n_cols
+                slabs = max(1, min(layout.n_block_rows, limit // slab))
+                return (
+                    block_write_trace(layout, block_rows=range(slabs)),
+                    "per_vault",
+                )
+            rows = max(1, min(n_rows, limit // n_cols))
+            return (
+                row_walk_trace(layout, rows=range(rows), is_write=phase.is_write),
+                discipline,
+            )
+        if phase.pattern is AccessPattern.COLUMN_WALK:
+            if isinstance(layout, BlockDDLLayout) and phase.block_reorder:
+                streams = min(phase.streams, layout.blocks_per_row_band)
+                return (
+                    block_column_read_trace(
+                        layout, n_streams=streams, block_cols=range(streams)
+                    ),
+                    "per_vault",
+                )
+            cols = max(1, min(n_cols, limit // n_rows))
+            return (
+                column_walk_trace(layout, cols=range(cols), is_write=phase.is_write),
+                discipline,
+            )
+        if phase.pattern is AccessPattern.TILE_WALK:
+            tile_cols = min(self.config.row_elements, n_cols)
+            return tiled_walk_trace(layout, 1, tile_cols), discipline
+        if phase.pattern is AccessPattern.CUSTOM:
+            trace = phase.walk.trace(layout)  # type: ignore[union-attr]
+            if len(trace) > limit:
+                trace = trace.head(limit)
+            return trace, discipline
+        raise ConfigError(f"unsupported access pattern {phase.pattern}")

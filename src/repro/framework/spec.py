@@ -1,0 +1,109 @@
+"""Kernel specifications: matrices and the phases that walk them.
+
+A *kernel* (in the signal-processing sense: 2D FFT, transposition,
+matrix multiply, ...) is described by the matrices it keeps in external
+memory and, per matrix, the ordered access phases it performs.  Each
+phase names an :class:`AccessPattern` over matrix coordinates plus how
+much hardware flexibility the consumer has (parallel streams, and whether
+an on-chip permutation network may reorder accesses within one memory
+row, as the paper's optimized architecture does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigError
+
+
+class AccessPattern(Enum):
+    """How a phase walks its matrix."""
+
+    ROW_WALK = "row_walk"          # whole rows, left to right
+    COLUMN_WALK = "column_walk"    # whole columns, top to bottom
+    TILE_WALK = "tile_walk"        # row-buffer-sized tiles, row-major
+    CUSTOM = "custom"              # an explicit AffineWalk (see framework.ir)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One access phase of a kernel over one matrix.
+
+    Attributes:
+        name: label for reports ("row-wise FFTs", "read B", ...).
+        matrix: which of the kernel's matrices this phase touches.
+        pattern: the coordinate walk.
+        is_write: stores vs loads (timing-identical; kept for reports).
+        weight: how many times the phase runs per kernel invocation
+            (e.g. matrix multiply re-reads B once per block row of A).
+        streams: parallel access streams the consumer sustains.
+        block_reorder: whether a permutation network may gather a whole
+            memory row per activation (the optimized architecture's
+            capability).  Without it, column walks over block layouts pay
+            per-burst activations.
+        walk: for ``AccessPattern.CUSTOM``, the explicit affine loop nest
+            (an :class:`repro.framework.ir.AffineWalk`) the phase issues.
+    """
+
+    name: str
+    matrix: str
+    pattern: AccessPattern
+    is_write: bool = False
+    weight: float = 1.0
+    streams: int = 16
+    block_reorder: bool = True
+    walk: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(f"phase {self.name}: weight must be positive")
+        if self.streams <= 0:
+            raise ConfigError(f"phase {self.name}: streams must be positive")
+        if (self.pattern is AccessPattern.CUSTOM) != (self.walk is not None):
+            raise ConfigError(
+                f"phase {self.name}: CUSTOM pattern and walk go together"
+            )
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A complete kernel: matrix shapes plus phases."""
+
+    name: str
+    matrices: dict[str, tuple[int, int]]
+    phases: tuple[PhaseSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.matrices:
+            raise ConfigError(f"kernel {self.name}: needs at least one matrix")
+        for label, (rows, cols) in self.matrices.items():
+            if rows <= 0 or cols <= 0:
+                raise ConfigError(
+                    f"kernel {self.name}: matrix {label} has empty shape"
+                )
+        if not self.phases:
+            raise ConfigError(f"kernel {self.name}: needs at least one phase")
+        for phase in self.phases:
+            if phase.matrix not in self.matrices:
+                raise ConfigError(
+                    f"kernel {self.name}: phase {phase.name} references "
+                    f"unknown matrix {phase.matrix!r}"
+                )
+
+    def phases_of(self, matrix: str) -> tuple[PhaseSpec, ...]:
+        """The phases touching one matrix, in kernel order."""
+        return tuple(p for p in self.phases if p.matrix == matrix)
+
+    def describe(self) -> str:
+        """Multi-line summary for reports."""
+        lines = [f"kernel {self.name}:"]
+        for label, (rows, cols) in self.matrices.items():
+            lines.append(f"  matrix {label}: {rows}x{cols}")
+            for phase in self.phases_of(label):
+                rw = "write" if phase.is_write else "read"
+                lines.append(
+                    f"    {phase.name}: {phase.pattern.value} ({rw}, "
+                    f"weight {phase.weight:g}, {phase.streams} streams)"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Data layouts: mappings from matrix coordinates to memory byte addresses.
+
+A layout fixes where element ``(r, c)`` of an ``n_rows x n_cols`` complex
+matrix lives in the linear memory address space.  The paper's contribution
+is the *block dynamic data layout* (:class:`BlockDDLLayout`) together with
+the closed-form block-height rule (:func:`optimal_block_geometry`,
+paper Eq. 1).
+"""
+
+from repro.layouts.base import Layout
+from repro.layouts.row_major import RowMajorLayout
+from repro.layouts.column_major import ColumnMajorLayout
+from repro.layouts.tiled import TiledLayout
+from repro.layouts.block_ddl import BlockDDLLayout
+from repro.layouts.optimizer import (
+    BlockGeometry,
+    LayoutRegime,
+    optimal_block_geometry,
+)
+
+__all__ = [
+    "BlockDDLLayout",
+    "BlockGeometry",
+    "ColumnMajorLayout",
+    "Layout",
+    "LayoutRegime",
+    "RowMajorLayout",
+    "TiledLayout",
+    "optimal_block_geometry",
+]

@@ -1,0 +1,118 @@
+"""Layout abstract base class and shared validation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.units import ELEMENT_BYTES
+
+
+class Layout(ABC):
+    """Mapping from matrix coordinates to element-aligned byte addresses.
+
+    A layout covers an ``n_rows x n_cols`` matrix of 8-byte complex elements
+    stored contiguously in ``[base, base + footprint_bytes)``.  Subclasses
+    implement :meth:`element_index` (and its vectorized twin), the linear
+    element index within the footprint; the base class turns indices into
+    byte addresses and provides the inverse used by round-trip tests.
+    """
+
+    def __init__(self, n_rows: int, n_cols: int, base: int = 0) -> None:
+        if n_rows <= 0 or n_cols <= 0:
+            raise LayoutError(f"matrix must be non-empty, got {n_rows}x{n_cols}")
+        if base < 0 or base % ELEMENT_BYTES:
+            raise LayoutError(f"base must be non-negative and aligned, got {base}")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.base = base
+
+    # ----------------------------------------------------------- to implement
+    @abstractmethod
+    def element_index(self, row: int, col: int) -> int:
+        """Linear element index of ``(row, col)`` within the footprint."""
+
+    @abstractmethod
+    def element_index_array(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`element_index`."""
+
+    @abstractmethod
+    def coordinate(self, index: int) -> tuple[int, int]:
+        """Inverse of :meth:`element_index`."""
+
+    # ------------------------------------------------------------- public API
+    @property
+    def n_elements(self) -> int:
+        """Total elements covered."""
+        return self.n_rows * self.n_cols
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes occupied by the matrix under this layout."""
+        return self.n_elements * ELEMENT_BYTES
+
+    def address(self, row: int, col: int) -> int:
+        """Byte address of element ``(row, col)``."""
+        self._check_coordinate(row, col)
+        return self.base + self.element_index(row, col) * ELEMENT_BYTES
+
+    def address_array(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`address`; inputs broadcast together."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n_rows):
+            raise LayoutError("row indices out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.n_cols):
+            raise LayoutError("column indices out of range")
+        return self.base + self.element_index_array(rows, cols) * ELEMENT_BYTES
+
+    def coordinate_of_address(self, address: int) -> tuple[int, int]:
+        """Matrix coordinate stored at an absolute byte address."""
+        offset = address - self.base
+        if offset < 0 or offset >= self.footprint_bytes:
+            raise LayoutError(
+                f"address {address:#x} outside footprint "
+                f"[{self.base:#x}, {self.base + self.footprint_bytes:#x})"
+            )
+        if offset % ELEMENT_BYTES:
+            raise LayoutError(f"address {address:#x} not element aligned")
+        return self.coordinate(offset // ELEMENT_BYTES)
+
+    def permutation_from(self, other: "Layout") -> np.ndarray:
+        """Element permutation that reorganizes ``other``'s layout into this one.
+
+        Entry ``p[i]`` is the element index *in this layout* of the element
+        stored at index ``i`` in ``other``.  Both layouts must cover the same
+        matrix geometry.  This is what the on-chip permutation network must
+        realize to convert layouts dynamically.
+        """
+        if (other.n_rows, other.n_cols) != (self.n_rows, self.n_cols):
+            raise LayoutError(
+                "layouts cover different matrices: "
+                f"{other.n_rows}x{other.n_cols} vs {self.n_rows}x{self.n_cols}"
+            )
+        rows, cols = np.divmod(
+            np.arange(self.n_elements, dtype=np.int64), self.n_cols
+        )
+        # Where row-major coordinates land in each layout:
+        mine = self.element_index_array(rows, cols)
+        theirs = other.element_index_array(rows, cols)
+        perm = np.empty(self.n_elements, dtype=np.int64)
+        perm[theirs] = mine
+        return perm
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{type(self).__name__}({self.n_rows}x{self.n_cols}, base={self.base:#x})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+    # --------------------------------------------------------------- internal
+    def _check_coordinate(self, row: int, col: int) -> None:
+        if not (0 <= row < self.n_rows):
+            raise LayoutError(f"row {row} out of range 0..{self.n_rows - 1}")
+        if not (0 <= col < self.n_cols):
+            raise LayoutError(f"col {col} out of range 0..{self.n_cols - 1}")

@@ -1,0 +1,109 @@
+"""The paper's block dynamic data layout (DDL).
+
+The matrix is reorganized into ``w x h`` blocks (``w`` columns wide,
+``h`` rows tall) whose size equals one memory row buffer, so a block is
+read or written with a single row activation.  Blocks are ordered
+row-major (block row ``br`` outer, block column ``bc`` inner), which under
+the chunk-interleaved address map of :mod:`repro.memory3d.address` gives:
+
+* **phase 1 (writes)**: the controlling unit stages ``h`` FFT output rows
+  on chip and writes the resulting block slab; consecutive blocks of a slab
+  land in consecutive vaults, so writes stream at device bandwidth;
+* **phase 2 (reads)**: all blocks of one *block column* land in the same
+  vault (the block-row stride is a multiple of the vault count for the
+  evaluated sizes), so ``n_v`` parallel column streams drive ``n_v``
+  independent vaults, and within each vault a visit delivers ``h`` (or a
+  whole block's worth of) elements per activation -- enough to hide the
+  activate-to-activate gap when ``h`` satisfies paper Eq. (1).
+
+Elements within a block are stored column-major, so the ``h`` same-column
+elements of a block are consecutive bytes and a single-column visit is one
+contiguous burst.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.layouts.base import Layout
+
+
+class BlockDDLLayout(Layout):
+    """``w x h`` blocks, row-major block order, column-major interiors."""
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        width: int,
+        height: int,
+        base: int = 0,
+    ) -> None:
+        super().__init__(n_rows, n_cols, base)
+        if width <= 0 or height <= 0:
+            raise LayoutError(f"block must be non-empty, got w={width} h={height}")
+        if n_rows % height or n_cols % width:
+            raise LayoutError(
+                f"block w={width} h={height} must evenly divide "
+                f"matrix {n_rows}x{n_cols}"
+            )
+        self.width = width
+        self.height = height
+        self.block_elements = width * height
+        self.blocks_per_row_band = n_cols // width
+        self.n_block_rows = n_rows // height
+
+    # --------------------------------------------------------------- mapping
+    def block_index(self, block_row: int, block_col: int) -> int:
+        """Linear index of a block (row-major block order)."""
+        if not (0 <= block_row < self.n_block_rows):
+            raise LayoutError(f"block row {block_row} out of range")
+        if not (0 <= block_col < self.blocks_per_row_band):
+            raise LayoutError(f"block col {block_col} out of range")
+        return block_row * self.blocks_per_row_band + block_col
+
+    def element_index(self, row: int, col: int) -> int:
+        block_r, in_r = divmod(row, self.height)
+        block_c, in_c = divmod(col, self.width)
+        block = block_r * self.blocks_per_row_band + block_c
+        return block * self.block_elements + in_c * self.height + in_r
+
+    def element_index_array(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        block_r, in_r = np.divmod(rows, self.height)
+        block_c, in_c = np.divmod(cols, self.width)
+        block = block_r * np.int64(self.blocks_per_row_band) + block_c
+        return block * np.int64(self.block_elements) + in_c * np.int64(self.height) + in_r
+
+    def coordinate(self, index: int) -> tuple[int, int]:
+        block, inner = divmod(index, self.block_elements)
+        block_r, block_c = divmod(block, self.blocks_per_row_band)
+        in_c, in_r = divmod(inner, self.height)
+        return block_r * self.height + in_r, block_c * self.width + in_c
+
+    # ------------------------------------------------------------ convenience
+    def block_base_address(self, block_row: int, block_col: int) -> int:
+        """Byte address of a block's first element."""
+        block = self.block_index(block_row, block_col)
+        return self.base + block * self.block_elements * 8
+
+    def column_burst_address(self, block_row: int, col: int) -> int:
+        """Byte address of the first of the ``height`` consecutive elements
+        of matrix column ``col`` inside block row ``block_row``."""
+        row = block_row * self.height
+        return self.address(row, col)
+
+    def staging_buffer_elements(self) -> int:
+        """On-chip elements the controlling unit stages in phase 1.
+
+        Writing whole blocks requires buffering ``height`` complete FFT
+        output rows (double buffered) -- the data-reorganization cost the
+        paper trades against bandwidth.
+        """
+        return 2 * self.height * self.n_cols
+
+    def describe(self) -> str:
+        return (
+            f"BlockDDLLayout({self.n_rows}x{self.n_cols}, "
+            f"w={self.width}, h={self.height}, base={self.base:#x})"
+        )

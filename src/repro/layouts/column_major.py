@@ -1,0 +1,27 @@
+"""Column-major layout.
+
+The mirror image of row-major: ideal for the column-wise FFT phase and
+pathological for the row-wise phase.  Included because it demonstrates why
+*no static layout* can serve both phases (paper Section 1) and as a
+reference point in the layout-comparison benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import Layout
+
+
+class ColumnMajorLayout(Layout):
+    """Elements of a column are consecutive; columns follow each other."""
+
+    def element_index(self, row: int, col: int) -> int:
+        return col * self.n_rows + row
+
+    def element_index_array(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return cols * np.int64(self.n_rows) + rows
+
+    def coordinate(self, index: int) -> tuple[int, int]:
+        col, row = divmod(index, self.n_rows)
+        return row, col

@@ -1,0 +1,25 @@
+"""Row-major layout -- the paper's baseline storage order."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.base import Layout
+
+
+class RowMajorLayout(Layout):
+    """Elements of a row are consecutive; rows follow each other.
+
+    This is the natural output order of the row-wise FFT phase and the
+    layout the baseline architecture keeps for the column-wise phase,
+    turning every column access into a stride-``n_cols`` walk.
+    """
+
+    def element_index(self, row: int, col: int) -> int:
+        return row * self.n_cols + col
+
+    def element_index_array(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return rows * np.int64(self.n_cols) + cols
+
+    def coordinate(self, index: int) -> tuple[int, int]:
+        return divmod(index, self.n_cols)

@@ -1,0 +1,24 @@
+"""Matrix multiplication on the 3D MI-FPGA.
+
+The authors' companion papers [13, 14] model matrix multiplication on
+exactly this architecture; it is also the second workload of the
+logic-in-memory comparison [17].  This package implements the streaming
+panel formulation those models assume -- a panel of A rows resident
+on chip while all of B streams past, column by column -- which makes B's
+*column* access pattern the kernel's memory bottleneck and therefore
+layout-sensitive in precisely the way the paper's 2D FFT column phase is.
+"""
+
+from repro.matmul.architecture import (
+    MatMulArchitecture,
+    MatMulMetrics,
+    matmul_baseline,
+    matmul_optimized,
+)
+
+__all__ = [
+    "MatMulArchitecture",
+    "MatMulMetrics",
+    "matmul_baseline",
+    "matmul_optimized",
+]

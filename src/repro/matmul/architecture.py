@@ -1,0 +1,198 @@
+"""Streaming-panel matrix multiplication architectures (refs [13, 14]).
+
+``C = A @ B`` with ``n x n`` complex matrices:
+
+* a **panel** of ``panel_rows`` rows of A is loaded on chip (row-major
+  streams -- cheap under any layout);
+* **all of B streams past the panel, column by column**; each column
+  produces one column-slice of the panel's C rows.  B is re-streamed once
+  per panel, i.e. ``n / panel_rows`` times -- the dominant traffic;
+* the finished C panel is written back row-major.
+
+B's column streams make its layout the performance knob: row-major B
+collapses exactly like the paper's FFT column phase, while column-major
+or block-DDL B streams at device bandwidth.  The compute side is a MAC
+array of ``macs`` complex multiply-accumulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.memory_image import MemoryImage
+from repro.errors import ConfigError
+from repro.layouts import (
+    BlockDDLLayout,
+    ColumnMajorLayout,
+    Layout,
+    RowMajorLayout,
+    optimal_block_geometry,
+)
+from repro.memory3d.memory import Memory3D
+from repro.trace.generators import (
+    block_column_read_trace,
+    column_walk_trace,
+    row_walk_trace,
+)
+from repro.units import ELEMENT_BYTES, is_power_of_two
+
+#: B-matrix layout choices.
+B_LAYOUTS = ("row-major", "column-major", "block-ddl")
+
+
+@dataclass(frozen=True)
+class MatMulMetrics:
+    """Performance of one n x n multiplication."""
+
+    n: int
+    b_layout: str
+    memory_time_ns: float
+    compute_time_ns: float
+    b_stream_bandwidth: float
+
+    @property
+    def time_ns(self) -> float:
+        """Streaming design: memory and compute overlap."""
+        return max(self.memory_time_ns, self.compute_time_ns)
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.memory_time_ns > self.compute_time_ns else "compute"
+
+    @property
+    def gflops(self) -> float:
+        """Complex MACs counted as 8 real flops (4 mult + 4 add)."""
+        flops = 8.0 * self.n**3
+        return flops / (self.time_ns / 1e9) / 1e9
+
+    def speedup_over(self, other: "MatMulMetrics") -> float:
+        """How many times faster this configuration is than ``other``."""
+        return other.time_ns / self.time_ns
+
+
+class MatMulArchitecture:
+    """Streaming-panel matmul with a configurable B layout."""
+
+    def __init__(
+        self,
+        n: int,
+        config: SystemConfig | None = None,
+        b_layout: str = "block-ddl",
+        panel_rows: int = 16,
+        macs: int = 512,
+        clock_hz: float = 250e6,
+    ) -> None:
+        if n < 4 or not is_power_of_two(n):
+            raise ConfigError(f"matrix size must be a power of two >= 4, got {n}")
+        if b_layout not in B_LAYOUTS:
+            raise ConfigError(f"b_layout must be one of {B_LAYOUTS}, got {b_layout!r}")
+        if panel_rows < 1 or n % panel_rows:
+            raise ConfigError(
+                f"panel_rows ({panel_rows}) must divide the matrix size ({n})"
+            )
+        if macs < 1 or clock_hz <= 0:
+            raise ConfigError("macs and clock must be positive")
+        self.n = n
+        self.config = config or SystemConfig()
+        self.b_layout_name = b_layout
+        self.panel_rows = panel_rows
+        self.macs = macs
+        self.clock_hz = clock_hz
+
+    # ---------------------------------------------------------------- layout
+    def build_b_layout(self) -> Layout:
+        """Instantiate B's layout."""
+        n = self.n
+        if self.b_layout_name == "row-major":
+            return RowMajorLayout(n, n)
+        if self.b_layout_name == "column-major":
+            return ColumnMajorLayout(n, n)
+        geo = optimal_block_geometry(self.config.memory, n)
+        return BlockDDLLayout(n, n, geo.width, geo.height)
+
+    # ------------------------------------------------------------- evaluate
+    def evaluate(self, max_requests: int = 65_536) -> MatMulMetrics:
+        """Trace-driven performance of the whole multiplication."""
+        n = self.n
+        memory = Memory3D(self.config.memory)
+        peak = self.config.peak_bandwidth
+        b_layout = self.build_b_layout()
+
+        # Representative B column-stream slice, priced by the simulator.
+        if isinstance(b_layout, BlockDDLLayout):
+            streams = min(self.config.column_streams, b_layout.blocks_per_row_band)
+            trace = block_column_read_trace(
+                b_layout, n_streams=streams, block_cols=range(streams)
+            )
+            discipline = "per_vault"
+        else:
+            cols = max(1, min(n, max_requests // n))
+            trace = column_walk_trace(b_layout, cols=range(cols))
+            discipline = (
+                "per_vault" if self.b_layout_name == "column-major" else "in_order"
+            )
+        stats = memory.simulate(trace, discipline, sample=max_requests)
+        b_rate = stats.bandwidth_bytes_per_s
+
+        panels = n // self.panel_rows
+        b_traffic = panels * n * n * ELEMENT_BYTES          # B re-streamed per panel
+        a_traffic = n * n * ELEMENT_BYTES                    # A read once
+        c_traffic = n * n * ELEMENT_BYTES                    # C written once
+        # A and C are unit-stride streams at device bandwidth.
+        stream_rate = min(peak, self.config.peak_bandwidth)
+        memory_time_ns = (
+            b_traffic / b_rate + (a_traffic + c_traffic) / stream_rate
+        ) * 1e9
+
+        complex_macs = n**3
+        compute_time_ns = complex_macs / (self.macs * self.clock_hz) * 1e9
+        return MatMulMetrics(
+            n=n,
+            b_layout=self.b_layout_name,
+            memory_time_ns=memory_time_ns,
+            compute_time_ns=compute_time_ns,
+            b_stream_bandwidth=b_rate,
+        )
+
+    # -------------------------------------------------------------- function
+    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Actually multiply, with B round-tripping through its layout.
+
+        The panel loop mirrors the hardware schedule: A panels arrive
+        row-major, B is fetched column by column *through its layout's
+        addresses* in a memory image, C panels are emitted row-major.
+        """
+        n = self.n
+        a = np.asarray(a, dtype=np.complex128)
+        b = np.asarray(b, dtype=np.complex128)
+        if a.shape != (n, n) or b.shape != (n, n):
+            raise ConfigError(f"operands must be {n}x{n}, got {a.shape} and {b.shape}")
+        b_layout = self.build_b_layout()
+        image = MemoryImage(b_layout.footprint_bytes)
+        image.store_matrix(b_layout, b)
+
+        c = np.empty((n, n), dtype=np.complex128)
+        for start in range(0, n, self.panel_rows):
+            panel = a[start : start + self.panel_rows]
+            b_streamed = image.load_columns(b_layout, range(n))
+            c[start : start + self.panel_rows] = panel @ b_streamed
+        return c
+
+    def __repr__(self) -> str:
+        return (
+            f"MatMulArchitecture(n={self.n}, b_layout={self.b_layout_name!r}, "
+            f"panel_rows={self.panel_rows})"
+        )
+
+
+def matmul_baseline(n: int, config: SystemConfig | None = None) -> MatMulArchitecture:
+    """All-row-major matmul (the naive port)."""
+    return MatMulArchitecture(n, config=config, b_layout="row-major")
+
+
+def matmul_optimized(n: int, config: SystemConfig | None = None) -> MatMulArchitecture:
+    """Matmul with B in the Eq. (1) block layout."""
+    return MatMulArchitecture(n, config=config, b_layout="block-ddl")

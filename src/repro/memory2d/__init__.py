@@ -1,0 +1,13 @@
+"""Conventional planar (2D) DRAM model.
+
+The related-work comparison point: a single-channel DDR-like device whose
+banks share one data bus.  Structurally it is the degenerate 3D stack with
+one vault and one layer, which is exactly how this package implements it
+-- the timing rules are shared with :mod:`repro.memory3d`, with the bus
+playing the role of the TSV bundle.
+"""
+
+from repro.memory2d.config import Memory2DConfig, ddr3_like_config
+from repro.memory2d.memory import Memory2D
+
+__all__ = ["Memory2D", "Memory2DConfig", "ddr3_like_config"]

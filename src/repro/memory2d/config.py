@@ -1,0 +1,78 @@
+"""Planar DRAM configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.memory3d.config import Memory3DConfig, TimingParameters
+from repro.units import ghz, is_power_of_two
+
+
+@dataclass(frozen=True)
+class Memory2DConfig:
+    """A single-channel DDR-like device.
+
+    Attributes:
+        banks: banks sharing the channel's data bus.
+        row_bytes: row-buffer size per bank.
+        rows_per_bank: rows per bank.
+        bus_bits: data bus width.
+        bus_freq_hz: effective data rate (beats per second).
+        timing: the same four-parameter family as the 3D model;
+            ``t_in_vault`` is irrelevant on one layer and is set equal to
+            ``t_diff_bank``.
+    """
+
+    banks: int = 8
+    row_bytes: int = 2048
+    rows_per_bank: int = 1 << 15
+    bus_bits: int = 64
+    bus_freq_hz: float = ghz(0.8)
+    timing: TimingParameters = field(
+        default_factory=lambda: TimingParameters(
+            t_in_row=10.0, t_in_vault=15.0, t_diff_bank=15.0, t_diff_row=50.0
+        )
+    )
+
+    def __post_init__(self) -> None:
+        for name in ("banks", "row_bytes", "rows_per_bank", "bus_bits"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigError(f"{name} must be a positive int, got {value!r}")
+        if not is_power_of_two(self.banks) or not is_power_of_two(self.row_bytes):
+            raise ConfigError("banks and row_bytes must be powers of two")
+        if self.bus_freq_hz <= 0:
+            raise ConfigError(f"bus_freq_hz must be positive, got {self.bus_freq_hz}")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Channel peak bandwidth in bytes/second."""
+        return self.bus_bits * self.bus_freq_hz / 8.0
+
+    def as_memory3d(self) -> Memory3DConfig:
+        """The degenerate one-vault, one-layer 3D view of this device."""
+        return Memory3DConfig(
+            vaults=1,
+            layers=1,
+            banks_per_layer=self.banks,
+            row_bytes=self.row_bytes,
+            rows_per_bank=self.rows_per_bank,
+            tsvs_per_vault=self.bus_bits,
+            tsv_freq_hz=self.bus_freq_hz,
+            timing=self.timing,
+        )
+
+
+def ddr3_like_config() -> Memory2DConfig:
+    """A DDR3-1600-flavoured single channel: 6.4 GB/s peak, 2 KiB rows.
+
+    The beat time is one 8-byte element per 1.25 ns; activate penalties are
+    DDR3-scale.  The point of this preset is the *order of magnitude* gap
+    to the 3D stack (the paper's ~10x), not any specific part number.
+    """
+    return Memory2DConfig(
+        timing=TimingParameters(
+            t_in_row=1.25, t_in_vault=7.5, t_diff_bank=7.5, t_diff_row=48.0
+        )
+    )

@@ -1,0 +1,43 @@
+"""3D-stacked memory (HMC-like) model.
+
+The device is organised as ``vaults x layers x banks-per-layer`` with a
+row buffer per bank and one memory controller per vault (paper Fig. 1).
+Vaults are fully independent (own TSV bundle); banks within a vault share
+the vault's TSVs, so their activations must be pipelined.
+
+Public surface:
+
+* :class:`~repro.memory3d.config.Memory3DConfig` plus the
+  :func:`~repro.memory3d.config.pact15_hmc_config` preset calibrated to the
+  paper's numbers.
+* :class:`~repro.memory3d.address.AddressMapping` -- physical address
+  decoding to (vault, bank, row, column).
+* :class:`~repro.memory3d.memory.Memory3D` -- the trace-driven timing
+  simulator (exact and vectorized engines).
+* :class:`~repro.memory3d.stats.AccessStats` -- measured results.
+"""
+
+from repro.memory3d.address import AddressMapping, DecodedAddress
+from repro.memory3d.bank import BankState
+from repro.memory3d.config import (
+    Memory3DConfig,
+    RefreshParameters,
+    TimingParameters,
+    pact15_hmc_config,
+)
+from repro.memory3d.memory import Memory3D
+from repro.memory3d.stats import AccessStats
+from repro.memory3d.vault import VaultTimingModel
+
+__all__ = [
+    "AccessStats",
+    "AddressMapping",
+    "BankState",
+    "DecodedAddress",
+    "Memory3D",
+    "Memory3DConfig",
+    "RefreshParameters",
+    "TimingParameters",
+    "VaultTimingModel",
+    "pact15_hmc_config",
+]

@@ -1,0 +1,228 @@
+"""Configuration of the 3D memory: geometry, TSV link and timing parameters.
+
+The paper models the memory with four timing parameters (Section 3.1):
+
+* ``t_diff_row``  -- minimum gap between activates to different rows of the
+  *same bank* (the row-cycle time; the worst case).
+* ``t_diff_bank`` -- minimum gap between activates to different rows in
+  *different banks* (same or different vault).
+* ``t_in_row``    -- gap between successive accesses to an *open row*
+  (the streaming beat; one element per ``t_in_row``).
+* ``t_in_vault``  -- gap between accesses to different rows in different
+  banks of the *same vault* when the banks sit on different layers and the
+  activations pipeline over the shared TSVs.
+
+Accesses to different vaults have no mutual constraint (``t_diff_vault`` is
+zero by construction -- vaults do not share TSVs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import ELEMENT_BYTES, ghz, is_power_of_two
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """The four activate/streaming timing parameters, in nanoseconds."""
+
+    t_in_row: float = 1.6
+    t_in_vault: float = 4.8
+    t_diff_bank: float = 10.0
+    t_diff_row: float = 20.0
+
+    def __post_init__(self) -> None:
+        values = {
+            "t_in_row": self.t_in_row,
+            "t_in_vault": self.t_in_vault,
+            "t_diff_bank": self.t_diff_bank,
+            "t_diff_row": self.t_diff_row,
+        }
+        for name, value in values.items():
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if not (
+            self.t_in_row <= self.t_in_vault <= self.t_diff_bank <= self.t_diff_row
+        ):
+            raise ConfigError(
+                "timing parameters must be ordered "
+                "t_in_row <= t_in_vault <= t_diff_bank <= t_diff_row, got "
+                f"{self.t_in_row} / {self.t_in_vault} / "
+                f"{self.t_diff_bank} / {self.t_diff_row}"
+            )
+
+
+@dataclass(frozen=True)
+class RefreshParameters:
+    """DRAM refresh timing (optional; disabled by default).
+
+    Every ``t_refi_ns`` each vault performs a refresh that blocks it for
+    ``t_rfc_ns``; vaults stagger their refreshes so the device never
+    stalls globally.  The steady-state bandwidth ceiling this imposes is
+    ``1 - t_rfc / t_refi``.
+    """
+
+    t_refi_ns: float = 7800.0
+    t_rfc_ns: float = 160.0
+
+    def __post_init__(self) -> None:
+        if self.t_refi_ns <= 0 or self.t_rfc_ns <= 0:
+            raise ConfigError("refresh parameters must be positive")
+        if self.t_rfc_ns >= self.t_refi_ns:
+            raise ConfigError(
+                f"t_rfc ({self.t_rfc_ns}) must be below t_refi ({self.t_refi_ns})"
+            )
+
+    @property
+    def bandwidth_ceiling(self) -> float:
+        """Fraction of peak bandwidth left after refresh overhead."""
+        return 1.0 - self.t_rfc_ns / self.t_refi_ns
+
+
+@dataclass(frozen=True)
+class Memory3DConfig:
+    """Geometry and link parameters of the 3D memory stack.
+
+    Attributes:
+        vaults: number of vaults (independent vertical slices).
+        layers: number of stacked DRAM layers.
+        banks_per_layer: banks per layer belonging to one vault; the banks of
+            one vault across layers total ``layers * banks_per_layer``.
+        row_bytes: row-buffer (page) size of one bank, in bytes.
+        rows_per_bank: number of rows in each bank.
+        tsvs_per_vault: width of the TSV bundle serving one vault (bits).
+        tsv_freq_hz: TSV signalling rate in Hz (1 bit per TSV per cycle).
+        timing: the four activate/streaming parameters.
+    """
+
+    vaults: int = 16
+    layers: int = 4
+    banks_per_layer: int = 2
+    row_bytes: int = 256
+    rows_per_bank: int = 1 << 16
+    tsvs_per_vault: int = 32
+    tsv_freq_hz: float = ghz(1.25)
+    timing: TimingParameters = field(default_factory=TimingParameters)
+    refresh: RefreshParameters | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("vaults", "layers", "banks_per_layer", "row_bytes",
+                     "rows_per_bank", "tsvs_per_vault"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigError(f"{name} must be a positive int, got {value!r}")
+        for name in ("vaults", "banks_per_layer", "layers", "row_bytes"):
+            if not is_power_of_two(getattr(self, name)):
+                raise ConfigError(f"{name} must be a power of two for address "
+                                  f"decoding, got {getattr(self, name)}")
+        if self.row_bytes % ELEMENT_BYTES:
+            raise ConfigError(
+                f"row_bytes ({self.row_bytes}) must hold whole "
+                f"{ELEMENT_BYTES}-byte elements"
+            )
+        if self.tsv_freq_hz <= 0:
+            raise ConfigError(f"tsv_freq_hz must be positive, got {self.tsv_freq_hz}")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def banks_per_vault(self) -> int:
+        """Total banks in one vault (across all layers)."""
+        return self.layers * self.banks_per_layer
+
+    @property
+    def total_banks(self) -> int:
+        """Total banks in the device."""
+        return self.vaults * self.banks_per_vault
+
+    @property
+    def row_elements(self) -> int:
+        """Row-buffer capacity in 8-byte elements (the paper's ``s``)."""
+        return self.row_bytes // ELEMENT_BYTES
+
+    @property
+    def bank_bytes(self) -> int:
+        """Capacity of one bank in bytes."""
+        return self.row_bytes * self.rows_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total device capacity in bytes."""
+        return self.bank_bytes * self.total_banks
+
+    # -------------------------------------------------------------- bandwidth
+    @property
+    def vault_peak_bandwidth(self) -> float:
+        """Peak bandwidth of one vault's TSV bundle, bytes/second."""
+        return self.tsvs_per_vault * self.tsv_freq_hz / 8.0
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak device bandwidth, bytes/second (paper: V * BW_vault)."""
+        return self.vaults * self.vault_peak_bandwidth
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (used by the CLI)."""
+        lines = [
+            f"3D memory: {self.vaults} vaults x {self.layers} layers x "
+            f"{self.banks_per_layer} banks/layer "
+            f"({self.banks_per_vault} banks/vault, {self.total_banks} total)",
+            f"  row buffer: {self.row_bytes} B ({self.row_elements} elements)",
+            f"  capacity:   {self.capacity_bytes / (1 << 30):.2f} GiB",
+            f"  TSVs/vault: {self.tsvs_per_vault} @ {self.tsv_freq_hz / 1e9:.2f} GHz"
+            f" -> {self.vault_peak_bandwidth / 1e9:.2f} GB/s per vault",
+            f"  peak BW:    {self.peak_bandwidth / 1e9:.2f} GB/s",
+            "  timing (ns): "
+            f"t_in_row={self.timing.t_in_row} t_in_vault={self.timing.t_in_vault} "
+            f"t_diff_bank={self.timing.t_diff_bank} t_diff_row={self.timing.t_diff_row}",
+        ]
+        return "\n".join(lines)
+
+
+def pact15_hmc_config() -> Memory3DConfig:
+    """The HMC-like configuration calibrated to the paper's evaluation.
+
+    16 vaults x 5 GB/s = 80 GB/s peak, so the paper's optimized column-phase
+    throughputs (32 / 25.6 / 23.04 GB/s) land at 40 / 32 / 28.8 % utilization,
+    and with ``t_diff_bank`` = 10 ns / ``t_diff_row`` = 20 ns the baseline
+    column walk yields 0.8 GB/s (6.4 Gb/s) at N=2048 and 0.4 GB/s (3.2 Gb/s)
+    at N >= 4096 -- Table 1's baseline rows.
+    """
+    return Memory3DConfig()
+
+
+def hmc_gen2_config() -> Memory3DConfig:
+    """A next-generation stack: 32 vaults, faster TSVs, 320 GB/s peak.
+
+    Row-cycle times barely improve across DRAM generations, so the
+    baseline's stride problem *worsens* relative to peak while the DDL
+    keeps scaling -- the "new 3D memory technologies" scenario of the
+    paper's conclusion.
+    """
+    return Memory3DConfig(
+        vaults=32,
+        layers=8,
+        banks_per_layer=2,
+        row_bytes=256,
+        tsvs_per_vault=32,
+        tsv_freq_hz=ghz(2.5),
+        timing=TimingParameters(
+            t_in_row=0.8, t_in_vault=4.0, t_diff_bank=9.0, t_diff_row=18.0
+        ),
+    )
+
+
+def wideio_like_config() -> Memory3DConfig:
+    """A mobile-class Wide-I/O-flavoured stack: few, wide, slow channels."""
+    return Memory3DConfig(
+        vaults=4,
+        layers=4,
+        banks_per_layer=4,
+        row_bytes=2048,
+        tsvs_per_vault=128,
+        tsv_freq_hz=ghz(0.2),
+        timing=TimingParameters(
+            t_in_row=2.5, t_in_vault=8.0, t_diff_bank=12.0, t_diff_row=40.0
+        ),
+    )

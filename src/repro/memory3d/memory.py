@@ -1,0 +1,392 @@
+"""The trace-driven 3D memory timing simulator.
+
+:class:`Memory3D` consumes a :class:`~repro.trace.request.TraceArray` and
+returns an :class:`~repro.memory3d.stats.AccessStats`.  Two service
+disciplines are supported:
+
+``in_order``
+    One blocking request stream: request *i+1* is issued only when request
+    *i* has completed.  This models the paper's baseline, where the
+    column-wise FFT fetches one strided element at a time.
+
+``per_vault``
+    Each vault's memory controller drains its own queue as fast as the
+    vault's constraints allow; the streams run concurrently and the trace
+    finishes when the slowest vault does.  This models the optimized
+    architecture, whose controlling unit issues block requests to all
+    vaults up front.
+
+The per-request rules are exactly those of
+:class:`~repro.memory3d.vault.VaultTimingModel`; the hot loop here is an
+array-state re-implementation (no per-request allocation) that the test
+suite cross-checks against the reference class.
+
+Huge traces (an 8192x8192 phase is 67M requests) can be simulated on a
+representative prefix and extrapolated with :meth:`Memory3D.simulate`'s
+``sample`` argument; the access patterns in this package are periodic in
+the device geometry, so a prefix covering many periods predicts the steady
+state (validated in the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.memory3d.address import AddressMapping
+from repro.memory3d.config import Memory3DConfig
+from repro.memory3d.stats import AccessStats
+from repro.memory3d.vault import VaultTimingModel
+from repro.trace.request import TraceArray
+from repro.units import ELEMENT_BYTES
+
+_NEG_INF = float("-inf")
+
+#: Disciplines accepted by :meth:`Memory3D.simulate`.
+DISCIPLINES = ("in_order", "per_vault")
+
+
+class Memory3D:
+    """Facade over the address mapping and the timing engines."""
+
+    def __init__(self, config: Memory3DConfig | None = None) -> None:
+        self.config = config or Memory3DConfig()
+        self.mapping = AddressMapping(self.config)
+
+    # ------------------------------------------------------------------ public
+    def simulate(
+        self,
+        trace: TraceArray,
+        discipline: str = "in_order",
+        sample: int | None = None,
+    ) -> AccessStats:
+        """Run a trace and return aggregate statistics.
+
+        Args:
+            trace: the element accesses, in program order.
+            discipline: ``"in_order"`` or ``"per_vault"`` (see module docs).
+            sample: if given and smaller than the trace, simulate only the
+                first ``sample`` requests and linearly extrapolate counts and
+                elapsed time to the full trace length.
+        """
+        if discipline not in DISCIPLINES:
+            raise SimulationError(
+                f"unknown discipline {discipline!r}; expected one of {DISCIPLINES}"
+            )
+        total = len(trace)
+        if total == 0:
+            return AccessStats()
+        run = trace
+        scale = 1.0
+        if sample is not None and 0 < sample < total:
+            run = trace.head(sample)
+            scale = total / sample
+        stats, _ = self._simulate_fast(run, discipline)
+        if scale != 1.0:
+            stats = stats.scaled(scale)
+        return stats
+
+    def simulate_reference(
+        self, trace: TraceArray, discipline: str = "in_order"
+    ) -> AccessStats:
+        """Reference engine built on :class:`VaultTimingModel` (slow, exact).
+
+        Used by the tests to validate the array-state hot loop; behaviour is
+        identical by construction of the shared rules.
+        """
+        if discipline not in DISCIPLINES:
+            raise SimulationError(
+                f"unknown discipline {discipline!r}; expected one of {DISCIPLINES}"
+            )
+        vaults = [
+            VaultTimingModel(self.config, vid) for vid in range(self.config.vaults)
+        ]
+        v_ids, banks, rows, _ = self.mapping.decode_array(trace.addresses)
+        arrivals = trace.arrival_ns
+        stream_ready = 0.0
+        per_vault_ready = [0.0] * self.config.vaults
+        first_completion = None
+        last_completion = 0.0
+        latency_sum = 0.0
+        latency_max = 0.0
+        for i, (vid, bank, row) in enumerate(
+            zip(v_ids.tolist(), banks.tolist(), rows.tolist())
+        ):
+            ready = stream_ready if discipline == "in_order" else per_vault_ready[vid]
+            if arrivals is not None and arrivals[i] > ready:
+                ready = float(arrivals[i])
+            result = vaults[vid].service(bank, row, ready)
+            if arrivals is not None:
+                latency = result.completion_ns - float(arrivals[i])
+                latency_sum += latency
+                latency_max = max(latency_max, latency)
+            if discipline == "in_order":
+                stream_ready = result.completion_ns
+            else:
+                per_vault_ready[vid] = result.completion_ns
+            if first_completion is None:
+                first_completion = result.completion_ns
+            last_completion = max(last_completion, result.completion_ns)
+        activations = sum(v.activations for v in vaults)
+        hits = sum(v.hits for v in vaults)
+        busy = {
+            v.vault_id: v.tsv_next_ns for v in vaults if v.tsv_next_ns > 0.0
+        }
+        return AccessStats(
+            requests=len(trace),
+            bytes_transferred=trace.total_bytes,
+            elapsed_ns=last_completion,
+            row_activations=activations,
+            row_hits=hits,
+            per_vault_busy_ns=busy,
+            first_response_ns=first_completion or 0.0,
+            mean_request_latency_ns=(
+                latency_sum / len(trace)
+                if arrivals is not None and len(trace)
+                else 0.0
+            ),
+            max_request_latency_ns=latency_max,
+        )
+
+    def simulate_tagged(
+        self,
+        trace: TraceArray,
+        tags: np.ndarray,
+        discipline: str = "per_vault",
+    ) -> dict[int, AccessStats]:
+        """Run a merged multi-tenant trace and split the stats per tag.
+
+        Args:
+            trace: the interleaved requests of all tenants, in issue order.
+            tags: integer tenant id per request.
+
+        Returns:
+            Per-tenant :class:`AccessStats`.  Each tenant's elapsed time
+            spans its own first-to-last completion, so the per-tenant
+            bandwidth reflects what that tenant actually extracted while
+            sharing the device.  Row-activation/hit counts are global
+            (attributed to the shared banks) and reported only on the
+            merged key ``-1``.
+        """
+        tags = np.asarray(tags, dtype=np.int64)
+        if tags.shape != trace.addresses.shape:
+            raise SimulationError("tags shape must match the trace")
+        if discipline not in DISCIPLINES:
+            raise SimulationError(
+                f"unknown discipline {discipline!r}; expected one of {DISCIPLINES}"
+            )
+        if len(trace) == 0:
+            return {-1: AccessStats()}
+        merged, completions = self._simulate_fast(trace, discipline, record=True)
+        assert completions is not None
+        result: dict[int, AccessStats] = {-1: merged}
+        for tag in np.unique(tags).tolist():
+            mask = tags == tag
+            times = completions[mask]
+            count = int(mask.sum())
+            result[int(tag)] = AccessStats(
+                requests=count,
+                bytes_transferred=count * ELEMENT_BYTES,
+                elapsed_ns=float(times.max()),
+                row_activations=0,
+                row_hits=0,
+                first_response_ns=float(times.min()),
+            )
+        return result
+
+    def bandwidth_timeline(
+        self,
+        trace: TraceArray,
+        discipline: str = "in_order",
+        bucket_ns: float = 100.0,
+        sample: int | None = None,
+    ) -> np.ndarray:
+        """Achieved bandwidth (bytes/second) per time bucket.
+
+        Runs the trace (optionally a sampled prefix) and histograms the
+        per-request completion times -- useful for spotting warm-up
+        transients, refresh dips and phase boundaries.  Returns an array
+        whose entry *i* is the average bandwidth over
+        ``[i * bucket_ns, (i+1) * bucket_ns)``.
+        """
+        if discipline not in DISCIPLINES:
+            raise SimulationError(
+                f"unknown discipline {discipline!r}; expected one of {DISCIPLINES}"
+            )
+        if bucket_ns <= 0:
+            raise SimulationError(f"bucket_ns must be positive, got {bucket_ns}")
+        run = trace
+        if sample is not None and 0 < sample < len(trace):
+            run = trace.head(sample)
+        if len(run) == 0:
+            return np.zeros(0)
+        _, completions = self._simulate_fast(run, discipline, record=True)
+        buckets = np.floor_divide(completions, bucket_ns).astype(np.int64)
+        counts = np.bincount(buckets)
+        return counts * ELEMENT_BYTES / (bucket_ns / 1e9)
+
+    def classify_transitions(self, trace: TraceArray) -> dict[str, int]:
+        """Vectorized classification of consecutive-request transitions.
+
+        Returns counts of ``same_row`` / ``diff_row_same_bank`` /
+        ``diff_bank_same_vault`` / ``diff_vault`` transitions -- a cheap
+        fingerprint of an access pattern that is useful in tests and reports
+        without running the timing engines.
+        """
+        if len(trace) < 2:
+            return {
+                "same_row": 0,
+                "diff_row_same_bank": 0,
+                "diff_bank_same_vault": 0,
+                "diff_vault": 0,
+            }
+        vault, bank, row, _ = self.mapping.decode_array(trace.addresses)
+        same_vault = vault[1:] == vault[:-1]
+        same_bank = same_vault & (bank[1:] == bank[:-1])
+        same_row = same_bank & (row[1:] == row[:-1])
+        return {
+            "same_row": int(same_row.sum()),
+            "diff_row_same_bank": int((same_bank & ~same_row).sum()),
+            "diff_bank_same_vault": int((same_vault & ~same_bank).sum()),
+            "diff_vault": int((~same_vault).sum()),
+        }
+
+    # -------------------------------------------------------------- hot loop
+    def _simulate_fast(
+        self, trace: TraceArray, discipline: str, record: bool = False
+    ) -> tuple[AccessStats, np.ndarray | None]:
+        """Array-state in-order engine (same rules as VaultTimingModel).
+
+        With ``record=True`` the per-request completion times are returned
+        alongside the stats (for :meth:`bandwidth_timeline`).
+        """
+        cfg = self.config
+        timing = cfg.timing
+        t_in_row = timing.t_in_row
+        t_in_vault = timing.t_in_vault
+        t_diff_bank = timing.t_diff_bank
+        t_diff_row = timing.t_diff_row
+        n_layers = cfg.layers
+        banks_per_vault = cfg.banks_per_vault
+        in_order = discipline == "in_order"
+        refresh = cfg.refresh
+        if refresh is not None:
+            refi = refresh.t_refi_ns
+            rfc = refresh.t_rfc_ns
+            refresh_offset = [v * refi / cfg.vaults for v in range(cfg.vaults)]
+
+        vaults_arr, banks_arr, rows_arr, _ = self.mapping.decode_array(trace.addresses)
+        # Global bank ids flatten (vault, bank) so state lives in flat lists.
+        gbank_list = (vaults_arr * banks_per_vault + banks_arr).tolist()
+        vault_list = vaults_arr.tolist()
+        bank_list = banks_arr.tolist()
+        row_list = rows_arr.tolist()
+        arrival_list = (
+            trace.arrival_ns.tolist() if trace.arrival_ns is not None else None
+        )
+
+        n_banks = cfg.total_banks
+        n_vaults = cfg.vaults
+        open_row = [-1] * n_banks
+        bank_next_act = [0.0] * n_banks
+        tsv_next = [0.0] * n_vaults
+        last_act_time = [_NEG_INF] * n_vaults
+        last_act_layer = [-1] * n_vaults
+        last_act_bank = [-1] * n_vaults
+        vault_ready = [0.0] * n_vaults
+        stream_ready = 0.0
+
+        activations = 0
+        hits = 0
+        first_completion = 0.0
+        last_completion = 0.0
+        completions: list[float] | None = [] if record else None
+
+        latency_sum = 0.0
+        latency_max = 0.0
+
+        for i, gbank in enumerate(gbank_list):
+            vid = vault_list[i]
+            row = row_list[i]
+            ready = stream_ready if in_order else vault_ready[vid]
+            if arrival_list is not None and arrival_list[i] > ready:
+                ready = arrival_list[i]
+            if open_row[gbank] == row:
+                hits += 1
+                beat = tsv_next[vid]
+                if ready > beat:
+                    beat = ready
+                if refresh is not None:
+                    phase = (beat - refresh_offset[vid]) % refi
+                    if phase < rfc:
+                        beat += rfc - phase
+                completion = beat + t_in_row
+            else:
+                act = bank_next_act[gbank]
+                if ready > act:
+                    act = ready
+                prev_act = last_act_time[vid]
+                bank = bank_list[i]
+                if prev_act != _NEG_INF and last_act_bank[vid] != bank:
+                    layer = bank % n_layers
+                    gap = t_diff_bank if layer == last_act_layer[vid] else t_in_vault
+                    gated = prev_act + gap
+                    if gated > act:
+                        act = gated
+                if refresh is not None:
+                    phase = (act - refresh_offset[vid]) % refi
+                    if phase < rfc:
+                        act += rfc - phase
+                open_row[gbank] = row
+                bank_next_act[gbank] = act + t_diff_row
+                last_act_time[vid] = act
+                last_act_layer[vid] = bank % n_layers
+                last_act_bank[vid] = bank
+                activations += 1
+                beat = tsv_next[vid]
+                if act > beat:
+                    beat = act
+                if refresh is not None:
+                    phase = (beat - refresh_offset[vid]) % refi
+                    if phase < rfc:
+                        beat += rfc - phase
+                completion = beat + t_in_row
+            tsv_next[vid] = completion
+            if in_order:
+                stream_ready = completion
+            else:
+                vault_ready[vid] = completion
+            if i == 0:
+                first_completion = completion
+            if completion > last_completion:
+                last_completion = completion
+            if completions is not None:
+                completions.append(completion)
+            if arrival_list is not None:
+                latency = completion - arrival_list[i]
+                latency_sum += latency
+                if latency > latency_max:
+                    latency_max = latency
+
+        busy = {
+            vid: tsv_next[vid] for vid in range(n_vaults) if tsv_next[vid] > 0.0
+        }
+        n_requests = len(trace)
+        stats = AccessStats(
+            requests=n_requests,
+            bytes_transferred=n_requests * ELEMENT_BYTES,
+            elapsed_ns=last_completion,
+            row_activations=activations,
+            row_hits=hits,
+            per_vault_busy_ns=busy,
+            first_response_ns=first_completion,
+            mean_request_latency_ns=(
+                latency_sum / n_requests if arrival_list is not None and n_requests
+                else 0.0
+            ),
+            max_request_latency_ns=latency_max,
+        )
+        recorded = (
+            np.asarray(completions, dtype=np.float64) if record else None
+        )
+        return stats, recorded

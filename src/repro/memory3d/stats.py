@@ -1,0 +1,113 @@
+"""Measured results of a trace-driven memory simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import to_gbitps, to_gbps
+
+
+@dataclass
+class AccessStats:
+    """Aggregate statistics for one simulated trace.
+
+    Attributes:
+        requests: number of element accesses served.
+        bytes_transferred: payload bytes moved.
+        elapsed_ns: time from the first request issue to the last completion.
+        row_activations: number of row activates performed (row-buffer misses).
+        row_hits: accesses served from an already-open row.
+        per_vault_busy_ns: time each vault spent serving its queue.
+        first_response_ns: completion time of the first request (access latency
+            seen by the consumer before streaming begins).
+    """
+
+    requests: int = 0
+    bytes_transferred: int = 0
+    elapsed_ns: float = 0.0
+    row_activations: int = 0
+    row_hits: int = 0
+    per_vault_busy_ns: dict[int, float] = field(default_factory=dict)
+    first_response_ns: float = 0.0
+    #: Open-loop request latency (arrival to completion); zero for
+    #: closed-loop traces, where "latency" is not well defined.
+    mean_request_latency_ns: float = 0.0
+    max_request_latency_ns: float = 0.0
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Average achieved bandwidth over the trace."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.bytes_transferred / (self.elapsed_ns / 1e9)
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Average achieved bandwidth in GB/s."""
+        return to_gbps(self.bandwidth_bytes_per_s)
+
+    @property
+    def bandwidth_gbitps(self) -> float:
+        """Average achieved bandwidth in Gb/s (the unit of Table 1's baseline)."""
+        return to_gbitps(self.bandwidth_bytes_per_s)
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses served from an open row."""
+        if not self.requests:
+            return 0.0
+        return self.row_hits / self.requests
+
+    def utilization(self, peak_bandwidth_bytes_per_s: float) -> float:
+        """Fraction of a peak bandwidth achieved (0..1)."""
+        if peak_bandwidth_bytes_per_s <= 0:
+            return 0.0
+        return self.bandwidth_bytes_per_s / peak_bandwidth_bytes_per_s
+
+    def merged_with(self, other: "AccessStats") -> "AccessStats":
+        """Combine two sequentially-executed traces (times add)."""
+        busy = dict(self.per_vault_busy_ns)
+        for vault, t in other.per_vault_busy_ns.items():
+            busy[vault] = busy.get(vault, 0.0) + t
+        total_requests = self.requests + other.requests
+        mean_latency = 0.0
+        if total_requests:
+            mean_latency = (
+                self.mean_request_latency_ns * self.requests
+                + other.mean_request_latency_ns * other.requests
+            ) / total_requests
+        return AccessStats(
+            requests=total_requests,
+            bytes_transferred=self.bytes_transferred + other.bytes_transferred,
+            elapsed_ns=self.elapsed_ns + other.elapsed_ns,
+            row_activations=self.row_activations + other.row_activations,
+            row_hits=self.row_hits + other.row_hits,
+            per_vault_busy_ns=busy,
+            first_response_ns=self.first_response_ns,
+            mean_request_latency_ns=mean_latency,
+            max_request_latency_ns=max(
+                self.max_request_latency_ns, other.max_request_latency_ns
+            ),
+        )
+
+    def scaled(self, factor: float) -> "AccessStats":
+        """Extrapolate a sampled simulation to ``factor`` times the work.
+
+        Counts and times scale linearly; the first-response latency does not.
+        Used when a representative slice of a huge trace was simulated.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return AccessStats(
+            requests=round(self.requests * factor),
+            bytes_transferred=round(self.bytes_transferred * factor),
+            elapsed_ns=self.elapsed_ns * factor,
+            row_activations=round(self.row_activations * factor),
+            row_hits=round(self.row_hits * factor),
+            per_vault_busy_ns={
+                v: t * factor for v, t in self.per_vault_busy_ns.items()
+            },
+            first_response_ns=self.first_response_ns,
+            mean_request_latency_ns=self.mean_request_latency_ns,
+            max_request_latency_ns=self.max_request_latency_ns,
+        )

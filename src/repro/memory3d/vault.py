@@ -1,0 +1,132 @@
+"""Per-vault service timing.
+
+Each vault has a dedicated memory controller and a private TSV bundle
+(paper Section 3), so vaults impose **no timing constraints on each other**
+("accessing data from different vaults causes zero latency...  vaults are
+completely independent and can be active at the same time").
+
+Within a vault three constraints order activations and data beats:
+
+* the bank's own row cycle, ``t_diff_row`` (tracked per bank);
+* consecutive activations to *different banks on the same layer* of the
+  vault must be at least ``t_diff_bank`` apart;
+* consecutive activations to banks on *different layers* pipeline over the
+  TSVs at the smaller ``t_in_vault`` gap;
+* data beats share the vault TSV bundle at one element per ``t_in_row``.
+
+The paper's prose for ``t_diff_bank`` mentions "same or different vaults";
+read literally that would serialize the whole device and contradict the
+same section's statement that vaults are independent, so we scope all
+activate-to-activate gaps to a single vault (see DESIGN.md).
+
+Banks are numbered vault-locally with ``layer = bank % layers``
+(layer-interleaved), so a stride walk that alternates between two
+bank-index neighbours stays on one layer and pays ``t_diff_bank`` -- the
+case the paper's baseline numbers imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory3d.bank import NO_ROW, BankState
+from repro.memory3d.config import Memory3DConfig
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of serving one request in a vault."""
+
+    completion_ns: float
+    hit: bool
+    activate_ns: float
+
+
+class VaultTimingModel:
+    """In-order service timing of one vault's request stream.
+
+    This is the readable reference implementation; the array-based loop in
+    :mod:`repro.memory3d.memory` implements identical rules and is
+    cross-checked against this class in the test suite.
+    """
+
+    def __init__(self, config: Memory3DConfig, vault_id: int) -> None:
+        self.config = config
+        self.vault_id = vault_id
+        self.banks = [BankState() for _ in range(config.banks_per_vault)]
+        self.tsv_next_ns = 0.0
+        self.last_activate_ns = float("-inf")
+        self.last_activate_layer = -1
+        self.last_activate_bank = -1
+
+    def layer_of(self, bank: int) -> int:
+        """Layer hosting a vault-local bank index (layer-interleaved)."""
+        return bank % self.config.layers
+
+    def defer_for_refresh(self, at_ns: float) -> float:
+        """Push a command out of this vault's refresh windows.
+
+        Vaults stagger their refreshes by ``t_refi / vaults`` so the
+        device never blocks globally; within a window of ``t_rfc`` after
+        each refresh start, the vault accepts no commands.
+        """
+        refresh = self.config.refresh
+        if refresh is None:
+            return at_ns
+        period = refresh.t_refi_ns
+        offset = self.vault_id * period / self.config.vaults
+        phase = (at_ns - offset) % period
+        if phase < refresh.t_rfc_ns:
+            return at_ns + (refresh.t_rfc_ns - phase)
+        return at_ns
+
+    def service(self, bank: int, row: int, ready_ns: float) -> ServiceResult:
+        """Serve one element access; returns completion time and hit flag.
+
+        Args:
+            bank: vault-local bank index.
+            row: row index within the bank.
+            ready_ns: earliest time the request may be issued (stream order).
+        """
+        timing = self.config.timing
+        state = self.banks[bank]
+        if state.is_hit(row):
+            state.record_hit()
+            beat = self.defer_for_refresh(max(self.tsv_next_ns, ready_ns))
+            completion = beat + timing.t_in_row
+            self.tsv_next_ns = completion
+            return ServiceResult(completion, hit=True, activate_ns=beat)
+
+        act = state.earliest_activate(ready_ns)
+        if self.last_activate_ns != float("-inf") and self.last_activate_bank != bank:
+            layer = self.layer_of(bank)
+            gap = (
+                timing.t_diff_bank
+                if layer == self.last_activate_layer
+                else timing.t_in_vault
+            )
+            act = max(act, self.last_activate_ns + gap)
+        act = self.defer_for_refresh(act)
+        state.activate(row, act, timing)
+        self.last_activate_ns = act
+        self.last_activate_layer = self.layer_of(bank)
+        self.last_activate_bank = bank
+        beat = self.defer_for_refresh(max(act, self.tsv_next_ns))
+        completion = beat + timing.t_in_row
+        self.tsv_next_ns = completion
+        return ServiceResult(completion, hit=False, activate_ns=act)
+
+    @property
+    def activations(self) -> int:
+        """Total row activations performed by this vault."""
+        return sum(b.activations for b in self.banks)
+
+    @property
+    def hits(self) -> int:
+        """Total open-row hits served by this vault."""
+        return sum(b.hits for b in self.banks)
+
+    def reset_rows(self) -> None:
+        """Close all rows (keep counters); used between application phases."""
+        for bank in self.banks:
+            bank.open_row = NO_ROW

@@ -1,0 +1,16 @@
+"""Streaming permutation network and its controlling unit.
+
+The optimized architecture (paper Fig. 3) inserts permutation networks
+between the vault memory controllers and the FFT kernel; a controlling
+unit reconfigures them at phase boundaries so that row-FFT results are
+written back in the block dynamic data layout and column-FFT inputs are
+de-blocked into column streams.
+"""
+
+from repro.permutation.network import (
+    PermutationNetwork,
+    RoutingSchedule,
+)
+from repro.permutation.control import ControllingUnit
+
+__all__ = ["ControllingUnit", "PermutationNetwork", "RoutingSchedule"]

@@ -1,0 +1,202 @@
+"""Bitonic permutation routing (paper ref [7]).
+
+The paper's permutation network is "developed based on our work in [7]"
+-- the authors' bitonic sorting network.  A sorting network doubles as a
+permutation router: route element ``i`` to position ``perm_inverse[i]``
+by *sorting the destination tags*.  At configuration time the controller
+runs Batcher's bitonic sort over the tags and records one control bit per
+comparator (swap / pass); at run time the data replays those bits through
+the same comparator lattice -- pure switching, no comparisons, exactly
+what the FPGA fabric does.
+
+For ``n = 2^k`` inputs the network has ``k(k+1)/2`` stages of ``n/2``
+comparators, i.e. ``n/2 * k(k+1)/2`` control bits per configured
+permutation -- the resource figures reported alongside the crossbar
+network in the permutation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.permutation.network import PermutationError
+from repro.units import ilog2, is_power_of_two
+
+Comparator = tuple[int, int]
+
+
+def bitonic_sorting_network(n: int) -> list[list[Comparator]]:
+    """Batcher's bitonic sorting network for ``n = 2^k`` wires.
+
+    Returns stages in execution order; each stage is a list of disjoint
+    ``(low, high)`` comparator pairs (``low < high``), where a comparator
+    orders its pair ascending.
+    """
+    if not is_power_of_two(n) or n < 2:
+        raise PermutationError(f"network size must be a power of two >= 2, got {n}")
+    stages: list[list[Comparator]] = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            stage: list[Comparator] = []
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    # Direction: ascending iff the k-block index is even.
+                    if (i & k) == 0:
+                        stage.append((i, partner))
+                    else:
+                        stage.append((partner, i))
+            # Normalise to (low_index, high_index, direction) form: store
+            # as (a, b) meaning "min result goes to a, max to b".
+            stages.append(stage)
+            j //= 2
+        k *= 2
+    return stages
+
+
+def network_stage_count(n: int) -> int:
+    """Number of comparator stages: k(k+1)/2 for n = 2^k."""
+    k = ilog2(n)
+    return k * (k + 1) // 2
+
+
+def network_comparator_count(n: int) -> int:
+    """Total comparators in the network."""
+    return network_stage_count(n) * (n // 2)
+
+
+class BitonicSorter:
+    """The network in compare-exchange mode: a streaming sorter (ref [7]).
+
+    Every stage's comparators fire unconditionally, so any input order
+    sorts ascending after the full lattice -- the FPGA sorting engine the
+    paper's permutation network descends from.  ``argsort`` additionally
+    returns the permutation the lattice applied, which is how the router
+    derives its control bits.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.stages = bitonic_sorting_network(n)
+
+    def sort(self, data: np.ndarray) -> np.ndarray:
+        """Return the data sorted ascending (last axis length ``n``)."""
+        values = np.array(data, copy=True)
+        if values.shape[-1] != self.n:
+            raise PermutationError(
+                f"data length {values.shape[-1]} does not match network {self.n}"
+            )
+        for stage in self.stages:
+            for lo, hi in stage:
+                low_vals = np.minimum(values[..., lo], values[..., hi])
+                high_vals = np.maximum(values[..., lo], values[..., hi])
+                values[..., lo] = low_vals
+                values[..., hi] = high_vals
+        return values
+
+    def argsort(self, keys: np.ndarray) -> np.ndarray:
+        """Indices that sort ``keys`` via the lattice (stable per lattice
+        routing, not necessarily numpy-stable for equal keys)."""
+        keys = np.asarray(keys)
+        if keys.shape != (self.n,):
+            raise PermutationError(f"keys must have length {self.n}")
+        order = np.arange(self.n)
+        values = keys.astype(np.float64).copy()
+        for stage in self.stages:
+            for lo, hi in stage:
+                if values[lo] > values[hi]:
+                    values[lo], values[hi] = values[hi], values[lo]
+                    order[lo], order[hi] = order[hi], order[lo]
+        return order
+
+    @property
+    def comparator_count(self) -> int:
+        return network_comparator_count(self.n)
+
+    @property
+    def stage_count(self) -> int:
+        return network_stage_count(self.n)
+
+
+class BitonicPermutationRouter:
+    """Route arbitrary permutations through a bitonic network.
+
+    Configuration sorts the destination tags once and records the swap
+    decisions; :meth:`apply` replays them over data.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.stages = bitonic_sorting_network(n)
+        self._controls: list[np.ndarray] | None = None
+        self._permutation: np.ndarray | None = None
+
+    # ---------------------------------------------------------------- config
+    def configure(self, permutation: np.ndarray) -> None:
+        """Program the network to realise ``y[i] = x[permutation[i]]``."""
+        perm = np.asarray(permutation, dtype=np.int64)
+        if perm.shape != (self.n,):
+            raise PermutationError(
+                f"permutation must have length {self.n}, got {perm.shape}"
+            )
+        if not np.array_equal(np.sort(perm), np.arange(self.n)):
+            raise PermutationError("not a permutation")
+        # Element at input position p must end at output position out(p):
+        # out[perm[i]] = i.  Sorting the array `out` ascending moves input
+        # p to position out[p]; record each comparator's decision.
+        tags = np.empty(self.n, dtype=np.int64)
+        tags[perm] = np.arange(self.n)
+        controls: list[np.ndarray] = []
+        work = tags.copy()
+        for stage in self.stages:
+            bits = np.zeros(len(stage), dtype=bool)
+            for idx, (lo, hi) in enumerate(stage):
+                if work[lo] > work[hi]:
+                    work[lo], work[hi] = work[hi], work[lo]
+                    bits[idx] = True
+            controls.append(bits)
+        if not np.array_equal(work, np.arange(self.n)):  # pragma: no cover
+            raise PermutationError("bitonic sort failed to order the tags")
+        self._controls = controls
+        self._permutation = perm
+
+    @property
+    def permutation(self) -> np.ndarray:
+        if self._permutation is None:
+            raise PermutationError("router not configured")
+        return self._permutation
+
+    # ----------------------------------------------------------------- apply
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        """Replay the recorded control bits over a data vector (or batch
+        along the last axis)."""
+        if self._controls is None:
+            raise PermutationError("router not configured")
+        values = np.array(data, copy=True)
+        if values.shape[-1] != self.n:
+            raise PermutationError(
+                f"data length {values.shape[-1]} does not match network {self.n}"
+            )
+        for stage, bits in zip(self.stages, self._controls):
+            for (lo, hi), swap in zip(stage, bits):
+                if swap:
+                    tmp = values[..., lo].copy()
+                    values[..., lo] = values[..., hi]
+                    values[..., hi] = tmp
+        return values
+
+    # --------------------------------------------------------------- costing
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+    @property
+    def comparator_count(self) -> int:
+        return sum(len(stage) for stage in self.stages)
+
+    @property
+    def control_bits(self) -> int:
+        """Configuration memory per programmed permutation."""
+        return self.comparator_count

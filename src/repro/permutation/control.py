@@ -1,0 +1,111 @@
+"""The controlling unit (CU) of the optimized architecture (Fig. 3).
+
+The CU owns the dynamic part of the dynamic data layout: at the boundary
+between the row phase and the column phase it reconfigures the permutation
+networks so that
+
+* **write path** (phase 1): the row-major stream of FFT results is
+  reordered block-by-block into the ``w x h`` column-major block interior
+  before it is sent to the vaults;
+* **read path** (phase 2): whole blocks fetched from the vaults are
+  de-interleaved back into per-column streams for the column kernels.
+
+Both reorders are stride permutations over one staged slab (``h`` matrix
+rows), applied block-locally, so the network frames are small (one block)
+even though the slab is large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.block_ddl import BlockDDLLayout
+from repro.layouts.optimizer import BlockGeometry
+from repro.permutation.network import (
+    PermutationError,
+    PermutationNetwork,
+    RoutingSchedule,
+)
+
+
+class ControllingUnit:
+    """Computes and installs network configurations for a block geometry."""
+
+    def __init__(self, geometry: BlockGeometry, width: int = 16) -> None:
+        self.geometry = geometry
+        self.write_network = PermutationNetwork(width)
+        self.read_network = PermutationNetwork(width)
+
+    # ------------------------------------------------------------ permutations
+    def block_write_permutation(self) -> np.ndarray:
+        """Row-major block interior -> column-major block interior.
+
+        The staging buffer receives a block's elements row by row
+        (``h`` rows of ``w``); the vault expects them column by column.
+        This is the stride permutation ``L^{wh}_w`` in gather form.
+        """
+        w, h = self.geometry.width, self.geometry.height
+        # Output position (c*h + r) takes input position (r*w + c).
+        out = np.empty(w * h, dtype=np.int64)
+        for c in range(w):
+            for r in range(h):
+                out[c * h + r] = r * w + c
+        return out
+
+    def block_read_permutation(self) -> np.ndarray:
+        """Inverse reorder used on the read path (column-major -> row-major)."""
+        forward = self.block_write_permutation()
+        inverse = np.empty_like(forward)
+        inverse[forward] = np.arange(forward.size)
+        return inverse
+
+    # ---------------------------------------------------------------- install
+    def configure_for_write(self) -> RoutingSchedule:
+        """Install the phase-1 write reorder; returns its schedule."""
+        return self.write_network.configure(self.block_write_permutation())
+
+    def configure_for_read(self) -> RoutingSchedule:
+        """Install the phase-2 read reorder; returns its schedule."""
+        return self.read_network.configure(self.block_read_permutation())
+
+    # ------------------------------------------------------------- whole-slab
+    def reorganize_slab(self, slab: np.ndarray, layout: BlockDDLLayout) -> np.ndarray:
+        """Apply the write-path reorder to a staged slab of FFT output.
+
+        Args:
+            slab: ``(h, n_cols)`` array of row-phase results, natural order.
+            layout: the target block layout (supplies w, h, block order).
+
+        Returns:
+            The slab's elements in memory order: one contiguous run per
+            block, blocks in block-column order -- exactly the byte stream
+            :func:`repro.trace.generators.block_write_trace` writes.
+        """
+        h, n_cols = slab.shape
+        w = layout.width
+        if h != layout.height:
+            raise ValueError(f"slab height {h} != layout height {layout.height}")
+        if n_cols != layout.n_cols:
+            raise ValueError(f"slab width {n_cols} != matrix width {layout.n_cols}")
+        # (h, blocks, w) -> (blocks, w, h): block-major, column-major interior.
+        shaped = slab.reshape(h, n_cols // w, w)
+        return np.ascontiguousarray(shaped.transpose(1, 2, 0)).reshape(-1)
+
+    def restore_slab(self, stream: np.ndarray, layout: BlockDDLLayout) -> np.ndarray:
+        """Inverse of :meth:`reorganize_slab` (read path, for testing)."""
+        h = layout.height
+        w = layout.width
+        blocks = layout.n_cols // w
+        shaped = np.asarray(stream).reshape(blocks, w, h)
+        return np.ascontiguousarray(shaped.transpose(2, 0, 1)).reshape(h, layout.n_cols)
+
+    @property
+    def total_buffer_words(self) -> int:
+        """Combined buffer requirement of both configured networks."""
+        words = 0
+        for network in (self.write_network, self.read_network):
+            try:
+                words += network.schedule.buffer_words
+            except PermutationError:
+                continue
+        return words

@@ -1,0 +1,189 @@
+"""Streaming permutation network (paper Fig. 2b / ref [7]).
+
+The hardware is a front rank of crossbar switches, a rank of data buffers
+(one per lane) and a back rank of crossbars.  A frame of ``F`` elements
+arrives ``width`` per cycle; the network emits the same elements ``width``
+per cycle in permuted order.
+
+The functional model (:meth:`PermutationNetwork.permute`) applies the
+permutation exactly.  The routing model (:meth:`PermutationNetwork.route`)
+computes what the hardware needs to realise it: each element is steered by
+the front crossbar into the buffer of its *output* lane, waits until its
+output cycle, and leaves through the back crossbar.  The schedule reports
+per-lane buffer depth, total latency, and any write-port conflicts (two
+same-cycle arrivals bound for one lane), which cost stall cycles on a
+single-write-port buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.units import is_power_of_two
+
+
+class PermutationError(ReproError):
+    """The permutation is malformed or incompatible with the network."""
+
+
+@dataclass(frozen=True)
+class RoutingSchedule:
+    """Hardware requirements of one configured frame permutation.
+
+    Attributes:
+        frame: frame length in elements.
+        width: lanes (elements per cycle).
+        buffer_depth: deepest per-lane buffer occupancy, in elements.
+        latency_cycles: cycles from a frame's first input beat to its first
+            output beat, including stalls.
+        stall_cycles: extra cycles lost to buffer write-port conflicts.
+        max_writes_per_lane_cycle: worst same-cycle writes into one buffer
+            (1 means conflict-free).
+    """
+
+    frame: int
+    width: int
+    buffer_depth: int
+    latency_cycles: int
+    stall_cycles: int
+    max_writes_per_lane_cycle: int
+
+    @property
+    def conflict_free(self) -> bool:
+        """True when a single-write-port buffer per lane suffices."""
+        return self.max_writes_per_lane_cycle <= 1
+
+    @property
+    def buffer_words(self) -> int:
+        """Total buffer capacity across lanes."""
+        return self.buffer_depth * self.width
+
+
+class PermutationNetwork:
+    """A ``width``-lane streaming permutation engine."""
+
+    def __init__(self, width: int) -> None:
+        if not is_power_of_two(width):
+            raise PermutationError(f"width must be a power of two, got {width}")
+        self.width = width
+        self._permutation: np.ndarray | None = None
+        self._schedule: RoutingSchedule | None = None
+
+    # ---------------------------------------------------------------- config
+    def configure(self, permutation: np.ndarray) -> RoutingSchedule:
+        """Load a frame permutation; returns its routing schedule.
+
+        ``permutation[i]`` is the *input* index emitted at output position
+        ``i`` (gather convention).  The frame length must be a positive
+        multiple of the lane width.
+        """
+        perm = np.asarray(permutation, dtype=np.int64)
+        if perm.ndim != 1 or perm.size == 0:
+            raise PermutationError("permutation must be a non-empty 1-D array")
+        if perm.size % self.width:
+            raise PermutationError(
+                f"frame length {perm.size} must be a multiple of width {self.width}"
+            )
+        check = np.sort(perm)
+        if not np.array_equal(check, np.arange(perm.size)):
+            raise PermutationError("not a permutation: indices must be a bijection")
+        self._permutation = perm
+        self._schedule = self._route(perm)
+        return self._schedule
+
+    @property
+    def permutation(self) -> np.ndarray:
+        if self._permutation is None:
+            raise PermutationError("network not configured")
+        return self._permutation
+
+    @property
+    def schedule(self) -> RoutingSchedule:
+        if self._schedule is None:
+            raise PermutationError("network not configured")
+        return self._schedule
+
+    # ------------------------------------------------------------- functional
+    def permute(self, frame: np.ndarray) -> np.ndarray:
+        """Apply the configured permutation to one or more frames.
+
+        The last axis must equal the frame length.
+        """
+        perm = self.permutation
+        data = np.asarray(frame)
+        if data.shape[-1] != perm.size:
+            raise PermutationError(
+                f"frame length {data.shape[-1]} does not match configured "
+                f"{perm.size}"
+            )
+        return data[..., perm]
+
+    def permute_stream(self, stream: np.ndarray) -> np.ndarray:
+        """Apply the permutation frame-by-frame to a long stream."""
+        perm = self.permutation
+        data = np.asarray(stream)
+        if data.shape[-1] % perm.size:
+            raise PermutationError(
+                f"stream length {data.shape[-1]} is not a whole number of "
+                f"{perm.size}-element frames"
+            )
+        shaped = data.reshape(*data.shape[:-1], -1, perm.size)
+        return shaped[..., perm].reshape(data.shape)
+
+    # ---------------------------------------------------------------- routing
+    def _route(self, perm: np.ndarray) -> RoutingSchedule:
+        frame = perm.size
+        width = self.width
+        out_pos = np.empty(frame, dtype=np.int64)
+        out_pos[perm] = np.arange(frame)  # output position of each input index
+        in_cycle = np.arange(frame) // width
+        out_cycle = out_pos // width
+        out_lane = out_pos % width
+
+        # An element cannot leave before it has arrived: the whole frame's
+        # output is delayed until every output cycle's elements are present.
+        slack = in_cycle - out_cycle
+        base_delay = int(max(0, slack.max()))
+
+        # Occupancy of each lane buffer over time (arrival to departure).
+        depth = 0
+        writes = np.zeros((frame // width + base_delay + 1, width), dtype=np.int64)
+        for idx in range(frame):
+            writes[in_cycle[idx], out_lane[idx]] += 1
+        max_writes = int(writes.max()) if frame else 1
+        stalls = int(np.maximum(writes - 1, 0).sum())
+
+        # Buffer residency: element waits (out_cycle + delay) - in_cycle.
+        residency = out_cycle + base_delay - in_cycle
+        if frame:
+            # Per-lane peak simultaneous occupancy.
+            for lane in range(width):
+                lane_mask = out_lane == lane
+                if not lane_mask.any():
+                    continue
+                events = []
+                for idx in np.nonzero(lane_mask)[0]:
+                    events.append((in_cycle[idx], 1))
+                    events.append((out_cycle[idx] + base_delay + 1, -1))
+                events.sort()
+                occupancy = 0
+                for _, delta in events:
+                    occupancy += delta
+                    depth = max(depth, occupancy)
+        latency = base_delay + 1 + stalls
+        del residency
+        return RoutingSchedule(
+            frame=frame,
+            width=width,
+            buffer_depth=max(depth, 1),
+            latency_cycles=latency,
+            stall_cycles=stalls,
+            max_writes_per_lane_cycle=max(max_writes, 1),
+        )
+
+    def __repr__(self) -> str:
+        state = "unconfigured" if self._permutation is None else f"frame={self._permutation.size}"
+        return f"PermutationNetwork(width={self.width}, {state})"

@@ -1,0 +1,158 @@
+"""One-command reproduction report.
+
+``python -m repro reproduce`` regenerates every paper artifact (Tables 1
+and 2 from both the analytic model and the trace-driven simulator, the
+block-height and vault-parallelism ablations, the energy comparison) and
+renders them as a single markdown document -- the quickest way for a
+reader to check this repository against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core import AnalyticModel
+from repro.core.config import SystemConfig
+from repro.core.simulate import (
+    simulate_baseline_column_phase,
+    simulate_optimized_column_phase,
+)
+from repro.energy import EnergyModel
+from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
+from repro.memory3d import Memory3D
+from repro.trace import block_column_read_trace, column_walk_trace
+from repro.viz import bar_chart, percentage
+
+#: Paper reference values for the report's delta columns.
+PAPER_TABLE1 = {
+    2048: (6.4, 0.01, 32.0, 0.40),
+    4096: (3.2, 0.005, 25.6, 0.32),
+    8192: (3.2, 0.005, 23.04, 0.288),
+}
+PAPER_IMPROVEMENT = {2048: 95.1, 4096: 97.0, 8192: 96.6}
+
+
+def _markdown_table(header: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def reproduce_report(
+    sizes: tuple[int, ...] = (2048, 4096, 8192),
+    max_requests: int = 131_072,
+    config: SystemConfig | None = None,
+) -> str:
+    """Build the full reproduction report as markdown."""
+    config = config or SystemConfig()
+    model = AnalyticModel(config)
+    memory = Memory3D(config.memory)
+    peak = config.peak_bandwidth
+    sections: list[str] = ["# Reproduction report", ""]
+
+    # ------------------------------------------------------------ the device
+    sections += ["## Modelled system", "", "```",
+                 config.memory.describe(), "```", ""]
+
+    # -------------------------------------------------------------- Table 1
+    sections += ["## Table 1 -- column-wise FFT throughput", ""]
+    rows = []
+    for n in sizes:
+        base = simulate_baseline_column_phase(config, n, max_requests=max_requests)
+        geo = optimal_block_geometry(config.memory, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        opt = simulate_optimized_column_phase(
+            config, n, layout, max_requests=max_requests
+        )
+        paper = PAPER_TABLE1.get(n)
+        rows.append([
+            f"{n}",
+            f"{base.throughput_gbitps:.2f} Gb/s",
+            percentage(base.utilization(peak), 2),
+            f"{opt.throughput_gbps:.2f} GB/s",
+            percentage(opt.utilization(peak)),
+            (f"{paper[0]} Gb/s / {paper[2]} GB/s" if paper else "--"),
+        ])
+    sections.append(_markdown_table(
+        ["N", "baseline (sim)", "base util", "optimized (sim)",
+         "opt util", "paper (base/opt)"],
+        rows,
+    ))
+    sections.append("")
+
+    # -------------------------------------------------------------- Table 2
+    sections += ["## Table 2 -- entire 2D FFT application", ""]
+    rows = []
+    for n in sizes:
+        base_sys = model.baseline_system(n)
+        opt_sys = model.optimized_system(n)
+        improvement = opt_sys.improvement_over(base_sys)
+        paper = PAPER_IMPROVEMENT.get(n)
+        rows.append([
+            f"{n}",
+            f"{base_sys.throughput_gbps:.2f} GB/s",
+            f"{opt_sys.throughput_gbps:.2f} GB/s",
+            f"{improvement:.1f}%",
+            (f"{paper}%" if paper else "--"),
+            f"{opt_sys.latency_reduction_over(base_sys):.2f}x",
+        ])
+    sections.append(_markdown_table(
+        ["N", "baseline", "optimized", "improvement", "paper", "latency cut"],
+        rows,
+    ))
+    sections.append("")
+
+    # ----------------------------------------------------- height ablation
+    n_ab = min(sizes)
+    sections += [f"## Ablation -- block height (N={n_ab}, column-at-a-time)", ""]
+    geo = optimal_block_geometry(config.memory, n_ab)
+    series = {}
+    s_elems = config.memory.row_elements
+    height = 1
+    while height <= s_elems:
+        layout = BlockDDLLayout(n_ab, n_ab, s_elems // height, height)
+        trace = block_column_read_trace(
+            layout,
+            n_streams=config.column_streams,
+            whole_blocks=False,
+            block_cols=range(min(config.column_streams,
+                                 layout.blocks_per_row_band)),
+        )
+        stats = memory.simulate(trace, "per_vault", sample=max_requests)
+        label = f"h={height}" + (" (Eq.1)" if height == geo.height else "")
+        series[label] = stats.utilization(peak) * 100
+        height *= 2
+    sections += ["```", bar_chart(series, unit="% of peak"), "```", ""]
+
+    # --------------------------------------------------------------- energy
+    sections += [f"## Energy -- column phase (N={n_ab})", ""]
+    energy = EnergyModel()
+    cols = 2 * geo.width
+    base_stats = memory.simulate(
+        column_walk_trace(RowMajorLayout(n_ab, n_ab), cols=range(cols)),
+        "in_order", sample=max_requests,
+    )
+    layout = BlockDDLLayout(n_ab, n_ab, geo.width, geo.height)
+    ddl_stats = memory.simulate(
+        block_column_read_trace(layout, n_streams=2, block_cols=range(2)),
+        "per_vault", sample=max_requests,
+    )
+    base_e = energy.memory_energy(base_stats)
+    ddl_e = energy.memory_energy(ddl_stats) + energy.reorganization_energy(
+        2 * layout.n_block_rows * layout.block_elements
+    )
+    sections.append(_markdown_table(
+        ["architecture", "total", "activation share", "activations"],
+        [
+            ["baseline", f"{base_e.total_nj / 1e6:.3f} mJ",
+             percentage(base_e.activation_nj / base_e.total_nj),
+             f"{base_stats.row_activations:,}"],
+            ["optimized", f"{ddl_e.total_nj / 1e6:.3f} mJ",
+             percentage(ddl_e.activation_nj / ddl_e.total_nj),
+             f"{ddl_stats.row_activations:,}"],
+        ],
+    ))
+    ratio = base_e.total_nj / ddl_e.total_nj
+    sections += ["", f"Energy ratio: **{ratio:.1f}x** in favour of the DDL.", ""]
+
+    return "\n".join(sections)

@@ -1,0 +1,177 @@
+"""Configuration (de)serialization.
+
+Experiments live or die by whether a configuration can be written down,
+shared and reloaded exactly.  This module converts every configuration
+dataclass to and from plain dictionaries (JSON-compatible: only str, int,
+float, bool, None) with strict validation on the way back in -- unknown
+keys are errors, not silently ignored, so a typo in a config file cannot
+quietly fall back to a default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import KernelConfig, SystemConfig
+from repro.energy.params import EnergyParameters
+from repro.errors import ConfigError
+from repro.memory3d.config import (
+    Memory3DConfig,
+    RefreshParameters,
+    TimingParameters,
+)
+
+
+def _check_keys(data: dict[str, Any], allowed: set[str], what: str) -> None:
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigError(f"{what}: unknown keys {sorted(unknown)}")
+
+
+# ----------------------------------------------------------------- timing
+def timing_to_dict(timing: TimingParameters) -> dict[str, float]:
+    """Serialize the four activate/streaming parameters."""
+    return {
+        "t_in_row": timing.t_in_row,
+        "t_in_vault": timing.t_in_vault,
+        "t_diff_bank": timing.t_diff_bank,
+        "t_diff_row": timing.t_diff_row,
+    }
+
+
+def timing_from_dict(data: dict[str, Any]) -> TimingParameters:
+    """Inverse of :func:`timing_to_dict`."""
+    _check_keys(data, {"t_in_row", "t_in_vault", "t_diff_bank", "t_diff_row"},
+                "timing")
+    return TimingParameters(**data)
+
+
+# ---------------------------------------------------------------- refresh
+def refresh_to_dict(refresh: RefreshParameters | None) -> dict[str, float] | None:
+    """Serialize refresh parameters (None stays None)."""
+    if refresh is None:
+        return None
+    return {"t_refi_ns": refresh.t_refi_ns, "t_rfc_ns": refresh.t_rfc_ns}
+
+
+def refresh_from_dict(data: dict[str, Any] | None) -> RefreshParameters | None:
+    """Inverse of :func:`refresh_to_dict`."""
+    if data is None:
+        return None
+    _check_keys(data, {"t_refi_ns", "t_rfc_ns"}, "refresh")
+    return RefreshParameters(**data)
+
+
+# ----------------------------------------------------------------- memory
+def memory_to_dict(config: Memory3DConfig) -> dict[str, Any]:
+    """Serialize a 3D memory configuration."""
+    return {
+        "vaults": config.vaults,
+        "layers": config.layers,
+        "banks_per_layer": config.banks_per_layer,
+        "row_bytes": config.row_bytes,
+        "rows_per_bank": config.rows_per_bank,
+        "tsvs_per_vault": config.tsvs_per_vault,
+        "tsv_freq_hz": config.tsv_freq_hz,
+        "timing": timing_to_dict(config.timing),
+        "refresh": refresh_to_dict(config.refresh),
+    }
+
+
+def memory_from_dict(data: dict[str, Any]) -> Memory3DConfig:
+    """Inverse of :func:`memory_to_dict`."""
+    allowed = {
+        "vaults", "layers", "banks_per_layer", "row_bytes", "rows_per_bank",
+        "tsvs_per_vault", "tsv_freq_hz", "timing", "refresh",
+    }
+    _check_keys(data, allowed, "memory")
+    data = dict(data)
+    timing = timing_from_dict(data.pop("timing", timing_to_dict(TimingParameters())))
+    refresh = refresh_from_dict(data.pop("refresh", None))
+    return Memory3DConfig(timing=timing, refresh=refresh, **data)
+
+
+# ----------------------------------------------------------------- kernel
+def kernel_to_dict(config: KernelConfig) -> dict[str, Any]:
+    """Serialize the FFT kernel configuration."""
+    return {
+        "lanes": config.lanes,
+        "radix": config.radix,
+        # JSON keys are strings; sizes convert back on load.
+        "clock_table_hz": {str(k): v for k, v in config.clock_table_hz.items()},
+    }
+
+
+def kernel_from_dict(data: dict[str, Any]) -> KernelConfig:
+    """Inverse of :func:`kernel_to_dict`."""
+    _check_keys(data, {"lanes", "radix", "clock_table_hz"}, "kernel")
+    data = dict(data)
+    table = data.pop("clock_table_hz", None)
+    kwargs: dict[str, Any] = dict(data)
+    if table is not None:
+        kwargs["clock_table_hz"] = {int(k): float(v) for k, v in table.items()}
+    return KernelConfig(**kwargs)
+
+
+# ----------------------------------------------------------------- system
+def system_to_dict(config: SystemConfig) -> dict[str, Any]:
+    """Serialize a complete system configuration."""
+    return {
+        "memory": memory_to_dict(config.memory),
+        "kernel": kernel_to_dict(config.kernel),
+        "column_streams": config.column_streams,
+    }
+
+
+def system_from_dict(data: dict[str, Any]) -> SystemConfig:
+    """Inverse of :func:`system_to_dict`."""
+    _check_keys(data, {"memory", "kernel", "column_streams"}, "system")
+    return SystemConfig(
+        memory=memory_from_dict(data.get("memory", memory_to_dict(Memory3DConfig()))),
+        kernel=kernel_from_dict(data.get("kernel", kernel_to_dict(KernelConfig()))),
+        column_streams=data.get("column_streams", 16),
+    )
+
+
+# ----------------------------------------------------------------- energy
+def energy_to_dict(params: EnergyParameters) -> dict[str, float]:
+    """Serialize energy parameters."""
+    return {
+        "activation_nj": params.activation_nj,
+        "dram_access_pj_per_byte": params.dram_access_pj_per_byte,
+        "tsv_pj_per_byte": params.tsv_pj_per_byte,
+        "sram_pj_per_byte": params.sram_pj_per_byte,
+        "fft_op_pj": params.fft_op_pj,
+    }
+
+
+def energy_from_dict(data: dict[str, Any]) -> EnergyParameters:
+    """Inverse of :func:`energy_to_dict`."""
+    allowed = {
+        "activation_nj", "dram_access_pj_per_byte", "tsv_pj_per_byte",
+        "sram_pj_per_byte", "fft_op_pj",
+    }
+    _check_keys(data, allowed, "energy")
+    return EnergyParameters(**data)
+
+
+# -------------------------------------------------------------- json files
+def save_system_config(config: SystemConfig, path: str | Path) -> None:
+    """Write a system configuration as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(system_to_dict(config), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_system_config(path: str | Path) -> SystemConfig:
+    """Read a system configuration from JSON."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path}: expected a JSON object")
+    return system_from_dict(data)

@@ -1,0 +1,29 @@
+"""Memory access traces and the generators that produce them.
+
+A trace is the interface between the application side (FFT phases walking a
+data layout) and the memory simulator: a sequence of element-granularity
+byte addresses, optionally tagged as writes.
+"""
+
+from repro.trace.request import Request, TraceArray
+from repro.trace.generators import (
+    block_column_read_trace,
+    block_write_trace,
+    column_walk_trace,
+    linear_trace,
+    row_walk_trace,
+    strided_trace,
+    tiled_walk_trace,
+)
+
+__all__ = [
+    "Request",
+    "TraceArray",
+    "block_column_read_trace",
+    "block_write_trace",
+    "column_walk_trace",
+    "linear_trace",
+    "row_walk_trace",
+    "strided_trace",
+    "tiled_walk_trace",
+]

@@ -1,0 +1,123 @@
+"""Cross-validation of the analytic model against the simulator.
+
+The paper "adopt[s] a model based approach for 3D memory and ...
+perform[s] experiments ... to validate our analysis".  This module makes
+that a first-class operation: sweep a grid of problem sizes and memory
+configurations, compute each point both ways -- closed form and
+trace-driven -- and report the relative error.  The benchmark suite pins
+the grid-wide maximum error, so any future change that breaks the
+correspondence between model and simulator fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.model import AnalyticModel
+from repro.core.simulate import (
+    simulate_baseline_column_phase,
+    simulate_optimized_column_phase,
+    simulate_row_phase,
+)
+from repro.errors import SimulationError
+from repro.layouts import BlockDDLLayout, optimal_block_geometry
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One (configuration, size, phase) comparison."""
+
+    label: str
+    fft_size: int
+    analytic_gbps: float
+    simulated_gbps: float
+
+    @property
+    def relative_error(self) -> float:
+        """|simulated - analytic| / analytic."""
+        if self.analytic_gbps <= 0:
+            raise SimulationError(f"{self.label}: non-positive analytic value")
+        return abs(self.simulated_gbps - self.analytic_gbps) / self.analytic_gbps
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All comparison points of one sweep."""
+
+    points: tuple[ValidationPoint, ...]
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(point.relative_error for point in self.points)
+
+    @property
+    def mean_relative_error(self) -> float:
+        return sum(point.relative_error for point in self.points) / len(self.points)
+
+    def worst(self) -> ValidationPoint:
+        """The point with the largest disagreement."""
+        return max(self.points, key=lambda p: p.relative_error)
+
+    def describe(self) -> str:
+        """Tabular summary of every comparison point plus the error stats."""
+        lines = [
+            f"{'point':38s} {'analytic':>10s} {'simulated':>10s} {'error':>8s}"
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.label:38s} {point.analytic_gbps:>9.3f}G "
+                f"{point.simulated_gbps:>9.3f}G "
+                f"{100 * point.relative_error:>7.2f}%"
+            )
+        lines.append(
+            f"max error {100 * self.max_relative_error:.2f}%, "
+            f"mean {100 * self.mean_relative_error:.2f}%"
+        )
+        return "\n".join(lines)
+
+
+def validate_model(
+    config: SystemConfig | None = None,
+    sizes: tuple[int, ...] = (512, 1024, 2048, 4096),
+    max_requests: int = 65_536,
+) -> ValidationReport:
+    """Sweep phases x sizes, comparing model and simulator throughput."""
+    config = config or SystemConfig()
+    model = AnalyticModel(config)
+    points: list[ValidationPoint] = []
+    for n in sizes:
+        geo = optimal_block_geometry(config.memory, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+
+        analytic = model.baseline_column_phase(n)
+        simulated = simulate_baseline_column_phase(
+            config, n, max_requests=max_requests
+        )
+        points.append(ValidationPoint(
+            label=f"baseline column N={n}",
+            fft_size=n,
+            analytic_gbps=analytic.throughput_gbps,
+            simulated_gbps=simulated.throughput_gbps,
+        ))
+
+        analytic = model.optimized_column_phase(n)
+        simulated = simulate_optimized_column_phase(
+            config, n, layout, max_requests=max_requests
+        )
+        points.append(ValidationPoint(
+            label=f"optimized column N={n}",
+            fft_size=n,
+            analytic_gbps=analytic.throughput_gbps,
+            simulated_gbps=simulated.throughput_gbps,
+        ))
+
+        analytic = model.baseline_row_phase(n)
+        simulated = simulate_row_phase(config, n, max_requests=max_requests)
+        points.append(ValidationPoint(
+            label=f"row phase N={n}",
+            fft_size=n,
+            analytic_gbps=analytic.throughput_gbps,
+            simulated_gbps=simulated.throughput_gbps,
+        ))
+    return ValidationReport(points=tuple(points))

@@ -1,0 +1,126 @@
+"""Terminal visualization helpers.
+
+Benchmarks and examples render their series as plain-text charts so the
+repository has no plotting dependencies; these helpers keep that output
+consistent (fixed-width bars, aligned labels, stable rounding).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+#: Glyphs for eighth-resolution sparklines, lowest to highest.
+_SPARK_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+class VizError(ReproError):
+    """Invalid chart input."""
+
+
+def bar(fraction: float, width: int = 40, fill: str = "#", empty: str = ".") -> str:
+    """A single horizontal bar for a 0..1 fraction."""
+    if width <= 0:
+        raise VizError(f"width must be positive, got {width}")
+    clamped = min(max(fraction, 0.0), 1.0)
+    filled = round(clamped * width)
+    return fill * filled + empty * (width - filled)
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    max_value: float | None = None,
+) -> str:
+    """Labelled horizontal bar chart; bars scale to the series maximum.
+
+    Args:
+        series: label -> value (values must be non-negative).
+        width: bar width in characters.
+        unit: suffix printed after each value.
+        max_value: scale bars against this instead of the series maximum.
+    """
+    if not series:
+        raise VizError("series must not be empty")
+    if any(v < 0 for v in series.values()):
+        raise VizError("bar chart values must be non-negative")
+    top = max_value if max_value is not None else max(series.values())
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label in series)
+    lines = []
+    for label, value in series.items():
+        lines.append(
+            f"{label:<{label_width}}  {bar(value / top, width)}  "
+            f"{value:,.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(
+    values: Iterable[float], bounds: tuple[float, float] | None = None
+) -> str:
+    """A one-line trend glyph string.
+
+    Values normalise to the series min..max by default; pass ``bounds``
+    to pin the scale (e.g. ``(0, 1)`` for fractions of peak) so multiple
+    sparklines are comparable.
+    """
+    data = list(values)
+    if not data:
+        raise VizError("sparkline needs at least one value")
+    if bounds is not None:
+        lo, hi = bounds
+        if hi <= lo:
+            raise VizError(f"bounds must satisfy lo < hi, got {bounds}")
+    else:
+        lo, hi = min(data), max(data)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_GLYPHS[-1] * len(data)
+    steps = len(_SPARK_GLYPHS) - 1
+    return "".join(
+        _SPARK_GLYPHS[round(min(max((v - lo) / span, 0.0), 1.0) * steps)]
+        for v in data
+    )
+
+
+def percentage(fraction: float, decimals: int = 1) -> str:
+    """Human percentage of a 0..1 fraction."""
+    return f"{100 * fraction:.{decimals}f}%"
+
+
+def vault_map(layout, memory, rows: int, cols: int) -> str:
+    """ASCII map of which vault each matrix element lands in.
+
+    One hex digit per element; works for up to 16 vaults.
+    """
+    if memory.config.vaults > 16:
+        raise VizError("vault_map renders at most 16 vaults (one hex digit)")
+    if rows <= 0 or cols <= 0:
+        raise VizError("map extent must be positive")
+    if rows > layout.n_rows or cols > layout.n_cols:
+        raise VizError("map extent exceeds the matrix")
+    lines = []
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            decoded = memory.mapping.decode(layout.address(r, c))
+            cells.append(f"{decoded.vault:x}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two text blocks horizontally (top-aligned)."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    width = max((len(line) for line in left_lines), default=0)
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    return "\n".join(
+        f"{l:<{width}}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines)
+    )

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import KernelConfig, SystemConfig
+from repro.memory3d import Memory3D, Memory3DConfig, pact15_hmc_config
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for reproducible tests."""
+    return np.random.default_rng(0xF17)
+
+
+@pytest.fixture
+def mem_config() -> Memory3DConfig:
+    """The paper-calibrated HMC-like configuration."""
+    return pact15_hmc_config()
+
+
+@pytest.fixture
+def memory(mem_config: Memory3DConfig) -> Memory3D:
+    """A simulator over the paper configuration."""
+    return Memory3D(mem_config)
+
+
+@pytest.fixture
+def small_mem_config() -> Memory3DConfig:
+    """A small geometry that exercises wrap-around quickly."""
+    return Memory3DConfig(
+        vaults=4,
+        layers=2,
+        banks_per_layer=2,
+        row_bytes=64,
+        rows_per_bank=256,
+    )
+
+
+@pytest.fixture
+def system_config() -> SystemConfig:
+    """Full paper-calibrated system."""
+    return SystemConfig()
+
+
+@pytest.fixture
+def kernel_config() -> KernelConfig:
+    return KernelConfig()

@@ -1,0 +1,136 @@
+"""Application-level building blocks (convolution, radar)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    RadarTarget,
+    detect_peaks,
+    fft_convolve2d,
+    filter_image,
+    gaussian_lowpass_response,
+    range_doppler_map,
+    synthesize_returns,
+)
+from repro.core import BaselineArchitecture
+from repro.errors import ConfigError
+
+
+class TestGaussianResponse:
+    def test_dc_gain_is_one(self):
+        response = gaussian_lowpass_response(64, sigma=0.1)
+        assert response[0, 0] == pytest.approx(1.0)
+
+    def test_high_frequencies_attenuated(self):
+        response = gaussian_lowpass_response(64, sigma=0.05)
+        assert response[32, 32] < 1e-6
+
+    def test_symmetric(self):
+        response = gaussian_lowpass_response(32, sigma=0.1)
+        assert np.allclose(response, response.T)
+
+    def test_wider_sigma_passes_more(self):
+        narrow = gaussian_lowpass_response(64, sigma=0.05)
+        wide = gaussian_lowpass_response(64, sigma=0.2)
+        assert wide[10, 10] > narrow[10, 10]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            gaussian_lowpass_response(1, sigma=0.1)
+        with pytest.raises(ConfigError):
+            gaussian_lowpass_response(64, sigma=0.0)
+
+
+class TestConvolution:
+    def test_matches_numpy_pipeline(self, rng):
+        n = 64
+        image = rng.standard_normal((n, n))
+        response = gaussian_lowpass_response(n, 0.1)
+        ours = fft_convolve2d(image, response)
+        reference = np.fft.ifft2(np.fft.fft2(image) * response)
+        assert np.allclose(ours, reference, atol=1e-8)
+
+    def test_identity_response_is_identity(self, rng):
+        n = 32
+        image = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        out = fft_convolve2d(image, np.ones((n, n)))
+        assert np.allclose(out, image, atol=1e-9)
+
+    def test_works_with_baseline_architecture(self, rng):
+        n = 32
+        image = rng.standard_normal((n, n))
+        response = gaussian_lowpass_response(n, 0.1)
+        via_baseline = fft_convolve2d(image, response, BaselineArchitecture(n))
+        via_optimized = fft_convolve2d(image, response)
+        assert np.allclose(via_baseline, via_optimized, atol=1e-9)
+
+    def test_filter_image_reduces_variance(self, rng):
+        n = 64
+        image = rng.standard_normal((n, n))
+        filtered = filter_image(image, sigma=0.05)
+        assert filtered.std() < image.std()
+        assert filtered.dtype == np.float64
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            fft_convolve2d(np.zeros((8, 4)), np.zeros((8, 4)))
+        with pytest.raises(ConfigError):
+            fft_convolve2d(np.zeros((8, 8)), np.zeros((4, 4)))
+
+    def test_architecture_size_checked(self, rng):
+        with pytest.raises(ConfigError):
+            fft_convolve2d(
+                np.zeros((32, 32)), np.ones((32, 32)), BaselineArchitecture(64)
+            )
+
+
+class TestRadar:
+    def test_targets_detected_at_exact_bins(self):
+        n = 128
+        targets = [
+            RadarTarget(range_bin=20, doppler_bin=100),
+            RadarTarget(range_bin=65, doppler_bin=30, amplitude=0.7),
+        ]
+        cpi = synthesize_returns(n, targets, noise_std=0.02)
+        power = range_doppler_map(cpi)
+        detections = detect_peaks(power, rel_threshold_db=6.0)
+        for target in targets:
+            assert (target.doppler_bin, target.range_bin) in detections
+
+    def test_no_false_alarms_without_noise(self):
+        n = 64
+        targets = [RadarTarget(range_bin=10, doppler_bin=40)]
+        cpi = synthesize_returns(n, targets, noise_std=0.0)
+        detections = detect_peaks(range_doppler_map(cpi), rel_threshold_db=9.0)
+        assert detections == [(40, 10)]
+
+    def test_peak_amplitude_coherent_gain(self):
+        """A unit target coherently integrates to 20*log10(n) dB in the
+        map (|FFT2| = n^2 at the bin, normalised by n)."""
+        n = 64
+        cpi = synthesize_returns(
+            n, [RadarTarget(range_bin=5, doppler_bin=7)], noise_std=0.0
+        )
+        power = range_doppler_map(cpi)
+        assert power.max() == power[7, 5]
+        assert power[7, 5] == pytest.approx(20 * np.log10(n), abs=0.1)
+
+    def test_target_validation(self):
+        with pytest.raises(ConfigError):
+            RadarTarget(range_bin=-1, doppler_bin=0)
+        with pytest.raises(ConfigError):
+            RadarTarget(range_bin=0, doppler_bin=0, amplitude=0.0)
+
+    def test_target_outside_cpi_rejected(self):
+        with pytest.raises(ConfigError):
+            synthesize_returns(32, [RadarTarget(range_bin=40, doppler_bin=0)])
+
+    def test_detect_peaks_validation(self):
+        with pytest.raises(ConfigError):
+            detect_peaks(np.empty((0, 0)))
+        with pytest.raises(ConfigError):
+            detect_peaks(np.zeros((4, 4)), rel_threshold_db=0.0)
+
+    def test_cpi_shape_checked(self):
+        with pytest.raises(ConfigError):
+            range_doppler_map(np.zeros((8, 4), dtype=complex))

@@ -1,0 +1,139 @@
+"""Bitonic permutation routing (ref [7])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.permutation.bitonic import (
+    BitonicPermutationRouter,
+    bitonic_sorting_network,
+    network_comparator_count,
+    network_stage_count,
+)
+from repro.permutation.network import PermutationError
+
+
+class TestNetworkConstruction:
+    def test_stage_count_formula(self):
+        # k(k+1)/2 stages for n = 2^k.
+        assert network_stage_count(2) == 1
+        assert network_stage_count(8) == 6
+        assert network_stage_count(16) == 10
+
+    def test_comparator_count(self):
+        assert network_comparator_count(8) == 6 * 4
+
+    def test_stages_have_disjoint_pairs(self):
+        for stage in bitonic_sorting_network(16):
+            wires = [w for pair in stage for w in pair]
+            assert len(wires) == len(set(wires))
+
+    def test_every_stage_covers_all_wires(self):
+        for stage in bitonic_sorting_network(16):
+            wires = {w for pair in stage for w in pair}
+            assert wires == set(range(16))
+
+    def test_network_sorts(self, rng):
+        """The raw network (always-compare mode) must sort any input."""
+        n = 32
+        stages = bitonic_sorting_network(n)
+        data = rng.permutation(n)
+        for stage in stages:
+            for lo, hi in stage:
+                if data[lo] > data[hi]:
+                    data[lo], data[hi] = data[hi], data[lo]
+        assert list(data) == list(range(n))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(PermutationError):
+            bitonic_sorting_network(6)
+
+
+class TestRouter:
+    def test_identity(self):
+        router = BitonicPermutationRouter(8)
+        router.configure(np.arange(8))
+        x = np.arange(8) * 1.5
+        assert np.allclose(router.apply(x), x)
+
+    def test_reversal(self):
+        router = BitonicPermutationRouter(8)
+        router.configure(np.arange(8)[::-1].copy())
+        assert list(router.apply(np.arange(8))) == list(range(8))[::-1]
+
+    def test_gather_convention_matches_crossbar_network(self, rng):
+        """Both implementations realise y[i] = x[perm[i]]."""
+        from repro.permutation import PermutationNetwork
+
+        n = 16
+        perm = rng.permutation(n)
+        router = BitonicPermutationRouter(n)
+        router.configure(perm)
+        network = PermutationNetwork(4)
+        network.configure(perm)
+        x = rng.standard_normal(n)
+        assert np.allclose(router.apply(x), network.permute(x))
+
+    def test_batched_apply(self, rng):
+        router = BitonicPermutationRouter(8)
+        perm = rng.permutation(8)
+        router.configure(perm)
+        batch = rng.standard_normal((5, 8))
+        assert np.allclose(router.apply(batch), batch[:, perm])
+
+    def test_complex_data(self, rng):
+        router = BitonicPermutationRouter(16)
+        perm = rng.permutation(16)
+        router.configure(perm)
+        x = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        assert np.allclose(router.apply(x), x[perm])
+
+    def test_unconfigured_rejected(self):
+        with pytest.raises(PermutationError):
+            BitonicPermutationRouter(8).apply(np.zeros(8))
+
+    def test_non_permutation_rejected(self):
+        router = BitonicPermutationRouter(4)
+        with pytest.raises(PermutationError):
+            router.configure(np.array([0, 0, 1, 2]))
+
+    def test_wrong_length_rejected(self):
+        router = BitonicPermutationRouter(4)
+        router.configure(np.arange(4))
+        with pytest.raises(PermutationError):
+            router.apply(np.zeros(8))
+
+    def test_control_bits_cost(self):
+        router = BitonicPermutationRouter(32)
+        assert router.control_bits == network_comparator_count(32)
+
+
+class TestRouterProperties:
+    @given(
+        log_n=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_routes_any_permutation(self, log_n, seed):
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n)
+        router = BitonicPermutationRouter(n)
+        router.configure(perm)
+        x = rng.standard_normal(n)
+        assert np.allclose(router.apply(x), x[perm])
+
+    @given(log_n=st.integers(1, 5), seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_block_write_permutation_routable(self, log_n, seed):
+        """The CU's stride permutations route through the bitonic fabric."""
+        from repro.fft.dpp import stride_permutation_indices
+
+        n = 1 << log_n
+        stride = 1 << (seed % (log_n + 1))
+        perm = stride_permutation_indices(n, stride)
+        router = BitonicPermutationRouter(n)
+        router.configure(perm)
+        x = np.arange(n)
+        assert np.array_equal(router.apply(x), x[perm])

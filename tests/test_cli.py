@@ -1,0 +1,163 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "32.00 GB/s" in out
+        assert "6.4 Gb/s" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "95.1%" in out
+
+    def test_table1_custom_sizes(self, capsys):
+        assert main(["table1", "--sizes", "1024"]) == 0
+        assert "1024x1024" in capsys.readouterr().out
+
+    def test_describe_memory(self, capsys):
+        assert main(["describe-memory"]) == 0
+        out = capsys.readouterr().out
+        assert "16 vaults" in out
+        assert "80.00 GB/s" in out
+
+    def test_kernel(self, capsys):
+        assert main(["kernel", "--sizes", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "2048-point" in out
+        assert "32.00 GB/s" in out
+
+    def test_geometry(self, capsys):
+        assert main(["geometry", "--sizes", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "w=2 h=16" in out
+        assert "same_bank" in out
+
+    def test_geometry_n_v(self, capsys):
+        assert main(["geometry", "--sizes", "2048", "--n-v", "2"]) == 0
+        assert "h=32" in capsys.readouterr().out
+
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "--sizes", "256", "--max-requests", "32768"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "optimized" in out
+
+
+class TestPlanCommand:
+    def test_plan_fft2d(self, capsys):
+        assert main(["plan", "--sizes", "256", "--max-requests", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "layout plan" in out
+        assert "block-ddl" in out
+
+    def test_plan_transpose(self, capsys):
+        assert main(
+            ["plan", "--sizes", "256", "--kernel", "transpose",
+             "--max-requests", "16384"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "source: row-major" in out
+
+    def test_plan_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--kernel", "sorting"])
+
+
+class TestEnergyCommand:
+    def test_energy_reports_ratio(self, capsys):
+        assert main(["energy", "--sizes", "1024", "--max-requests", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out
+        assert "ratio" in out
+
+
+class TestReproduceCommand:
+    def test_report_to_stdout(self, capsys):
+        assert main(
+            ["reproduce", "--sizes", "512", "--max-requests", "16384"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "Table 1" in out and "Table 2" in out
+        assert "Eq.1" in out
+        assert "Energy ratio" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        assert main(
+            ["reproduce", "--sizes", "512", "--max-requests", "16384",
+             "--out", str(target)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "# Reproduction report" in target.read_text()
+
+    def test_paper_sizes_include_reference_column(self, capsys):
+        assert main(
+            ["reproduce", "--sizes", "2048", "--max-requests", "16384"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "6.4 Gb/s / 32.0 GB/s" in out
+        assert "95.1%" in out
+
+
+class TestNewCommands:
+    def test_fft3d(self, capsys):
+        assert main(["fft3d", "--sizes", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "256^3" in out and "%" in out
+
+    def test_timeline(self, capsys):
+        assert main(
+            ["timeline", "--sizes", "512", "--max-requests", "8192"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "optimized" in out
+
+    def test_validate(self, capsys):
+        assert main(
+            ["validate", "--sizes", "512", "--max-requests", "16384"]
+        ) == 0
+        assert "max error" in capsys.readouterr().out
+
+
+class TestGoldenOutputs:
+    """Exact-text regression locks on the paper tables."""
+
+    def test_table1_golden(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        for line_fragment in (
+            "Throughput of column-wise FFT (Baseline)",
+            "6.4 Gb/s |    3.2 Gb/s |    3.2 Gb/s",
+            "1.00% |       0.50% |       0.50%",
+            "32.00 GB/s |  25.60 GB/s |  23.04 GB/s",
+            "40.0% |       32.0% |       28.8%",
+        ):
+            assert line_fragment in out, line_fragment
+
+    def test_table2_golden(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        for fragment in ("95.1%", "96.9%", "96.6%", "       16 |", "        1 |"):
+            assert fragment in out, fragment
+
+    def test_geometry_golden(self, capsys):
+        main(["geometry"])
+        out = capsys.readouterr().out
+        assert out.count("w=2 h=16 (raw h=12.50, regime=same_bank)") == 3

@@ -1,0 +1,79 @@
+"""KernelConfig and SystemConfig."""
+
+import pytest
+
+from repro.core.config import KernelConfig, SystemConfig, pact15_system_config
+from repro.errors import ConfigError
+
+
+class TestClockTable:
+    def test_calibrated_sizes(self, kernel_config):
+        assert kernel_config.clock_for(2048) == pytest.approx(250e6)
+        assert kernel_config.clock_for(4096) == pytest.approx(200e6)
+        assert kernel_config.clock_for(8192) == pytest.approx(180e6)
+
+    def test_small_sizes_clamp_high(self, kernel_config):
+        assert kernel_config.clock_for(64) == pytest.approx(250e6)
+
+    def test_large_sizes_clamp_low(self, kernel_config):
+        assert kernel_config.clock_for(1 << 20) == pytest.approx(180e6)
+
+    def test_interpolation_monotone(self, kernel_config):
+        clocks = [kernel_config.clock_for(n) for n in (2048, 2896, 4096, 5792, 8192)]
+        assert clocks == sorted(clocks, reverse=True)
+
+    def test_interpolated_between_calibrated(self, kernel_config):
+        mid = kernel_config.clock_for(2896)  # ~ 2048 * sqrt(2)
+        assert 200e6 < mid < 250e6
+
+    def test_rejects_zero_size(self, kernel_config):
+        with pytest.raises(ConfigError):
+            kernel_config.clock_for(0)
+
+
+class TestKernelThroughput:
+    def test_paper_rates(self, kernel_config):
+        assert kernel_config.throughput_bytes_per_s(2048) == pytest.approx(32e9)
+        assert kernel_config.throughput_bytes_per_s(4096) == pytest.approx(25.6e9)
+        assert kernel_config.throughput_bytes_per_s(8192) == pytest.approx(23.04e9)
+
+    def test_scales_with_lanes(self):
+        wide = KernelConfig(lanes=32)
+        assert wide.throughput_bytes_per_s(2048) == pytest.approx(64e9)
+
+
+class TestValidation:
+    def test_rejects_odd_lanes(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(lanes=3)
+
+    def test_rejects_radix8(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(radix=8)
+
+    def test_rejects_empty_clock_table(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(clock_table_hz={})
+
+    def test_rejects_bad_clock_entry(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(clock_table_hz={2048: -1.0})
+
+
+class TestSystemConfig:
+    def test_default_peak_is_80gbps(self, system_config):
+        assert system_config.peak_bandwidth == pytest.approx(80e9)
+
+    def test_default_streams_match_vaults(self, system_config):
+        assert system_config.column_streams == system_config.memory.vaults
+
+    def test_rejects_streams_above_vaults(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(column_streams=32)
+
+    def test_rejects_zero_streams(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(column_streams=0)
+
+    def test_preset(self):
+        assert pact15_system_config() == SystemConfig()

@@ -1,0 +1,106 @@
+"""PhaseMetrics and SystemMetrics arithmetic."""
+
+import pytest
+
+from repro.core.metrics import PhaseMetrics, SystemMetrics
+from repro.errors import SimulationError
+
+GB = 1e9
+
+
+def phase(name="column", n_bytes=8 * GB, mem_ns=1e9, kern_ns=5e8, first=100.0):
+    return PhaseMetrics(
+        name=name,
+        n_bytes=int(n_bytes),
+        memory_time_ns=mem_ns,
+        kernel_time_ns=kern_ns,
+        first_output_latency_ns=first,
+    )
+
+
+class TestPhaseMetrics:
+    def test_time_is_max_of_sides(self):
+        assert phase(mem_ns=10.0, kern_ns=4.0).time_ns == 10.0
+        assert phase(mem_ns=4.0, kern_ns=10.0).time_ns == 10.0
+
+    def test_bound_labels(self):
+        assert phase(mem_ns=10.0, kern_ns=4.0).bound == "memory"
+        assert phase(mem_ns=4.0, kern_ns=10.0).bound == "kernel"
+
+    def test_throughput(self):
+        p = phase(n_bytes=8e9, mem_ns=1e9, kern_ns=1.0)
+        assert p.throughput_gbps == pytest.approx(8.0)
+
+    def test_gbit_is_8x(self):
+        p = phase(n_bytes=1e9, mem_ns=1e9, kern_ns=1.0)
+        assert p.throughput_gbitps == pytest.approx(8 * p.throughput_gbps)
+
+    def test_utilization(self):
+        p = phase(n_bytes=8e9, mem_ns=1e9, kern_ns=1.0)
+        assert p.utilization(80e9) == pytest.approx(0.1)
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(SimulationError):
+            phase(n_bytes=0)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(SimulationError):
+            phase(mem_ns=0.0)
+
+
+def system(arch="baseline", row=None, col=None, parallel=1):
+    return SystemMetrics(
+        architecture=arch,
+        fft_size=2048,
+        row_phase=row or phase("row", n_bytes=16e9, mem_ns=2e8, kern_ns=5e8),
+        column_phase=col or phase("column", n_bytes=16e9, mem_ns=2e10, kern_ns=5e8),
+        data_parallelism=parallel,
+    )
+
+
+class TestSystemMetrics:
+    def test_total_bytes(self):
+        assert system().total_bytes == 32e9
+
+    def test_phases_serialize(self):
+        s = system()
+        assert s.total_time_ns == s.row_phase.time_ns + s.column_phase.time_ns
+
+    def test_throughput_harmonic_combination(self):
+        s = system()
+        expected = 32e9 / ((5e8 + 2e10) / 1e9)
+        assert s.throughput_bytes_per_s == pytest.approx(expected)
+
+    def test_latency_is_column_first_output(self):
+        s = system()
+        assert s.latency_ns == s.column_phase.first_output_latency_ns
+
+    def test_end_to_end_adds_row_phase(self):
+        s = system()
+        assert s.end_to_end_latency_ns == pytest.approx(
+            s.row_phase.time_ns + s.latency_ns
+        )
+
+    def test_improvement_formula(self):
+        slow = system()
+        fast = system(
+            arch="optimized",
+            col=phase("column", n_bytes=16e9, mem_ns=4e8, kern_ns=5e8),
+            parallel=16,
+        )
+        improvement = fast.improvement_over(slow)
+        expected = (
+            (fast.throughput_bytes_per_s - slow.throughput_bytes_per_s)
+            / fast.throughput_bytes_per_s * 100
+        )
+        assert improvement == pytest.approx(expected)
+        assert improvement > 0
+
+    def test_latency_reduction(self):
+        slow = system(col=phase(first=300.0, n_bytes=16e9))
+        fast = system(col=phase(first=100.0, n_bytes=16e9))
+        assert fast.latency_reduction_over(slow) == pytest.approx(3.0)
+
+    def test_utilization(self):
+        s = system()
+        assert 0 < s.utilization(80e9) < 1

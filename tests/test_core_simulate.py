@@ -1,0 +1,123 @@
+"""Trace-driven phase simulation vs the analytic model.
+
+The paper's evaluation is model-based; our simulator rebuilds the same
+numbers from individual memory requests.  These tests pin the agreement.
+"""
+
+import pytest
+
+from repro.core import AnalyticModel
+from repro.core.simulate import (
+    simulate_baseline_column_phase,
+    simulate_optimized_column_phase,
+    simulate_row_phase,
+)
+from repro.errors import SimulationError
+from repro.layouts import BlockDDLLayout, optimal_block_geometry
+
+
+@pytest.fixture
+def model(system_config):
+    return AnalyticModel(system_config)
+
+
+def ddl_layout(system_config, n):
+    geo = optimal_block_geometry(system_config.memory, n)
+    return BlockDDLLayout(n, n, geo.width, geo.height)
+
+
+class TestBaselineColumn:
+    @pytest.mark.parametrize("n", [512, 1024, 2048])
+    def test_simulation_matches_model(self, system_config, model, n):
+        simulated = simulate_baseline_column_phase(system_config, n)
+        analytic = model.baseline_column_phase(n)
+        assert simulated.throughput_gbps == pytest.approx(
+            analytic.throughput_gbps, rel=0.03
+        )
+
+    def test_n2048_is_paper_number(self, system_config):
+        phase = simulate_baseline_column_phase(system_config, 2048)
+        assert phase.throughput_gbitps == pytest.approx(6.4, rel=0.02)
+
+    def test_memory_bound(self, system_config):
+        phase = simulate_baseline_column_phase(system_config, 2048)
+        assert phase.bound == "memory"
+
+    def test_stats_populated(self, system_config):
+        phase = simulate_baseline_column_phase(system_config, 1024)
+        assert phase.stats is not None
+        assert phase.stats.requests == 1024 * 1024
+
+    def test_sampling_consistent_with_full(self, system_config):
+        full = simulate_baseline_column_phase(system_config, 512, max_requests=1 << 30)
+        sampled = simulate_baseline_column_phase(system_config, 512, max_requests=4096)
+        assert sampled.memory_time_ns == pytest.approx(full.memory_time_ns, rel=0.05)
+
+
+class TestOptimizedColumn:
+    def test_kernel_bound_at_paper_sizes(self, system_config):
+        layout = ddl_layout(system_config, 2048)
+        phase = simulate_optimized_column_phase(system_config, 2048, layout)
+        assert phase.bound == "kernel"
+        assert phase.throughput_gbps == pytest.approx(32.0, rel=0.01)
+
+    def test_memory_side_near_peak(self, system_config):
+        layout = ddl_layout(system_config, 2048)
+        phase = simulate_optimized_column_phase(system_config, 2048, layout)
+        memory_rate = phase.n_bytes / (phase.memory_time_ns / 1e9)
+        assert memory_rate > 0.98 * system_config.peak_bandwidth
+
+    def test_column_slices_slower_when_short(self, system_config):
+        """Without whole-block fetches a too-flat block exposes activations."""
+        n = 1024
+        flat = BlockDDLLayout(n, n, width=16, height=2)
+        tall = BlockDDLLayout(n, n, width=2, height=16)
+        slow = simulate_optimized_column_phase(
+            system_config, n, flat, whole_blocks=False
+        )
+        fast = simulate_optimized_column_phase(
+            system_config, n, tall, whole_blocks=False
+        )
+        assert slow.memory_time_ns > 2 * fast.memory_time_ns
+
+    def test_layout_shape_checked(self, system_config):
+        layout = ddl_layout(system_config, 512)
+        with pytest.raises(SimulationError):
+            simulate_optimized_column_phase(system_config, 1024, layout)
+
+    def test_matches_analytic(self, system_config, model):
+        layout = ddl_layout(system_config, 1024)
+        simulated = simulate_optimized_column_phase(system_config, 1024, layout)
+        analytic = model.optimized_column_phase(1024)
+        assert simulated.throughput_gbps == pytest.approx(
+            analytic.throughput_gbps, rel=0.03
+        )
+
+
+class TestRowPhase:
+    def test_baseline_row_kernel_bound(self, system_config):
+        phase = simulate_row_phase(system_config, 2048)
+        assert phase.bound == "kernel"
+        assert phase.throughput_gbps == pytest.approx(32.0, rel=0.02)
+
+    def test_ddl_row_write_also_kernel_bound(self, system_config):
+        layout = ddl_layout(system_config, 2048)
+        phase = simulate_row_phase(system_config, 2048, layout=layout)
+        assert phase.bound == "kernel"
+        assert phase.throughput_gbps == pytest.approx(32.0, rel=0.02)
+
+    def test_ddl_writes_stream_near_peak_memory_side(self, system_config):
+        layout = ddl_layout(system_config, 2048)
+        phase = simulate_row_phase(system_config, 2048, layout=layout)
+        memory_rate = phase.n_bytes / (phase.memory_time_ns / 1e9)
+        assert memory_rate > 0.95 * system_config.peak_bandwidth
+
+    def test_layout_shape_checked(self, system_config):
+        layout = ddl_layout(system_config, 512)
+        with pytest.raises(SimulationError):
+            simulate_row_phase(system_config, 1024, layout=layout)
+
+    def test_row_phase_stats(self, system_config):
+        phase = simulate_row_phase(system_config, 512)
+        assert phase.stats is not None
+        assert phase.stats.row_hit_rate > 0.9

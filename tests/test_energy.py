@@ -1,0 +1,174 @@
+"""Energy model: parameters, meters and the DDL's activation savings."""
+
+import pytest
+
+from repro.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    EnergyParameters,
+    pact15_energy_params,
+)
+from repro.energy.params import ddr3_energy_params
+from repro.errors import ConfigError, SimulationError
+from repro.fft.kernel1d import KernelHardwareModel
+from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
+from repro.memory3d import AccessStats, Memory3D
+from repro.trace import block_column_read_trace, column_walk_trace
+
+
+class TestParameters:
+    def test_defaults_positive(self):
+        p = pact15_energy_params()
+        assert p.activation_nj > 0
+        assert p.memory_pj_per_byte == p.dram_access_pj_per_byte + p.tsv_pj_per_byte
+
+    def test_ddr3_is_costlier(self):
+        assert ddr3_energy_params().activation_nj > pact15_energy_params().activation_nj
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            EnergyParameters(activation_nj=-1.0)
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        b = EnergyBreakdown(
+            activation_nj=1.0, dram_transfer_nj=2.0, tsv_transfer_nj=3.0,
+            sram_nj=4.0, kernel_nj=5.0,
+        )
+        assert b.memory_nj == 6.0
+        assert b.total_nj == 15.0
+
+    def test_addition(self):
+        a = EnergyBreakdown(activation_nj=1.0)
+        b = EnergyBreakdown(kernel_nj=2.0)
+        assert (a + b).total_nj == 3.0
+
+    def test_per_element(self):
+        b = EnergyBreakdown(kernel_nj=10.0)
+        assert b.per_element_pj(1000) == pytest.approx(10.0)
+
+    def test_per_element_rejects_zero(self):
+        with pytest.raises(SimulationError):
+            EnergyBreakdown().per_element_pj(0)
+
+    def test_summary_mentions_total(self):
+        assert "total" in EnergyBreakdown(kernel_nj=1e6).summary()
+
+
+class TestMemoryEnergy:
+    def test_activation_dominates_column_walk(self):
+        stats = AccessStats(
+            requests=1000, bytes_transferred=8000, elapsed_ns=1.0,
+            row_activations=1000, row_hits=0,
+        )
+        b = EnergyModel().memory_energy(stats)
+        assert b.activation_nj > 10 * (b.dram_transfer_nj + b.tsv_transfer_nj)
+
+    def test_streaming_traffic_scales_with_bytes(self):
+        model = EnergyModel()
+        small = AccessStats(bytes_transferred=1000, row_activations=0)
+        large = AccessStats(bytes_transferred=4000, row_activations=0)
+        assert model.memory_energy(large).total_nj == pytest.approx(
+            4 * model.memory_energy(small).total_nj
+        )
+
+
+class TestReorganizationEnergy:
+    def test_write_plus_read_per_element(self):
+        model = EnergyModel()
+        b = model.reorganization_energy(staged_elements=1000)
+        expected = 2 * 1000 * 8 * model.params.sram_pj_per_byte / 1e3
+        assert b.sram_nj == pytest.approx(expected)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            EnergyModel().reorganization_energy(-1)
+
+
+class TestKernelEnergy:
+    def test_scales_with_transforms(self):
+        model = EnergyModel()
+        hw = KernelHardwareModel(n=256, radix=4, lanes=16, clock_hz=250e6)
+        one = model.kernel_energy(hw, 1)
+        ten = model.kernel_energy(hw, 10)
+        assert ten.kernel_nj == pytest.approx(10 * one.kernel_nj)
+
+    def test_bigger_fft_costs_more(self):
+        model = EnergyModel()
+        small = KernelHardwareModel(n=256, radix=4, lanes=16, clock_hz=250e6)
+        large = KernelHardwareModel(n=1024, radix=4, lanes=16, clock_hz=250e6)
+        assert (
+            model.kernel_energy(large, 1).kernel_nj
+            > 4 * model.kernel_energy(small, 1).kernel_nj
+        )
+
+    def test_rejects_negative_transforms(self):
+        hw = KernelHardwareModel(n=256, radix=4, lanes=16, clock_hz=250e6)
+        with pytest.raises(SimulationError):
+            EnergyModel().kernel_energy(hw, -1)
+
+
+class TestDDLActivationSavings:
+    """The ref-[6] result on 3D memory: the DDL slashes activation energy."""
+
+    def test_column_phase_activation_energy_ratio(self, memory, mem_config):
+        n = 1024
+        model = EnergyModel()
+        base_trace = column_walk_trace(RowMajorLayout(n, n), cols=range(8))
+        base_stats = memory.simulate(base_trace, "in_order")
+
+        geo = optimal_block_geometry(mem_config, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        # 8 matrix columns = 8 / width block columns, matching the baseline.
+        block_cols = 8 // geo.width
+        ddl_trace = block_column_read_trace(
+            layout, n_streams=block_cols, block_cols=range(block_cols)
+        )
+        ddl_stats = memory.simulate(ddl_trace, "per_vault")
+
+        base_energy = model.memory_energy(base_stats)
+        ddl_energy = model.memory_energy(ddl_stats)
+        # Same bytes moved; activations drop by the row-buffer factor (32).
+        assert base_stats.bytes_transferred == ddl_stats.bytes_transferred
+        assert base_stats.row_activations == pytest.approx(
+            32 * ddl_stats.row_activations, rel=0.01
+        )
+        assert base_energy.activation_nj > 30 * ddl_energy.activation_nj
+
+    def test_staging_overhead_does_not_erase_savings(self, memory, mem_config):
+        n = 1024
+        model = EnergyModel()
+        base_stats = memory.simulate(
+            column_walk_trace(RowMajorLayout(n, n), cols=range(8)), "in_order"
+        )
+        geo = optimal_block_geometry(mem_config, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        block_cols = 8 // geo.width
+        ddl_stats = memory.simulate(
+            block_column_read_trace(
+                layout, n_streams=block_cols, block_cols=range(block_cols)
+            ),
+            "per_vault",
+        )
+        staged = block_cols * layout.n_block_rows * layout.block_elements
+        ddl_total = (
+            model.memory_energy(ddl_stats)
+            + model.reorganization_energy(staged)
+        )
+        assert ddl_total.total_nj < model.memory_energy(base_stats).total_nj / 3
+
+
+class TestApplicationEnergy:
+    def test_composes_all_meters(self):
+        model = EnergyModel()
+        hw = KernelHardwareModel(n=256, radix=4, lanes=16, clock_hz=250e6)
+        stats = AccessStats(bytes_transferred=8 * 256 * 256, row_activations=100)
+        b = model.application_energy([stats, stats], hw, transforms=512,
+                                     staged_elements=256 * 16)
+        assert b.activation_nj > 0
+        assert b.kernel_nj > 0
+        assert b.sram_nj > 0
+        assert b.total_nj == pytest.approx(
+            b.memory_nj + b.sram_nj + b.kernel_nj
+        )

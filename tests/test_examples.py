@@ -1,0 +1,120 @@
+"""Every example must run cleanly and produce its key claims."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickstart:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("quickstart.py")
+
+    def test_prints_table1(self, output):
+        assert "32.00 GB/s" in output
+
+    def test_prints_improvement(self, output):
+        assert "95.1%" in output
+
+    def test_fft_verified(self, output):
+        assert "max |error| vs numpy" in output
+
+
+class TestImageFiltering:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("image_filtering.py")
+
+    def test_noise_reduced(self, output):
+        assert "high frequencies removed" in output
+
+    def test_pipeline_verified(self, output):
+        assert "max |error| vs numpy pipeline" in output
+
+    def test_frame_rates_compared(self, output):
+        assert "frames/s" in output
+
+
+class TestRadar:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("radar_range_doppler.py")
+
+    def test_all_targets_detected(self, output):
+        assert "all targets detected: True" in output
+
+    def test_cpi_rates(self, output):
+        assert "CPI/s" in output
+
+
+class TestLayoutExplorer:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("layout_explorer.py")
+
+    def test_vault_maps_printed(self, output):
+        assert "block DDL" in output
+
+    def test_single_vault_fact(self, output):
+        assert "a single vault" in output
+
+    def test_eq1_marker(self, output):
+        assert "Eq. (1) optimum" in output
+
+
+class TestAutoLayoutFramework:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("auto_layout_framework.py")
+
+    def test_fft_gets_block_layout(self, output):
+        assert "block-ddl" in output
+
+    def test_three_kernels_planned(self, output):
+        assert "transpose" in output and "matmul" in output
+
+    def test_future_memory_replanned(self, output):
+        assert "future (80 ns)" in output
+
+
+class TestStreamingMatmul:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("streaming_matmul.py")
+
+    def test_all_layouts_verified(self, output):
+        assert output.count("max |error| vs numpy") == 3
+
+    def test_speedup_reported(self, output):
+        assert "layout speedup" in output
+
+    def test_bounds_flip(self, output):
+        assert "memory-bound" in output and "compute-bound" in output
+
+
+class TestCommunications:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_example("communications.py")
+
+    def test_ber_sweep(self, output):
+        assert "BER" in output
+        assert "20.0 dB" in output
+
+    def test_spectral_view(self, output):
+        assert "band occupancy" in output

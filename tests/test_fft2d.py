@@ -1,0 +1,71 @@
+"""Row-column 2D FFT."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FFTError
+from repro.fft import FFT2D
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 32), (64, 16), (128, 128)])
+    def test_matches_numpy_fft2(self, rng, shape):
+        fft = FFT2D(*shape)
+        x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        assert np.allclose(fft.transform(x), np.fft.fft2(x), atol=1e-7)
+
+    def test_phases_compose(self, rng):
+        fft = FFT2D(32, 32)
+        x = rng.standard_normal((32, 32)) + 0j
+        via_phases = fft.column_phase(fft.row_phase(x))
+        assert np.allclose(via_phases, fft.transform(x))
+
+    def test_row_phase_equals_axis1_fft(self, rng):
+        fft = FFT2D(16, 16)
+        x = rng.standard_normal((16, 16)) + 0j
+        assert np.allclose(fft.row_phase(x), np.fft.fft(x, axis=1))
+
+    def test_column_phase_equals_axis0_fft(self, rng):
+        fft = FFT2D(16, 16)
+        x = rng.standard_normal((16, 16)) + 0j
+        assert np.allclose(fft.column_phase(x), np.fft.fft(x, axis=0))
+
+    def test_row_phase_accepts_band(self, rng):
+        fft = FFT2D(64, 64)
+        band = rng.standard_normal((4, 64)) + 0j
+        assert np.allclose(fft.row_phase(band), np.fft.fft(band, axis=1))
+
+    def test_column_phase_accepts_band(self, rng):
+        fft = FFT2D(64, 64)
+        band = rng.standard_normal((64, 4)) + 0j
+        assert np.allclose(fft.column_phase(band), np.fft.fft(band, axis=0))
+
+    def test_inverse_round_trip(self, rng):
+        fft = FFT2D(32, 16)
+        x = rng.standard_normal((32, 16)) + 1j * rng.standard_normal((32, 16))
+        assert np.allclose(fft.inverse(fft.transform(x)), x)
+
+    def test_square_reuses_kernel(self):
+        fft = FFT2D(64, 64)
+        assert fft.row_kernel is fft.col_kernel
+
+    def test_rectangular_uses_two_kernels(self):
+        fft = FFT2D(32, 64)
+        assert fft.row_kernel.n == 64
+        assert fft.col_kernel.n == 32
+
+
+class TestValidation:
+    def test_rejects_tiny(self):
+        with pytest.raises(FFTError):
+            FFT2D(1, 8)
+
+    def test_rejects_wrong_shape(self):
+        fft = FFT2D(8, 8)
+        with pytest.raises(FFTError):
+            fft.transform(np.zeros((8, 4), dtype=complex))
+
+    def test_rejects_wrong_row_band(self):
+        fft = FFT2D(8, 8)
+        with pytest.raises(FFTError):
+            fft.row_phase(np.zeros((2, 4), dtype=complex))

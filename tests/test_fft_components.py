@@ -1,0 +1,207 @@
+"""FFT building blocks: twiddles, radix blocks, DPP permutations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FFTError
+from repro.fft import (
+    RadixBlockModel,
+    TFCUnitModel,
+    TwiddleROM,
+    butterfly_radix2,
+    butterfly_radix4,
+    stride_permutation_indices,
+    twiddle_factors,
+)
+from repro.fft.dpp import DPPUnitModel, digit_reversal_indices
+from repro.fft.radix import butterfly
+
+
+class TestTwiddleFactors:
+    def test_unit_circle(self):
+        tw = twiddle_factors(8)
+        assert np.allclose(np.abs(tw), 1.0)
+
+    def test_first_is_one(self):
+        assert twiddle_factors(16)[0] == pytest.approx(1.0)
+
+    def test_quarter_is_minus_j(self):
+        tw = twiddle_factors(4)
+        assert tw[1] == pytest.approx(-1j)
+
+    def test_indices_wrap(self):
+        tw = twiddle_factors(8, np.array([0, 8, 16]))
+        assert np.allclose(tw, 1.0)
+
+    def test_matches_dft_kernel(self):
+        n = 32
+        tw = twiddle_factors(n)
+        k = np.arange(n)
+        assert np.allclose(tw, np.exp(-2j * np.pi * k / n))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(FFTError):
+            twiddle_factors(12)
+
+
+class TestTwiddleROM:
+    def test_depth(self):
+        rom = TwiddleROM(base=64, exponent_stride=2, depth=16)
+        assert len(rom) == 16
+        assert rom.storage_words == 16
+
+    def test_contents(self):
+        rom = TwiddleROM(base=8, exponent_stride=1, depth=8)
+        assert rom.read(1) == pytest.approx(np.exp(-2j * np.pi / 8))
+
+    def test_stride(self):
+        rom = TwiddleROM(base=8, exponent_stride=2, depth=4)
+        assert rom.read(1) == pytest.approx(np.exp(-4j * np.pi / 8))
+
+    def test_address_wraps(self):
+        rom = TwiddleROM(base=8, exponent_stride=1, depth=4)
+        assert rom.read(5) == rom.read(1)
+
+    def test_read_array(self):
+        rom = TwiddleROM(base=16, exponent_stride=1, depth=16)
+        values = rom.read_array(np.arange(4))
+        assert values[0] == pytest.approx(1.0)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(FFTError):
+            TwiddleROM(base=8, exponent_stride=1, depth=0)
+
+
+class TestRadix2:
+    def test_sum_and_difference(self):
+        out = butterfly_radix2(np.array([3.0 + 0j, 1.0 + 0j]))
+        assert out[0] == 4.0
+        assert out[1] == 2.0
+
+    def test_is_2point_dft(self, rng):
+        x = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+        assert np.allclose(butterfly_radix2(x), np.fft.fft(x))
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((5, 3, 2)) + 0j
+        out = butterfly_radix2(x)
+        assert out.shape == x.shape
+        assert np.allclose(out, np.fft.fft(x, axis=-1))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(FFTError):
+            butterfly_radix2(np.zeros(3, dtype=complex))
+
+
+class TestRadix4:
+    def test_is_4point_dft(self, rng):
+        x = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        assert np.allclose(butterfly_radix4(x), np.fft.fft(x))
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((7, 4)) + 1j * rng.standard_normal((7, 4))
+        assert np.allclose(butterfly_radix4(x), np.fft.fft(x, axis=-1))
+
+    def test_impulse(self):
+        x = np.array([1.0, 0, 0, 0], dtype=complex)
+        assert np.allclose(butterfly_radix4(x), np.ones(4))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(FFTError):
+            butterfly_radix4(np.zeros(2, dtype=complex))
+
+    def test_dispatch(self, rng):
+        x = rng.standard_normal(4) + 0j
+        assert np.allclose(butterfly(x, 4), butterfly_radix4(x))
+        with pytest.raises(FFTError):
+            butterfly(x, 8)
+
+
+class TestRadixBlockModel:
+    def test_radix2_costs(self):
+        model = RadixBlockModel(2)
+        assert model.complex_addsubs == 2
+        assert model.real_addsubs == 4
+
+    def test_radix4_costs(self):
+        model = RadixBlockModel(4)
+        assert model.complex_addsubs == 8
+
+    def test_rejects_radix8(self):
+        with pytest.raises(FFTError):
+            RadixBlockModel(8)
+
+
+class TestStridePermutation:
+    def test_is_permutation(self):
+        perm = stride_permutation_indices(16, 4)
+        assert sorted(perm.tolist()) == list(range(16))
+
+    def test_corner_turn(self):
+        # L^8_2 reads even indices then odd.
+        perm = stride_permutation_indices(8, 2)
+        x = np.arange(8)
+        assert list(x[perm]) == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_identity_stride(self):
+        perm = stride_permutation_indices(8, 1)
+        assert np.array_equal(perm, np.arange(8))
+
+    def test_inverse_composition(self):
+        n, s = 64, 8
+        forward = stride_permutation_indices(n, s)
+        backward = stride_permutation_indices(n, n // s)
+        x = np.arange(n)
+        assert np.array_equal(x[forward][backward], x)
+
+    def test_rejects_nondividing_stride(self):
+        with pytest.raises(FFTError):
+            stride_permutation_indices(8, 3)
+
+
+class TestDigitReversal:
+    def test_radix2_is_bit_reversal(self):
+        perm = digit_reversal_indices(8, 2)
+        assert list(perm) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_radix4_pure(self):
+        perm = digit_reversal_indices(16, 4)
+        # Base-4 digit reversal of 1 (01) is 4 (10).
+        assert perm[1] == 4
+
+    def test_is_permutation(self):
+        for n in (8, 16, 32, 64):
+            for r in (2, 4):
+                assert sorted(digit_reversal_indices(n, r).tolist()) == list(range(n))
+
+    def test_involution_for_radix2(self):
+        perm = digit_reversal_indices(32, 2)
+        assert np.array_equal(perm[perm], np.arange(32))
+
+
+class TestDPPModel:
+    def test_buffer_scales_with_segment(self):
+        small = DPPUnitModel(segment=16, lanes=4, radix=4)
+        large = DPPUnitModel(segment=256, lanes=4, radix=4)
+        assert large.buffer_words > small.buffer_words
+
+    def test_buffer_at_least_one_per_lane(self):
+        tiny = DPPUnitModel(segment=1, lanes=8, radix=4)
+        assert tiny.buffer_words == 8
+
+    def test_multiplexer_count(self):
+        assert DPPUnitModel(segment=64, lanes=8, radix=4).multiplexers == 16
+
+    def test_latency_tracks_depth(self):
+        unit = DPPUnitModel(segment=64, lanes=4, radix=4)
+        assert unit.latency_cycles == 16
+
+
+class TestTFCModel:
+    def test_multipliers_per_lane(self):
+        unit = TFCUnitModel(rom_depth=64, lanes=4)
+        assert unit.real_multipliers == 16
+        assert unit.real_adders == 8
+
+    def test_rom_words(self):
+        assert TFCUnitModel(rom_depth=64, lanes=4).rom_words == 256

@@ -1,0 +1,137 @@
+"""End-to-end integration: the whole story of the paper in one file.
+
+Each test walks a complete pipeline -- data + layout + memory + kernel --
+and checks both value correctness and the paper's performance shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnalyticModel,
+    BaselineArchitecture,
+    BlockDDLLayout,
+    Memory3D,
+    MemoryImage,
+    OptimizedArchitecture,
+    RowMajorLayout,
+    SystemConfig,
+    block_column_read_trace,
+    block_write_trace,
+    column_walk_trace,
+    optimal_block_geometry,
+    pact15_hmc_config,
+)
+from repro.fft import FFT2D
+from repro.permutation import ControllingUnit
+
+
+class TestStory:
+    """The paper's narrative, executed."""
+
+    def test_static_layout_cannot_serve_both_phases(self, memory, mem_config):
+        """Row-major: phase 1 streams, phase 2 collapses (Section 1)."""
+        layout = RowMajorLayout(1024, 1024)
+        from repro.trace import row_walk_trace
+
+        row = memory.simulate(row_walk_trace(layout, rows=range(16)), "per_vault")
+        col = memory.simulate(column_walk_trace(layout, cols=range(4)), "in_order")
+        peak = mem_config.peak_bandwidth
+        assert row.utilization(peak) > 0.9
+        assert col.utilization(peak) < 0.03
+
+    def test_ddl_rescues_the_column_phase(self, memory, mem_config):
+        """The block layout restores near-peak column bandwidth (Section 4.4)."""
+        n = 1024
+        geo = optimal_block_geometry(mem_config, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        trace = block_column_read_trace(layout, n_streams=16, block_cols=range(16))
+        stats = memory.simulate(trace, "per_vault")
+        assert stats.utilization(mem_config.peak_bandwidth) > 0.99
+
+    def test_both_phases_fast_under_ddl(self, memory, mem_config):
+        """Writes (phase 1) and reads (phase 2) both stream under the DDL."""
+        n = 1024
+        geo = optimal_block_geometry(mem_config, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        writes = memory.simulate(
+            block_write_trace(layout, block_rows=range(8)), "per_vault"
+        )
+        assert writes.utilization(mem_config.peak_bandwidth) > 0.95
+
+
+class TestFullDataPath:
+    """Values survive the complete optimized pipeline."""
+
+    def test_fft_through_ddl_image_and_permutation_network(self, rng):
+        n = 128
+        config = pact15_hmc_config()
+        geo = optimal_block_geometry(config, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        cu = ControllingUnit(geo)
+        fft = FFT2D(n, n)
+        image = MemoryImage(layout.footprint_bytes)
+
+        data = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        # Phase 1: slab-staged row FFTs through the CU's write reorder.
+        for block_r in range(layout.n_block_rows):
+            rows = slice(block_r * geo.height, (block_r + 1) * geo.height)
+            slab = fft.row_phase(data[rows])
+            stream = cu.reorganize_slab(slab, layout)
+            trace = block_write_trace(layout, block_rows=range(block_r, block_r + 1))
+            image.store_stream(trace.addresses, stream)
+        # Phase 2: column reads straight from the block layout.
+        intermediate = image.load_columns(layout, range(n))
+        result = fft.column_phase(intermediate)
+        assert np.allclose(result, np.fft.fft2(data), atol=1e-7)
+
+    def test_network_permutes_exact_block_stream(self, rng):
+        """The per-block permutation the CU installs equals the slab reorder."""
+        n = 64
+        config = pact15_hmc_config()
+        geo = optimal_block_geometry(config, n)
+        layout = BlockDDLLayout(n, n, geo.width, geo.height)
+        cu = ControllingUnit(geo, width=16)
+        cu.configure_for_write()
+        slab = rng.standard_normal((geo.height, n)) + 0j
+        via_slab = cu.reorganize_slab(slab, layout)
+        # Apply the block-local permutation per block to row-major blocks.
+        blocks = slab.reshape(geo.height, n // geo.width, geo.width)
+        per_block = np.ascontiguousarray(blocks.transpose(1, 0, 2)).reshape(
+            -1, geo.elements
+        )
+        via_network = cu.write_network.permute(per_block).reshape(-1)
+        assert np.allclose(via_network, via_slab)
+
+
+class TestPaperShape:
+    """Simulation-backed Table 1 / Table 2 shape at a tractable size."""
+
+    def test_simulated_matches_analytic_at_1024(self):
+        config = SystemConfig()
+        model = AnalyticModel(config)
+        base_sim = BaselineArchitecture(1024, config).evaluate(max_requests=131_072)
+        opt_sim = OptimizedArchitecture(1024, config).evaluate(max_requests=131_072)
+        base_mod = model.baseline_system(1024)
+        opt_mod = model.optimized_system(1024)
+        assert base_sim.throughput_gbps == pytest.approx(
+            base_mod.throughput_gbps, rel=0.05
+        )
+        assert opt_sim.throughput_gbps == pytest.approx(
+            opt_mod.throughput_gbps, rel=0.05
+        )
+
+    def test_improvement_shape_holds_in_simulation(self):
+        base = BaselineArchitecture(1024).evaluate(max_requests=131_072)
+        opt = OptimizedArchitecture(1024).evaluate(max_requests=131_072)
+        improvement = opt.improvement_over(base)
+        assert 90.0 < improvement < 99.0
+
+    def test_memory3d_object_shared_nothing(self):
+        """Two simulations don't leak state into each other."""
+        memory = Memory3D(pact15_hmc_config())
+        trace = column_walk_trace(RowMajorLayout(512, 512), cols=range(1))
+        first = memory.simulate(trace, "in_order")
+        second = memory.simulate(trace, "in_order")
+        assert first.elapsed_ns == second.elapsed_ns
+        assert first.row_activations == second.row_activations

@@ -1,0 +1,122 @@
+"""Address decoding/encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.memory3d import AddressMapping, DecodedAddress
+
+
+@pytest.fixture
+def mapping(mem_config):
+    return AddressMapping(mem_config)
+
+
+class TestDecode:
+    def test_address_zero(self, mapping):
+        d = mapping.decode(0)
+        assert (d.vault, d.bank, d.row, d.column) == (0, 0, 0, 0)
+
+    def test_column_within_row(self, mapping, mem_config):
+        d = mapping.decode(mem_config.row_bytes - 8)
+        assert d.column == mem_config.row_bytes - 8
+        assert (d.vault, d.bank, d.row) == (0, 0, 0)
+
+    def test_consecutive_chunks_rotate_vaults(self, mapping, mem_config):
+        for chunk in range(mem_config.vaults):
+            d = mapping.decode(chunk * mem_config.row_bytes)
+            assert d.vault == chunk
+            assert d.bank == 0
+            assert d.row == 0
+
+    def test_bank_after_all_vaults(self, mapping, mem_config):
+        d = mapping.decode(mem_config.vaults * mem_config.row_bytes)
+        assert (d.vault, d.bank, d.row) == (0, 1, 0)
+
+    def test_row_after_all_banks(self, mapping, mem_config):
+        chunk = mem_config.vaults * mem_config.banks_per_vault
+        d = mapping.decode(chunk * mem_config.row_bytes)
+        assert (d.vault, d.bank, d.row) == (0, 0, 1)
+
+    def test_rejects_negative(self, mapping):
+        with pytest.raises(AddressError):
+            mapping.decode(-8)
+
+    def test_rejects_beyond_capacity(self, mapping, mem_config):
+        with pytest.raises(AddressError):
+            mapping.decode(mem_config.capacity_bytes)
+
+    def test_paper_column_stride_2048_alternates_banks(self, mapping):
+        """N=2048 row-major column walk: same vault, banks alternate by 4."""
+        stride = 2048 * 8
+        decoded = [mapping.decode(i * stride) for i in range(8)]
+        assert len({d.vault for d in decoded}) == 1
+        banks = [d.bank for d in decoded]
+        assert banks == [0, 4, 0, 4, 0, 4, 0, 4]
+
+    def test_paper_column_stride_4096_same_bank(self, mapping):
+        """N=4096 column walk: every access in the same bank, rows differ."""
+        stride = 4096 * 8
+        decoded = [mapping.decode(i * stride) for i in range(8)]
+        assert len({(d.vault, d.bank) for d in decoded}) == 1
+        assert len({d.row for d in decoded}) == 8
+
+
+class TestEncode:
+    def test_round_trip_scalar(self, mapping, mem_config):
+        for address in (0, 8, 256, 123_456 * 8):
+            d = mapping.decode(address)
+            assert mapping.encode(d.vault, d.bank, d.row, d.column) == address
+
+    def test_encode_validates_ranges(self, mapping, mem_config):
+        with pytest.raises(AddressError):
+            mapping.encode(mem_config.vaults, 0, 0)
+        with pytest.raises(AddressError):
+            mapping.encode(0, mem_config.banks_per_vault, 0)
+        with pytest.raises(AddressError):
+            mapping.encode(0, 0, mem_config.rows_per_bank)
+        with pytest.raises(AddressError):
+            mapping.encode(0, 0, 0, mem_config.row_bytes)
+
+
+class TestDecodeArray:
+    def test_matches_scalar(self, mapping, rng, mem_config):
+        addresses = rng.integers(
+            0, mem_config.capacity_bytes // 8, size=500, dtype=np.int64
+        ) * 8
+        vaults, banks, rows, cols = mapping.decode_array(addresses)
+        for i, address in enumerate(addresses.tolist()):
+            d = mapping.decode(address)
+            assert (vaults[i], banks[i], rows[i], cols[i]) == (
+                d.vault, d.bank, d.row, d.column,
+            )
+
+    def test_rejects_out_of_capacity(self, mapping, mem_config):
+        with pytest.raises(AddressError):
+            mapping.decode_array(np.array([mem_config.capacity_bytes]))
+
+    def test_empty_array(self, mapping):
+        vaults, banks, rows, cols = mapping.decode_array(np.empty(0, dtype=np.int64))
+        assert vaults.size == 0
+
+
+class TestLayers:
+    def test_layer_interleaved_numbering(self, mapping, mem_config):
+        layers = [mapping.layer_of_bank(b) for b in range(mem_config.banks_per_vault)]
+        assert layers == [b % mem_config.layers for b in range(mem_config.banks_per_vault)]
+
+    def test_banks_0_and_4_share_a_layer(self, mapping):
+        # This is what makes the N=2048 baseline pay t_diff_bank, not t_in_vault.
+        assert mapping.layer_of_bank(0) == mapping.layer_of_bank(4)
+
+
+class TestDecodedAddress:
+    def test_same_row_true(self):
+        a = DecodedAddress(1, 2, 3, 0)
+        b = DecodedAddress(1, 2, 3, 128)
+        assert a.same_row(b)
+
+    def test_same_row_false_on_bank(self):
+        a = DecodedAddress(1, 2, 3, 0)
+        b = DecodedAddress(1, 3, 3, 0)
+        assert not a.same_row(b)

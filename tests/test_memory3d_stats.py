@@ -1,0 +1,87 @@
+"""AccessStats arithmetic."""
+
+import pytest
+
+from repro.memory3d import AccessStats
+
+
+def make_stats(**overrides) -> AccessStats:
+    base = dict(
+        requests=1000,
+        bytes_transferred=8000,
+        elapsed_ns=1000.0,
+        row_activations=100,
+        row_hits=900,
+        per_vault_busy_ns={0: 600.0, 1: 400.0},
+        first_response_ns=5.0,
+    )
+    base.update(overrides)
+    return AccessStats(**base)
+
+
+class TestBandwidth:
+    def test_bytes_per_second(self):
+        stats = make_stats()
+        # 8000 B in 1000 ns -> 8 GB/s.
+        assert stats.bandwidth_bytes_per_s == pytest.approx(8e9)
+
+    def test_gbps(self):
+        assert make_stats().bandwidth_gbps == pytest.approx(8.0)
+
+    def test_gbitps(self):
+        assert make_stats().bandwidth_gbitps == pytest.approx(64.0)
+
+    def test_zero_time_gives_zero_bandwidth(self):
+        assert make_stats(elapsed_ns=0.0).bandwidth_gbps == 0.0
+
+    def test_utilization(self):
+        assert make_stats().utilization(80e9) == pytest.approx(0.1)
+
+    def test_utilization_of_zero_peak(self):
+        assert make_stats().utilization(0.0) == 0.0
+
+
+class TestHitRate:
+    def test_hit_rate(self):
+        assert make_stats().row_hit_rate == pytest.approx(0.9)
+
+    def test_empty_stats_hit_rate(self):
+        assert AccessStats().row_hit_rate == 0.0
+
+
+class TestMerge:
+    def test_counts_add(self):
+        merged = make_stats().merged_with(make_stats())
+        assert merged.requests == 2000
+        assert merged.bytes_transferred == 16000
+        assert merged.row_activations == 200
+        assert merged.elapsed_ns == pytest.approx(2000.0)
+
+    def test_busy_times_add_per_vault(self):
+        merged = make_stats().merged_with(make_stats(per_vault_busy_ns={1: 100.0, 2: 50.0}))
+        assert merged.per_vault_busy_ns == {0: 600.0, 1: 500.0, 2: 50.0}
+
+    def test_first_response_kept_from_first(self):
+        merged = make_stats(first_response_ns=5.0).merged_with(
+            make_stats(first_response_ns=99.0)
+        )
+        assert merged.first_response_ns == 5.0
+
+
+class TestScaled:
+    def test_linear_quantities_scale(self):
+        scaled = make_stats().scaled(4.0)
+        assert scaled.requests == 4000
+        assert scaled.elapsed_ns == pytest.approx(4000.0)
+        assert scaled.row_hits == 3600
+
+    def test_bandwidth_invariant_under_scaling(self):
+        stats = make_stats()
+        assert stats.scaled(7.0).bandwidth_gbps == pytest.approx(stats.bandwidth_gbps)
+
+    def test_first_response_not_scaled(self):
+        assert make_stats().scaled(10.0).first_response_ns == 5.0
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            make_stats().scaled(0.0)

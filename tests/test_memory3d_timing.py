@@ -1,0 +1,131 @@
+"""Bank and vault timing models (the per-request service rules)."""
+
+import pytest
+
+from repro.memory3d import BankState, VaultTimingModel
+from repro.memory3d.bank import NO_ROW
+from repro.memory3d.config import TimingParameters
+
+
+@pytest.fixture
+def timing():
+    return TimingParameters()
+
+
+@pytest.fixture
+def vault(mem_config):
+    return VaultTimingModel(mem_config, vault_id=0)
+
+
+class TestBankState:
+    def test_starts_closed(self):
+        bank = BankState()
+        assert bank.open_row == NO_ROW
+        assert not bank.is_hit(0)
+
+    def test_activate_opens_row(self, timing):
+        bank = BankState()
+        bank.activate(7, at_ns=100.0, timing=timing)
+        assert bank.is_hit(7)
+        assert not bank.is_hit(8)
+        assert bank.activations == 1
+
+    def test_activate_arms_row_cycle(self, timing):
+        bank = BankState()
+        bank.activate(7, at_ns=100.0, timing=timing)
+        assert bank.next_activate_ns == 100.0 + timing.t_diff_row
+        assert bank.earliest_activate(0.0) == 120.0
+        assert bank.earliest_activate(500.0) == 500.0
+
+    def test_reset_closes_row_keeps_counters(self, timing):
+        bank = BankState()
+        bank.activate(7, at_ns=0.0, timing=timing)
+        bank.record_hit()
+        bank.reset()
+        assert bank.open_row == NO_ROW
+        assert bank.activations == 1
+        assert bank.hits == 1
+
+
+class TestVaultHits:
+    def test_first_access_activates(self, vault):
+        result = vault.service(bank=0, row=0, ready_ns=0.0)
+        assert not result.hit
+        assert vault.activations == 1
+
+    def test_open_row_access_is_hit(self, vault, timing):
+        vault.service(bank=0, row=0, ready_ns=0.0)
+        result = vault.service(bank=0, row=0, ready_ns=0.0)
+        assert result.hit
+        assert vault.hits == 1
+
+    def test_hit_streams_at_beat_rate(self, vault, timing):
+        first = vault.service(bank=0, row=0, ready_ns=0.0)
+        second = vault.service(bank=0, row=0, ready_ns=0.0)
+        assert second.completion_ns - first.completion_ns == pytest.approx(
+            timing.t_in_row
+        )
+
+    def test_row_change_in_same_bank_pays_row_cycle(self, vault, timing):
+        first = vault.service(bank=0, row=0, ready_ns=0.0)
+        second = vault.service(bank=0, row=1, ready_ns=0.0)
+        assert second.activate_ns - first.activate_ns == pytest.approx(
+            timing.t_diff_row
+        )
+
+
+class TestVaultCrossBank:
+    def test_same_layer_banks_pay_t_diff_bank(self, vault, timing, mem_config):
+        # Banks 0 and layers (=4) share layer 0.
+        other = mem_config.layers
+        first = vault.service(bank=0, row=0, ready_ns=0.0)
+        second = vault.service(bank=other, row=0, ready_ns=0.0)
+        assert second.activate_ns - first.activate_ns == pytest.approx(
+            timing.t_diff_bank
+        )
+
+    def test_cross_layer_banks_pipeline_at_t_in_vault(self, vault, timing):
+        first = vault.service(bank=0, row=0, ready_ns=0.0)
+        second = vault.service(bank=1, row=0, ready_ns=0.0)  # layer 1
+        assert second.activate_ns - first.activate_ns == pytest.approx(
+            timing.t_in_vault
+        )
+
+    def test_revisit_same_bank_still_bound_by_row_cycle(self, vault, timing, mem_config):
+        other = mem_config.layers
+        vault.service(bank=0, row=0, ready_ns=0.0)     # act at 0
+        vault.service(bank=other, row=0, ready_ns=0.0)  # act at 10
+        third = vault.service(bank=0, row=1, ready_ns=0.0)
+        # Bank 0's row cycle (20 ns from t=0) binds, equalling 10 + 10.
+        assert third.activate_ns == pytest.approx(timing.t_diff_row)
+
+    def test_steady_state_alternation_is_t_diff_bank(self, vault, timing, mem_config):
+        """The N=2048 baseline pattern: two same-layer banks, new row each time."""
+        other = mem_config.layers
+        completions = []
+        for i in range(20):
+            bank = 0 if i % 2 == 0 else other
+            row = i // 2
+            completions.append(vault.service(bank, row, 0.0).completion_ns)
+        deltas = [b - a for a, b in zip(completions[8:], completions[9:])]
+        for delta in deltas:
+            assert delta == pytest.approx(timing.t_diff_bank)
+
+
+class TestVaultCounters:
+    def test_activations_and_hits_accumulate(self, vault):
+        vault.service(0, 0, 0.0)
+        vault.service(0, 0, 0.0)
+        vault.service(1, 5, 0.0)
+        assert vault.activations == 2
+        assert vault.hits == 1
+
+    def test_reset_rows_forces_reactivation(self, vault):
+        vault.service(0, 0, 0.0)
+        vault.reset_rows()
+        result = vault.service(0, 0, 0.0)
+        assert not result.hit
+
+    def test_layer_of(self, vault, mem_config):
+        for bank in range(mem_config.banks_per_vault):
+            assert vault.layer_of(bank) == bank % mem_config.layers

@@ -1,0 +1,128 @@
+"""OFDM modem."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ofdm import (
+    OFDMConfig,
+    OFDMModem,
+    awgn_channel,
+    bit_error_rate,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def modem():
+    return OFDMModem(OFDMConfig(n_subcarriers=256, cyclic_prefix=16))
+
+
+class TestConfig:
+    def test_symbol_samples(self):
+        config = OFDMConfig(n_subcarriers=1024, cyclic_prefix=64)
+        assert config.symbol_samples == 1088
+
+    def test_rejects_bad_subcarriers(self):
+        with pytest.raises(ConfigError):
+            OFDMConfig(n_subcarriers=100)
+
+    def test_rejects_oversized_prefix(self):
+        with pytest.raises(ConfigError):
+            OFDMConfig(n_subcarriers=64, cyclic_prefix=64)
+
+    def test_zero_prefix_allowed(self):
+        assert OFDMConfig(n_subcarriers=64, cyclic_prefix=0).symbol_samples == 64
+
+
+class TestQPSK:
+    def test_map_demap_round_trip(self, modem, rng):
+        bits = rng.integers(0, 2, size=512)
+        assert np.array_equal(modem.demap_symbols(modem.map_bits(bits)), bits)
+
+    def test_unit_energy(self, modem, rng):
+        symbols = modem.map_bits(rng.integers(0, 2, size=512))
+        assert np.allclose(np.abs(symbols), 1.0)
+
+    def test_rejects_odd_length(self, modem):
+        with pytest.raises(ConfigError):
+            modem.map_bits(np.array([0, 1, 0]))
+
+    def test_rejects_non_binary(self, modem):
+        with pytest.raises(ConfigError):
+            modem.map_bits(np.array([0, 2]))
+
+
+class TestModulation:
+    def test_prefix_is_cyclic(self, modem, rng):
+        symbols = modem.map_bits(rng.integers(0, 2, size=512))
+        samples = modem.modulate(symbols)
+        cp = modem.config.cyclic_prefix
+        assert np.allclose(samples[:cp], samples[-cp:])
+
+    def test_round_trip_noiseless(self, modem, rng):
+        symbols = modem.map_bits(rng.integers(0, 2, size=512))
+        recovered = modem.demodulate(modem.modulate(symbols))
+        assert np.allclose(recovered, symbols, atol=1e-10)
+
+    def test_energy_preserved(self, modem, rng):
+        symbols = modem.map_bits(rng.integers(0, 2, size=512))
+        samples = modem.modulate(symbols)[modem.config.cyclic_prefix:]
+        assert np.sum(np.abs(samples) ** 2) == pytest.approx(
+            np.sum(np.abs(symbols) ** 2), rel=1e-9
+        )
+
+    def test_shape_checked(self, modem):
+        with pytest.raises(ConfigError):
+            modem.modulate(np.zeros(128, dtype=complex))
+        with pytest.raises(ConfigError):
+            modem.demodulate(np.zeros(100, dtype=complex))
+
+
+class TestEndToEnd:
+    def test_clean_channel_zero_errors(self, modem, rng):
+        bits = rng.integers(0, 2, size=512)
+        received = modem.receive_bits(modem.transmit_bits(bits))
+        assert bit_error_rate(bits, received) == 0.0
+
+    def test_high_snr_zero_errors(self, modem, rng):
+        bits = rng.integers(0, 2, size=512)
+        samples = awgn_channel(modem.transmit_bits(bits), snr_db=30.0)
+        assert bit_error_rate(bits, modem.receive_bits(samples)) == 0.0
+
+    def test_low_snr_causes_errors(self, modem, rng):
+        bits = rng.integers(0, 2, size=512)
+        samples = awgn_channel(modem.transmit_bits(bits), snr_db=-5.0)
+        ber = bit_error_rate(bits, modem.receive_bits(samples))
+        assert ber > 0.05
+
+    def test_ber_monotone_in_snr(self, modem, rng):
+        bits = rng.integers(0, 2, size=512)
+        tx = modem.transmit_bits(bits)
+        bers = [
+            bit_error_rate(
+                bits, modem.receive_bits(awgn_channel(tx, snr_db=snr, seed=1))
+            )
+            for snr in (-5.0, 0.0, 10.0)
+        ]
+        assert bers[0] >= bers[1] >= bers[2]
+
+    def test_bit_count_checked(self, modem):
+        with pytest.raises(ConfigError):
+            modem.transmit_bits(np.zeros(100, dtype=np.int64))
+
+
+class TestHelpers:
+    def test_awgn_zero_signal(self):
+        assert np.allclose(awgn_channel(np.zeros(8, dtype=complex), 10.0), 0.0)
+
+    def test_awgn_snr_calibrated(self, rng):
+        signal = np.ones(100_000, dtype=complex)
+        noisy = awgn_channel(signal, snr_db=10.0, seed=3)
+        noise_power = np.mean(np.abs(noisy - signal) ** 2)
+        assert noise_power == pytest.approx(0.1, rel=0.05)
+
+    def test_ber_validation(self):
+        with pytest.raises(ConfigError):
+            bit_error_rate(np.zeros(4), np.zeros(3))
+        with pytest.raises(ConfigError):
+            bit_error_rate(np.zeros(0), np.zeros(0))

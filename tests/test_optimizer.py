@@ -1,0 +1,109 @@
+"""Paper Eq. (1): the optimal block geometry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.layouts import LayoutRegime, optimal_block_geometry
+from repro.memory3d import Memory3DConfig, TimingParameters
+
+
+class TestPaperConfiguration:
+    """With the calibrated parameters: s=32 elements, b=8 banks/vault,
+    t_in_row=1.6, t_diff_bank=10, t_diff_row=20."""
+
+    @pytest.mark.parametrize("n", [2048, 4096, 8192])
+    def test_evaluated_sizes_choose_h16_w2(self, mem_config, n):
+        geo = optimal_block_geometry(mem_config, n)
+        assert geo.regime is LayoutRegime.SAME_BANK
+        assert geo.raw_height == pytest.approx(12.5)
+        assert (geo.width, geo.height) == (2, 16)
+
+    def test_block_fills_row_buffer(self, mem_config):
+        geo = optimal_block_geometry(mem_config, 2048)
+        assert geo.elements == mem_config.row_elements
+
+    def test_mid_size_cross_bank_regime(self, mem_config):
+        # s*b = 256; cutoff = 256 * 1.6/20 = 20.48 -> m in [21, 255].
+        geo = optimal_block_geometry(mem_config, 128)
+        assert geo.regime is LayoutRegime.CROSS_BANK
+        assert geo.raw_height == pytest.approx(10.0 / 1.6)
+        assert geo.height == 8
+        assert geo.width == 4
+
+    def test_small_matrix_regime(self, mem_config):
+        geo = optimal_block_geometry(mem_config, 16)
+        assert geo.regime is LayoutRegime.SMALL_MATRIX
+        assert geo.raw_height == pytest.approx(32 * 8 / 16)
+        # Clamped to the row buffer and the matrix height.
+        assert geo.height <= mem_config.row_elements
+
+    def test_regime_boundary_at_sb(self, mem_config):
+        below = optimal_block_geometry(mem_config, 255)
+        at = optimal_block_geometry(mem_config, 256)
+        assert below.regime is LayoutRegime.CROSS_BANK
+        assert at.regime is LayoutRegime.SAME_BANK
+
+
+class TestScaling:
+    def test_n_v_scales_height(self, mem_config):
+        one = optimal_block_geometry(mem_config, 4096, n_v=1)
+        two = optimal_block_geometry(mem_config, 4096, n_v=2)
+        assert two.raw_height == pytest.approx(2 * one.raw_height)
+
+    def test_height_clamped_to_row_buffer(self, mem_config):
+        geo = optimal_block_geometry(mem_config, 4096, n_v=16)
+        assert geo.height <= mem_config.row_elements
+        assert geo.width >= 1
+
+    def test_slower_rows_need_taller_blocks(self):
+        slow = Memory3DConfig(
+            timing=TimingParameters(
+                t_in_row=1.6, t_in_vault=4.8, t_diff_bank=10.0, t_diff_row=40.0
+            )
+        )
+        geo = optimal_block_geometry(slow, 4096)
+        assert geo.height == 32  # 40 / 1.6 = 25 -> 32
+
+    def test_fast_rows_allow_flat_blocks(self):
+        fast = Memory3DConfig(
+            timing=TimingParameters(
+                t_in_row=1.6, t_in_vault=1.6, t_diff_bank=1.6, t_diff_row=3.2
+            )
+        )
+        geo = optimal_block_geometry(fast, 4096)
+        assert geo.height == 2
+
+
+class TestHidesActivation:
+    def test_chosen_height_hides(self, mem_config):
+        for n in (64, 128, 512, 2048, 8192):
+            geo = optimal_block_geometry(mem_config, n)
+            assert geo.hides_activation(mem_config)
+
+    def test_unit_height_does_not_hide(self, mem_config):
+        from repro.layouts.optimizer import BlockGeometry
+
+        flat = BlockGeometry(
+            width=32, height=1, raw_height=1.0,
+            regime=LayoutRegime.SAME_BANK, row_elements=32,
+        )
+        assert not flat.hides_activation(mem_config)
+
+
+class TestValidation:
+    def test_rejects_zero_problem(self, mem_config):
+        with pytest.raises(ConfigError):
+            optimal_block_geometry(mem_config, 0)
+
+    def test_rejects_zero_nv(self, mem_config):
+        with pytest.raises(ConfigError):
+            optimal_block_geometry(mem_config, 1024, n_v=0)
+
+    def test_rejects_nv_above_vaults(self, mem_config):
+        with pytest.raises(ConfigError):
+            optimal_block_geometry(mem_config, 1024, n_v=32)
+
+    def test_width_times_height_is_row(self, mem_config):
+        for n in (8, 32, 100, 1024, 1 << 14):
+            geo = optimal_block_geometry(mem_config, n)
+            assert geo.width * geo.height == mem_config.row_elements

@@ -1,0 +1,67 @@
+"""Public-API hygiene: everything exported is importable and documented."""
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    def test_all_is_sorted_modulo_version(self):
+        names = [n for n in repro.__all__ if n != "__version__"]
+        assert names == sorted(names)
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("name", sorted(set(repro.__all__) - {"__version__"}))
+    def test_every_export_has_a_docstring(self, name):
+        obj = getattr(repro, name)
+        doc = inspect.getdoc(obj)
+        assert doc and len(doc.strip()) > 10, f"{name} lacks a real docstring"
+
+    def test_package_docstring_mentions_paper(self):
+        assert "PACT 2015" in repro.__doc__
+
+    def test_public_classes_document_their_methods(self):
+        for cls in (repro.Memory3D, repro.StreamingFFT1D, repro.LayoutPlanner,
+                    repro.OptimizedArchitecture, repro.EnergyModel):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                assert inspect.getdoc(member), f"{cls.__name__}.{name} undocumented"
+
+
+class TestSubpackageDocs:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.memory3d",
+            "repro.memory2d",
+            "repro.layouts",
+            "repro.fft",
+            "repro.permutation",
+            "repro.core",
+            "repro.trace",
+            "repro.energy",
+            "repro.framework",
+            "repro.apps",
+            "repro.matmul",
+        ],
+    )
+    def test_subpackage_docstrings(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40

@@ -1,0 +1,113 @@
+"""Real-input FFTs (packing trick)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FFTError
+from repro.fft import StreamingFFT1D
+from repro.fft.realfft import irfft, real_traffic_savings, rfft, rfft2
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [4, 8, 16, 64, 512, 2048])
+    def test_matches_numpy(self, rng, n):
+        x = rng.standard_normal(n)
+        assert np.allclose(rfft(x), np.fft.rfft(x), atol=1e-9 * n)
+
+    def test_output_length(self, rng):
+        assert rfft(rng.standard_normal(64)).shape == (33,)
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((5, 128))
+        assert np.allclose(rfft(x), np.fft.rfft(x, axis=-1), atol=1e-7)
+
+    def test_dc_and_nyquist_are_real(self, rng):
+        spectrum = rfft(rng.standard_normal(256))
+        assert spectrum[0].imag == pytest.approx(0.0, abs=1e-10)
+        assert spectrum[-1].imag == pytest.approx(0.0, abs=1e-10)
+
+    def test_kernel_reuse(self, rng):
+        kernel = StreamingFFT1D(32)
+        x = rng.standard_normal(64)
+        assert np.allclose(rfft(x, kernel), np.fft.rfft(x), atol=1e-8)
+
+    def test_kernel_size_checked(self, rng):
+        with pytest.raises(FFTError):
+            rfft(rng.standard_normal(64), StreamingFFT1D(64))
+
+    def test_rejects_non_power(self, rng):
+        with pytest.raises(FFTError):
+            rfft(rng.standard_normal(24))
+
+    def test_rejects_tiny(self, rng):
+        with pytest.raises(FFTError):
+            rfft(rng.standard_normal(2))
+
+
+class TestIrfft:
+    @pytest.mark.parametrize("n", [4, 16, 128, 1024])
+    def test_round_trip(self, rng, n):
+        x = rng.standard_normal(n)
+        assert np.allclose(irfft(rfft(x)), x, atol=1e-9 * n)
+
+    def test_matches_numpy(self, rng):
+        spectrum = np.fft.rfft(rng.standard_normal(128))
+        assert np.allclose(irfft(spectrum), np.fft.irfft(spectrum), atol=1e-8)
+
+    def test_rejects_bad_length(self, rng):
+        with pytest.raises(FFTError):
+            irfft(np.zeros(34, dtype=complex))  # 34-1=33 is not 2^k/2
+
+
+class TestRfft2:
+    @pytest.mark.parametrize("shape", [(8, 8), (32, 64), (64, 16)])
+    def test_matches_numpy(self, rng, shape):
+        image = rng.standard_normal(shape)
+        assert np.allclose(rfft2(image), np.fft.rfft2(image), atol=1e-7)
+
+    def test_rejects_non_matrix(self, rng):
+        with pytest.raises(FFTError):
+            rfft2(rng.standard_normal(16))
+
+    def test_rejects_bad_rows(self, rng):
+        with pytest.raises(FFTError):
+            rfft2(rng.standard_normal((3, 8)))
+
+
+class TestTrafficSavings:
+    def test_approaches_half(self):
+        assert real_traffic_savings(4096) == pytest.approx(0.5, abs=0.001)
+
+    def test_small_sizes(self):
+        # n=8: intermediate is 5 of 8 columns -> 37.5% saved.
+        assert real_traffic_savings(8) == pytest.approx(0.375)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(FFTError):
+            real_traffic_savings(2)
+
+
+class TestRfftProperties:
+    @given(
+        log_n=st.integers(2, 9),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_inputs(self, log_n, seed):
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        assert np.allclose(rfft(x), np.fft.rfft(x), atol=1e-8 * n)
+
+    @given(log_n=st.integers(2, 8), seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_hermitian_symmetry_of_full_spectrum(self, log_n, seed):
+        """rfft's half spectrum extends to a Hermitian full spectrum."""
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        half = rfft(x)
+        full = np.fft.fft(x)
+        assert np.allclose(half, full[: n // 2 + 1], atol=1e-8 * n)

@@ -1,0 +1,62 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.core import AnalyticModel, format_table1, format_table2
+from repro.core.report import _fmt_time
+
+
+@pytest.fixture
+def model():
+    return AnalyticModel()
+
+
+class TestFormatTime:
+    def test_ns(self):
+        assert _fmt_time(500.0) == "500.0 ns"
+
+    def test_us(self):
+        assert _fmt_time(1500.0) == "1.50 us"
+
+    def test_ms(self):
+        assert _fmt_time(2.5e6) == "2.500 ms"
+
+
+class TestTable1Rendering:
+    def test_contains_paper_numbers(self, model):
+        text = format_table1(model.table1())
+        assert "6.4 Gb/s" in text
+        assert "3.2 Gb/s" in text
+        assert "32.00 GB/s" in text
+        assert "23.04 GB/s" in text
+        assert "40.0%" in text
+        assert "28.8%" in text
+
+    def test_sizes_in_header(self, model):
+        text = format_table1(model.table1())
+        for n in (2048, 4096, 8192):
+            assert f"{n}x{n}" in text
+
+    def test_custom_title(self, model):
+        assert format_table1(model.table1(), title="My Table").startswith("My Table")
+
+    def test_custom_sizes(self, model):
+        text = format_table1(model.table1((512,)))
+        assert "512x512" in text
+
+
+class TestTable2Rendering:
+    def test_contains_improvements(self, model):
+        text = format_table2(model.table2())
+        assert "95.1%" in text
+        assert "baseline" in text and "optimized" in text
+
+    def test_data_parallelism_shown(self, model):
+        text = format_table2(model.table2((2048,)))
+        lines = [l for l in text.splitlines() if "optimized" in l]
+        assert any("16" in l for l in lines)
+
+    def test_every_size_has_two_rows(self, model):
+        text = format_table2(model.table2())
+        assert text.count("baseline") == 3
+        assert text.count("optimized") == 3

@@ -1,0 +1,52 @@
+"""The reproduce_report builder (direct unit tests; CLI covered elsewhere)."""
+
+import pytest
+
+from repro.reporting import PAPER_IMPROVEMENT, PAPER_TABLE1, reproduce_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return reproduce_report(sizes=(512, 2048), max_requests=32_768)
+
+
+class TestReportStructure:
+    def test_is_markdown_with_sections(self, report):
+        assert report.startswith("# Reproduction report")
+        for section in (
+            "## Modelled system",
+            "## Table 1",
+            "## Table 2",
+            "## Ablation",
+            "## Energy",
+        ):
+            assert section in report
+
+    def test_tables_are_pipe_markdown(self, report):
+        assert "| N | baseline (sim) |" in report
+        assert "|---|" in report
+
+    def test_paper_reference_column_for_known_sizes(self, report):
+        assert "6.4 Gb/s / 32.0 GB/s" in report
+        # The non-paper size shows a placeholder.
+        assert "--" in report
+
+    def test_measured_values_present(self, report):
+        assert "32.00 GB/s" in report
+        assert "95.1%" in report
+
+    def test_height_ablation_marks_eq1(self, report):
+        assert "(Eq.1)" in report
+
+    def test_energy_ratio_reported(self, report):
+        assert "Energy ratio" in report
+        assert "in favour of the DDL" in report
+
+
+class TestPaperConstants:
+    def test_table1_constants(self):
+        assert PAPER_TABLE1[2048] == (6.4, 0.01, 32.0, 0.40)
+        assert PAPER_TABLE1[8192][2] == 23.04
+
+    def test_improvement_constants(self):
+        assert PAPER_IMPROVEMENT == {2048: 95.1, 4096: 97.0, 8192: 96.6}

@@ -1,0 +1,139 @@
+"""Configuration serialization round trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serialization as ser
+from repro.core.config import KernelConfig, SystemConfig
+from repro.energy.params import EnergyParameters, ddr3_energy_params
+from repro.errors import ConfigError
+from repro.memory3d.config import (
+    Memory3DConfig,
+    RefreshParameters,
+    TimingParameters,
+    hmc_gen2_config,
+    wideio_like_config,
+)
+
+
+class TestTimingRoundTrip:
+    def test_defaults(self):
+        timing = TimingParameters()
+        assert ser.timing_from_dict(ser.timing_to_dict(timing)) == timing
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            ser.timing_from_dict({"t_in_row": 1.0, "bogus": 2.0})
+
+
+class TestRefreshRoundTrip:
+    def test_none(self):
+        assert ser.refresh_to_dict(None) is None
+        assert ser.refresh_from_dict(None) is None
+
+    def test_values(self):
+        refresh = RefreshParameters(t_refi_ns=7800.0, t_rfc_ns=160.0)
+        assert ser.refresh_from_dict(ser.refresh_to_dict(refresh)) == refresh
+
+
+class TestMemoryRoundTrip:
+    @pytest.mark.parametrize(
+        "config",
+        [Memory3DConfig(), hmc_gen2_config(), wideio_like_config(),
+         Memory3DConfig(refresh=RefreshParameters())],
+    )
+    def test_presets(self, config):
+        assert ser.memory_from_dict(ser.memory_to_dict(config)) == config
+
+    def test_dict_is_json_safe(self):
+        text = json.dumps(ser.memory_to_dict(Memory3DConfig()))
+        assert ser.memory_from_dict(json.loads(text)) == Memory3DConfig()
+
+    def test_unknown_key_rejected(self):
+        data = ser.memory_to_dict(Memory3DConfig())
+        data["banks"] = 3
+        with pytest.raises(ConfigError):
+            ser.memory_from_dict(data)
+
+    def test_validation_still_applies(self):
+        data = ser.memory_to_dict(Memory3DConfig())
+        data["vaults"] = 3
+        with pytest.raises(ConfigError):
+            ser.memory_from_dict(data)
+
+
+class TestKernelRoundTrip:
+    def test_default(self):
+        config = KernelConfig()
+        assert ser.kernel_from_dict(ser.kernel_to_dict(config)) == config
+
+    def test_clock_table_keys_become_ints(self):
+        restored = ser.kernel_from_dict(
+            json.loads(json.dumps(ser.kernel_to_dict(KernelConfig())))
+        )
+        assert 2048 in restored.clock_table_hz
+
+    def test_custom_lanes(self):
+        config = KernelConfig(lanes=32)
+        assert ser.kernel_from_dict(ser.kernel_to_dict(config)).lanes == 32
+
+
+class TestSystemRoundTrip:
+    def test_default(self):
+        config = SystemConfig()
+        assert ser.system_from_dict(ser.system_to_dict(config)) == config
+
+    def test_custom_streams(self):
+        config = SystemConfig(column_streams=4)
+        assert ser.system_from_dict(ser.system_to_dict(config)) == config
+
+    def test_file_round_trip(self, tmp_path):
+        config = SystemConfig(memory=hmc_gen2_config(), column_streams=8)
+        path = tmp_path / "system.json"
+        ser.save_system_config(config, path)
+        assert ser.load_system_config(path) == config
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            ser.load_system_config(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigError):
+            ser.load_system_config(path)
+
+
+class TestEnergyRoundTrip:
+    @pytest.mark.parametrize("params", [EnergyParameters(), ddr3_energy_params()])
+    def test_round_trip(self, params):
+        assert ser.energy_from_dict(ser.energy_to_dict(params)) == params
+
+
+class TestPropertyRoundTrip:
+    @given(
+        vaults=st.sampled_from([4, 8, 16, 32]),
+        layers=st.sampled_from([1, 2, 4, 8]),
+        row_bytes=st.sampled_from([128, 256, 512, 2048]),
+        t_scale=st.floats(0.5, 4.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_valid_memory_round_trips(self, vaults, layers, row_bytes, t_scale):
+        config = Memory3DConfig(
+            vaults=vaults,
+            layers=layers,
+            row_bytes=row_bytes,
+            timing=TimingParameters(
+                t_in_row=1.0 * t_scale,
+                t_in_vault=3.0 * t_scale,
+                t_diff_bank=8.0 * t_scale,
+                t_diff_row=20.0 * t_scale,
+            ),
+        )
+        via_json = json.loads(json.dumps(ser.memory_to_dict(config)))
+        assert ser.memory_from_dict(via_json) == config

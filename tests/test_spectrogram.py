@@ -1,0 +1,101 @@
+"""Spectrogram application plus the BitonicSorter."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spectrogram import (
+    dominant_frequency_track,
+    spectrogram,
+    window_coefficients,
+)
+from repro.errors import ConfigError
+from repro.permutation.bitonic import BitonicSorter
+from repro.permutation.network import PermutationError
+
+
+class TestWindows:
+    def test_rectangular(self):
+        assert np.allclose(window_coefficients(8, "rectangular"), 1.0)
+
+    def test_hann_endpoints(self):
+        w = window_coefficients(64, "hann")
+        assert w[0] == pytest.approx(0.0)
+        assert w[32] == pytest.approx(1.0)
+
+    def test_hamming_floor(self):
+        w = window_coefficients(64, "hamming")
+        assert w.min() == pytest.approx(0.08, abs=1e-9)
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ConfigError):
+            window_coefficients(8, "kaiser")
+
+
+class TestSpectrogram:
+    def test_pure_tone_tracks(self):
+        fs = 1024.0
+        t = np.arange(8192) / fs
+        tone = np.cos(2 * np.pi * 128.0 * t)
+        power = spectrogram(tone, frame=256, hop=128)
+        track = dominant_frequency_track(power, fs)
+        assert np.allclose(track, 128.0)
+
+    def test_chirp_frequency_increases(self):
+        fs = 2048.0
+        t = np.arange(16384) / fs
+        chirp = np.cos(2 * np.pi * (50.0 + 400.0 * t / t[-1]) * t)
+        power = spectrogram(chirp, frame=256, hop=256)
+        track = dominant_frequency_track(power, fs)
+        assert track[-1] > track[0] + 100.0
+
+    def test_frame_count(self):
+        power = spectrogram(np.zeros(1024), frame=256, hop=128)
+        assert power.shape == (7, 256)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            spectrogram(np.zeros(100), frame=256)
+        with pytest.raises(ConfigError):
+            spectrogram(np.zeros(1024), frame=100)
+        with pytest.raises(ConfigError):
+            spectrogram(np.zeros((4, 256)))
+        with pytest.raises(ConfigError):
+            spectrogram(np.zeros(1024), frame=256, hop=0)
+
+    def test_track_validation(self):
+        with pytest.raises(ConfigError):
+            dominant_frequency_track(np.zeros(8), 100.0)
+
+
+class TestBitonicSorter:
+    def test_sorts_random(self, rng):
+        sorter = BitonicSorter(32)
+        data = rng.standard_normal(32)
+        assert np.allclose(sorter.sort(data), np.sort(data))
+
+    def test_sorts_batch(self, rng):
+        sorter = BitonicSorter(16)
+        batch = rng.standard_normal((5, 16))
+        assert np.allclose(sorter.sort(batch), np.sort(batch, axis=-1))
+
+    def test_argsort(self, rng):
+        sorter = BitonicSorter(16)
+        keys = rng.permutation(16).astype(float)
+        order = sorter.argsort(keys)
+        assert np.allclose(keys[order], np.sort(keys))
+
+    def test_already_sorted(self):
+        sorter = BitonicSorter(8)
+        data = np.arange(8, dtype=float)
+        assert np.allclose(sorter.sort(data), data)
+
+    def test_costs_match_network(self):
+        sorter = BitonicSorter(32)
+        assert sorter.stage_count == 15
+        assert sorter.comparator_count == 15 * 16
+
+    def test_length_checked(self):
+        with pytest.raises(PermutationError):
+            BitonicSorter(8).sort(np.zeros(4))
+        with pytest.raises(PermutationError):
+            BitonicSorter(8).argsort(np.zeros(4))

@@ -1,0 +1,111 @@
+"""Cycle-level R2SDF streaming pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FFTError
+from repro.fft.streaming import ParallelStreamingFFT, R2SDFPipeline, R2SDFStage
+
+
+class TestStage:
+    def test_rejects_bad_delay(self):
+        with pytest.raises(FFTError):
+            R2SDFStage(delay=0, block=0)
+
+    def test_rejects_mismatched_block(self):
+        with pytest.raises(FFTError):
+            R2SDFStage(delay=4, block=4)
+
+    def test_two_point_stage_is_butterfly(self):
+        """An N=2 pipeline is a single stage with delay 1: feeding (a, b)
+        must emit a+b at the butterfly cycle and a-b on the next."""
+        stage = R2SDFStage(delay=1, block=2)
+        stage.step(3.0 + 0j)  # fill cycle (emits initial zero)
+        s = stage.step(1.0 + 0j)
+        assert s == 4.0  # a + b
+        d = stage.step(0j)
+        assert d == 2.0  # (a - b) * W_2^0
+
+    def test_reset_clears_state(self):
+        stage = R2SDFStage(delay=2, block=4)
+        stage.step(1.0 + 0j)
+        stage.reset()
+        assert stage.step(0j) == 0j
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 128, 512])
+    def test_matches_numpy(self, rng, n):
+        pipeline = R2SDFPipeline(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(pipeline.transform_stream(x), np.fft.fft(x), atol=1e-9 * n)
+
+    def test_latency_is_n_minus_1(self):
+        for n in (4, 16, 256):
+            assert R2SDFPipeline(n).latency_cycles == n - 1
+
+    def test_back_to_back_frames(self, rng):
+        """No bubbles between frames: sustained 1 sample/cycle."""
+        pipeline = R2SDFPipeline(64)
+        frames = rng.standard_normal((6, 64)) + 1j * rng.standard_normal((6, 64))
+        got = pipeline.transform_stream(frames)
+        assert np.allclose(got, np.fft.fft(frames, axis=-1), atol=1e-10 * 64)
+
+    def test_agrees_with_array_kernel(self, rng):
+        from repro.fft import StreamingFFT1D
+
+        n = 128
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        cycle_level = R2SDFPipeline(n).transform_stream(x)
+        array_level = StreamingFFT1D(n, radix=2).transform(x)
+        assert np.allclose(cycle_level, array_level, atol=1e-9 * n)
+
+    def test_impulse(self):
+        pipeline = R2SDFPipeline(32)
+        x = np.zeros(32, dtype=complex)
+        x[0] = 1.0
+        assert np.allclose(pipeline.transform_stream(x), np.ones(32))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(FFTError):
+            R2SDFPipeline(24)
+
+    def test_rejects_wrong_frame_length(self):
+        pipeline = R2SDFPipeline(16)
+        with pytest.raises(FFTError):
+            pipeline.transform_stream(np.zeros(8, dtype=complex))
+
+    def test_stage_delays_halve(self):
+        pipeline = R2SDFPipeline(64)
+        delays = [stage.delay for stage in pipeline.stages]
+        assert delays == [32, 16, 8, 4, 2, 1]
+
+
+class TestParallelLanes:
+    def test_transforms_column_batch(self, rng):
+        n, k = 64, 40
+        parallel = ParallelStreamingFFT(n, lanes=16)
+        columns = rng.standard_normal((n, k)) + 1j * rng.standard_normal((n, k))
+        got = parallel.transform_columns(columns)
+        assert np.allclose(got, np.fft.fft(columns, axis=0), atol=1e-9 * n)
+
+    def test_elements_per_cycle(self):
+        assert ParallelStreamingFFT(64, lanes=16).elements_per_cycle == 16
+
+    def test_partial_final_group(self, rng):
+        parallel = ParallelStreamingFFT(32, lanes=8)
+        columns = rng.standard_normal((32, 3)) + 0j
+        got = parallel.transform_columns(columns)
+        assert np.allclose(got, np.fft.fft(columns, axis=0), atol=1e-8)
+
+    def test_rejects_wrong_shape(self):
+        parallel = ParallelStreamingFFT(32, lanes=4)
+        with pytest.raises(FFTError):
+            parallel.transform_columns(np.zeros((16, 4), dtype=complex))
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(FFTError):
+            ParallelStreamingFFT(32, lanes=0)
+
+    def test_latency_matches_single_pipeline(self):
+        assert ParallelStreamingFFT(128, lanes=4).latency_cycles == 127

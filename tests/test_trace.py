@@ -1,0 +1,200 @@
+"""Request, TraceArray and the trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.layouts import BlockDDLLayout, RowMajorLayout, TiledLayout
+from repro.trace import (
+    Request,
+    TraceArray,
+    block_column_read_trace,
+    block_write_trace,
+    column_walk_trace,
+    linear_trace,
+    row_walk_trace,
+    strided_trace,
+    tiled_walk_trace,
+)
+
+
+class TestRequest:
+    def test_valid(self):
+        r = Request(64, is_write=True)
+        assert r.address == 64 and r.is_write
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceError):
+            Request(-8)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(TraceError):
+            Request(13)
+
+
+class TestTraceArray:
+    def test_from_requests_round_trip(self):
+        reqs = [Request(0), Request(8, True), Request(16)]
+        trace = TraceArray.from_requests(reqs)
+        assert list(trace) == reqs
+
+    def test_len_and_bytes(self):
+        trace = linear_trace(0, 10)
+        assert len(trace) == 10
+        assert trace.total_bytes == 80
+
+    def test_slice(self):
+        trace = linear_trace(0, 10)
+        assert list(trace[2:4].addresses) == [16, 24]
+
+    def test_head(self):
+        assert len(linear_trace(0, 10).head(3)) == 3
+
+    def test_head_rejects_negative(self):
+        with pytest.raises(TraceError):
+            linear_trace(0, 10).head(-1)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(TraceError):
+            TraceArray(np.array([1, 2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceError):
+            TraceArray(np.array([-8]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceError):
+            TraceArray(np.zeros((2, 2), dtype=np.int64))
+
+    def test_write_flag_broadcast(self):
+        trace = linear_trace(0, 5, is_write=True)
+        assert trace.is_write.all()
+
+    def test_write_array_shape_checked(self):
+        with pytest.raises(TraceError):
+            TraceArray(np.array([0, 8]), np.array([True]))
+
+    def test_concatenate(self):
+        joined = TraceArray.concatenate([linear_trace(0, 3), linear_trace(80, 2)])
+        assert len(joined) == 5
+        assert joined.addresses[-1] == 88
+
+    def test_concatenate_empty(self):
+        assert len(TraceArray.concatenate([])) == 0
+
+    def test_equality(self):
+        assert linear_trace(0, 4) == linear_trace(0, 4)
+        assert linear_trace(0, 4) != linear_trace(8, 4)
+
+
+class TestLinearAndStrided:
+    def test_linear_unit_stride(self):
+        assert list(linear_trace(0, 4).addresses) == [0, 8, 16, 24]
+
+    def test_linear_element_stride(self):
+        assert list(linear_trace(0, 3, stride_elements=4).addresses) == [0, 32, 64]
+
+    def test_strided_bytes(self):
+        assert list(strided_trace(8, 3, 256).addresses) == [8, 264, 520]
+
+    def test_strided_rejects_unaligned(self):
+        with pytest.raises(TraceError):
+            strided_trace(0, 3, 13)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TraceError):
+            linear_trace(0, -1)
+
+
+class TestWalks:
+    def test_row_walk_row_major_is_sequential(self):
+        layout = RowMajorLayout(8, 8)
+        trace = row_walk_trace(layout)
+        assert np.array_equal(trace.addresses, np.arange(64) * 8)
+
+    def test_column_walk_row_major_strides(self):
+        layout = RowMajorLayout(8, 8)
+        trace = column_walk_trace(layout, cols=range(1))
+        assert np.array_equal(trace.addresses, np.arange(8) * 64)
+
+    def test_column_walk_covers_all(self):
+        layout = RowMajorLayout(16, 16)
+        trace = column_walk_trace(layout)
+        assert sorted(trace.addresses.tolist()) == list(range(0, 16 * 16 * 8, 8))
+
+    def test_row_walk_band(self):
+        layout = RowMajorLayout(8, 8)
+        trace = row_walk_trace(layout, rows=range(2, 4))
+        assert trace.addresses[0] == 2 * 8 * 8
+
+    def test_write_flag_propagates(self):
+        layout = RowMajorLayout(4, 4)
+        assert row_walk_trace(layout, is_write=True).is_write.all()
+
+    def test_tiled_walk_visits_each_once(self):
+        layout = TiledLayout(8, 8, 4, 4)
+        trace = tiled_walk_trace(layout, 4, 4)
+        assert sorted(trace.addresses.tolist()) == list(range(0, 8 * 8 * 8, 8))
+
+    def test_tiled_walk_rejects_nondividing_tile(self):
+        layout = RowMajorLayout(8, 8)
+        with pytest.raises(TraceError):
+            tiled_walk_trace(layout, 3, 4)
+
+
+class TestBlockTraces:
+    @pytest.fixture
+    def layout(self):
+        return BlockDDLLayout(64, 64, width=2, height=16)
+
+    def test_block_write_is_contiguous_per_block(self, layout):
+        trace = block_write_trace(layout, block_rows=range(1))
+        block_bytes = layout.block_elements * 8
+        first = trace.addresses[: layout.block_elements]
+        assert np.array_equal(first, np.arange(layout.block_elements) * 8)
+        assert trace.addresses[layout.block_elements] == block_bytes
+
+    def test_block_write_covers_slab(self, layout):
+        trace = block_write_trace(layout, block_rows=range(1))
+        assert len(trace) == layout.height * layout.n_cols
+        assert trace.is_write.all()
+
+    def test_block_write_full_matrix(self, layout):
+        trace = block_write_trace(layout)
+        assert len(trace) == layout.n_elements
+        assert len(set(trace.addresses.tolist())) == layout.n_elements
+
+    def test_whole_block_read_covers_streams(self, layout):
+        trace = block_column_read_trace(layout, n_streams=4, block_cols=range(4))
+        expected = 4 * layout.n_block_rows * layout.block_elements
+        assert len(trace) == expected
+
+    def test_column_slice_read_same_coverage(self, layout):
+        whole = block_column_read_trace(layout, n_streams=4, block_cols=range(4))
+        sliced = block_column_read_trace(
+            layout, n_streams=4, whole_blocks=False, block_cols=range(4)
+        )
+        assert sorted(whole.addresses.tolist()) == sorted(sliced.addresses.tolist())
+
+    def test_column_slice_bursts_are_contiguous(self, layout):
+        trace = block_column_read_trace(
+            layout, n_streams=1, whole_blocks=False, block_cols=range(1)
+        )
+        h = layout.height
+        burst = trace.addresses[:h]
+        assert np.array_equal(np.diff(burst), np.full(h - 1, 8))
+
+    def test_streams_interleave_round_robin(self, layout):
+        trace = block_column_read_trace(layout, n_streams=2, block_cols=range(2))
+        per_visit = layout.block_elements
+        first_visit = trace.addresses[:per_visit]
+        second_visit = trace.addresses[per_visit : 2 * per_visit]
+        assert first_visit[0] == layout.block_base_address(0, 0)
+        assert second_visit[0] == layout.block_base_address(0, 1)
+
+    def test_rejects_zero_streams(self, layout):
+        with pytest.raises(TraceError):
+            block_column_read_trace(layout, n_streams=0)
+
+    def test_empty_block_cols(self, layout):
+        assert len(block_column_read_trace(layout, 4, block_cols=range(0))) == 0

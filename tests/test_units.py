@@ -1,0 +1,86 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_ns_to_s(self):
+        assert units.ns_to_s(1e9) == 1.0
+
+    def test_s_to_ns(self):
+        assert units.s_to_ns(2.0) == 2e9
+
+    def test_round_trip(self):
+        assert units.ns_to_s(units.s_to_ns(3.5)) == 3.5
+
+    def test_period_of_1ghz_is_1ns(self):
+        assert units.period_ns(units.ghz(1.0)) == pytest.approx(1.0)
+
+    def test_period_of_250mhz(self):
+        assert units.period_ns(units.mhz(250.0)) == pytest.approx(4.0)
+
+    def test_period_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.period_ns(0.0)
+
+
+class TestBandwidth:
+    def test_gbps_round_trip(self):
+        assert units.to_gbps(units.gbps(5.0)) == pytest.approx(5.0)
+
+    def test_gbitps_is_eight_times_gbps(self):
+        rate = units.gbps(1.0)
+        assert units.to_gbitps(rate) == pytest.approx(8.0)
+
+    def test_bandwidth_bytes_per_s(self):
+        # 80 bytes in 1 ns = 80 GB/s.
+        assert units.bandwidth_bytes_per_s(80, 1.0) == pytest.approx(80e9)
+
+    def test_bandwidth_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            units.bandwidth_bytes_per_s(1, 0.0)
+
+
+class TestSizes:
+    def test_element_bytes_is_complex64_pair(self):
+        assert units.ELEMENT_BYTES == 8
+
+    def test_elements_to_bytes(self):
+        assert units.elements_to_bytes(32) == 256
+
+    def test_bytes_to_elements(self):
+        assert units.bytes_to_elements(256) == 32
+
+    def test_bytes_to_elements_rejects_partial(self):
+        with pytest.raises(ValueError):
+            units.bytes_to_elements(257)
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 30])
+    def test_accepts_powers(self, value):
+        assert units.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1023])
+    def test_rejects_non_powers(self, value):
+        assert not units.is_power_of_two(value)
+
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (1000, 1024)]
+    )
+    def test_next_power_of_two(self, value, expected):
+        assert units.next_power_of_two(value) == expected
+
+    def test_next_power_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.next_power_of_two(0)
+
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (1024, 10)])
+    def test_ilog2(self, value, expected):
+        assert units.ilog2(value) == expected
+
+    def test_ilog2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            units.ilog2(3)

@@ -1,0 +1,138 @@
+"""Terminal visualization helpers."""
+
+import pytest
+
+from repro.layouts import RowMajorLayout
+from repro.memory3d import Memory3D, Memory3DConfig
+from repro.viz import (
+    VizError,
+    bar,
+    bar_chart,
+    percentage,
+    side_by_side,
+    sparkline,
+    vault_map,
+)
+
+
+class TestBar:
+    def test_full(self):
+        assert bar(1.0, width=10) == "#" * 10
+
+    def test_empty(self):
+        assert bar(0.0, width=10) == "." * 10
+
+    def test_half(self):
+        assert bar(0.5, width=10) == "#" * 5 + "." * 5
+
+    def test_clamps(self):
+        assert bar(2.0, width=4) == "####"
+        assert bar(-1.0, width=4) == "...."
+
+    def test_custom_glyphs(self):
+        assert bar(1.0, width=3, fill="*") == "***"
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(VizError):
+            bar(0.5, width=0)
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"short": 1.0, "a-long-label": 1.0}, width=4)
+        starts = [line.index("#") for line in chart.splitlines()]
+        assert len(set(starts)) == 1
+
+    def test_unit_suffix(self):
+        assert "GB/s" in bar_chart({"x": 3.0}, unit="GB/s")
+
+    def test_explicit_max(self):
+        chart = bar_chart({"x": 5.0}, width=10, max_value=10.0)
+        assert chart.count("#") == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(VizError):
+            bar_chart({})
+
+    def test_rejects_negative(self):
+        with pytest.raises(VizError):
+            bar_chart({"x": -1.0})
+
+    def test_all_zero_series(self):
+        chart = bar_chart({"x": 0.0}, width=8)
+        assert "#" not in chart
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] < line[-1]
+
+    def test_constant_is_full(self):
+        assert sparkline([5, 5, 5]) == "███"
+
+    def test_length(self):
+        assert len(sparkline(range(10))) == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(VizError):
+            sparkline([])
+
+
+class TestPercentage:
+    def test_format(self):
+        assert percentage(0.4) == "40.0%"
+        assert percentage(0.288, decimals=1) == "28.8%"
+
+
+class TestVaultMap:
+    def test_row_major_first_row(self):
+        memory = Memory3D(Memory3DConfig())
+        layout = RowMajorLayout(64, 64)
+        text = vault_map(layout, memory, rows=1, cols=64)
+        # 64 elements = 512 B = 2 chunks: vault 0 then vault 1.
+        assert text == "0" * 32 + "1" * 32
+
+    def test_extent_checked(self):
+        memory = Memory3D(Memory3DConfig())
+        layout = RowMajorLayout(8, 8)
+        with pytest.raises(VizError):
+            vault_map(layout, memory, rows=16, cols=8)
+
+    def test_too_many_vaults_rejected(self):
+        memory = Memory3D(Memory3DConfig(vaults=32))
+        layout = RowMajorLayout(8, 8)
+        with pytest.raises(VizError):
+            vault_map(layout, memory, rows=1, cols=8)
+
+
+class TestSideBySide:
+    def test_joins_lines(self):
+        joined = side_by_side("a\nb", "x\ny")
+        assert joined.splitlines() == ["a    x", "b    y"]
+
+    def test_uneven_heights(self):
+        joined = side_by_side("a", "x\ny")
+        assert len(joined.splitlines()) == 2
+
+
+class TestSparklineBounds:
+    def test_pinned_scale(self):
+        low = sparkline([0.02] * 5, bounds=(0.0, 1.0))
+        high = sparkline([0.98] * 5, bounds=(0.0, 1.0))
+        assert low != high
+        assert high == "█" * 5
+
+    def test_values_clamped(self):
+        assert sparkline([2.0], bounds=(0.0, 1.0)) == "█"
+        assert sparkline([-1.0], bounds=(0.0, 1.0)) == " "
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(VizError):
+            sparkline([1.0], bounds=(1.0, 1.0))
