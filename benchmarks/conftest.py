@@ -14,6 +14,21 @@ import pytest
 from repro.core.config import SystemConfig
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: smaller workloads and looser timing thresholds",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request: pytest.FixtureRequest) -> bool:
+    """True when the run was invoked with ``--quick`` (CI smoke mode)."""
+    return bool(request.config.getoption("--quick"))
+
+
 def banner(title: str) -> str:
     line = "=" * max(64, len(title) + 4)
     return f"\n{line}\n{title}\n{line}"

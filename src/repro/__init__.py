@@ -78,6 +78,7 @@ from repro.memory3d import (
 from repro.fft.streaming import ParallelStreamingFFT, R2SDFPipeline
 from repro.matmul import MatMulArchitecture, matmul_baseline, matmul_optimized
 from repro.memory3d.scheduler import OpenPageScheduler
+from repro.obs import EventTrace, MetricsRegistry, SpanTimeline, chrome_trace
 from repro.permutation import ControllingUnit, PermutationNetwork
 from repro.permutation.bitonic import BitonicPermutationRouter
 from repro.reporting import reproduce_report
@@ -107,6 +108,7 @@ __all__ = [
     "EnergyBreakdown",
     "EnergyModel",
     "EnergyParameters",
+    "EventTrace",
     "FFT2D",
     "FFT3D",
     "FFT3DModel",
@@ -121,6 +123,7 @@ __all__ = [
     "Memory3D",
     "Memory3DConfig",
     "MemoryImage",
+    "MetricsRegistry",
     "OpenPageScheduler",
     "OptimizedArchitecture",
     "ParallelStreamingFFT",
@@ -132,6 +135,7 @@ __all__ = [
     "RadarTarget",
     "Request",
     "RowMajorLayout",
+    "SpanTimeline",
     "StreamingFFT1D",
     "StreamingPipeline",
     "SystemConfig",
@@ -141,6 +145,7 @@ __all__ = [
     "TraceArray",
     "block_column_read_trace",
     "block_write_trace",
+    "chrome_trace",
     "column_walk_trace",
     "ddr3_like_config",
     "fft2d_spec",

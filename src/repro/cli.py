@@ -10,6 +10,7 @@ Commands regenerate the paper's evaluation artifacts:
 * ``simulate``         -- trace-driven validation of one size
 * ``plan``             -- automatic layout optimization for a kernel
 * ``energy``           -- column-phase energy, baseline vs DDL
+* ``trace``            -- record a run and export a Chrome/Perfetto trace
 """
 
 from __future__ import annotations
@@ -88,7 +89,111 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         baseline = BaselineArchitecture(n).evaluate(max_requests=args.max_requests)
         optimized = OptimizedArchitecture(n).evaluate(max_requests=args.max_requests)
         print(format_table2([(baseline, optimized)], title=f"Simulated N={n}"))
+        if args.metrics:
+            print()
+            print(_column_phase_metrics(n, args.max_requests))
         print()
+    return 0
+
+
+def _instrumented_column_run(
+    n: int, layout_kind: str, max_requests: int, discipline: str | None = None
+):
+    """Column-phase run of one layout with an event recorder attached.
+
+    Returns ``(recorder, spans, stats, discipline, memory)`` for the
+    exactly-simulated (unsampled) request prefix, so recorded event
+    counts agree with the returned :class:`AccessStats` counters.
+    """
+    from repro.layouts import (
+        BlockDDLLayout,
+        RowMajorLayout,
+        optimal_block_geometry,
+    )
+    from repro.memory3d import Memory3D
+    from repro.obs import EventTrace, SpanTimeline
+    from repro.trace import block_column_read_trace, column_walk_trace
+
+    recorder = EventTrace()
+    spans = SpanTimeline()
+    memory = Memory3D(pact15_hmc_config(), recorder=recorder)
+    with spans.span("trace-run", size=n, layout=layout_kind):
+        with spans.span("generate-trace"):
+            if layout_kind == "ddl":
+                geo = optimal_block_geometry(memory.config, n)
+                layout = BlockDDLLayout(n, n, geo.width, geo.height)
+                streams = min(16, layout.blocks_per_row_band)
+                trace = block_column_read_trace(
+                    layout, n_streams=streams, block_cols=range(streams)
+                )
+                discipline = discipline or "per_vault"
+            else:
+                cols = max(1, min(n, max_requests // n))
+                trace = column_walk_trace(RowMajorLayout(n, n), cols=range(cols))
+                discipline = discipline or "in_order"
+        run = trace.head(min(len(trace), max_requests))
+        with spans.span("simulate", requests=len(run), discipline=discipline):
+            stats = memory.simulate(run, discipline)
+    return recorder, spans, stats, discipline, memory
+
+
+def _column_phase_metrics(n: int, max_requests: int) -> str:
+    """Metrics-registry dump of instrumented baseline + DDL column phases."""
+    from repro.obs import MetricsRegistry
+
+    sections = []
+    for layout_kind in ("row-major", "ddl"):
+        recorder, _, stats, discipline, _ = _instrumented_column_run(
+            n, layout_kind, max_requests
+        )
+        registry = recorder.to_metrics(MetricsRegistry())
+        registry.gauge(
+            "memory.bandwidth_gbps", help="achieved bandwidth (GB/s)"
+        ).set(stats.bandwidth_bytes_per_s / 1e9)
+        sections.append(
+            f"### Column-phase metrics, N={n}, {layout_kind} ({discipline})\n\n"
+            + registry.render_markdown()
+        )
+    return "\n\n".join(sections)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        MetricsRegistry,
+        event_summary_table,
+        vault_utilization_table,
+        write_chrome_trace,
+    )
+
+    recorder, spans, stats, discipline, memory = _instrumented_column_run(
+        args.size, args.layout, args.max_requests, discipline=args.discipline
+    )
+    print(
+        f"N={args.size} {args.layout} column phase ({discipline}): "
+        f"{stats.requests:,} requests in {stats.elapsed_ns:,.0f} ns "
+        f"({stats.bandwidth_gbps:.2f} GB/s, "
+        f"{100 * stats.row_hit_rate:.1f}% row hits)"
+    )
+    print()
+    print(event_summary_table(recorder))
+    print()
+    print(vault_utilization_table(recorder, stats.elapsed_ns, memory.config))
+    if args.metrics:
+        print()
+        print(recorder.to_metrics(MetricsRegistry()).render_markdown())
+    if args.out:
+        write_chrome_trace(
+            args.out,
+            recorder,
+            spans=spans,
+            metadata={
+                "size": args.size,
+                "layout": args.layout,
+                "discipline": discipline,
+                "requests": stats.requests,
+            },
+        )
+        print(f"\nwrote {args.out} ({len(recorder):,} events)")
     return 0
 
 
@@ -264,6 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=262_144,
         help="exactly-simulated requests per phase (rest extrapolated)",
     )
+    ps.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print instrumented column-phase metrics tables",
+    )
     ps.set_defaults(func=_cmd_simulate)
 
     pp = sub.add_parser("plan", help="automatic layout optimization")
@@ -305,6 +415,34 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--out", type=str, default=None,
                     help="write the report to a file instead of stdout")
     pr.set_defaults(func=_cmd_reproduce)
+
+    px = sub.add_parser(
+        "trace", help="record one run, export Chrome trace + metrics"
+    )
+    px.add_argument("--size", type=int, default=2048, help="2D FFT size N")
+    px.add_argument(
+        "--layout",
+        choices=["row-major", "ddl"],
+        default="ddl",
+        help="data layout for the column-phase run",
+    )
+    px.add_argument(
+        "--discipline",
+        choices=["in_order", "per_vault"],
+        default=None,
+        help="override the layout's default issue discipline",
+    )
+    px.add_argument("--max-requests", type=int, default=65_536)
+    px.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the metrics-registry dump",
+    )
+    px.add_argument(
+        "--out", type=str, default=None,
+        help="write a Chrome trace_event JSON (Perfetto-loadable) here",
+    )
+    px.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -19,6 +19,7 @@ from repro.layouts.block_ddl import BlockDDLLayout
 from repro.layouts.row_major import RowMajorLayout
 from repro.memory3d.memory import Memory3D
 from repro.memory3d.stats import AccessStats
+from repro.obs.spans import SpanTimeline, span_or_null
 from repro.trace.generators import (
     block_column_read_trace,
     block_write_trace,
@@ -53,14 +54,22 @@ def simulate_baseline_column_phase(
     config: SystemConfig,
     n: int,
     max_requests: int = DEFAULT_SAMPLE_REQUESTS,
+    spans: SpanTimeline | None = None,
 ) -> PhaseMetrics:
-    """Phase 2 of the baseline: stride-``n`` walks over a row-major image."""
+    """Phase 2 of the baseline: stride-``n`` walks over a row-major image.
+
+    Pass a :class:`~repro.obs.spans.SpanTimeline` to time the trace
+    generation and engine run as nested host-time spans.
+    """
     memory = Memory3D(config.memory)
     layout = RowMajorLayout(n, n)
     total = n * n
     sample_cols = max(1, min(n, max_requests // n))
-    trace = column_walk_trace(layout, cols=range(sample_cols))
-    stats = _sampled(memory.simulate(trace, "in_order"), len(trace), total)
+    with span_or_null(spans, "column-phase/baseline", n=n):
+        with span_or_null(spans, "generate-trace", cols=sample_cols):
+            trace = column_walk_trace(layout, cols=range(sample_cols))
+        with span_or_null(spans, "simulate", requests=len(trace)):
+            stats = _sampled(memory.simulate(trace, "in_order"), len(trace), total)
     # After extrapolation, elapsed covers all n uniform columns.
     first_column_ns = stats.elapsed_ns / n
     return PhaseMetrics(
@@ -79,8 +88,13 @@ def simulate_optimized_column_phase(
     layout: BlockDDLLayout,
     whole_blocks: bool = True,
     max_requests: int = DEFAULT_SAMPLE_REQUESTS,
+    spans: SpanTimeline | None = None,
 ) -> PhaseMetrics:
-    """Phase 2 under the DDL: parallel block-column streams, per-vault queues."""
+    """Phase 2 under the DDL: parallel block-column streams, per-vault queues.
+
+    Pass a :class:`~repro.obs.spans.SpanTimeline` to time the trace
+    generation and engine run as nested host-time spans.
+    """
     if (layout.n_rows, layout.n_cols) != (n, n):
         raise SimulationError(
             f"layout covers {layout.n_rows}x{layout.n_cols}, expected {n}x{n}"
@@ -91,15 +105,18 @@ def simulate_optimized_column_phase(
     # One "round" of streams covers `streams` block columns.
     round_elements = streams * layout.n_block_rows * layout.block_elements
     rounds_total = max(1, layout.blocks_per_row_band // streams)
-    trace = block_column_read_trace(
-        layout,
-        n_streams=streams,
-        whole_blocks=whole_blocks,
-        block_cols=range(streams),
-    )
-    sample = min(len(trace), max_requests)
-    stats = memory.simulate(trace, "per_vault", sample=sample)
-    stats = _sampled(stats, round_elements, rounds_total * round_elements)
+    with span_or_null(spans, "column-phase/ddl", n=n, streams=streams):
+        with span_or_null(spans, "generate-trace"):
+            trace = block_column_read_trace(
+                layout,
+                n_streams=streams,
+                whole_blocks=whole_blocks,
+                block_cols=range(streams),
+            )
+        sample = min(len(trace), max_requests)
+        with span_or_null(spans, "simulate", requests=sample):
+            stats = memory.simulate(trace, "per_vault", sample=sample)
+        stats = _sampled(stats, round_elements, rounds_total * round_elements)
     # First column: a stream fetches its block column's first N elements
     # (w*h per block visit) at the vault beat.
     first_column_ns = n * layout.width * config.memory.timing.t_in_row
@@ -118,29 +135,43 @@ def simulate_row_phase(
     n: int,
     layout: BlockDDLLayout | None = None,
     max_requests: int = DEFAULT_SAMPLE_REQUESTS,
+    spans: SpanTimeline | None = None,
 ) -> PhaseMetrics:
     """Phase 1: streaming writes of row-FFT results.
 
     Baseline (``layout=None``) writes row-major; the optimized
     architecture writes staged block slabs.  Both are near-peak streams.
+    Pass a :class:`~repro.obs.spans.SpanTimeline` to time the trace
+    generation and engine run as nested host-time spans.
     """
     memory = Memory3D(config.memory)
     total = n * n
-    if layout is None:
-        plain = RowMajorLayout(n, n)
-        sample_rows = max(1, min(n, max_requests // n))
-        trace = row_walk_trace(plain, rows=range(sample_rows), is_write=True)
-        simulated = len(trace)
-    else:
-        if (layout.n_rows, layout.n_cols) != (n, n):
-            raise SimulationError(
-                f"layout covers {layout.n_rows}x{layout.n_cols}, expected {n}x{n}"
+    variant = "baseline" if layout is None else "ddl"
+    with span_or_null(spans, f"row-phase/{variant}", n=n):
+        with span_or_null(spans, "generate-trace"):
+            if layout is None:
+                plain = RowMajorLayout(n, n)
+                sample_rows = max(1, min(n, max_requests // n))
+                trace = row_walk_trace(
+                    plain, rows=range(sample_rows), is_write=True
+                )
+                simulated = len(trace)
+            else:
+                if (layout.n_rows, layout.n_cols) != (n, n):
+                    raise SimulationError(
+                        f"layout covers {layout.n_rows}x{layout.n_cols}, "
+                        f"expected {n}x{n}"
+                    )
+                slab = layout.height * n
+                sample_slabs = max(
+                    1, min(layout.n_block_rows, max_requests // slab)
+                )
+                trace = block_write_trace(layout, block_rows=range(sample_slabs))
+                simulated = len(trace)
+        with span_or_null(spans, "simulate", requests=simulated):
+            stats = _sampled(
+                memory.simulate(trace, "per_vault"), simulated, total
             )
-        slab = layout.height * n
-        sample_slabs = max(1, min(layout.n_block_rows, max_requests // slab))
-        trace = block_write_trace(layout, block_rows=range(sample_slabs))
-        simulated = len(trace)
-    stats = _sampled(memory.simulate(trace, "per_vault"), simulated, total)
     first_row_ns = n * ELEMENT_BYTES / config.kernel.throughput_bytes_per_s(n) * 1e9
     return PhaseMetrics(
         name="row",

@@ -22,6 +22,7 @@ from repro.framework.spec import AccessPattern, KernelSpec, PhaseSpec
 from repro.layouts import BlockDDLLayout, Layout
 from repro.memory3d.config import Memory3DConfig
 from repro.memory3d.memory import Memory3D
+from repro.obs.spans import SpanTimeline, span_or_null
 from repro.trace.generators import (
     block_column_read_trace,
     block_write_trace,
@@ -81,20 +82,25 @@ class LayoutPlanner:
         self,
         config: Memory3DConfig,
         sample_requests: int = DEFAULT_SAMPLE,
+        spans: SpanTimeline | None = None,
     ) -> None:
         if sample_requests <= 0:
             raise ConfigError("sample_requests must be positive")
         self.config = config
         self.memory = Memory3D(config)
         self.sample_requests = sample_requests
+        #: Optional host-time timeline; when set, :meth:`plan` records a
+        #: nested kernel -> matrix -> candidate span hierarchy.
+        self.spans = spans
 
     # ------------------------------------------------------------------ plan
     def plan(self, kernel: KernelSpec) -> LayoutPlan:
         """Choose a layout for every matrix of the kernel."""
-        planned = {
-            label: self._plan_matrix(kernel, label, shape)
-            for label, shape in kernel.matrices.items()
-        }
+        with span_or_null(self.spans, f"plan/{kernel.name}"):
+            planned = {
+                label: self._plan_matrix(kernel, label, shape)
+                for label, shape in kernel.matrices.items()
+            }
         return LayoutPlan(kernel=kernel.name, matrices=planned)
 
     def _plan_matrix(
@@ -108,12 +114,16 @@ class LayoutPlanner:
             )
         best: tuple[float, LayoutCandidate, dict[str, float]] | None = None
         ranking: list[tuple[str, float]] = []
-        for candidate in candidate_layouts(self.config, n_rows, n_cols):
-            layout = candidate.build(n_rows, n_cols)
-            throughput, utils = self._score(layout, phases)
-            ranking.append((candidate.name, throughput))
-            if best is None or throughput > best[0] * (1 + 1e-6):
-                best = (throughput, candidate, utils)
+        with span_or_null(
+            self.spans, f"matrix/{label}", shape=f"{n_rows}x{n_cols}"
+        ):
+            for candidate in candidate_layouts(self.config, n_rows, n_cols):
+                layout = candidate.build(n_rows, n_cols)
+                with span_or_null(self.spans, f"score/{candidate.name}"):
+                    throughput, utils = self._score(layout, phases)
+                ranking.append((candidate.name, throughput))
+                if best is None or throughput > best[0] * (1 + 1e-6):
+                    best = (throughput, candidate, utils)
         assert best is not None  # candidate list is never empty
         throughput, candidate, utils = best
         ranking.sort(key=lambda item: item[1], reverse=True)

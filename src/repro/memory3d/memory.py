@@ -37,6 +37,14 @@ from repro.memory3d.address import AddressMapping
 from repro.memory3d.config import Memory3DConfig
 from repro.memory3d.stats import AccessStats
 from repro.memory3d.vault import VaultTimingModel
+from repro.obs.events import (
+    EV_ACTIVATE,
+    EV_REFRESH_STALL,
+    EV_ROW_HIT,
+    EV_TSV_CONTENTION,
+    NULL_RECORDER,
+    Recorder,
+)
 from repro.trace.request import TraceArray
 from repro.units import ELEMENT_BYTES
 
@@ -47,11 +55,24 @@ DISCIPLINES = ("in_order", "per_vault")
 
 
 class Memory3D:
-    """Facade over the address mapping and the timing engines."""
+    """Facade over the address mapping and the timing engines.
 
-    def __init__(self, config: Memory3DConfig | None = None) -> None:
+    An optional :class:`~repro.obs.events.Recorder` (e.g. an
+    :class:`~repro.obs.events.EventTrace`) receives typed per-request
+    events -- ACTIVATE, ROW_HIT, REFRESH_STALL, TSV_CONTENTION -- from
+    both engines.  The default :data:`~repro.obs.events.NULL_RECORDER`
+    disables recording; the hot loop then pays a single pointer test per
+    request (benchmarked in ``benchmarks/bench_observability.py``).
+    """
+
+    def __init__(
+        self,
+        config: Memory3DConfig | None = None,
+        recorder: Recorder | None = None,
+    ) -> None:
         self.config = config or Memory3DConfig()
         self.mapping = AddressMapping(self.config)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------ public
     def simulate(
@@ -67,7 +88,9 @@ class Memory3D:
             discipline: ``"in_order"`` or ``"per_vault"`` (see module docs).
             sample: if given and smaller than the trace, simulate only the
                 first ``sample`` requests and linearly extrapolate counts and
-                elapsed time to the full trace length.
+                elapsed time to the full trace length.  A recorder attached
+                to this simulator sees events for the simulated prefix only
+                (events are never extrapolated).
         """
         if discipline not in DISCIPLINES:
             raise SimulationError(
@@ -92,12 +115,17 @@ class Memory3D:
         """Reference engine built on :class:`VaultTimingModel` (slow, exact).
 
         Used by the tests to validate the array-state hot loop; behaviour is
-        identical by construction of the shared rules.
+        identical by construction of the shared rules.  Feeds the same
+        event stream to an attached recorder as the fast engine does, so
+        the instrumentation is cross-checked the same way the timing is.
         """
         if discipline not in DISCIPLINES:
             raise SimulationError(
                 f"unknown discipline {discipline!r}; expected one of {DISCIPLINES}"
             )
+        recorder = self.recorder
+        record_event = recorder.record if recorder.enabled else None
+        timing = self.config.timing
         vaults = [
             VaultTimingModel(self.config, vid) for vid in range(self.config.vaults)
         ]
@@ -116,6 +144,33 @@ class Memory3D:
             if arrivals is not None and arrivals[i] > ready:
                 ready = float(arrivals[i])
             result = vaults[vid].service(bank, row, ready)
+            if record_event is not None:
+                if result.hit:
+                    if result.tsv_wait_ns > 0.0:
+                        record_event(
+                            EV_TSV_CONTENTION, vid, bank, row, ready,
+                            result.tsv_wait_ns,
+                        )
+                else:
+                    record_event(
+                        EV_ACTIVATE, vid, bank, row, result.activate_ns,
+                        timing.t_diff_row,
+                    )
+                    if result.tsv_wait_ns > 0.0:
+                        record_event(
+                            EV_TSV_CONTENTION, vid, bank, row,
+                            result.activate_ns, result.tsv_wait_ns,
+                        )
+                if result.refresh_stall_ns > 0.0:
+                    record_event(
+                        EV_REFRESH_STALL, vid, bank, row,
+                        result.refresh_stall_start_ns, result.refresh_stall_ns,
+                    )
+                if result.hit:
+                    record_event(
+                        EV_ROW_HIT, vid, bank, row,
+                        result.completion_ns - timing.t_in_row, timing.t_in_row,
+                    )
             if arrivals is not None:
                 latency = result.completion_ns - float(arrivals[i])
                 latency_sum += latency
@@ -161,12 +216,16 @@ class Memory3D:
             tags: integer tenant id per request.
 
         Returns:
-            Per-tenant :class:`AccessStats`.  Each tenant's elapsed time
-            spans its own first-to-last completion, so the per-tenant
-            bandwidth reflects what that tenant actually extracted while
-            sharing the device.  Row-activation/hit counts are global
-            (attributed to the shared banks) and reported only on the
-            merged key ``-1``.
+            Per-tenant :class:`AccessStats`.  Each tenant's
+            ``elapsed_ns`` spans its own first-to-last completion (with
+            ``first_response_ns`` kept as the absolute first completion),
+            so a late-starting tenant's bandwidth reflects what it
+            actually extracted while it was active -- not the time other
+            tenants ran before it.  A single-request tenant has a zero
+            span and therefore reports zero bandwidth (a duration-free
+            sample has no rate).  Row-activation/hit counts are
+            global (attributed to the shared banks) and reported only on
+            the merged key ``-1``.
         """
         tags = np.asarray(tags, dtype=np.int64)
         if tags.shape != trace.addresses.shape:
@@ -187,7 +246,7 @@ class Memory3D:
             result[int(tag)] = AccessStats(
                 requests=count,
                 bytes_transferred=count * ELEMENT_BYTES,
-                elapsed_ns=float(times.max()),
+                elapsed_ns=float(times.max() - times.min()),
                 row_activations=0,
                 row_hits=0,
                 first_response_ns=float(times.min()),
@@ -259,6 +318,11 @@ class Memory3D:
 
         With ``record=True`` the per-request completion times are returned
         alongside the stats (for :meth:`bandwidth_timeline`).
+
+        Event recording is gated on a single local (``record_event``):
+        with the default :class:`~repro.obs.events.NullRecorder` the loop
+        body performs exactly one extra pointer comparison per request,
+        keeping the uninstrumented path at seed throughput.
         """
         cfg = self.config
         timing = cfg.timing
@@ -269,6 +333,10 @@ class Memory3D:
         n_layers = cfg.layers
         banks_per_vault = cfg.banks_per_vault
         in_order = discipline == "in_order"
+        recorder = self.recorder
+        record_event = recorder.record if recorder.enabled else None
+        stall = 0.0
+        stall_ts = 0.0
         refresh = cfg.refresh
         if refresh is not None:
             refi = refresh.t_refi_ns
@@ -313,14 +381,28 @@ class Memory3D:
                 ready = arrival_list[i]
             if open_row[gbank] == row:
                 hits += 1
-                beat = tsv_next[vid]
-                if ready > beat:
-                    beat = ready
+                tsv_prev = tsv_next[vid]
+                beat = tsv_prev if tsv_prev > ready else ready
                 if refresh is not None:
+                    stall = 0.0
                     phase = (beat - refresh_offset[vid]) % refi
                     if phase < rfc:
-                        beat += rfc - phase
+                        stall = rfc - phase
+                        stall_ts = beat
+                        beat += stall
                 completion = beat + t_in_row
+                if record_event is not None:
+                    bank = bank_list[i]
+                    if tsv_prev > ready:
+                        record_event(
+                            EV_TSV_CONTENTION, vid, bank, row, ready,
+                            tsv_prev - ready,
+                        )
+                    if stall > 0.0:
+                        record_event(
+                            EV_REFRESH_STALL, vid, bank, row, stall_ts, stall
+                        )
+                    record_event(EV_ROW_HIT, vid, bank, row, beat, t_in_row)
             else:
                 act = bank_next_act[gbank]
                 if ready > act:
@@ -334,23 +416,40 @@ class Memory3D:
                     if gated > act:
                         act = gated
                 if refresh is not None:
+                    stall = 0.0
+                    stall_ts = act
                     phase = (act - refresh_offset[vid]) % refi
                     if phase < rfc:
-                        act += rfc - phase
+                        stall = rfc - phase
+                        act += stall
                 open_row[gbank] = row
                 bank_next_act[gbank] = act + t_diff_row
                 last_act_time[vid] = act
                 last_act_layer[vid] = bank % n_layers
                 last_act_bank[vid] = bank
                 activations += 1
-                beat = tsv_next[vid]
-                if act > beat:
-                    beat = act
+                tsv_prev = tsv_next[vid]
+                beat = tsv_prev if tsv_prev > act else act
                 if refresh is not None:
                     phase = (beat - refresh_offset[vid]) % refi
                     if phase < rfc:
-                        beat += rfc - phase
+                        extra = rfc - phase
+                        if stall == 0.0:
+                            stall_ts = beat
+                        stall += extra
+                        beat += extra
                 completion = beat + t_in_row
+                if record_event is not None:
+                    record_event(EV_ACTIVATE, vid, bank, row, act, t_diff_row)
+                    if tsv_prev > act:
+                        record_event(
+                            EV_TSV_CONTENTION, vid, bank, row, act,
+                            tsv_prev - act,
+                        )
+                    if stall > 0.0:
+                        record_event(
+                            EV_REFRESH_STALL, vid, bank, row, stall_ts, stall
+                        )
             tsv_next[vid] = completion
             if in_order:
                 stream_ready = completion

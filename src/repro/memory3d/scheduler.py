@@ -25,7 +25,11 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.memory3d.memory import Memory3D
 from repro.memory3d.stats import AccessStats
+from repro.obs.metrics import MetricsRegistry
 from repro.trace.request import TraceArray
+
+#: Upper bucket bounds for the scheduler's queue-depth histogram.
+_DEPTH_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass(frozen=True)
@@ -56,11 +60,20 @@ class OpenPageScheduler:
     issue; the reordered trace is then priced by the normal engine.
     """
 
-    def __init__(self, memory: Memory3D, window: int = 32) -> None:
+    def __init__(
+        self,
+        memory: Memory3D,
+        window: int = 32,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if window <= 0:
             raise SimulationError(f"window must be positive, got {window}")
         self.memory = memory
         self.window = window
+        #: Optional registry; when set, :meth:`reorder` records the
+        #: queue-depth distribution and issue/displacement counters under
+        #: the ``scheduler.`` prefix.
+        self.metrics = metrics
 
     # ---------------------------------------------------------------- reorder
     def reorder(self, trace: TraceArray) -> tuple[TraceArray, int]:
@@ -78,15 +91,26 @@ class OpenPageScheduler:
         order: list[int] = []
         next_index = 0
         displaced = 0
+        depth_hist = None
+        hit_issues = 0
+        if self.metrics is not None:
+            depth_hist = self.metrics.histogram(
+                "scheduler.window_depth",
+                bounds=_DEPTH_BOUNDS,
+                help="outstanding requests visible at each issue decision",
+            )
 
         while len(order) < n:
             while next_index < n and len(window) < self.window:
                 window.append(next_index)
                 next_index += 1
+            if depth_hist is not None:
+                depth_hist.observe(len(window))
             chosen_pos = None
             for pos, idx in enumerate(window):
                 if open_row.get(gbank[idx]) == rows_list[idx]:
                     chosen_pos = pos
+                    hit_issues += 1
                     break
             if chosen_pos is None:
                 chosen_pos = 0
@@ -96,6 +120,18 @@ class OpenPageScheduler:
             del window[chosen_pos]
             open_row[gbank[idx]] = rows_list[idx]
             order.append(idx)
+
+        if self.metrics is not None:
+            self.metrics.counter(
+                "scheduler.issued", help="requests issued by the scheduler"
+            ).inc(n)
+            self.metrics.counter(
+                "scheduler.displaced", help="requests issued out of arrival order"
+            ).inc(displaced)
+            self.metrics.counter(
+                "scheduler.row_hit_issues",
+                help="issue decisions that found an open-row hit in the window",
+            ).inc(hit_issues)
 
         index = np.asarray(order, dtype=np.int64)
         reordered = TraceArray(trace.addresses[index], trace.is_write[index])

@@ -65,7 +65,16 @@ class AccessStats:
         return self.bandwidth_bytes_per_s / peak_bandwidth_bytes_per_s
 
     def merged_with(self, other: "AccessStats") -> "AccessStats":
-        """Combine two sequentially-executed traces (times add)."""
+        """Combine two sequentially-executed traces (times add).
+
+        Latency semantics: counts, bytes, elapsed time and per-vault busy
+        times add; ``mean_request_latency_ns`` is the request-weighted
+        mean of the two runs and ``max_request_latency_ns`` the larger
+        maximum.  ``first_response_ns`` keeps *this* run's value and
+        deliberately drops ``other``'s -- in a sequential composition the
+        combined run's first response is the first run's first response,
+        so the second run's value has no meaning for the merged stats.
+        """
         busy = dict(self.per_vault_busy_ns)
         for vault, t in other.per_vault_busy_ns.items():
             busy[vault] = busy.get(vault, 0.0) + t
@@ -93,8 +102,13 @@ class AccessStats:
     def scaled(self, factor: float) -> "AccessStats":
         """Extrapolate a sampled simulation to ``factor`` times the work.
 
-        Counts and times scale linearly; the first-response latency does not.
-        Used when a representative slice of a huge trace was simulated.
+        Counts and times scale linearly; per-request latency quantities do
+        not.  ``first_response_ns``, ``mean_request_latency_ns`` and
+        ``max_request_latency_ns`` are properties of individual requests
+        rather than totals, and the simulated prefix is assumed
+        representative of the steady state, so all three carry over
+        unchanged.  Used when a representative slice of a huge trace was
+        simulated.
         """
         if factor <= 0:
             raise ValueError(f"scale factor must be positive, got {factor}")

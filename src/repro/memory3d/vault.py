@@ -35,11 +35,26 @@ from repro.memory3d.config import Memory3DConfig
 
 @dataclass
 class ServiceResult:
-    """Outcome of serving one request in a vault."""
+    """Outcome of serving one request in a vault.
+
+    Attributes:
+        completion_ns: when the element's data beat finished.
+        hit: True when the access was served from the open row.
+        activate_ns: activation time (misses) or beat start (hits).
+        tsv_wait_ns: time the request waited for the vault's shared TSV
+            bundle to drain an earlier beat (0 when it went straight in).
+        refresh_stall_ns: total deferral out of refresh windows (activate
+            plus beat deferrals summed).
+        refresh_stall_start_ns: when the first refresh deferral began
+            (meaningful only when ``refresh_stall_ns > 0``).
+    """
 
     completion_ns: float
     hit: bool
     activate_ns: float
+    tsv_wait_ns: float = 0.0
+    refresh_stall_ns: float = 0.0
+    refresh_stall_start_ns: float = 0.0
 
 
 class VaultTimingModel:
@@ -92,10 +107,19 @@ class VaultTimingModel:
         state = self.banks[bank]
         if state.is_hit(row):
             state.record_hit()
-            beat = self.defer_for_refresh(max(self.tsv_next_ns, ready_ns))
+            tsv_wait = max(0.0, self.tsv_next_ns - ready_ns)
+            beat_raw = max(self.tsv_next_ns, ready_ns)
+            beat = self.defer_for_refresh(beat_raw)
             completion = beat + timing.t_in_row
             self.tsv_next_ns = completion
-            return ServiceResult(completion, hit=True, activate_ns=beat)
+            return ServiceResult(
+                completion,
+                hit=True,
+                activate_ns=beat,
+                tsv_wait_ns=tsv_wait,
+                refresh_stall_ns=beat - beat_raw,
+                refresh_stall_start_ns=beat_raw,
+            )
 
         act = state.earliest_activate(ready_ns)
         if self.last_activate_ns != float("-inf") and self.last_activate_bank != bank:
@@ -106,15 +130,30 @@ class VaultTimingModel:
                 else timing.t_in_vault
             )
             act = max(act, self.last_activate_ns + gap)
+        act_raw = act
         act = self.defer_for_refresh(act)
+        stall = act - act_raw
+        stall_start = act_raw
         state.activate(row, act, timing)
         self.last_activate_ns = act
         self.last_activate_layer = self.layer_of(bank)
         self.last_activate_bank = bank
-        beat = self.defer_for_refresh(max(act, self.tsv_next_ns))
+        tsv_wait = max(0.0, self.tsv_next_ns - act)
+        beat_raw = max(act, self.tsv_next_ns)
+        beat = self.defer_for_refresh(beat_raw)
+        if beat > beat_raw and stall == 0.0:
+            stall_start = beat_raw
+        stall += beat - beat_raw
         completion = beat + timing.t_in_row
         self.tsv_next_ns = completion
-        return ServiceResult(completion, hit=False, activate_ns=act)
+        return ServiceResult(
+            completion,
+            hit=False,
+            activate_ns=act,
+            tsv_wait_ns=tsv_wait,
+            refresh_stall_ns=stall,
+            refresh_stall_start_ns=stall_start,
+        )
 
     @property
     def activations(self) -> int:

@@ -1,0 +1,67 @@
+"""Observability: event tracing, metrics, spans and timeline export.
+
+The simulator stack computes rich per-request behaviour -- which bank
+activated when, who hit an open row, where refresh and TSV contention
+stole cycles -- and, before this package, discarded everything except
+end-of-run aggregates.  ``repro.obs`` keeps that structure observable
+with zero third-party dependencies:
+
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms with dict/markdown export.
+* :mod:`repro.obs.events` -- typed per-request :class:`EventTrace`
+  recording (ACTIVATE / ROW_HIT / REFRESH_STALL / TSV_CONTENTION) with a
+  :class:`NullRecorder` fast path for the uninstrumented hot loop.
+* :mod:`repro.obs.spans` -- hierarchical :class:`SpanTimeline` phase
+  timers for the modelling pipeline.
+* :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON (open in
+  Perfetto) and per-vault utilization / row-hit breakdown tables.
+
+See ``docs/observability.md`` for the event schema and workflows, and
+``python -m repro trace`` for the one-command entry point.
+"""
+
+from repro.obs.events import (
+    NULL_RECORDER,
+    Event,
+    EventKind,
+    EventTrace,
+    NullRecorder,
+    Recorder,
+)
+from repro.obs.export import (
+    chrome_trace,
+    event_summary_table,
+    stats_vault_table,
+    vault_utilization_table,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from repro.obs.spans import Span, SpanTimeline, span_or_null
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventKind",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "SpanTimeline",
+    "chrome_trace",
+    "event_summary_table",
+    "merge_registries",
+    "span_or_null",
+    "stats_vault_table",
+    "vault_utilization_table",
+    "write_chrome_trace",
+]

@@ -136,6 +136,82 @@ class TestNewCommands:
         assert "max error" in capsys.readouterr().out
 
 
+class TestTraceCommand:
+    def test_trace_summary_and_tables(self, capsys):
+        assert main(
+            ["trace", "--size", "512", "--max-requests", "8192"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ddl column phase (per_vault)" in out
+        assert "ACTIVATE" in out
+        assert "row-hit rate" in out
+
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--size", "512", "--max-requests", "8192",
+             "--out", str(target)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(target.read_text())
+        assert doc["otherData"]["layout"] == "ddl"
+        activates = [
+            e for e in doc["traceEvents"] if e.get("name") == "ACTIVATE"
+        ]
+        assert activates
+
+    def test_trace_activate_count_matches_stats(self, tmp_path):
+        """Acceptance: ACTIVATE slices == AccessStats.row_activations."""
+        import json
+
+        from repro.cli import _instrumented_column_run
+
+        target = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--size", "512", "--layout", "ddl",
+             "--max-requests", "8192", "--out", str(target)]
+        ) == 0
+        doc = json.loads(target.read_text())
+        activates = [
+            e for e in doc["traceEvents"] if e.get("name") == "ACTIVATE"
+        ]
+        _, _, stats, _, _ = _instrumented_column_run(512, "ddl", 8192)
+        assert len(activates) == stats.row_activations
+
+    def test_trace_row_major_layout(self, capsys):
+        assert main(
+            ["trace", "--size", "512", "--layout", "row-major",
+             "--max-requests", "4096"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "row-major column phase (in_order)" in out
+
+    def test_trace_discipline_override(self, capsys):
+        assert main(
+            ["trace", "--size", "512", "--layout", "row-major",
+             "--discipline", "per_vault", "--max-requests", "4096"]
+        ) == 0
+        assert "(per_vault)" in capsys.readouterr().out
+
+    def test_trace_metrics_flag(self, capsys):
+        assert main(
+            ["trace", "--size", "512", "--max-requests", "4096", "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "`events.row_hit`" in out
+
+    def test_simulate_metrics_flag(self, capsys):
+        assert main(
+            ["simulate", "--sizes", "256", "--max-requests", "16384",
+             "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Column-phase metrics" in out
+        assert "`memory.bandwidth_gbps`" in out
+
+
 class TestGoldenOutputs:
     """Exact-text regression locks on the paper tables."""
 

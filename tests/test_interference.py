@@ -96,6 +96,35 @@ class TestTaggedSimulation:
         combined = stats[-1].bandwidth_bytes_per_s
         assert combined > 0.95 * mem_config.peak_bandwidth
 
+    def test_late_starting_tenant_bandwidth_uses_its_own_span(self, memory):
+        """A tenant that starts late must not be billed for time before
+        its first completion: elapsed_ns is its first-to-last completion
+        span, so both halves of a serialized stream report the same rate.
+        """
+        trace = linear_trace(0, 2000)
+        tags = np.concatenate(
+            [np.zeros(1000, dtype=np.int64), np.ones(1000, dtype=np.int64)]
+        )
+        stats = memory.simulate_tagged(trace, tags, discipline="in_order")
+        late = stats[1]
+        # The late tenant's span excludes the first tenant's runtime...
+        assert late.first_response_ns > stats[0].first_response_ns
+        assert late.elapsed_ns == pytest.approx(
+            stats[-1].elapsed_ns - late.first_response_ns
+        )
+        # ...so its achieved bandwidth matches the early tenant's.
+        assert late.bandwidth_bytes_per_s == pytest.approx(
+            stats[0].bandwidth_bytes_per_s, rel=0.01
+        )
+
+    def test_single_request_tenant_has_zero_span(self, memory):
+        trace = linear_trace(0, 5)
+        tags = np.array([0, 0, 0, 0, 1], dtype=np.int64)
+        stats = memory.simulate_tagged(trace, tags, discipline="in_order")
+        assert stats[1].elapsed_ns == 0.0
+        assert stats[1].bandwidth_bytes_per_s == 0.0
+        assert stats[1].first_response_ns > 0.0
+
     def test_tags_shape_checked(self, memory):
         with pytest.raises(SimulationError):
             memory.simulate_tagged(linear_trace(0, 4), np.zeros(3, dtype=np.int64))

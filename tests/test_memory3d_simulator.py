@@ -218,3 +218,44 @@ class TestBandwidthTimeline:
         )
         full = memory.bandwidth_timeline(trace, "per_vault", bucket_ns=100.0)
         assert sampled.size < full.size
+
+    def test_sampled_timeline_equals_prefix_timeline(self, memory):
+        trace = linear_trace(0, 50_000)
+        sampled = memory.bandwidth_timeline(
+            trace, "per_vault", bucket_ns=100.0, sample=10_000
+        )
+        prefix = memory.bandwidth_timeline(
+            trace.head(10_000), "per_vault", bucket_ns=100.0
+        )
+        np.testing.assert_allclose(sampled, prefix)
+
+    def test_sampled_buckets_conserve_prefix_bytes(self, memory):
+        trace = linear_trace(0, 50_000)
+        bucket = 250.0
+        sampled = memory.bandwidth_timeline(
+            trace, "per_vault", bucket_ns=bucket, sample=10_000
+        )
+        total = sampled.sum() * (bucket / 1e9)
+        assert total == pytest.approx(trace.head(10_000).total_bytes)
+
+    def test_completion_on_bucket_edge_lands_in_next_bucket(
+        self, memory, mem_config
+    ):
+        # One request completes at exactly t_in_row; a bucket width equal
+        # to that time puts the completion at the edge, which belongs to
+        # the second bucket ([1*b, 2*b)), leaving the first empty.
+        t_in_row = mem_config.timing.t_in_row
+        timeline = memory.bandwidth_timeline(
+            linear_trace(0, 1), "in_order", bucket_ns=t_in_row
+        )
+        assert timeline.size == 2
+        assert timeline[0] == 0.0
+        assert timeline[1] > 0.0
+
+    def test_random_trace_buckets_conserve_bytes(self, memory, rng):
+        addresses = rng.integers(0, 1 << 16, size=4000, dtype=np.int64) * 8
+        trace = TraceArray(addresses)
+        bucket = 50.0
+        timeline = memory.bandwidth_timeline(trace, "in_order", bucket_ns=bucket)
+        total = timeline.sum() * (bucket / 1e9)
+        assert total == pytest.approx(trace.total_bytes)

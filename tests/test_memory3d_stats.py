@@ -62,10 +62,29 @@ class TestMerge:
         assert merged.per_vault_busy_ns == {0: 600.0, 1: 500.0, 2: 50.0}
 
     def test_first_response_kept_from_first(self):
+        # Sequential composition: the merged run's first response is the
+        # first run's; the second run's value is deliberately dropped.
         merged = make_stats(first_response_ns=5.0).merged_with(
             make_stats(first_response_ns=99.0)
         )
         assert merged.first_response_ns == 5.0
+
+    def test_mean_latency_is_request_weighted(self):
+        merged = make_stats(
+            requests=100, mean_request_latency_ns=10.0
+        ).merged_with(make_stats(requests=300, mean_request_latency_ns=30.0))
+        assert merged.mean_request_latency_ns == pytest.approx(25.0)
+
+    def test_max_latency_takes_larger(self):
+        merged = make_stats(max_request_latency_ns=40.0).merged_with(
+            make_stats(max_request_latency_ns=70.0)
+        )
+        assert merged.max_request_latency_ns == 70.0
+
+    def test_merge_with_empty_stats(self):
+        merged = make_stats().merged_with(AccessStats())
+        assert merged.requests == 1000
+        assert merged.mean_request_latency_ns == make_stats().mean_request_latency_ns
 
 
 class TestScaled:
@@ -81,6 +100,19 @@ class TestScaled:
 
     def test_first_response_not_scaled(self):
         assert make_stats().scaled(10.0).first_response_ns == 5.0
+
+    def test_per_request_latencies_not_scaled(self):
+        # Latency fields are per-request quantities; extrapolating a
+        # sampled prefix must carry them over unchanged.
+        stats = make_stats(
+            mean_request_latency_ns=12.0, max_request_latency_ns=48.0
+        ).scaled(10.0)
+        assert stats.mean_request_latency_ns == 12.0
+        assert stats.max_request_latency_ns == 48.0
+
+    def test_per_vault_busy_scales(self):
+        scaled = make_stats().scaled(2.0)
+        assert scaled.per_vault_busy_ns == {0: 1200.0, 1: 800.0}
 
     def test_rejects_nonpositive_factor(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,163 @@
+"""The zero-dependency metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, merge_registries
+from repro.obs.metrics import MetricsError
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(9)
+        assert counter.value == 10.0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(MetricsError):
+            Counter("requests").inc(-1)
+
+    def test_as_dict(self):
+        counter = Counter("requests", help="served")
+        counter.inc(3)
+        assert counter.as_dict() == {
+            "type": "counter", "value": 3.0, "help": "served",
+        }
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("depth")
+        gauge.set(4)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+    def test_as_dict_type(self):
+        assert Gauge("depth").as_dict()["type"] == "gauge"
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper_bound(self):
+        hist = Histogram("lat", bounds=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 5.0, 7.0):
+            hist.observe(value)
+        # bisect_left: exact bound values land in that bound's bucket.
+        assert hist.counts == [2, 1, 1, 1]
+
+    def test_mean_min_max(self):
+        hist = Histogram("lat", bounds=(10.0,))
+        for value in (2.0, 4.0, 12.0):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(6.0)
+        assert hist.min_value == 2.0
+        assert hist.max_value == 12.0
+
+    def test_quantile_returns_bucket_bound(self):
+        hist = Histogram("lat", bounds=(1.0, 2.0, 5.0))
+        for value in (0.5,) * 50 + (4.0,) * 50:
+            hist.observe(value)
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.95) == 5.0
+
+    def test_quantile_overflow_bucket_uses_max(self):
+        hist = Histogram("lat", bounds=(1.0,))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 100.0
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(MetricsError):
+            Histogram("lat", bounds=(1.0,)).quantile(1.5)
+
+    def test_empty_quantile_and_mean(self):
+        hist = Histogram("lat", bounds=(1.0,))
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+
+    def test_rejects_unordered_bounds(self):
+        with pytest.raises(MetricsError):
+            Histogram("lat", bounds=(2.0, 1.0))
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(MetricsError):
+            Histogram("lat", bounds=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(MetricsError):
+            registry.gauge("a")
+
+    def test_histogram_needs_bounds_on_first_use(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.histogram("lat")
+        hist = registry.histogram("lat", bounds=(1.0, 2.0))
+        assert registry.histogram("lat") is hist
+
+    def test_len_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        assert len(registry) == 2
+        assert "a" in registry and "z" not in registry
+
+    def test_as_dict_is_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("z.util").set(0.5)
+        registry.counter("a.requests").inc(7)
+        snapshot = registry.as_dict()
+        assert list(snapshot) == ["a.requests", "z.util"]
+        json.dumps(snapshot)  # must not raise
+
+    def test_render_markdown_has_tables(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        out = registry.render_markdown()
+        assert "| `requests` | counter | 3 |" in out
+        assert "**`lat`**" in out
+        assert "| <= 2 | 1 |" in out
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render_markdown() == "(no metrics recorded)"
+
+
+class TestMerge:
+    def test_counters_add_gauges_replace(self):
+        target = MetricsRegistry()
+        target.counter("n").inc(1)
+        target.gauge("g").set(1.0)
+        source = MetricsRegistry()
+        source.counter("n").inc(2)
+        source.gauge("g").set(9.0)
+        merge_registries(target, source.as_dict())
+        assert target.counter("n").value == 3.0
+        assert target.gauge("g").value == 9.0
+
+    def test_histograms_add_bucket_counts(self):
+        target = MetricsRegistry()
+        target.histogram("lat", bounds=(1.0, 2.0)).observe(0.5)
+        source = MetricsRegistry()
+        source.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        source.histogram("lat").observe(9.0)
+        merge_registries(target, source.as_dict())
+        merged = target.histogram("lat")
+        assert merged.counts == [1, 1, 1]
+        assert merged.count == 3
+        assert merged.max_value == 9.0
+
+    def test_histogram_bounds_mismatch_raises(self):
+        target = MetricsRegistry()
+        target.histogram("lat", bounds=(1.0,)).observe(0.5)
+        source = MetricsRegistry()
+        source.histogram("lat", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(MetricsError):
+            merge_registries(target, source.as_dict())

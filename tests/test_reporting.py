@@ -19,6 +19,7 @@ class TestReportStructure:
             "## Table 2",
             "## Ablation",
             "## Energy",
+            "## Per-vault utilization",
         ):
             assert section in report
 
@@ -41,6 +42,12 @@ class TestReportStructure:
     def test_energy_ratio_reported(self, report):
         assert "Energy ratio" in report
         assert "in favour of the DDL" in report
+
+    def test_per_vault_section_contrasts_layouts(self, report):
+        tail = report[report.find("## Per-vault utilization"):]
+        assert "Baseline (row-major, in-order)" in tail
+        assert "Optimized (DDL" in tail
+        assert "| vault | accesses |" in tail
 
 
 class TestPaperConstants:
