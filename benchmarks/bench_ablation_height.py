@@ -12,8 +12,6 @@ hardware the optimization buys.
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import banner
 from repro.core import AnalyticModel
 from repro.layouts import BlockDDLLayout, optimal_block_geometry

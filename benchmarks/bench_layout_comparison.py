@@ -15,8 +15,6 @@ the "mutually conflicting layouts" problem of Section 1 resolved.
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import banner
 from repro.layouts import (
     BlockDDLLayout,

@@ -21,7 +21,7 @@ import time
 
 import numpy as np
 
-from conftest import banner
+from conftest import banner, write_bench_json
 from repro.memory3d import AccessStats, Memory3D, pact15_hmc_config
 from repro.obs import EventTrace
 from repro.trace import TraceArray
@@ -218,6 +218,18 @@ def test_recorder_off_matches_seed_throughput(quick):
           f"({ratio:.3f}x seed)")
     print(f"  recorder on         : {1e9 * on_s / requests:7.1f} ns/request "
           f"({on_s / seed_s:.3f}x seed, {len(recorder):,} events)")
+
+    write_bench_json(
+        "observability",
+        {
+            "off_overhead_x": ratio,
+            "on_overhead_x": on_s / seed_s,
+            "seed_ns_per_request": 1e9 * seed_s / requests,
+            "off_ns_per_request": 1e9 * off_s / requests,
+            "on_ns_per_request": 1e9 * on_s / requests,
+        },
+        info={"requests": requests, "repeats": repeats, "quick": quick},
+    )
 
     # The tentpole's gate: uninstrumented runs stay at seed speed.
     assert ratio < cap, (

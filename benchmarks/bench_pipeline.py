@@ -65,9 +65,9 @@ def test_overlap_premium_costs_memory(benchmark):
     _, overlapped = results["optimized"]
     serial, _ = results["optimized"]
     print(
-        f"\nA7: overlap premium costs "
+        "\nA7: overlap premium costs "
         f"{overlapped.intermediate_footprint_bytes // serial.intermediate_footprint_bytes}x "
-        f"intermediate footprint"
+        "intermediate footprint"
     )
     assert (
         overlapped.intermediate_footprint_bytes

@@ -72,7 +72,7 @@ def test_reorder_cost_reported(system_config, benchmark):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     print(
-        f"\nA5: giant-window controller displaced "
+        "\nA5: giant-window controller displaced "
         f"{result.reorder_fraction:.0%} of requests to find hits"
     )
     assert result.displaced > 0

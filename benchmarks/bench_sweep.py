@@ -1,0 +1,115 @@
+"""Engineering guard -- the sweep engine must actually pay off.
+
+The tentpole's two performance claims, pinned:
+
+* **parallel fan-out**: the same grid under ``jobs=4`` beats the serial
+  fallback by >= 2x wall-clock on a machine with >= 4 cores (the CI
+  runner class); fewer cores report the measured ratio without gating;
+* **warm cache**: replaying a fully-cached grid is near-instant -- a
+  large multiple faster than simulating it, on any machine.
+
+Both paths must also return byte-identical result JSON, or the speed is
+meaningless.  The run writes ``BENCH_sweep.json`` for
+``tools/check_bench.py``, CI's benchmark-regression gate.
+
+Run quick mode (``pytest benchmarks/bench_sweep.py --quick``) for the
+CI smoke variant: a smaller grid and looser thresholds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import banner, write_bench_json
+from repro.sweep import ConfigVariant, ResultCache, SweepGrid, run_sweep
+
+#: Workload and gates per mode:
+#: (sizes, heights, requests, cache_speedup_floor, parallel_speedup_floor).
+FULL = ((512, 1024, 2048), (1, 2, 4, 8, 16, 32), 131_072, 5.0, 2.0)
+QUICK = ((256, 512), (2, 8, 32), 16_384, 3.0, 1.3)
+
+#: Worker processes for the parallel leg (the acceptance gate's shape).
+JOBS = 4
+
+
+def build_grid(sizes, heights) -> SweepGrid:
+    """A grid spanning every axis: N, layout, h and a timing variant."""
+    return SweepGrid(
+        sizes=sizes,
+        layouts=("row-major", "ddl"),
+        heights=heights,
+        configs=(
+            ConfigVariant("default", {}),
+            ConfigVariant(
+                "slow-stream", {"memory": {"timing": {"t_in_row": 3.2}}}
+            ),
+        ),
+    )
+
+
+def test_sweep_parallel_and_cache_speedup(quick, tmp_path):
+    sizes, heights, requests, cache_floor, parallel_floor = (
+        QUICK if quick else FULL
+    )
+    grid = build_grid(sizes, heights)
+    n_points = grid.n_points()
+    cores = os.cpu_count() or 1
+
+    start = time.perf_counter()
+    serial = run_sweep(grid, max_requests=requests, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(grid, max_requests=requests, jobs=JOBS)
+    parallel_s = time.perf_counter() - start
+
+    cache = ResultCache(tmp_path / "cache")
+    run_sweep(grid, max_requests=requests, jobs=1, cache=cache)
+    warm_cache = ResultCache(tmp_path / "cache")
+    start = time.perf_counter()
+    warm = run_sweep(grid, max_requests=requests, jobs=1, cache=warm_cache)
+    warm_s = time.perf_counter() - start
+
+    # Speed without agreement is meaningless: all paths, one result.
+    assert parallel.to_json() == serial.to_json()
+    assert warm.to_json() == serial.to_json()
+    assert warm.meta["cached"] == n_points
+
+    parallel_speedup = serial_s / parallel_s
+    cache_speedup = serial_s / warm_s
+
+    print(banner("SWEEP: serial vs parallel vs warm cache"))
+    print(f"  grid                : {n_points} points, "
+          f"{requests:,} requests/point, {cores} cores")
+    print(f"  serial   (jobs=1)   : {serial_s:7.3f} s")
+    print(f"  parallel (jobs={JOBS})   : {parallel_s:7.3f} s "
+          f"({parallel_speedup:.2f}x)")
+    print(f"  warm cache          : {warm_s:7.3f} s ({cache_speedup:.1f}x)")
+
+    write_bench_json(
+        "sweep",
+        {
+            "points": n_points,
+            "cores": cores,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "parallel_speedup": parallel_speedup,
+            "warm_cache_s": warm_s,
+            "cache_speedup": cache_speedup,
+        },
+        info={"requests": requests, "jobs": JOBS, "quick": quick},
+    )
+
+    # Warm replay skips every simulation; it must be near-instant.
+    assert cache_speedup > cache_floor, (
+        f"warm-cache replay only {cache_speedup:.2f}x faster than serial "
+        f"(floor {cache_floor}x)"
+    )
+    # The acceptance gate: >= 2x on a 4-core runner (full mode).  With
+    # fewer cores the ratio is reported but cannot be demanded.
+    if cores >= 4:
+        assert parallel_speedup >= parallel_floor, (
+            f"jobs={JOBS} only {parallel_speedup:.2f}x faster than serial "
+            f"on {cores} cores (floor {parallel_floor}x)"
+        )

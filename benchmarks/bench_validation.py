@@ -8,8 +8,6 @@ point.  Any regression that decouples them fails this bench.
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import banner
 from repro.core.config import KernelConfig, SystemConfig
 from repro.memory3d.config import hmc_gen2_config

@@ -9,6 +9,11 @@ inline; they are also summarised in EXPERIMENTS.md) and assert the paper's
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+from typing import Any
+
 import pytest
 
 from repro.core.config import SystemConfig
@@ -42,3 +47,24 @@ def system_config() -> SystemConfig:
 
 #: Request budget for exactly-simulated trace prefixes in benchmarks.
 BENCH_SAMPLE = 131_072
+
+
+def write_bench_json(
+    name: str, metrics: dict[str, Any], info: dict[str, Any] | None = None
+) -> Path:
+    """Write a ``BENCH_<name>.json`` artifact for the CI regression gate.
+
+    ``metrics`` maps metric name to a scalar; ``tools/check_bench.py``
+    compares these against the committed baseline in
+    ``benchmarks/baselines/``.  The file lands in ``$BENCH_OUT_DIR``
+    (default: the current directory) and is uploaded as a workflow
+    artifact by CI.
+    """
+    out_dir = Path(os.environ.get("BENCH_OUT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    document = {"benchmark": name, "metrics": metrics, "info": info or {}}
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -61,7 +61,7 @@ def main() -> None:
     occupancy = (power.mean(axis=0) > power.mean() - 3).mean()
     profile = power.mean(axis=0)
     print(f"\nreceived-signal band occupancy: {occupancy:.0%} of bins active")
-    print(f"mean spectral profile: "
+    print("mean spectral profile: "
           f"{sparkline(profile[::16].tolist())}")
 
 

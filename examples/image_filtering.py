@@ -43,7 +43,7 @@ def main() -> None:
     reference = np.fft.ifft2(
         np.fft.fft2(image) * gaussian_lowpass_response(n, 0.08)
     ).real
-    print(f"  max |error| vs numpy pipeline: "
+    print("  max |error| vs numpy pipeline: "
           f"{np.max(np.abs(filtered - reference)):.2e}")
     print()
 

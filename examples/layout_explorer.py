@@ -10,8 +10,6 @@ into one vault.  Then sweeps the block height to show the Eq. (1) knee.
 Run:  python examples/layout_explorer.py
 """
 
-import numpy as np
-
 from repro import (
     BlockDDLLayout,
     Memory3D,
@@ -52,7 +50,7 @@ def main() -> None:
     vaults_hit = {
         memory.mapping.decode(big.address(r, 0)).vault for r in range(64)
     }
-    print(f"N=2048: the first 64 accesses of a column walk touch vaults "
+    print("N=2048: the first 64 accesses of a column walk touch vaults "
           f"{sorted(vaults_hit)} -- a single vault, activation after "
           f"activation.\n")
 

@@ -58,7 +58,7 @@ def main() -> None:
     result = arch.compute(data)
     error = np.max(np.abs(result - np.fft.fft2(data)))
     print(
-        f"256x256 2D FFT through the optimized data path "
+        "256x256 2D FFT through the optimized data path "
         f"(block w={arch.geometry.width}, h={arch.geometry.height}): "
         f"max |error| vs numpy = {error:.2e}"
     )

@@ -11,6 +11,7 @@ Commands regenerate the paper's evaluation artifacts:
 * ``plan``             -- automatic layout optimization for a kernel
 * ``energy``           -- column-phase energy, baseline vs DDL
 * ``trace``            -- record a run and export a Chrome/Perfetto trace
+* ``sweep``            -- parallel design-space sweep with result caching
 """
 
 from __future__ import annotations
@@ -39,6 +40,28 @@ def _add_sizes(parser: argparse.ArgumentParser) -> None:
         nargs="+",
         default=[2048, 4096, 8192],
         help="2D FFT sizes N (N x N matrices)",
+    )
+
+
+def _add_sweep_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution flags shared by the sweep-engine commands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = deterministic serial fallback, "
+             "0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=".sweep-cache",
+        help="on-disk result cache directory",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
     )
 
 
@@ -318,11 +341,23 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.max_relative_error < 0.05 else 1
 
 
+def _sweep_cache(args: argparse.Namespace):
+    """The ResultCache the flags ask for (None when caching is off)."""
+    from repro.sweep import ResultCache
+
+    if getattr(args, "no_cache", False) or not args.cache_dir:
+        return None
+    return ResultCache(args.cache_dir)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.reporting import reproduce_report
 
     report = reproduce_report(
-        sizes=tuple(args.sizes), max_requests=args.max_requests
+        sizes=tuple(args.sizes),
+        max_requests=args.max_requests,
+        jobs=args.jobs,
+        cache=_sweep_cache(args),
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -330,6 +365,41 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(report)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepGrid, load_grid_spec, run_sweep
+
+    if args.spec:
+        grid = load_grid_spec(args.spec)
+    else:
+        heights = tuple(args.heights) if args.heights else (None,)
+        grid = SweepGrid(
+            sizes=tuple(args.sizes),
+            layouts=tuple(args.layouts),
+            heights=heights,
+            whole_blocks=not args.partial_blocks,
+        )
+    result = run_sweep(
+        grid,
+        max_requests=args.max_requests,
+        jobs=args.jobs,
+        cache=_sweep_cache(args),
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"wrote {args.out} ({result.describe_run()})")
+    if args.json:
+        print(result.to_json(), end="")
+    elif not args.out:
+        print(result.render_markdown())
+        print()
+        print(f"({result.describe_run()})")
+    if args.metrics:
+        print()
+        print(result.registry.render_markdown())
     return 0
 
 
@@ -414,7 +484,56 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--max-requests", type=int, default=131_072)
     pr.add_argument("--out", type=str, default=None,
                     help="write the report to a file instead of stdout")
+    _add_sweep_exec_flags(pr)
     pr.set_defaults(func=_cmd_reproduce)
+
+    pw = sub.add_parser(
+        "sweep",
+        help="parallel design-space sweep (N x layout x h x config)",
+    )
+    _add_sizes(pw)
+    pw.add_argument(
+        "--layouts",
+        nargs="+",
+        default=["row-major", "ddl"],
+        help="layout names: row-major, ddl, or planner candidates "
+             "(column-major, block-ddl-w4h8, ...)",
+    )
+    pw.add_argument(
+        "--heights",
+        type=int,
+        nargs="+",
+        default=None,
+        help="block heights for the ddl layout (0 = the Eq. (1) choice)",
+    )
+    pw.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="JSON/TOML grid spec file (overrides --sizes/--layouts/--heights)",
+    )
+    pw.add_argument(
+        "--partial-blocks",
+        action="store_true",
+        help="read column slices instead of whole blocks per block visit",
+    )
+    pw.add_argument("--max-requests", type=int, default=65_536)
+    pw.add_argument(
+        "--out", type=str, default=None,
+        help="write the deterministic result JSON here",
+    )
+    pw.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result JSON to stdout instead of the markdown table",
+    )
+    pw.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the merged cross-worker metrics registry",
+    )
+    _add_sweep_exec_flags(pw)
+    pw.set_defaults(func=_cmd_sweep)
 
     px = sub.add_parser(
         "trace", help="record one run, export Chrome trace + metrics"

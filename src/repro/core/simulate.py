@@ -11,11 +11,14 @@ suite validates the extrapolation against full runs at small sizes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.config import SystemConfig
 from repro.core.metrics import PhaseMetrics
 from repro.errors import SimulationError
 from repro.fft.kernel1d import KernelHardwareModel
 from repro.layouts.block_ddl import BlockDDLLayout
+from repro.layouts.optimizer import optimal_block_geometry
 from repro.layouts.row_major import RowMajorLayout
 from repro.memory3d.memory import Memory3D
 from repro.memory3d.stats import AccessStats
@@ -128,6 +131,105 @@ def simulate_optimized_column_phase(
         first_output_latency_ns=first_column_ns + _fill_latency_ns(config, n),
         stats=stats,
     )
+
+
+@dataclass(frozen=True)
+class ColumnPhaseRun:
+    """A column-phase simulation plus the resolved run parameters.
+
+    ``height``/``width`` are the realised block shape for blocked layouts
+    (``None`` for flat layouts); ``discipline`` is the issue discipline
+    the run used.  The sweep engine records these alongside the metrics
+    so a result is interpretable without re-deriving Eq. (1).
+    """
+
+    metrics: PhaseMetrics
+    layout: str
+    discipline: str
+    height: int | None = None
+    width: int | None = None
+
+
+def simulate_column_phase(
+    config: SystemConfig,
+    n: int,
+    layout: str = "row-major",
+    height: int | None = None,
+    whole_blocks: bool = True,
+    max_requests: int = DEFAULT_SAMPLE_REQUESTS,
+    spans: SpanTimeline | None = None,
+) -> ColumnPhaseRun:
+    """Phase 2 of the application under a named data layout.
+
+    The single dispatch point the design-space sweep engine fans out over:
+
+    * ``"row-major"`` -- the baseline stride-``n`` column walk
+      (:func:`simulate_baseline_column_phase`);
+    * ``"ddl"`` -- the paper's block DDL with ``height`` rows per block
+      (``None`` applies Eq. (1)); runs
+      :func:`simulate_optimized_column_phase`;
+    * any candidate name from
+      :func:`repro.framework.planner.layout_candidates_by_name`
+      (``"column-major"``, ``"tiled-1x32"``, ``"block-ddl-w4h8"``, ...) --
+      blocked candidates take the optimized path, flat candidates a
+      sequential column walk.
+    """
+    if layout == "row-major":
+        metrics = simulate_baseline_column_phase(
+            config, n, max_requests=max_requests, spans=spans
+        )
+        return ColumnPhaseRun(metrics, layout, "in_order")
+    s = config.memory.row_elements
+    if layout == "ddl":
+        if height is None:
+            height = optimal_block_geometry(config.memory, n).height
+        if height <= 0 or s % height:
+            raise SimulationError(
+                f"block height {height} must divide the {s}-element row buffer"
+            )
+        block = BlockDDLLayout(n, n, s // height, height)
+        metrics = simulate_optimized_column_phase(
+            config, n, block, whole_blocks=whole_blocks,
+            max_requests=max_requests, spans=spans,
+        )
+        return ColumnPhaseRun(
+            metrics, layout, "per_vault", height=block.height, width=block.width
+        )
+    # Named candidate from the planner's enumeration.
+    from repro.framework.planner import layout_candidates_by_name
+
+    candidates = layout_candidates_by_name(config.memory, n, n)
+    if layout not in candidates:
+        raise SimulationError(
+            f"unknown layout {layout!r} for N={n}; expected 'row-major', "
+            f"'ddl' or one of {sorted(candidates)}"
+        )
+    built = candidates[layout].build(n, n)
+    if isinstance(built, BlockDDLLayout):
+        metrics = simulate_optimized_column_phase(
+            config, n, built, whole_blocks=whole_blocks,
+            max_requests=max_requests, spans=spans,
+        )
+        return ColumnPhaseRun(
+            metrics, layout, "per_vault", height=built.height, width=built.width
+        )
+    memory = Memory3D(config.memory)
+    total = n * n
+    sample_cols = max(1, min(n, max_requests // n))
+    with span_or_null(spans, f"column-phase/{layout}", n=n):
+        with span_or_null(spans, "generate-trace", cols=sample_cols):
+            trace = column_walk_trace(built, cols=range(sample_cols))
+        with span_or_null(spans, "simulate", requests=len(trace)):
+            stats = _sampled(memory.simulate(trace, "in_order"), len(trace), total)
+    metrics = PhaseMetrics(
+        name="column",
+        n_bytes=total * ELEMENT_BYTES,
+        memory_time_ns=stats.elapsed_ns,
+        kernel_time_ns=_kernel_time_ns(config, n, total * ELEMENT_BYTES),
+        first_output_latency_ns=stats.elapsed_ns / n + _fill_latency_ns(config, n),
+        stats=stats,
+    )
+    return ColumnPhaseRun(metrics, layout, "in_order")
 
 
 def simulate_row_phase(

@@ -19,7 +19,12 @@ package builds that framework:
 
 from repro.framework.spec import AccessPattern, KernelSpec, PhaseSpec
 from repro.framework.candidates import candidate_layouts
-from repro.framework.planner import LayoutPlan, LayoutPlanner, PlannedMatrix
+from repro.framework.planner import (
+    LayoutPlan,
+    LayoutPlanner,
+    PlannedMatrix,
+    layout_candidates_by_name,
+)
 from repro.framework.kernels import fft2d_spec, matmul_spec, transpose_spec
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "PlannedMatrix",
     "candidate_layouts",
     "fft2d_spec",
+    "layout_candidates_by_name",
     "matmul_spec",
     "transpose_spec",
 ]

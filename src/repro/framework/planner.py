@@ -37,6 +37,22 @@ from repro.units import ELEMENT_BYTES
 DEFAULT_SAMPLE = 65_536
 
 
+def layout_candidates_by_name(
+    config: Memory3DConfig, n_rows: int, n_cols: int
+) -> dict[str, LayoutCandidate]:
+    """Candidate enumeration keyed by candidate name.
+
+    The planner iterates this to score every candidate; the sweep engine
+    (:mod:`repro.sweep`) uses the same enumeration to resolve explicit
+    layout names (``"column-major"``, ``"block-ddl-w4h8"``, ...) so both
+    subsystems agree on what a layout name means.
+    """
+    return {
+        candidate.name: candidate
+        for candidate in candidate_layouts(config, n_rows, n_cols)
+    }
+
+
 @dataclass(frozen=True)
 class PlannedMatrix:
     """The planner's verdict for one matrix."""
@@ -117,7 +133,9 @@ class LayoutPlanner:
         with span_or_null(
             self.spans, f"matrix/{label}", shape=f"{n_rows}x{n_cols}"
         ):
-            for candidate in candidate_layouts(self.config, n_rows, n_cols):
+            for candidate in layout_candidates_by_name(
+                self.config, n_rows, n_cols
+            ).values():
                 layout = candidate.build(n_rows, n_cols)
                 with span_or_null(self.spans, f"score/{candidate.name}"):
                     throughput, utils = self._score(layout, phases)

@@ -35,7 +35,6 @@ from repro.memory3d.memory import Memory3D
 from repro.trace.generators import (
     block_column_read_trace,
     column_walk_trace,
-    row_walk_trace,
 )
 from repro.units import ELEMENT_BYTES, is_power_of_two
 

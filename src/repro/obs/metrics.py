@@ -208,6 +208,30 @@ class MetricsRegistry:
             name: inst.as_dict() for name, inst in sorted(self._instruments.items())
         }
 
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, dict]) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot.
+
+        The inverse of :meth:`as_dict` up to instrument identity -- the
+        rebuilt instruments carry the snapshot's values and help strings.
+        This is how sweep workers ship their registries across process
+        boundaries: ``as_dict`` on the worker side, ``from_snapshot`` (or
+        :meth:`merge_snapshot`) on the parent side.
+        """
+        registry = cls()
+        merge_registries(registry, snapshot)
+        return registry
+
+    def merge_snapshot(self, snapshot: Mapping[str, dict]) -> "MetricsRegistry":
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        Counters add, gauges take the incoming value, histograms add
+        bucket counts (bounds must agree) -- see :func:`merge_registries`.
+        Returns ``self`` so merges chain across a worker-result stream.
+        """
+        merge_registries(self, snapshot)
+        return self
+
     def render_markdown(self) -> str:
         """Render the registry as markdown tables.
 

@@ -12,14 +12,11 @@ from __future__ import annotations
 
 from repro.core import AnalyticModel
 from repro.core.config import SystemConfig
-from repro.core.simulate import (
-    simulate_baseline_column_phase,
-    simulate_optimized_column_phase,
-)
 from repro.energy import EnergyModel
 from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
 from repro.memory3d import Memory3D
 from repro.obs import EventTrace, vault_utilization_table
+from repro.sweep import ResultCache, SweepGrid, run_sweep
 from repro.trace import block_column_read_trace, column_walk_trace
 from repro.viz import bar_chart, percentage
 
@@ -44,8 +41,16 @@ def reproduce_report(
     sizes: tuple[int, ...] = (2048, 4096, 8192),
     max_requests: int = 131_072,
     config: SystemConfig | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> str:
-    """Build the full reproduction report as markdown."""
+    """Build the full reproduction report as markdown.
+
+    The N-sweep (Table 1) and h-sweep (block-height ablation) sections
+    run on the :mod:`repro.sweep` engine: pass ``jobs`` to fan their
+    points out across worker processes and ``cache`` to replay
+    already-simulated points from disk.
+    """
     config = config or SystemConfig()
     model = AnalyticModel(config)
     memory = Memory3D(config.memory)
@@ -56,23 +61,23 @@ def reproduce_report(
     sections += ["## Modelled system", "", "```",
                  config.memory.describe(), "```", ""]
 
-    # -------------------------------------------------------------- Table 1
+    # ------------------------------------------------- Table 1 (the N-sweep)
     sections += ["## Table 1 -- column-wise FFT throughput", ""]
+    n_sweep = run_sweep(
+        SweepGrid(sizes=sizes, layouts=("row-major", "ddl")),
+        config=config, max_requests=max_requests, jobs=jobs, cache=cache,
+    )
     rows = []
     for n in sizes:
-        base = simulate_baseline_column_phase(config, n, max_requests=max_requests)
-        geo = optimal_block_geometry(config.memory, n)
-        layout = BlockDDLLayout(n, n, geo.width, geo.height)
-        opt = simulate_optimized_column_phase(
-            config, n, layout, max_requests=max_requests
-        )
+        base = n_sweep.one(n=n, layout="row-major")
+        opt = n_sweep.one(n=n, layout="ddl")
         paper = PAPER_TABLE1.get(n)
         rows.append([
             f"{n}",
-            f"{base.throughput_gbitps:.2f} Gb/s",
-            percentage(base.utilization(peak), 2),
-            f"{opt.throughput_gbps:.2f} GB/s",
-            percentage(opt.utilization(peak)),
+            f"{base['throughput_gbitps']:.2f} Gb/s",
+            percentage(base["utilization"], 2),
+            f"{opt['throughput_gbps']:.2f} GB/s",
+            percentage(opt["utilization"]),
             (f"{paper[0]} Gb/s / {paper[2]} GB/s" if paper else "--"),
         ])
     sections.append(_markdown_table(
@@ -104,26 +109,30 @@ def reproduce_report(
     ))
     sections.append("")
 
-    # ----------------------------------------------------- height ablation
+    # ------------------------------------------------ the h-sweep ablation
     n_ab = min(sizes)
     sections += [f"## Ablation -- block height (N={n_ab}, column-at-a-time)", ""]
     geo = optimal_block_geometry(config.memory, n_ab)
-    series = {}
     s_elems = config.memory.row_elements
+    heights = []
     height = 1
     while height <= s_elems:
-        layout = BlockDDLLayout(n_ab, n_ab, s_elems // height, height)
-        trace = block_column_read_trace(
-            layout,
-            n_streams=config.column_streams,
-            whole_blocks=False,
-            block_cols=range(min(config.column_streams,
-                                 layout.blocks_per_row_band)),
-        )
-        stats = memory.simulate(trace, "per_vault", sample=max_requests)
-        label = f"h={height}" + (" (Eq.1)" if height == geo.height else "")
-        series[label] = stats.utilization(peak) * 100
+        heights.append(height)
         height *= 2
+    h_sweep = run_sweep(
+        SweepGrid(
+            sizes=(n_ab,),
+            layouts=("ddl",),
+            heights=tuple(heights),
+            whole_blocks=False,
+        ),
+        config=config, max_requests=max_requests, jobs=jobs, cache=cache,
+    )
+    series = {}
+    for h in heights:
+        entry = h_sweep.one(n=n_ab, height=h)
+        label = f"h={h}" + (" (Eq.1)" if h == geo.height else "")
+        series[label] = entry["memory_utilization"] * 100
     sections += ["```", bar_chart(series, unit="% of peak"), "```", ""]
 
     # --------------------------------------------------------------- energy

@@ -10,6 +10,7 @@ quietly fall back to a default.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -155,6 +156,55 @@ def energy_from_dict(data: dict[str, Any]) -> EnergyParameters:
     }
     _check_keys(data, allowed, "energy")
     return EnergyParameters(**data)
+
+
+# ----------------------------------------------------- canonical encoding
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no incidental whitespace.
+
+    Two structurally equal documents encode to the same byte string, which
+    makes the encoding suitable for content addressing (sweep cache keys,
+    result fingerprints).  Only JSON-native types are accepted.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(data: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``data``."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def merge_config_dicts(
+    base: dict[str, Any], overrides: dict[str, Any]
+) -> dict[str, Any]:
+    """Recursively merge ``overrides`` into ``base`` (neither is mutated).
+
+    Nested dicts merge key by key; every other value in ``overrides``
+    replaces the base value outright.  Unknown keys are *not* rejected
+    here -- the strict ``*_from_dict`` loaders validate the merged result.
+    """
+    merged = dict(base)
+    for key, value in overrides.items():
+        if (
+            isinstance(value, dict)
+            and isinstance(merged.get(key), dict)
+        ):
+            merged[key] = merge_config_dicts(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def system_with_overrides(
+    config: SystemConfig, overrides: dict[str, Any]
+) -> SystemConfig:
+    """Apply a (possibly nested, possibly partial) override dict to a config.
+
+    The config round-trips through :func:`system_to_dict`, so overrides use
+    the serialized key names, e.g. ``{"memory": {"timing": {"t_in_row":
+    1.25}}}`` or ``{"column_streams": 8}``.
+    """
+    return system_from_dict(merge_config_dicts(system_to_dict(config), overrides))
 
 
 # -------------------------------------------------------------- json files

@@ -1,0 +1,60 @@
+"""Parallel design-space sweeps with on-disk result caching.
+
+The paper's headline figures come from sweeping block height ``h``,
+matrix size ``N`` and memory timing parameters and comparing layouts --
+an embarrassingly parallel exploration this package runs as one:
+
+* :mod:`repro.sweep.grid` -- declarative :class:`SweepGrid` over
+  ``(N, layout, h, config)`` with JSON/TOML spec files;
+* :mod:`repro.sweep.runner` -- :func:`run_sweep`: process-pool fan-out
+  with a deterministic serial fallback, per-worker
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshots merged in the
+  parent;
+* :mod:`repro.sweep.cache` -- :class:`ResultCache`: content-addressed
+  on-disk memoization keyed by the resolved configuration plus a
+  code-version salt, so repeated and incremental sweeps skip
+  already-simulated points;
+* :mod:`repro.sweep.results` -- :class:`SweepResult`: a deterministic
+  JSON document (identical for any ``--jobs`` value and for warm-cache
+  replays) plus markdown rendering.
+
+``python -m repro sweep`` is the CLI entry point; the ``reproduce``
+report's N-sweep and h-sweep sections run on this engine.  See
+``docs/sweep.md``.
+"""
+
+from repro.sweep.cache import CACHE_VERSION, CacheStats, ResultCache
+from repro.sweep.grid import (
+    ConfigVariant,
+    SweepGrid,
+    SweepPoint,
+    grid_from_dict,
+    load_grid_spec,
+)
+from repro.sweep.results import RESULT_SCHEMA, SweepError, SweepResult
+from repro.sweep.runner import (
+    DEFAULT_SWEEP_REQUESTS,
+    point_result,
+    resolve_jobs,
+    run_sweep,
+    validate_grid,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ConfigVariant",
+    "DEFAULT_SWEEP_REQUESTS",
+    "RESULT_SCHEMA",
+    "ResultCache",
+    "SweepError",
+    "SweepGrid",
+    "SweepPoint",
+    "SweepResult",
+    "grid_from_dict",
+    "load_grid_spec",
+    "point_result",
+    "resolve_jobs",
+    "run_sweep",
+    "validate_grid",
+]

@@ -1,0 +1,128 @@
+"""On-disk content-addressed cache of sweep point results.
+
+Every completed point is stored under a key derived from *everything
+that determines its result*: the point identity (size, layout, height,
+block mode), the fully-resolved system configuration it ran under, the
+request budget, and a code-version salt.  Repeated and incremental
+sweeps then skip already-simulated points; changing any input -- or
+bumping :data:`CACHE_VERSION` when simulation semantics change -- moves
+the key and naturally invalidates stale entries.
+
+Entries are one JSON file each, sharded by key prefix
+(``<root>/<k[:2]>/<k>.json``), written atomically (temp file +
+``os.replace``) so concurrent sweeps sharing a cache directory can never
+observe a torn entry.  Corrupt or unreadable entries count as misses
+and are re-simulated, never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.serialization import stable_digest
+
+#: Bump when the simulator or result schema changes meaning; every bump
+#: invalidates all previously cached points at once.
+CACHE_VERSION = "repro-sweep-cache/v1"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one sweep run."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (JSON-ready)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+        }
+
+
+@dataclass
+class ResultCache:
+    """A content-addressed store of point results under one directory."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------ keys
+    @staticmethod
+    def key_for(payload: dict[str, Any]) -> str:
+        """Content address of a point payload (stable across processes).
+
+        ``payload`` must be JSON-native and carry the point's full
+        identity -- the runner passes ``{point, config, max_requests}``.
+        The version salt is folded in here so a semantics bump rekeys
+        everything.
+        """
+        return stable_digest({"version": CACHE_VERSION, "payload": payload})
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ---------------------------------------------------------------- access
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached result dict for ``key``, or ``None`` on a miss.
+
+        Any read or decode failure (torn file, foreign content, schema
+        drift) is treated as a miss and tallied in ``stats.invalid``.
+        """
+        path = self.path_for(key)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != CACHE_VERSION
+            or not isinstance(document.get("result"), dict)
+        ):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return document["result"]
+
+    def put(self, key: str, payload: dict[str, Any], result: dict[str, Any]) -> None:
+        """Store ``result`` under ``key``; the payload is kept for audit."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "payload": payload,
+            "result": result,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

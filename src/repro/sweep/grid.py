@@ -1,0 +1,239 @@
+"""Sweep grids: the cartesian design space a sweep explores.
+
+A grid is the cross product of four axes:
+
+* ``sizes``   -- problem sizes ``N`` (``N x N`` matrices);
+* ``layouts`` -- layout names (``"row-major"``, ``"ddl"``, or any
+  candidate name the planner enumerates, e.g. ``"column-major"``);
+* ``heights`` -- block heights ``h`` for the ``"ddl"`` layout (``None``
+  applies the paper's Eq. (1); flat layouts ignore this axis);
+* ``configs`` -- named :class:`~repro.core.config.SystemConfig` override
+  sets (timing parameters, stream counts, ...), applied on top of the
+  sweep's base configuration.
+
+Grids expand to a deterministic tuple of :class:`SweepPoint`\\ s --
+``configs`` outermost, then ``sizes``, ``layouts``, ``heights`` -- so a
+sweep's result ordering is a pure function of its spec.  Grids load from
+JSON or TOML spec files (see ``docs/sweep.md``) or build directly from
+CLI flags.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+
+#: Layout names handled without consulting the planner's enumeration.
+BUILTIN_LAYOUTS = ("row-major", "ddl")
+
+
+def _freeze_overrides(overrides: Mapping[str, Any]) -> dict[str, Any]:
+    if not isinstance(overrides, Mapping):
+        raise ConfigError(
+            f"config overrides must be a mapping, got {type(overrides).__name__}"
+        )
+    return {
+        key: _freeze_overrides(value) if isinstance(value, Mapping) else value
+        for key, value in overrides.items()
+    }
+
+
+@dataclass(frozen=True)
+class ConfigVariant:
+    """One named point on the grid's configuration axis.
+
+    ``overrides`` uses the serialized config schema of
+    :func:`repro.serialization.system_to_dict`, merged recursively into
+    the sweep's base configuration (partial overrides are fine).
+    """
+
+    label: str = "default"
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigError("config variant label must be non-empty")
+        object.__setattr__(self, "overrides", _freeze_overrides(self.overrides))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation of the design space: a column phase to price.
+
+    ``height=None`` on the ``"ddl"`` layout means Eq. (1); on flat
+    layouts height is always ``None``.  ``config_label`` names the
+    :class:`ConfigVariant` this point runs under.
+    """
+
+    n: int
+    layout: str
+    height: int | None
+    config_label: str
+    whole_blocks: bool = True
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able identity of the point (cache key material)."""
+        return {
+            "n": self.n,
+            "layout": self.layout,
+            "height": self.height,
+            "config_label": self.config_label,
+            "whole_blocks": self.whole_blocks,
+        }
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The declarative spec of a design-space sweep."""
+
+    sizes: tuple[int, ...]
+    layouts: tuple[str, ...] = BUILTIN_LAYOUTS
+    heights: tuple[int | None, ...] = (None,)
+    configs: tuple[ConfigVariant, ...] = (ConfigVariant(),)
+    whole_blocks: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        object.__setattr__(self, "layouts", tuple(self.layouts))
+        object.__setattr__(
+            self,
+            "heights",
+            tuple(None if not h else int(h) for h in self.heights),
+        )
+        object.__setattr__(self, "configs", tuple(self.configs))
+        if not self.sizes:
+            raise ConfigError("sweep grid needs at least one size")
+        if any(n <= 0 for n in self.sizes):
+            raise ConfigError(f"sizes must be positive, got {self.sizes}")
+        if not self.layouts:
+            raise ConfigError("sweep grid needs at least one layout")
+        if not self.heights:
+            raise ConfigError(
+                "sweep grid needs at least one height (use None for Eq. (1))"
+            )
+        if any(h is not None and h <= 0 for h in self.heights):
+            raise ConfigError(f"heights must be positive or None, got {self.heights}")
+        if not self.configs:
+            raise ConfigError("sweep grid needs at least one config variant")
+        labels = [variant.label for variant in self.configs]
+        if len(set(labels)) != len(labels):
+            raise ConfigError(f"duplicate config labels: {labels}")
+
+    # ------------------------------------------------------------- expansion
+    def points(self) -> tuple[SweepPoint, ...]:
+        """Expand to the deterministic point list.
+
+        The ``heights`` axis applies only to the ``"ddl"`` layout; every
+        other layout contributes one point per (config, size).
+        """
+        expanded: list[SweepPoint] = []
+        for variant in self.configs:
+            for n in self.sizes:
+                for layout in self.layouts:
+                    heights = self.heights if layout == "ddl" else (None,)
+                    for height in heights:
+                        expanded.append(
+                            SweepPoint(
+                                n=n,
+                                layout=layout,
+                                height=height,
+                                config_label=variant.label,
+                                whole_blocks=self.whole_blocks,
+                            )
+                        )
+        return tuple(expanded)
+
+    def n_points(self) -> int:
+        """Number of points the grid expands to."""
+        return len(self.points())
+
+    def variant(self, label: str) -> ConfigVariant:
+        """The config variant named ``label``."""
+        for variant in self.configs:
+            if variant.label == label:
+                return variant
+        raise ConfigError(f"unknown config label {label!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able snapshot of the grid spec (deterministic)."""
+        return {
+            "sizes": list(self.sizes),
+            "layouts": list(self.layouts),
+            "heights": [h for h in self.heights],
+            "whole_blocks": self.whole_blocks,
+            "configs": [
+                {"label": variant.label, "overrides": dict(variant.overrides)}
+                for variant in self.configs
+            ],
+        }
+
+
+# ------------------------------------------------------------- spec files
+def grid_from_dict(data: Mapping[str, Any]) -> SweepGrid:
+    """Build a grid from a spec dict (the parsed JSON/TOML document).
+
+    The spec may wrap its keys in a top-level ``grid`` table or use them
+    directly.  ``heights`` entries of ``0`` or ``null`` mean Eq. (1)
+    (TOML has no null).  Unknown keys are rejected.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigError("sweep spec: expected a mapping")
+    if "grid" in data:
+        extra = set(data) - {"grid"}
+        if extra:
+            raise ConfigError(f"sweep spec: unknown top-level keys {sorted(extra)}")
+        data = data["grid"]
+        if not isinstance(data, Mapping):
+            raise ConfigError("sweep spec: 'grid' must be a mapping")
+    allowed = {"sizes", "layouts", "heights", "whole_blocks", "configs"}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigError(f"sweep spec: unknown keys {sorted(unknown)}")
+    if "sizes" not in data:
+        raise ConfigError("sweep spec: 'sizes' is required")
+    kwargs: dict[str, Any] = {"sizes": tuple(data["sizes"])}
+    if "layouts" in data:
+        kwargs["layouts"] = tuple(data["layouts"])
+    if "heights" in data:
+        kwargs["heights"] = tuple(data["heights"])
+    if "whole_blocks" in data:
+        kwargs["whole_blocks"] = bool(data["whole_blocks"])
+    if "configs" in data:
+        variants = []
+        for entry in data["configs"]:
+            if not isinstance(entry, Mapping):
+                raise ConfigError("sweep spec: each config must be a mapping")
+            extra = set(entry) - {"label", "overrides"}
+            if extra:
+                raise ConfigError(f"sweep spec: unknown config keys {sorted(extra)}")
+            variants.append(
+                ConfigVariant(
+                    label=entry.get("label", "default"),
+                    overrides=entry.get("overrides", {}),
+                )
+            )
+        kwargs["configs"] = tuple(variants)
+    return SweepGrid(**kwargs)
+
+
+def load_grid_spec(path: str | Path) -> SweepGrid:
+    """Load a grid spec from a ``.json`` or ``.toml`` file."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"{path}: invalid TOML ({exc})") from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
+    return grid_from_dict(data)

@@ -1,0 +1,135 @@
+"""Sweep results: deterministic JSON documents plus markdown rendering.
+
+A :class:`SweepResult` separates two kinds of information:
+
+* the **deterministic payload** (:meth:`SweepResult.to_json`) -- grid
+  spec, request budget and the per-point result dicts, in grid order.
+  Running the same grid with any ``--jobs`` value, or replaying it from
+  a warm cache, produces byte-identical JSON (the test suite enforces
+  this);
+* the **run metadata** (``meta``, ``registry``, ``cache_stats``) --
+  wall-clock time, worker count, cache hit rates and merged metrics,
+  which describe *this execution* and are deliberately excluded from
+  the payload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.sweep.grid import SweepGrid
+
+#: Schema tag stamped into every result document.
+RESULT_SCHEMA = "repro-sweep-result/v1"
+
+
+class SweepError(ReproError):
+    """Sweep execution or result-selection failure."""
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced."""
+
+    grid: SweepGrid
+    max_requests: int
+    results: list[dict[str, Any]]
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- selection
+    def select(self, **criteria: Any) -> list[dict[str, Any]]:
+        """Point results whose fields equal every given criterion.
+
+        Criteria use result-dict keys: ``n``, ``layout``, ``config``,
+        ``height``, ...  e.g. ``result.select(n=2048, layout="ddl")``.
+        """
+        return [
+            entry
+            for entry in self.results
+            if all(entry.get(key) == value for key, value in criteria.items())
+        ]
+
+    def one(self, **criteria: Any) -> dict[str, Any]:
+        """The unique point result matching the criteria."""
+        matches = self.select(**criteria)
+        if len(matches) != 1:
+            raise SweepError(
+                f"expected exactly one result for {criteria}, got {len(matches)}"
+            )
+        return matches[0]
+
+    # ---------------------------------------------------------------- export
+    def to_json_dict(self) -> dict[str, Any]:
+        """The deterministic result document (JSON-native values only)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "max_requests": self.max_requests,
+            "grid": self.grid.as_dict(),
+            "results": self.results,
+        }
+
+    def to_json(self) -> str:
+        """Canonical pretty-printed JSON of :meth:`to_json_dict`."""
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render_markdown(self) -> str:
+        """Human-readable sweep table, one row per point in grid order."""
+        header = [
+            "config",
+            "N",
+            "layout",
+            "h",
+            "discipline",
+            "phase GB/s",
+            "phase util",
+            "mem util",
+            "row hits",
+            "bound",
+        ]
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "|" + "|".join("---" for _ in header) + "|",
+        ]
+        for entry in self.results:
+            height = entry.get("height")
+            lines.append(
+                "| "
+                + " | ".join(
+                    [
+                        str(entry["config"]),
+                        str(entry["n"]),
+                        str(entry["layout"]),
+                        "--" if height is None else str(height),
+                        str(entry["discipline"]),
+                        f"{entry['throughput_gbps']:.2f}",
+                        f"{100 * entry['utilization']:.1f}%",
+                        f"{100 * entry['memory_utilization']:.1f}%",
+                        f"{100 * entry['row_hit_rate']:.1f}%",
+                        str(entry["bound"]),
+                    ]
+                )
+                + " |"
+            )
+        return "\n".join(lines)
+
+    def describe_run(self) -> str:
+        """One-line execution summary (non-deterministic run metadata)."""
+        parts = [f"{len(self.results)} points"]
+        simulated = self.meta.get("simulated")
+        cached = self.meta.get("cached")
+        if simulated is not None:
+            parts.append(f"{simulated} simulated")
+        if cached is not None:
+            parts.append(f"{cached} from cache")
+        jobs = self.meta.get("jobs")
+        if jobs is not None:
+            parts.append(f"jobs={jobs}")
+        wall = self.meta.get("wall_s")
+        if wall is not None:
+            parts.append(f"{wall:.2f}s")
+        return ", ".join(parts)

@@ -1,0 +1,238 @@
+"""Sweep execution: serial fallback, process-pool fan-out, cache reuse.
+
+The runner walks a grid's points in their deterministic order and, for
+each point, either replays a cached result or simulates the column
+phase via :func:`repro.core.simulate.simulate_column_phase`.  Uncached
+points fan out across worker processes
+(:class:`concurrent.futures.ProcessPoolExecutor`); ``jobs=1`` runs the
+identical code path inline, so parallelism can never change results.
+
+Each worker returns its point result together with a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot; the parent merges
+the snapshots (counters add, histograms combine bucket-wise) into one
+run-level registry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.core.config import SystemConfig
+from repro.core.simulate import simulate_column_phase
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.serialization import system_from_dict, system_to_dict, system_with_overrides
+from repro.sweep.cache import ResultCache
+from repro.sweep.grid import SweepGrid, SweepPoint
+from repro.sweep.results import SweepResult
+
+#: Default cap on exactly-simulated requests per point.
+DEFAULT_SWEEP_REQUESTS = 65_536
+
+#: Bucket bounds for the per-run utilization histogram (% of peak).
+_UTILIZATION_BOUNDS = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0)
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``--jobs`` value: ``<= 0`` means one per CPU."""
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def validate_grid(grid: SweepGrid, config: SystemConfig) -> None:
+    """Fail fast on points the simulator would reject later.
+
+    Checks every ``"ddl"`` point's block shape against the row-buffer
+    capacity and the matrix dimensions, so a bad grid dies with one
+    clear error instead of mid-sweep inside a worker.
+    """
+    s = config.memory.row_elements
+    for point in grid.points():
+        if point.layout != "ddl" or point.height is None:
+            continue
+        if s % point.height:
+            raise ConfigError(
+                f"grid point N={point.n}: height {point.height} does not "
+                f"divide the {s}-element row buffer"
+            )
+        width = s // point.height
+        if point.n % point.height or point.n % width:
+            raise ConfigError(
+                f"grid point N={point.n}: block {width}x{point.height} does "
+                f"not tile an {point.n}x{point.n} matrix"
+            )
+
+
+def point_result(
+    point: SweepPoint, config: SystemConfig, max_requests: int
+) -> dict[str, Any]:
+    """Simulate one sweep point and package the result as a plain dict.
+
+    The dict is JSON-native (string keys, scalars only) so it survives
+    the cache round-trip byte-for-byte -- a replayed point is
+    indistinguishable from a fresh one.
+    """
+    run = simulate_column_phase(
+        config,
+        point.n,
+        layout=point.layout,
+        height=point.height,
+        whole_blocks=point.whole_blocks,
+        max_requests=max_requests,
+    )
+    metrics = run.metrics
+    stats = metrics.stats
+    assert stats is not None  # every column-phase path simulates a trace
+    peak = config.peak_bandwidth
+    return {
+        "n": point.n,
+        "layout": point.layout,
+        "config": point.config_label,
+        "height": run.height,
+        "width": run.width,
+        "discipline": run.discipline,
+        "whole_blocks": point.whole_blocks,
+        "throughput_gbps": metrics.throughput_gbps,
+        "throughput_gbitps": metrics.throughput_gbitps,
+        "utilization": metrics.utilization(peak),
+        "bound": metrics.bound,
+        "memory_time_ns": metrics.memory_time_ns,
+        "kernel_time_ns": metrics.kernel_time_ns,
+        "first_output_latency_ns": metrics.first_output_latency_ns,
+        "memory_bandwidth_gbps": stats.bandwidth_gbps,
+        "memory_utilization": stats.utilization(peak),
+        "requests": stats.requests,
+        "row_activations": stats.row_activations,
+        "row_hits": stats.row_hits,
+        "row_hit_rate": stats.row_hit_rate,
+    }
+
+
+def _record_point_metrics(registry: MetricsRegistry, result: dict[str, Any]) -> None:
+    registry.counter("sweep.points", help="points simulated").inc()
+    registry.counter("sweep.requests", help="extrapolated requests across points").inc(
+        result["requests"]
+    )
+    registry.counter("sweep.row_activations", help="row activations across points").inc(
+        result["row_activations"]
+    )
+    registry.counter("sweep.row_hits", help="open-row hits across points").inc(
+        result["row_hits"]
+    )
+    registry.histogram(
+        "sweep.memory_utilization_pct",
+        _UTILIZATION_BOUNDS,
+        help="per-point memory bandwidth as % of peak",
+    ).observe(100.0 * result["memory_utilization"])
+
+
+def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
+    """Worker body: simulate one point, return result + metrics snapshot.
+
+    Module-level (picklable) and fed only JSON-native payloads, so it
+    runs identically inline, under ``fork`` and under ``spawn``.
+    """
+    config = system_from_dict(task["config"])
+    point = SweepPoint(**task["point"])
+    registry = MetricsRegistry()
+    result = point_result(point, config, task["max_requests"])
+    _record_point_metrics(registry, result)
+    return {"index": task["index"], "result": result, "metrics": registry.as_dict()}
+
+
+def run_sweep(
+    grid: SweepGrid,
+    config: SystemConfig | None = None,
+    max_requests: int = DEFAULT_SWEEP_REQUESTS,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> SweepResult:
+    """Execute every point of ``grid`` and return the merged result.
+
+    Args:
+        grid: the design space to sweep.
+        config: base system configuration; each grid config variant's
+            overrides are merged on top of it.
+        max_requests: exactly-simulated request budget per point.
+        jobs: worker processes; ``1`` runs inline (deterministic serial
+            fallback), ``<= 0`` uses one worker per CPU.
+        cache: optional on-disk result cache; hits skip simulation,
+            misses are stored after simulation.
+    """
+    config = config or SystemConfig()
+    if max_requests <= 0:
+        raise ConfigError(f"max_requests must be positive, got {max_requests}")
+    validate_grid(grid, config)
+    jobs = resolve_jobs(jobs)
+    started = time.perf_counter()
+
+    config_dicts = {
+        variant.label: system_to_dict(
+            system_with_overrides(config, dict(variant.overrides))
+        )
+        for variant in grid.configs
+    }
+    points = grid.points()
+    results: list[dict[str, Any] | None] = [None] * len(points)
+    registry = MetricsRegistry()
+    tasks: list[dict[str, Any]] = []
+    for index, point in enumerate(points):
+        payload = {
+            "point": point.as_dict(),
+            "config": config_dicts[point.config_label],
+            "max_requests": max_requests,
+        }
+        key = None
+        if cache is not None:
+            key = cache.key_for(payload)
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+        tasks.append({"index": index, "key": key, **payload})
+
+    if tasks:
+        if jobs == 1 or len(tasks) == 1:
+            outcomes = [_execute_task(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                outcomes = list(pool.map(_execute_task, tasks))
+        for task, outcome in zip(tasks, outcomes):
+            results[outcome["index"]] = outcome["result"]
+            registry.merge_snapshot(outcome["metrics"])
+            if cache is not None:
+                payload = {
+                    "point": task["point"],
+                    "config": task["config"],
+                    "max_requests": task["max_requests"],
+                }
+                cache.put(task["key"], payload, outcome["result"])
+
+    registry.counter("sweep.cache.hits", help="points replayed from cache").inc(
+        len(points) - len(tasks)
+    )
+    registry.counter("sweep.cache.misses", help="points simulated fresh").inc(
+        len(tasks)
+    )
+    final: list[dict[str, Any]] = []
+    for index, entry in enumerate(results):
+        assert entry is not None, f"point {index} produced no result"
+        final.append(entry)
+    meta = {
+        "jobs": jobs,
+        "simulated": len(tasks),
+        "cached": len(points) - len(tasks),
+        "wall_s": time.perf_counter() - started,
+        "cache": cache.stats.as_dict() if cache is not None else None,
+    }
+    return SweepResult(
+        grid=grid,
+        max_requests=max_requests,
+        results=final,
+        registry=registry,
+        meta=meta,
+    )

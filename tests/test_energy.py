@@ -12,7 +12,7 @@ from repro.energy.params import ddr3_energy_params
 from repro.errors import ConfigError, SimulationError
 from repro.fft.kernel1d import KernelHardwareModel
 from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
-from repro.memory3d import AccessStats, Memory3D
+from repro.memory3d import AccessStats
 from repro.trace import block_column_read_trace, column_walk_trace
 
 

@@ -13,7 +13,6 @@ from repro.framework import (
     matmul_spec,
     transpose_spec,
 )
-from repro.layouts import BlockDDLLayout, ColumnMajorLayout, RowMajorLayout
 
 
 @pytest.fixture(scope="module")

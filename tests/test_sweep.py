@@ -1,0 +1,277 @@
+"""The design-space sweep engine: grids, cache, runner, determinism."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.serialization import stable_digest
+from repro.sweep import (
+    CACHE_VERSION,
+    ConfigVariant,
+    ResultCache,
+    SweepError,
+    SweepGrid,
+    SweepPoint,
+    grid_from_dict,
+    load_grid_spec,
+    run_sweep,
+)
+
+#: Cheap but non-trivial request budget for engine tests.
+SAMPLE = 2_048
+
+
+@pytest.fixture(scope="module")
+def grid24():
+    """A 28-point grid spanning every axis (the >= 24-point gate)."""
+    return SweepGrid(
+        sizes=(128, 256),
+        layouts=("row-major", "ddl"),
+        heights=(1, 2, 4, 8, 16, 32),
+        configs=(
+            ConfigVariant("default", {}),
+            ConfigVariant(
+                "slow-stream",
+                {"memory": {"timing": {"t_in_row": 3.2}}},
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(grid24):
+    return run_sweep(grid24, max_requests=SAMPLE, jobs=1)
+
+
+class TestGrid:
+    def test_point_expansion_order_and_count(self, grid24):
+        points = grid24.points()
+        assert len(points) == 28 == grid24.n_points()
+        # configs outermost, then sizes, then layouts, then heights.
+        assert points[0] == SweepPoint(128, "row-major", None, "default")
+        assert points[1] == SweepPoint(128, "ddl", 1, "default")
+        assert points[14].config_label == "slow-stream"
+        # Expansion is deterministic.
+        assert points == grid24.points()
+
+    def test_heights_apply_only_to_ddl(self):
+        grid = SweepGrid(sizes=(128,), layouts=("row-major", "ddl"),
+                         heights=(2, 4))
+        layouts = [(p.layout, p.height) for p in grid.points()]
+        assert layouts == [("row-major", None), ("ddl", 2), ("ddl", 4)]
+
+    def test_zero_height_means_eq1(self):
+        grid = SweepGrid(sizes=(128,), layouts=("ddl",), heights=(0,))
+        assert grid.points()[0].height is None
+
+    def test_rejects_empty_and_invalid(self):
+        with pytest.raises(ConfigError):
+            SweepGrid(sizes=())
+        with pytest.raises(ConfigError):
+            SweepGrid(sizes=(-4,))
+        with pytest.raises(ConfigError):
+            SweepGrid(sizes=(128,), heights=(-2,))
+        with pytest.raises(ConfigError):
+            SweepGrid(
+                sizes=(128,),
+                configs=(ConfigVariant("a"), ConfigVariant("a")),
+            )
+
+    def test_bad_block_shape_fails_fast(self):
+        grid = SweepGrid(sizes=(100,), layouts=("ddl",), heights=(8,))
+        with pytest.raises(ConfigError, match="does not tile"):
+            run_sweep(grid, max_requests=SAMPLE)
+        with pytest.raises(ConfigError, match="row buffer"):
+            run_sweep(
+                SweepGrid(sizes=(128,), layouts=("ddl",), heights=(24,)),
+                max_requests=SAMPLE,
+            )
+
+
+class TestSpecFiles:
+    def test_json_spec_round_trip(self, tmp_path, grid24):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({"grid": grid24.as_dict()}))
+        assert load_grid_spec(path).points() == grid24.points()
+
+    def test_toml_spec(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            "[grid]\n"
+            "sizes = [128, 256]\n"
+            'layouts = ["row-major", "ddl"]\n'
+            "heights = [0, 4]\n"
+            "[[grid.configs]]\n"
+            'label = "hot"\n'
+            "[grid.configs.overrides.memory.timing]\n"
+            "t_in_row = 1.25\n"
+        )
+        grid = load_grid_spec(path)
+        assert grid.sizes == (128, 256)
+        assert grid.heights == (None, 4)
+        assert grid.configs[0].label == "hot"
+        assert grid.configs[0].overrides["memory"]["timing"]["t_in_row"] == 1.25
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            grid_from_dict({"sizes": [128], "sises": [256]})
+        with pytest.raises(ConfigError, match="required"):
+            grid_from_dict({"layouts": ["ddl"]})
+
+
+class TestCache:
+    def test_round_trip_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        payload = {"point": {"n": 128}, "config": {}, "max_requests": SAMPLE}
+        key = cache.key_for(payload)
+        assert cache.get(key) is None
+        cache.put(key, payload, {"answer": 42.5})
+        assert cache.get(key) == {"answer": 42.5}
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "stores": 1, "invalid": 0,
+        }
+        assert len(cache) == 1
+
+    def test_key_covers_version_salt_and_inputs(self):
+        payload = {"point": {"n": 128}, "config": {}, "max_requests": SAMPLE}
+        key = ResultCache.key_for(payload)
+        assert key == stable_digest(
+            {"version": CACHE_VERSION, "payload": payload}
+        )
+        other = dict(payload, max_requests=SAMPLE * 2)
+        assert ResultCache.key_for(other) != key
+
+    def test_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"p": 1})
+        cache.put(key, {"p": 1}, {"v": 1})
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.stats.invalid == 1
+
+    def test_foreign_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"p": 1})
+        cache.path_for(key).parent.mkdir(parents=True)
+        cache.path_for(key).write_text(
+            json.dumps({"version": "other/v9", "result": {"v": 1}}),
+            encoding="utf-8",
+        )
+        assert cache.get(key) is None
+        assert cache.stats.invalid == 1
+
+
+class TestDeterminism:
+    """The satellite gate: jobs=1, jobs=4 and warm cache are byte-identical."""
+
+    def test_parallel_matches_serial(self, grid24, serial_result):
+        parallel = run_sweep(grid24, max_requests=SAMPLE, jobs=4)
+        assert parallel.to_json() == serial_result.to_json()
+
+    def test_warm_cache_matches_serial(self, grid24, serial_result, tmp_path):
+        cold_cache = ResultCache(tmp_path / "cache")
+        cold = run_sweep(grid24, max_requests=SAMPLE, jobs=2, cache=cold_cache)
+        assert cold.to_json() == serial_result.to_json()
+        assert cold_cache.stats.stores == 28
+
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = run_sweep(grid24, max_requests=SAMPLE, jobs=1, cache=warm_cache)
+        assert warm.to_json() == serial_result.to_json()
+        assert warm.meta["cached"] == 28
+        assert warm.meta["simulated"] == 0
+        assert warm_cache.stats.hits == 28
+
+    def test_metrics_merge_is_jobs_independent(self, grid24, serial_result):
+        parallel = run_sweep(grid24, max_requests=SAMPLE, jobs=4)
+        serial = serial_result.registry.as_dict()
+        merged = parallel.registry.as_dict()
+        for name in ("sweep.points", "sweep.requests", "sweep.row_hits",
+                     "sweep.row_activations"):
+            assert merged[name]["value"] == serial[name]["value"]
+        hist = merged["sweep.memory_utilization_pct"]
+        assert hist["counts"] == serial["sweep.memory_utilization_pct"]["counts"]
+
+    def test_cache_ignores_request_budget_match_only(self, grid24, tmp_path):
+        """A different request budget re-keys every point (no stale hits)."""
+        cache = ResultCache(tmp_path)
+        run_sweep(grid24, max_requests=SAMPLE, jobs=1, cache=cache)
+        again = ResultCache(tmp_path)
+        run_sweep(grid24, max_requests=2 * SAMPLE, jobs=1, cache=again)
+        assert again.stats.hits == 0
+        assert again.stats.stores == 28
+
+
+class TestResults:
+    def test_config_axis_changes_results(self, serial_result):
+        base = serial_result.one(n=128, layout="ddl", height=8,
+                                 config="default")
+        slow = serial_result.one(n=128, layout="ddl", height=8,
+                                 config="slow-stream")
+        # Halving the streaming beat rate must cost the streaming-bound DDL.
+        assert slow["memory_bandwidth_gbps"] < base["memory_bandwidth_gbps"]
+
+    def test_eq1_height_resolved(self, serial_result):
+        entry = serial_result.one(n=128, layout="ddl", height=1,
+                                  config="default")
+        assert entry["width"] == 32
+        assert entry["discipline"] == "per_vault"
+
+    def test_one_rejects_ambiguity(self, serial_result):
+        with pytest.raises(SweepError):
+            serial_result.one(layout="ddl")
+
+    def test_markdown_has_a_row_per_point(self, serial_result):
+        table = serial_result.render_markdown()
+        assert table.count("\n") == 28 + 1  # header + separator + 28 rows
+
+    def test_json_document_shape(self, serial_result):
+        doc = serial_result.to_json_dict()
+        assert doc["schema"] == "repro-sweep-result/v1"
+        assert len(doc["results"]) == 28
+        assert doc["grid"]["sizes"] == [128, 256]
+        # The deterministic payload carries no run metadata.
+        assert "wall_s" not in json.dumps(doc)
+
+
+class TestSweepCli:
+    def test_markdown_output(self, capsys):
+        assert main([
+            "sweep", "--sizes", "128", "--heights", "0", "4",
+            "--no-cache", "--max-requests", str(SAMPLE),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "| config | N | layout |" in out
+        assert "row-major" in out and "ddl" in out
+        assert "3 points" in out
+
+    def test_json_out_matches_engine(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--sizes", "128", "--layouts", "ddl",
+            "--heights", "2", "--no-cache",
+            "--max-requests", str(SAMPLE), "--out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        engine = run_sweep(
+            SweepGrid(sizes=(128,), layouts=("ddl",), heights=(2,)),
+            max_requests=SAMPLE,
+        )
+        assert out_path.read_text(encoding="utf-8") == engine.to_json()
+
+    def test_spec_file_and_cache_flags(self, capsys, tmp_path):
+        spec = tmp_path / "grid.json"
+        spec.write_text(json.dumps({"sizes": [128], "layouts": ["ddl"]}))
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "sweep", "--spec", str(spec), "--cache-dir", str(cache_dir),
+            "--max-requests", str(SAMPLE), "--metrics",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "1 simulated" in first
+        assert "`sweep.points`" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 from cache" in second
