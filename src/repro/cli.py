@@ -12,6 +12,11 @@ Commands regenerate the paper's evaluation artifacts:
 * ``energy``           -- column-phase energy, baseline vs DDL
 * ``trace``            -- record a run and export a Chrome/Perfetto trace
 * ``sweep``            -- parallel design-space sweep with result caching
+* ``faults``           -- layout degradation under injected memory faults
+
+Every command reports a :class:`~repro.errors.ReproError` as a one-line
+message on stderr with exit code 2; pass ``--debug`` (before the
+command) to re-raise with the full traceback instead.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.core import (
     format_table2,
 )
 from repro.core.config import SystemConfig
+from repro.errors import ReproError
 from repro.fft import StreamingFFT1D
 from repro.layouts import optimal_block_geometry
 from repro.memory3d import pact15_hmc_config
@@ -369,7 +375,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.sweep import SweepGrid, load_grid_spec, run_sweep
+    from repro.sweep import (
+        RetryPolicy,
+        SweepGrid,
+        WorkerChaos,
+        load_grid_spec,
+        run_sweep,
+    )
 
     if args.spec:
         grid = load_grid_spec(args.spec)
@@ -381,11 +393,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             heights=heights,
             whole_blocks=not args.partial_blocks,
         )
+    policy = None
+    if args.timeout is not None or args.retries:
+        policy = RetryPolicy(
+            timeout_s=args.timeout,
+            retries=args.retries,
+            backoff_s=args.backoff,
+        )
+    chaos = None
+    if args.chaos_fail or args.chaos_hang:
+        chaos = WorkerChaos(
+            fail_points=tuple(args.chaos_fail or ()),
+            hang_points=tuple(args.chaos_hang or ()),
+            fail_attempts=args.chaos_fail_attempts,
+            hang_s=args.chaos_hang_s,
+        )
     result = run_sweep(
         grid,
         max_requests=args.max_requests,
         jobs=args.jobs,
         cache=_sweep_cache(args),
+        policy=policy,
+        chaos=chaos,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -397,9 +428,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(result.render_markdown())
         print()
         print(f"({result.describe_run()})")
+    if result.failures and not args.json:
+        print()
+        print(f"quarantined {len(result.failures)} point(s):")
+        for failure in result.failures:
+            point = failure["point"]
+            print(
+                f"  - point {failure['index']} "
+                f"(N={point['n']} {point['layout']}): "
+                f"{failure['error']}: {failure['message']} "
+                f"[{failure['attempts']} attempt(s)]"
+            )
     if args.metrics:
         print()
         print(result.registry.render_markdown())
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import (
+        degradation_report,
+        load_fault_plan,
+        render_degradation,
+    )
+
+    plans = None
+    if args.plan:
+        plan = load_fault_plan(args.plan)
+        plans = {plan.name: plan}
+    report = degradation_report(
+        n=args.size,
+        max_requests=args.max_requests,
+        seed=args.seed,
+        plans=plans,
+    )
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        text = render_degradation(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -408,6 +482,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise errors with full tracebacks instead of the "
+             "one-line exit-code-2 summary",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -533,7 +613,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the merged cross-worker metrics registry",
     )
     _add_sweep_exec_flags(pw)
+    pw.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-attempt wall-clock budget in seconds; a hung worker "
+             "process is killed and the attempt retried or quarantined",
+    )
+    pw.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per failing point (exponential backoff with "
+             "deterministic jitter between attempts)",
+    )
+    pw.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="base backoff delay in seconds before the first retry",
+    )
+    pw.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="write periodic atomic progress snapshots to this file",
+    )
+    pw.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed points from --checkpoint before executing "
+             "the remainder",
+    )
+    pw.add_argument(
+        "--chaos-fail",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="INDEX",
+        help="(testing) grid indices whose worker attempts raise",
+    )
+    pw.add_argument(
+        "--chaos-hang",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="INDEX",
+        help="(testing) grid indices whose worker attempts hang",
+    )
+    pw.add_argument(
+        "--chaos-fail-attempts",
+        type=int,
+        default=None,
+        help="(testing) attempts that fail before a chaos point recovers "
+             "(default: all)",
+    )
+    pw.add_argument(
+        "--chaos-hang-s",
+        type=float,
+        default=30.0,
+        help="(testing) how long a hanging chaos attempt sleeps",
+    )
     pw.set_defaults(func=_cmd_sweep)
+
+    pf = sub.add_parser(
+        "faults",
+        help="layout degradation under injected memory faults",
+    )
+    pf.add_argument("--size", type=int, default=512, help="2D FFT size N")
+    pf.add_argument("--max-requests", type=int, default=32_768)
+    pf.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (deterministic)"
+    )
+    pf.add_argument(
+        "--plan",
+        type=str,
+        default=None,
+        help="JSON/TOML fault-plan spec file (default: the built-in "
+             "single-injector plans, one per fault class)",
+    )
+    pf.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of markdown",
+    )
+    pf.add_argument(
+        "--out", type=str, default=None,
+        help="write the report to a file instead of stdout",
+    )
+    pf.set_defaults(func=_cmd_faults)
 
     px = sub.add_parser(
         "trace", help="record one run, export Chrome trace + metrics"
@@ -567,9 +735,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Expected failures (any :class:`~repro.errors.ReproError`: bad specs,
+    invalid grids, corrupt checkpoints, ...) become a one-line stderr
+    message and exit code 2; ``--debug`` re-raises them with the full
+    traceback.  Genuine bugs always propagate.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

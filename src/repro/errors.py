@@ -34,3 +34,26 @@ class SimulationError(ReproError):
 
 class FFTError(ReproError):
     """An FFT kernel was configured with an unsupported size or radix."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is invalid or cannot be applied to a device."""
+
+
+class SweepExecutionError(ReproError):
+    """A sweep point failed in a worker (crash, timeout, or bad result).
+
+    The resilient executor raises this for *infrastructure* problems
+    (e.g. a checkpoint that does not match the grid being resumed);
+    per-point worker failures are quarantined into the sweep result's
+    ``failures`` section instead of aborting the grid.
+    """
+
+
+class CacheCorruptionError(ReproError):
+    """A result-cache entry failed digest or key verification.
+
+    Normal cache reads treat corruption as a miss and self-heal; this is
+    raised only by strict reads and :meth:`~repro.sweep.cache.ResultCache.scrub`
+    reporting.
+    """

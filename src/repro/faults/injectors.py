@@ -1,0 +1,260 @@
+"""The fault injectors: declarative descriptions of 3D-memory degradation.
+
+Each injector is a frozen dataclass describing *one* physical failure
+mode of an HMC-like stack.  Injectors are pure literals -- every field
+is JSON-native -- so a :class:`~repro.faults.plan.FaultPlan` composing
+them can be written down, shared and reloaded exactly, the same
+discipline the sweep grid specs follow.  Injectors never hold runtime
+state; :func:`repro.faults.plan.compile_plan` turns a plan into the
+seeded per-run :class:`~repro.faults.plan.FaultState` the timing engine
+consumes.
+
+The five shipped failure modes:
+
+* :class:`VaultFailure`    -- dead vaults whose traffic is remapped onto
+  the survivors (TSV bundle or controller loss; shrinks parallelism).
+* :class:`LatencyJitter`   -- seeded per-access service jitter
+  (voltage/temperature noise on tCAS/tRAS-class timings).
+* :class:`RefreshStorm`    -- periodic whole-vault lockouts layered on
+  the normal refresh model (retention crises, e.g. high temperature
+  doubling the refresh rate).
+* :class:`ThermalThrottle` -- bandwidth derating whenever a vault's
+  recent activity exceeds a duty-cycle threshold (stacked DRAM sits on
+  top of hot logic; sustained streaming trips thermal limits).
+* :class:`BitErrorModel`   -- seeded transient bit flips with ECC
+  detect/correct accounting (corrected errors pay a penalty beat,
+  uncorrectable ones are counted for the reliability report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import FaultError
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise FaultError(f"{name} must be positive, got {value}")
+
+
+def _require_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class VaultFailure:
+    """Dead (or remapped) vaults: their traffic reroutes to survivors.
+
+    A request addressed to a dead vault is served by the next live vault
+    (round-robin over the survivors), so the data stays reachable but the
+    effective vault-level parallelism -- the quantity the paper's Eq. (1)
+    block geometry is built around -- shrinks, and the surviving TSV
+    bundles carry the displaced load.
+    """
+
+    dead_vaults: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "dead_vaults", tuple(int(v) for v in self.dead_vaults)
+        )
+        if not self.dead_vaults:
+            raise FaultError("vault-failure: needs at least one dead vault")
+        if len(set(self.dead_vaults)) != len(self.dead_vaults):
+            raise FaultError(
+                f"vault-failure: duplicate vault ids {self.dead_vaults}"
+            )
+        if any(v < 0 for v in self.dead_vaults):
+            raise FaultError(
+                f"vault-failure: vault ids must be >= 0, got {self.dead_vaults}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (inverse of the plan loader)."""
+        return {"kind": "vault-failure", "dead_vaults": list(self.dead_vaults)}
+
+
+@dataclass(frozen=True)
+class LatencyJitter:
+    """Seeded per-access service jitter, uniform in ``[0, amplitude_ns]``.
+
+    Models electrical noise on the activate/streaming timings: every
+    request's completion slips by an independent draw.  The draws come
+    from the plan's seeded generator, so a fixed seed reproduces the
+    identical degraded run.
+    """
+
+    amplitude_ns: float
+
+    def __post_init__(self) -> None:
+        _require_positive("latency-jitter: amplitude_ns", self.amplitude_ns)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (inverse of the plan loader)."""
+        return {"kind": "latency-jitter", "amplitude_ns": self.amplitude_ns}
+
+
+@dataclass(frozen=True)
+class RefreshStorm:
+    """Periodic whole-vault lockouts on top of the normal refresh model.
+
+    Every ``period_ns`` each affected vault is blocked for
+    ``duration_ns`` -- a command landing inside the window defers to its
+    end, exactly like the built-in staggered refresh but typically far
+    heavier.  ``vaults=None`` hits every vault (with per-vault phase
+    staggering so the device never stalls globally).
+    """
+
+    period_ns: float
+    duration_ns: float
+    vaults: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _require_positive("refresh-storm: period_ns", self.period_ns)
+        _require_positive("refresh-storm: duration_ns", self.duration_ns)
+        if self.duration_ns >= self.period_ns:
+            raise FaultError(
+                f"refresh-storm: duration ({self.duration_ns}) must be below "
+                f"the period ({self.period_ns})"
+            )
+        if self.vaults is not None:
+            object.__setattr__(
+                self, "vaults", tuple(int(v) for v in self.vaults)
+            )
+            if any(v < 0 for v in self.vaults):
+                raise FaultError(
+                    f"refresh-storm: vault ids must be >= 0, got {self.vaults}"
+                )
+
+    @property
+    def lockout_fraction(self) -> float:
+        """Steady-state fraction of time an affected vault is locked."""
+        return self.duration_ns / self.period_ns
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (inverse of the plan loader)."""
+        return {
+            "kind": "refresh-storm",
+            "period_ns": self.period_ns,
+            "duration_ns": self.duration_ns,
+            "vaults": None if self.vaults is None else list(self.vaults),
+        }
+
+
+@dataclass(frozen=True)
+class ThermalThrottle:
+    """Bandwidth derating above an activity threshold.
+
+    Per vault, data-beat occupancy is accumulated over ``window_ns``
+    windows; when a window closes above ``threshold`` (fraction of the
+    window spent streaming), every beat in the *next* window is
+    stretched by ``derate`` -- the stack's thermal controller dropping
+    the signalling rate until the vault cools.  Idle gaps reset the
+    throttle, so bursty access patterns recover.
+    """
+
+    threshold: float = 0.7
+    derate: float = 2.0
+    window_ns: float = 1000.0
+
+    def __post_init__(self) -> None:
+        _require_fraction("thermal-throttle: threshold", self.threshold)
+        if self.derate <= 1.0:
+            raise FaultError(
+                f"thermal-throttle: derate must exceed 1, got {self.derate}"
+            )
+        _require_positive("thermal-throttle: window_ns", self.window_ns)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (inverse of the plan loader)."""
+        return {
+            "kind": "thermal-throttle",
+            "threshold": self.threshold,
+            "derate": self.derate,
+            "window_ns": self.window_ns,
+        }
+
+
+@dataclass(frozen=True)
+class BitErrorModel:
+    """Seeded transient bit flips with ECC detect/correct accounting.
+
+    Each access independently suffers an error with probability ``rate``.
+    A SECDED-style code corrects a ``1 - uncorrectable_fraction`` share
+    of them at a ``correction_ns`` service penalty (the read-retry /
+    scrub beat); the rest are detected but uncorrectable and only
+    counted -- the reliability signal a production deployment alarms on.
+    Error positions come from the plan's seeded generator.
+    """
+
+    rate: float
+    correction_ns: float = 20.0
+    uncorrectable_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise FaultError(
+                f"bit-errors: rate must be in (0, 1], got {self.rate}"
+            )
+        if self.correction_ns < 0:
+            raise FaultError(
+                f"bit-errors: correction_ns must be >= 0, got {self.correction_ns}"
+            )
+        _require_fraction(
+            "bit-errors: uncorrectable_fraction", self.uncorrectable_fraction
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (inverse of the plan loader)."""
+        return {
+            "kind": "bit-errors",
+            "rate": self.rate,
+            "correction_ns": self.correction_ns,
+            "uncorrectable_fraction": self.uncorrectable_fraction,
+        }
+
+
+#: Union of the shipped injector types (the plan's composition alphabet).
+Injector = (
+    VaultFailure | LatencyJitter | RefreshStorm | ThermalThrottle | BitErrorModel
+)
+
+#: ``kind`` tag -> injector class, for the spec loaders.
+INJECTOR_KINDS: dict[str, type] = {
+    "vault-failure": VaultFailure,
+    "latency-jitter": LatencyJitter,
+    "refresh-storm": RefreshStorm,
+    "thermal-throttle": ThermalThrottle,
+    "bit-errors": BitErrorModel,
+}
+
+
+def injector_from_dict(data: Mapping[str, Any]) -> Injector:
+    """Build one injector from its ``as_dict`` form (strict on keys)."""
+    if not isinstance(data, Mapping):
+        raise FaultError(f"injector spec must be a mapping, got {type(data).__name__}")
+    kind = data.get("kind")
+    cls = INJECTOR_KINDS.get(kind)
+    if cls is None:
+        raise FaultError(
+            f"unknown injector kind {kind!r}; expected one of "
+            f"{sorted(INJECTOR_KINDS)}"
+        )
+    kwargs = {k: v for k, v in data.items() if k != "kind"}
+    fields = {f for f in cls.__dataclass_fields__}
+    unknown = set(kwargs) - fields
+    if unknown:
+        raise FaultError(
+            f"injector {kind!r}: unknown keys {sorted(unknown)}"
+        )
+    # Lists from JSON/TOML become the tuples the dataclasses expect.
+    for name, value in list(kwargs.items()):
+        if isinstance(value, list):
+            kwargs[name] = tuple(value)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise FaultError(f"injector {kind!r}: {exc}") from exc

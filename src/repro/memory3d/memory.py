@@ -30,6 +30,8 @@ state (validated in the tests).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
 
 from repro.errors import SimulationError
@@ -39,6 +41,7 @@ from repro.memory3d.stats import AccessStats
 from repro.memory3d.vault import VaultTimingModel
 from repro.obs.events import (
     EV_ACTIVATE,
+    EV_BIT_ERROR,
     EV_REFRESH_STALL,
     EV_ROW_HIT,
     EV_TSV_CONTENTION,
@@ -47,6 +50,9 @@ from repro.obs.events import (
 )
 from repro.trace.request import TraceArray
 from repro.units import ELEMENT_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> memory3d)
+    from repro.faults.plan import FaultPlan, FaultState
 
 _NEG_INF = float("-inf")
 
@@ -69,10 +75,17 @@ class Memory3D:
         self,
         config: Memory3DConfig | None = None,
         recorder: Recorder | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config or Memory3DConfig()
         self.mapping = AddressMapping(self.config)
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: Default fault plan applied to every simulation (``None`` = healthy);
+        #: the per-call ``fault_plan`` argument overrides it.
+        self.fault_plan = fault_plan
+        #: :meth:`~repro.faults.plan.FaultState.summary` of the most recent
+        #: faulted simulation (``None`` until one runs).
+        self.last_fault_summary: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ public
     def simulate(
@@ -80,6 +93,7 @@ class Memory3D:
         trace: TraceArray,
         discipline: str = "in_order",
         sample: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> AccessStats:
         """Run a trace and return aggregate statistics.
 
@@ -91,6 +105,10 @@ class Memory3D:
                 elapsed time to the full trace length.  A recorder attached
                 to this simulator sees events for the simulated prefix only
                 (events are never extrapolated).
+            fault_plan: a :class:`~repro.faults.plan.FaultPlan` to degrade
+                this run with (overrides the constructor plan; ``None``
+                falls back to it).  The fault accounting of the run lands
+                in :attr:`last_fault_summary`.
         """
         if discipline not in DISCIPLINES:
             raise SimulationError(
@@ -104,10 +122,26 @@ class Memory3D:
         if sample is not None and 0 < sample < total:
             run = trace.head(sample)
             scale = total / sample
-        stats, _ = self._simulate_fast(run, discipline)
+        faults = self._compile_faults(fault_plan, len(run))
+        if faults is not None:
+            stats, _ = self._simulate_faulted(run, discipline, faults)
+            self.last_fault_summary = faults.summary()
+        else:
+            stats, _ = self._simulate_fast(run, discipline)
         if scale != 1.0:
             stats = stats.scaled(scale)
         return stats
+
+    def _compile_faults(
+        self, fault_plan: FaultPlan | None, n_requests: int
+    ) -> FaultState | None:
+        """Compile the effective plan for one run (``None`` when healthy)."""
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        if plan is None or not plan.injectors:
+            return None
+        from repro.faults.plan import compile_plan
+
+        return compile_plan(plan, self.config, n_requests)
 
     def simulate_reference(
         self, trace: TraceArray, discipline: str = "in_order"
@@ -208,6 +242,7 @@ class Memory3D:
         trace: TraceArray,
         tags: np.ndarray,
         discipline: str = "per_vault",
+        fault_plan: FaultPlan | None = None,
     ) -> dict[int, AccessStats]:
         """Run a merged multi-tenant trace and split the stats per tag.
 
@@ -236,7 +271,14 @@ class Memory3D:
             )
         if len(trace) == 0:
             return {-1: AccessStats()}
-        merged, completions = self._simulate_fast(trace, discipline, record=True)
+        faults = self._compile_faults(fault_plan, len(trace))
+        if faults is not None:
+            merged, completions = self._simulate_faulted(
+                trace, discipline, faults, record=True
+            )
+            self.last_fault_summary = faults.summary()
+        else:
+            merged, completions = self._simulate_fast(trace, discipline, record=True)
         assert completions is not None
         result: dict[int, AccessStats] = {-1: merged}
         for tag in np.unique(tags).tolist():
@@ -450,6 +492,276 @@ class Memory3D:
                         record_event(
                             EV_REFRESH_STALL, vid, bank, row, stall_ts, stall
                         )
+            tsv_next[vid] = completion
+            if in_order:
+                stream_ready = completion
+            else:
+                vault_ready[vid] = completion
+            if i == 0:
+                first_completion = completion
+            if completion > last_completion:
+                last_completion = completion
+            if completions is not None:
+                completions.append(completion)
+            if arrival_list is not None:
+                latency = completion - arrival_list[i]
+                latency_sum += latency
+                if latency > latency_max:
+                    latency_max = latency
+
+        busy = {
+            vid: tsv_next[vid] for vid in range(n_vaults) if tsv_next[vid] > 0.0
+        }
+        n_requests = len(trace)
+        stats = AccessStats(
+            requests=n_requests,
+            bytes_transferred=n_requests * ELEMENT_BYTES,
+            elapsed_ns=last_completion,
+            row_activations=activations,
+            row_hits=hits,
+            per_vault_busy_ns=busy,
+            first_response_ns=first_completion,
+            mean_request_latency_ns=(
+                latency_sum / n_requests if arrival_list is not None and n_requests
+                else 0.0
+            ),
+            max_request_latency_ns=latency_max,
+        )
+        recorded = (
+            np.asarray(completions, dtype=np.float64) if record else None
+        )
+        return stats, recorded
+
+    # ----------------------------------------------------------- faulted loop
+    def _simulate_faulted(
+        self,
+        trace: TraceArray,
+        discipline: str,
+        faults: FaultState,
+        record: bool = False,
+    ) -> tuple[AccessStats, np.ndarray | None]:
+        """The fault-injected twin of :meth:`_simulate_fast`.
+
+        Kept as a separate loop so the healthy hot path pays nothing for
+        the fault machinery; the rules are identical plus, per request:
+        vault remapping, storm lockouts, thermal beat stretching, seeded
+        jitter and ECC correction penalties.  With an all-identity
+        :class:`~repro.faults.plan.FaultState` the produced stats equal
+        the fast engine's exactly (cross-checked in the tests).
+        """
+        cfg = self.config
+        timing = cfg.timing
+        t_in_row = timing.t_in_row
+        t_in_vault = timing.t_in_vault
+        t_diff_bank = timing.t_diff_bank
+        t_diff_row = timing.t_diff_row
+        n_layers = cfg.layers
+        banks_per_vault = cfg.banks_per_vault
+        in_order = discipline == "in_order"
+        recorder = self.recorder
+        record_event = recorder.record if recorder.enabled else None
+        stall = 0.0
+        stall_ts = 0.0
+        refresh = cfg.refresh
+        if refresh is not None:
+            refi = refresh.t_refi_ns
+            rfc = refresh.t_rfc_ns
+            refresh_offset = [v * refi / cfg.vaults for v in range(cfg.vaults)]
+
+        vaults_arr, banks_arr, rows_arr, _ = self.mapping.decode_array(trace.addresses)
+        f_remap = faults.remap
+        if f_remap is not None:
+            remap_arr = np.asarray(f_remap, dtype=vaults_arr.dtype)
+            remapped = remap_arr[vaults_arr]
+            faults.remapped_requests = int((remapped != vaults_arr).sum())
+            vaults_arr = remapped
+        f_jitter = faults.jitter
+        f_storms = faults.storms
+        f_throttle = faults.throttle
+        f_errors = faults.error_class
+        f_correction = faults.correction_ns
+
+        gbank_list = (vaults_arr * banks_per_vault + banks_arr).tolist()
+        vault_list = vaults_arr.tolist()
+        bank_list = banks_arr.tolist()
+        row_list = rows_arr.tolist()
+        arrival_list = (
+            trace.arrival_ns.tolist() if trace.arrival_ns is not None else None
+        )
+
+        n_banks = cfg.total_banks
+        n_vaults = cfg.vaults
+        open_row = [-1] * n_banks
+        bank_next_act = [0.0] * n_banks
+        tsv_next = [0.0] * n_vaults
+        last_act_time = [_NEG_INF] * n_vaults
+        last_act_layer = [-1] * n_vaults
+        last_act_bank = [-1] * n_vaults
+        vault_ready = [0.0] * n_vaults
+        stream_ready = 0.0
+        if f_throttle is not None:
+            window_ns, busy_limit_ns, extra_factor = f_throttle
+            win_start = [0.0] * n_vaults
+            win_busy = [0.0] * n_vaults
+            throttled = [False] * n_vaults
+
+        activations = 0
+        hits = 0
+        first_completion = 0.0
+        last_completion = 0.0
+        completions: list[float] | None = [] if record else None
+
+        latency_sum = 0.0
+        latency_max = 0.0
+
+        for i, gbank in enumerate(gbank_list):
+            vid = vault_list[i]
+            row = row_list[i]
+            ready = stream_ready if in_order else vault_ready[vid]
+            if arrival_list is not None and arrival_list[i] > ready:
+                ready = arrival_list[i]
+            if open_row[gbank] == row:
+                hits += 1
+                tsv_prev = tsv_next[vid]
+                beat = tsv_prev if tsv_prev > ready else ready
+                stall = 0.0
+                if refresh is not None:
+                    phase = (beat - refresh_offset[vid]) % refi
+                    if phase < rfc:
+                        stall = rfc - phase
+                        stall_ts = beat
+                        beat += stall
+                for period, duration, offsets, vault_set in f_storms:
+                    if vault_set is not None and vid not in vault_set:
+                        continue
+                    phase = (beat - offsets[vid]) % period
+                    if phase < duration:
+                        extra = duration - phase
+                        if stall == 0.0:
+                            stall_ts = beat
+                        stall += extra
+                        beat += extra
+                        faults.storm_stall_ns += extra
+                hit = True
+                act = beat  # event timestamp base for the beat
+            else:
+                act = bank_next_act[gbank]
+                if ready > act:
+                    act = ready
+                prev_act = last_act_time[vid]
+                bank = bank_list[i]
+                if prev_act != _NEG_INF and last_act_bank[vid] != bank:
+                    layer = bank % n_layers
+                    gap = t_diff_bank if layer == last_act_layer[vid] else t_in_vault
+                    gated = prev_act + gap
+                    if gated > act:
+                        act = gated
+                stall = 0.0
+                stall_ts = act
+                if refresh is not None:
+                    phase = (act - refresh_offset[vid]) % refi
+                    if phase < rfc:
+                        stall = rfc - phase
+                        act += stall
+                for period, duration, offsets, vault_set in f_storms:
+                    if vault_set is not None and vid not in vault_set:
+                        continue
+                    phase = (act - offsets[vid]) % period
+                    if phase < duration:
+                        extra = duration - phase
+                        stall += extra
+                        act += extra
+                        faults.storm_stall_ns += extra
+                open_row[gbank] = row
+                bank_next_act[gbank] = act + t_diff_row
+                last_act_time[vid] = act
+                last_act_layer[vid] = bank % n_layers
+                last_act_bank[vid] = bank
+                activations += 1
+                tsv_prev = tsv_next[vid]
+                beat = tsv_prev if tsv_prev > act else act
+                if refresh is not None:
+                    phase = (beat - refresh_offset[vid]) % refi
+                    if phase < rfc:
+                        extra = rfc - phase
+                        if stall == 0.0:
+                            stall_ts = beat
+                        stall += extra
+                        beat += extra
+                for period, duration, offsets, vault_set in f_storms:
+                    if vault_set is not None and vid not in vault_set:
+                        continue
+                    phase = (beat - offsets[vid]) % period
+                    if phase < duration:
+                        extra = duration - phase
+                        if stall == 0.0:
+                            stall_ts = beat
+                        stall += extra
+                        beat += extra
+                        faults.storm_stall_ns += extra
+                hit = False
+
+            # Thermal throttling: close windows that ended before this beat,
+            # then stretch the beat if the vault is currently derated.
+            beat_ns = t_in_row
+            if f_throttle is not None:
+                ws = win_start[vid]
+                if beat >= ws + window_ns:
+                    elapsed_windows = int((beat - ws) // window_ns)
+                    hot = win_busy[vid] > busy_limit_ns
+                    # Only an *adjacent* hot window carries the derate over;
+                    # any idle window in between lets the vault cool.
+                    throttled[vid] = hot and elapsed_windows == 1
+                    if hot:
+                        faults.throttled_windows += 1
+                    win_start[vid] = ws + elapsed_windows * window_ns
+                    win_busy[vid] = 0.0
+                if throttled[vid]:
+                    extra = t_in_row * extra_factor
+                    beat_ns += extra
+                    faults.throttle_stall_ns += extra
+                win_busy[vid] += beat_ns
+            completion = beat + beat_ns
+            if f_jitter is not None:
+                jit = f_jitter[i]
+                completion += jit
+                faults.jitter_ns += jit
+            err = 0
+            if f_errors is not None:
+                err = f_errors[i]
+                if err == 1:
+                    completion += f_correction
+                    faults.corrected_errors += 1
+                elif err == 2:
+                    faults.uncorrectable_errors += 1
+
+            if record_event is not None:
+                bank = bank_list[i]
+                if hit:
+                    if tsv_prev > ready:
+                        record_event(
+                            EV_TSV_CONTENTION, vid, bank, row, ready,
+                            tsv_prev - ready,
+                        )
+                else:
+                    record_event(EV_ACTIVATE, vid, bank, row, act, t_diff_row)
+                    if tsv_prev > act:
+                        record_event(
+                            EV_TSV_CONTENTION, vid, bank, row, act,
+                            tsv_prev - act,
+                        )
+                if stall > 0.0:
+                    record_event(
+                        EV_REFRESH_STALL, vid, bank, row, stall_ts, stall
+                    )
+                if hit:
+                    record_event(EV_ROW_HIT, vid, bank, row, beat, beat_ns)
+                if err:
+                    record_event(
+                        EV_BIT_ERROR, vid, bank, row, beat,
+                        f_correction if err == 1 else 0.0,
+                    )
+
             tsv_next[vid] = completion
             if in_order:
                 stream_ready = completion

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +28,9 @@ from repro.memory3d.memory import Memory3D
 from repro.memory3d.stats import AccessStats
 from repro.obs.metrics import MetricsRegistry
 from repro.trace.request import TraceArray
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> memory3d)
+    from repro.faults.plan import FaultPlan
 
 #: Upper bucket bounds for the scheduler's queue-depth histogram.
 _DEPTH_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
@@ -143,11 +147,17 @@ class OpenPageScheduler:
         trace: TraceArray,
         discipline: str = "in_order",
         sample: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> ScheduledResult:
-        """Reorder then price the trace with the normal timing engine."""
+        """Reorder then price the trace with the normal timing engine.
+
+        ``fault_plan`` degrades the pricing run exactly as in
+        :meth:`Memory3D.simulate` -- the reordering itself is unaffected
+        (the controller does not know which vaults will misbehave).
+        """
         run = trace if sample is None else trace.head(min(sample, len(trace)))
         reordered, displaced = self.reorder(run)
-        stats = self.memory.simulate(reordered, discipline)
+        stats = self.memory.simulate(reordered, discipline, fault_plan=fault_plan)
         if sample is not None and len(trace) > len(run) and len(run):
             stats = stats.scaled(len(trace) / len(run))
         return ScheduledResult(

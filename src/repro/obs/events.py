@@ -27,6 +27,10 @@ Event kinds (:class:`EventKind`):
 ``REFRESH_STALL``
     The command was pushed out of a refresh window; ``dur_ns`` is the
     deferral (summed per request when both activate and beat defer).
+``BIT_ERROR``
+    A fault-injected transient bit flip was detected on the data beat
+    (:class:`~repro.faults.BitErrorModel`); ``dur_ns`` is the ECC
+    correction penalty (zero for detected-but-uncorrectable errors).
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ class EventKind(IntEnum):
     ROW_HIT = 1
     REFRESH_STALL = 2
     TSV_CONTENTION = 3
+    BIT_ERROR = 4
 
 
 #: Module-level aliases so the hot loop avoids enum attribute lookups.
@@ -52,6 +57,7 @@ EV_ACTIVATE = int(EventKind.ACTIVATE)
 EV_ROW_HIT = int(EventKind.ROW_HIT)
 EV_REFRESH_STALL = int(EventKind.REFRESH_STALL)
 EV_TSV_CONTENTION = int(EventKind.TSV_CONTENTION)
+EV_BIT_ERROR = int(EventKind.BIT_ERROR)
 
 
 @dataclass(frozen=True)

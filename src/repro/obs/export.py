@@ -30,6 +30,7 @@ _EVENT_NAMES = {
     int(EventKind.ROW_HIT): "HIT",
     int(EventKind.REFRESH_STALL): "REFRESH",
     int(EventKind.TSV_CONTENTION): "TSV_WAIT",
+    int(EventKind.BIT_ERROR): "BIT_ERR",
 }
 
 #: Process id offset for the span (host-time) track, clear of vault pids.

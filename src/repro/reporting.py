@@ -3,7 +3,9 @@
 ``python -m repro reproduce`` regenerates every paper artifact (Tables 1
 and 2 from both the analytic model and the trace-driven simulator, the
 block-height and vault-parallelism ablations, the energy comparison, a
-per-vault utilization breakdown from the event recorder) and renders
+per-vault utilization breakdown from the event recorder, and a
+degradation table showing how each layout survives the built-in
+fault-injection plans) and renders
 them as a single markdown document -- the quickest way for a reader to
 check this repository against the paper.
 """
@@ -13,6 +15,7 @@ from __future__ import annotations
 from repro.core import AnalyticModel
 from repro.core.config import SystemConfig
 from repro.energy import EnergyModel
+from repro.faults import degradation_report, render_degradation
 from repro.layouts import BlockDDLLayout, RowMajorLayout, optimal_block_geometry
 from repro.memory3d import Memory3D
 from repro.obs import EventTrace, vault_utilization_table
@@ -197,6 +200,17 @@ def reproduce_report(
         vault_utilization_table(recorder, ddl_vault.elapsed_ns,
                                 config.memory),
         "",
+    ]
+
+    # -------------------------------------------------- fault degradation
+    faults = degradation_report(
+        config=config, n=n_ab, max_requests=max_requests
+    )
+    sections += [
+        render_degradation(
+            faults,
+            heading=f"## Degradation under injected faults (N={n_ab})",
+        ),
     ]
 
     return "\n".join(sections)

@@ -16,7 +16,13 @@ an embarrassingly parallel exploration this package runs as one:
   already-simulated points;
 * :mod:`repro.sweep.results` -- :class:`SweepResult`: a deterministic
   JSON document (identical for any ``--jobs`` value and for warm-cache
-  replays) plus markdown rendering.
+  replays) plus markdown rendering;
+* :mod:`repro.sweep.resilience` -- :class:`RetryPolicy` (per-attempt
+  timeouts, bounded retries, deterministic backoff),
+  :class:`SweepCheckpoint` (periodic atomic progress snapshots replayed
+  by ``--resume``) and :class:`WorkerChaos` (executor fault injection
+  for tests/CI).  Worker failures are quarantined into the result's
+  ``failures`` section; one bad point never aborts the grid.
 
 ``python -m repro sweep`` is the CLI entry point; the ``reproduce``
 report's N-sweep and h-sweep sections run on this engine.  See
@@ -31,8 +37,17 @@ from repro.sweep.grid import (
     grid_from_dict,
     load_grid_spec,
 )
+from repro.sweep.resilience import (
+    CHECKPOINT_SCHEMA,
+    RetryPolicy,
+    SweepCheckpoint,
+    WorkerChaos,
+    backoff_jitter,
+    failure_record,
+)
 from repro.sweep.results import RESULT_SCHEMA, SweepError, SweepResult
 from repro.sweep.runner import (
+    DEFAULT_CHECKPOINT_EVERY,
     DEFAULT_SWEEP_REQUESTS,
     point_result,
     resolve_jobs,
@@ -42,15 +57,22 @@ from repro.sweep.runner import (
 
 __all__ = [
     "CACHE_VERSION",
+    "CHECKPOINT_SCHEMA",
     "CacheStats",
     "ConfigVariant",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_SWEEP_REQUESTS",
     "RESULT_SCHEMA",
     "ResultCache",
+    "RetryPolicy",
+    "SweepCheckpoint",
     "SweepError",
     "SweepGrid",
     "SweepPoint",
     "SweepResult",
+    "WorkerChaos",
+    "backoff_jitter",
+    "failure_record",
     "grid_from_dict",
     "load_grid_spec",
     "point_result",

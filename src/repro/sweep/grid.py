@@ -223,7 +223,10 @@ def grid_from_dict(data: Mapping[str, Any]) -> SweepGrid:
 def load_grid_spec(path: str | Path) -> SweepGrid:
     """Load a grid spec from a ``.json`` or ``.toml`` file."""
     path = Path(path)
-    text = path.read_text(encoding="utf-8")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"{path}: cannot read sweep spec ({exc})") from exc
     if path.suffix.lower() == ".toml":
         import tomllib
 

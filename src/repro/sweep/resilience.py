@@ -1,0 +1,353 @@
+"""Resilient sweep execution: timeouts, retries, quarantine, checkpoints.
+
+A long design-space sweep dies in practice for boring reasons -- one
+pathological point OOMs a worker, a shared machine stalls, a speculative
+code change makes one configuration hang.  This module supplies the
+pieces :func:`repro.sweep.runner.run_sweep` composes so a single bad
+point can never take the grid down:
+
+* :class:`RetryPolicy` -- per-attempt timeout plus bounded retries with
+  exponential backoff and *deterministic* jitter (derived from the point
+  index and attempt number, never the wall clock, so reruns behave
+  identically);
+* :class:`WorkerChaos` -- test-only fault injection for the executor
+  itself: make chosen points crash or hang inside the worker, so the
+  recovery machinery is exercised by the real failure path;
+* :func:`run_attempt` -- one isolated attempt of one point in a
+  killable child process (a hung worker is terminated, not waited on);
+* :class:`SweepCheckpoint` -- periodic atomic snapshots of completed
+  points keyed by a digest of the full sweep identity, replayed by
+  ``--resume`` so an interrupted sweep continues instead of restarting.
+
+Failures are quarantined as plain JSON records (:func:`failure_record`)
+in the result document's ``failures`` section -- the healthy points'
+payload stays deterministic and byte-identical to a failure-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError, SweepExecutionError
+from repro.serialization import stable_digest
+
+#: Schema tag stamped into every checkpoint file.
+CHECKPOINT_SCHEMA = "repro-sweep-checkpoint/v1"
+
+
+# ---------------------------------------------------------------- retry policy
+def backoff_jitter(index: int, attempt: int) -> float:
+    """Deterministic jitter fraction in ``[0, 1)`` for one (point, attempt).
+
+    Hash-derived rather than drawn from a clock-seeded RNG, so two runs
+    of the same sweep back off identically -- resilience never makes a
+    run less reproducible.
+    """
+    digest = hashlib.sha256(f"{index}:{attempt}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the executor tries before quarantining a point.
+
+    Attributes:
+        timeout_s: wall-clock budget per attempt (``None`` = unbounded);
+            a timed-out worker process is terminated, so hangs cannot
+            wedge the sweep.
+        retries: extra attempts after the first failure.
+        backoff_s: base delay before the first retry.
+        backoff_multiplier: exponential growth factor per retry.
+        max_backoff_s: cap on any single delay.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 0
+    backoff_s: float = 0.1
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError(
+                f"retry policy: timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.retries < 0:
+            raise ConfigError(
+                f"retry policy: retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigError(
+                f"retry policy: backoff_s must be >= 0, got {self.backoff_s}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"retry policy: backoff_multiplier must be >= 1, "
+                f"got {self.backoff_multiplier}"
+            )
+        if self.max_backoff_s < self.backoff_s:
+            raise ConfigError(
+                f"retry policy: max_backoff_s ({self.max_backoff_s}) must be "
+                f">= backoff_s ({self.backoff_s})"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts per point (first try plus retries)."""
+        return 1 + self.retries
+
+    def backoff_for(self, index: int, attempt: int) -> float:
+        """Delay in seconds after failed attempt ``attempt`` (1-based).
+
+        Exponential in the attempt number, capped, with half-range
+        deterministic jitter: ``base * (0.5 + 0.5 * jitter)``.
+        """
+        base = min(
+            self.backoff_s * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        return base * (0.5 + 0.5 * backoff_jitter(index, attempt))
+
+
+# ---------------------------------------------------------------- worker chaos
+@dataclass(frozen=True)
+class WorkerChaos:
+    """Executor-level fault injection (testing/CI only).
+
+    Makes selected grid points misbehave *inside the worker*, so retry,
+    timeout and quarantine handling are exercised through the identical
+    code path a real failure takes.  Chaos parameters are excluded from
+    cache keys -- a chaos run never poisons the result cache.
+
+    Attributes:
+        fail_points: grid indices whose attempts raise.
+        hang_points: grid indices whose attempts sleep for ``hang_s``
+            (long enough to trip any sane per-attempt timeout).
+        fail_attempts: number of attempts that fail before the point
+            recovers; ``None`` means every attempt fails.
+        hang_s: how long a hanging attempt sleeps.
+    """
+
+    fail_points: tuple[int, ...] = ()
+    hang_points: tuple[int, ...] = ()
+    fail_attempts: int | None = None
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "fail_points", tuple(int(i) for i in self.fail_points)
+        )
+        object.__setattr__(
+            self, "hang_points", tuple(int(i) for i in self.hang_points)
+        )
+        if self.fail_attempts is not None and self.fail_attempts < 1:
+            raise ConfigError(
+                f"chaos: fail_attempts must be >= 1, got {self.fail_attempts}"
+            )
+        if self.hang_s <= 0:
+            raise ConfigError(f"chaos: hang_s must be positive, got {self.hang_s}")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-native form shipped inside worker task payloads."""
+        return {
+            "fail_points": list(self.fail_points),
+            "hang_points": list(self.hang_points),
+            "fail_attempts": self.fail_attempts,
+            "hang_s": self.hang_s,
+        }
+
+
+def apply_chaos(chaos: dict[str, Any], index: int, attempt: int) -> None:
+    """Worker-side chaos hook: hang and/or raise for the configured points."""
+    import time
+
+    if index in chaos.get("hang_points", ()):
+        time.sleep(chaos.get("hang_s", 30.0))
+    if index in chaos.get("fail_points", ()):
+        fail_attempts = chaos.get("fail_attempts")
+        if fail_attempts is None or attempt <= fail_attempts:
+            raise SweepExecutionError(
+                f"chaos: injected failure at point {index} (attempt {attempt})"
+            )
+
+
+# ------------------------------------------------------------ isolated attempt
+def _attempt_child(conn: Any, task: dict[str, Any]) -> None:
+    """Child-process body of one attempt (module-level, fork/spawn safe)."""
+    from repro.sweep.runner import _execute_task
+
+    try:
+        outcome = _execute_task(task)
+    except BaseException as exc:  # noqa: BLE001 - quarantine everything
+        conn.send(
+            {"status": "error", "error": type(exc).__name__, "message": str(exc)}
+        )
+    else:
+        conn.send({"status": "ok", "outcome": outcome})
+    finally:
+        conn.close()
+
+
+def run_attempt(
+    task: dict[str, Any], timeout_s: float | None
+) -> dict[str, Any]:
+    """Run one point attempt in a killable child process.
+
+    Returns the child's status dict: ``{"status": "ok", "outcome": ...}``
+    on success, ``{"status": "error", ...}`` when the worker raised,
+    ``{"status": "timeout"}`` when the attempt exceeded ``timeout_s``
+    (the child is terminated), ``{"status": "crashed"}`` when the child
+    died without reporting (hard crash).
+    """
+    parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(
+        target=_attempt_child, args=(child_conn, task), daemon=True
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(timeout_s):
+            proc.terminate()
+            proc.join()
+            return {"status": "timeout"}
+        try:
+            return parent_conn.recv()
+        except EOFError:
+            return {
+                "status": "crashed",
+                "exitcode": proc.exitcode,
+            }
+    finally:
+        parent_conn.close()
+        proc.join()
+
+
+def failure_record(
+    index: int,
+    point: dict[str, Any],
+    error: str,
+    message: str,
+    attempts: int,
+    timed_out: bool = False,
+) -> dict[str, Any]:
+    """The quarantine record one failed point leaves in ``failures``."""
+    return {
+        "index": index,
+        "point": point,
+        "error": error,
+        "message": message,
+        "attempts": attempts,
+        "timed_out": timed_out,
+    }
+
+
+# ------------------------------------------------------------------ checkpoint
+class SweepCheckpoint:
+    """Atomic on-disk snapshots of a sweep in progress.
+
+    The file carries a digest of the sweep's full identity (grid spec,
+    resolved configurations, request budget and cache version), so a
+    resume against a *different* sweep fails loudly instead of silently
+    splicing foreign results.
+    """
+
+    def __init__(self, path: str | Path, digest: str) -> None:
+        self.path = Path(path)
+        self.digest = digest
+
+    @staticmethod
+    def digest_for(
+        grid_dict: dict[str, Any],
+        config_dicts: dict[str, Any],
+        max_requests: int,
+        version: str,
+    ) -> str:
+        """Content digest of everything that determines the sweep's results."""
+        return stable_digest(
+            {
+                "grid": grid_dict,
+                "configs": config_dicts,
+                "max_requests": max_requests,
+                "version": version,
+            }
+        )
+
+    def load(self) -> tuple[dict[int, dict[str, Any]], list[dict[str, Any]]]:
+        """Replay a checkpoint: ``(completed results by index, failures)``.
+
+        Returns empty state when the file does not exist (a fresh run).
+        Raises :class:`~repro.errors.SweepExecutionError` when the file
+        is unreadable, corrupt, or belongs to a different sweep --
+        resuming must never silently mix results.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return {}, []
+        except OSError as exc:
+            raise SweepExecutionError(
+                f"{self.path}: cannot read checkpoint ({exc})"
+            ) from exc
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepExecutionError(
+                f"{self.path}: corrupt checkpoint ({exc})"
+            ) from exc
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != CHECKPOINT_SCHEMA
+        ):
+            raise SweepExecutionError(
+                f"{self.path}: not a sweep checkpoint "
+                f"(schema {document.get('schema')!r} != {CHECKPOINT_SCHEMA!r})"
+            )
+        if document.get("digest") != self.digest:
+            raise SweepExecutionError(
+                f"{self.path}: checkpoint belongs to a different sweep "
+                f"(digest mismatch; grid, config or request budget changed)"
+            )
+        completed_raw = document.get("completed", {})
+        if not isinstance(completed_raw, dict):
+            raise SweepExecutionError(
+                f"{self.path}: corrupt checkpoint ('completed' not a mapping)"
+            )
+        completed: dict[int, dict[str, Any]] = {}
+        for key, value in completed_raw.items():
+            if not isinstance(value, dict):
+                raise SweepExecutionError(
+                    f"{self.path}: corrupt checkpoint (entry {key!r} not a dict)"
+                )
+            completed[int(key)] = value
+        failures = document.get("failures", [])
+        if not isinstance(failures, list):
+            raise SweepExecutionError(
+                f"{self.path}: corrupt checkpoint ('failures' not a list)"
+            )
+        return completed, failures
+
+    def save(
+        self,
+        completed: dict[int, dict[str, Any]],
+        failures: list[dict[str, Any]],
+    ) -> None:
+        """Atomically write the current progress (temp file + rename)."""
+        document = {
+            "schema": CHECKPOINT_SCHEMA,
+            "digest": self.digest,
+            "completed": {str(k): v for k, v in sorted(completed.items())},
+            "failures": failures,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)

@@ -11,6 +11,13 @@ A :class:`SweepResult` separates two kinds of information:
   wall-clock time, worker count, cache hit rates and merged metrics,
   which describe *this execution* and are deliberately excluded from
   the payload.
+
+Quarantined point failures (schema v2) live in the document's
+``failures`` list: structured records of every point the resilient
+executor gave up on (index, point identity, error class, message,
+attempt count, timeout flag), in grid order.  The healthy points'
+``results`` payload is unaffected -- a run where some points fail is
+byte-identical, over the surviving points, to a failure-free run.
 """
 
 from __future__ import annotations
@@ -23,8 +30,9 @@ from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry
 from repro.sweep.grid import SweepGrid
 
-#: Schema tag stamped into every result document.
-RESULT_SCHEMA = "repro-sweep-result/v1"
+#: Schema tag stamped into every result document.  v2 added the
+#: ``failures`` quarantine section.
+RESULT_SCHEMA = "repro-sweep-result/v2"
 
 
 class SweepError(ReproError):
@@ -40,6 +48,9 @@ class SweepResult:
     results: list[dict[str, Any]]
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Quarantine records of points the executor gave up on (grid order);
+    #: see :func:`repro.sweep.resilience.failure_record` for the shape.
+    failures: list[dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------- selection
     def select(self, **criteria: Any) -> list[dict[str, Any]]:
@@ -71,6 +82,7 @@ class SweepResult:
             "max_requests": self.max_requests,
             "grid": self.grid.as_dict(),
             "results": self.results,
+            "failures": self.failures,
         }
 
     def to_json(self) -> str:
@@ -126,6 +138,11 @@ class SweepResult:
             parts.append(f"{simulated} simulated")
         if cached is not None:
             parts.append(f"{cached} from cache")
+        resumed = self.meta.get("resumed")
+        if resumed:
+            parts.append(f"{resumed} from checkpoint")
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
         jobs = self.meta.get("jobs")
         if jobs is not None:
             parts.append(f"jobs={jobs}")

@@ -9,28 +9,50 @@ identical code path inline, so parallelism can never change results.
 
 Each worker returns its point result together with a
 :class:`~repro.obs.metrics.MetricsRegistry` snapshot; the parent merges
-the snapshots (counters add, histograms combine bucket-wise) into one
-run-level registry.
+the snapshots (counters add, histograms combine bucket-wise) in grid
+order into one run-level registry.
+
+Execution is *resilient*: a worker exception is quarantined as a
+structured record in the result's ``failures`` section instead of
+aborting the grid.  A :class:`~repro.sweep.resilience.RetryPolicy`
+upgrades every point to killable per-attempt child processes with
+timeouts and deterministic exponential backoff; a checkpoint path makes
+the runner snapshot completed points periodically so ``resume=True``
+replays them after an interruption.  See :mod:`repro.sweep.resilience`
+and ``docs/sweep.md``.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterator
 
 from repro.core.config import SystemConfig
 from repro.core.simulate import simulate_column_phase
 from repro.errors import ConfigError
 from repro.obs.metrics import MetricsRegistry
 from repro.serialization import system_from_dict, system_to_dict, system_with_overrides
-from repro.sweep.cache import ResultCache
+from repro.sweep.cache import CACHE_VERSION, ResultCache
 from repro.sweep.grid import SweepGrid, SweepPoint
+from repro.sweep.resilience import (
+    RetryPolicy,
+    SweepCheckpoint,
+    WorkerChaos,
+    apply_chaos,
+    failure_record,
+    run_attempt,
+)
 from repro.sweep.results import SweepResult
 
 #: Default cap on exactly-simulated requests per point.
 DEFAULT_SWEEP_REQUESTS = 65_536
+
+#: Completed points between checkpoint snapshots.
+DEFAULT_CHECKPOINT_EVERY = 8
 
 #: Bucket bounds for the per-run utilization histogram (% of peak).
 _UTILIZATION_BOUNDS = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0)
@@ -134,8 +156,14 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
     """Worker body: simulate one point, return result + metrics snapshot.
 
     Module-level (picklable) and fed only JSON-native payloads, so it
-    runs identically inline, under ``fork`` and under ``spawn``.
+    runs identically inline, under ``fork`` and under ``spawn``.  An
+    optional ``chaos`` member (see
+    :class:`~repro.sweep.resilience.WorkerChaos`) makes the attempt
+    misbehave for executor testing.
     """
+    chaos = task.get("chaos")
+    if chaos:
+        apply_chaos(chaos, task["index"], task.get("attempt", 1))
     config = system_from_dict(task["config"])
     point = SweepPoint(**task["point"])
     registry = MetricsRegistry()
@@ -144,12 +172,131 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
     return {"index": task["index"], "result": result, "metrics": registry.as_dict()}
 
 
+# -------------------------------------------------------------- outcome plumbing
+def _attempt_point(
+    task: dict[str, Any],
+    policy: RetryPolicy,
+    chaos: WorkerChaos | None,
+) -> dict[str, Any]:
+    """Run one point under the retry policy in killable child processes.
+
+    Returns ``{"status": "ok", "outcome": ..., "retries": n}`` or
+    ``{"status": "failed", "failure": ..., "retries": n}``.
+    """
+    index = task["index"]
+    last_error = "SweepExecutionError"
+    last_message = "no attempt ran"
+    timed_out = False
+    for attempt in range(1, policy.max_attempts + 1):
+        payload = dict(task)
+        payload["attempt"] = attempt
+        if chaos is not None:
+            payload["chaos"] = chaos.as_dict()
+        status = run_attempt(payload, policy.timeout_s)
+        if status["status"] == "ok":
+            return {
+                "status": "ok",
+                "outcome": status["outcome"],
+                "retries": attempt - 1,
+            }
+        if status["status"] == "timeout":
+            last_error = "TimeoutError"
+            last_message = (
+                f"attempt exceeded the {policy.timeout_s}s budget and was killed"
+            )
+            timed_out = True
+        elif status["status"] == "crashed":
+            last_error = "WorkerCrash"
+            last_message = (
+                f"worker died without reporting (exit code {status.get('exitcode')})"
+            )
+            timed_out = False
+        else:
+            last_error = status.get("error", "Exception")
+            last_message = status.get("message", "")
+            timed_out = False
+        if attempt < policy.max_attempts:
+            time.sleep(policy.backoff_for(index, attempt))
+    failure = failure_record(
+        index=index,
+        point=task["point"],
+        error=last_error,
+        message=last_message,
+        attempts=policy.max_attempts,
+        timed_out=timed_out,
+    )
+    return {"status": "failed", "failure": failure, "retries": policy.retries}
+
+
+def _iter_outcomes_fast(
+    tasks: list[dict[str, Any]], jobs: int
+) -> Iterator[dict[str, Any]]:
+    """Plain execution: inline or process pool, exceptions quarantined."""
+
+    def outcome_of(task: dict[str, Any], call: Callable[[], Any]) -> dict[str, Any]:
+        try:
+            return {"status": "ok", "outcome": call(), "retries": 0}
+        except Exception as exc:  # noqa: BLE001 - quarantine, never abort
+            return {
+                "status": "failed",
+                "failure": failure_record(
+                    index=task["index"],
+                    point=task["point"],
+                    error=type(exc).__name__,
+                    message=str(exc),
+                    attempts=1,
+                ),
+                "retries": 0,
+            }
+
+    if jobs == 1 or len(tasks) == 1:
+        for task in tasks:
+            yield outcome_of(task, lambda task=task: _execute_task(task))
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures: dict[Future[Any], dict[str, Any]] = {
+            pool.submit(_execute_task, task): task for task in tasks
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task = futures[future]
+                yield outcome_of(task, future.result)
+
+
+def _iter_outcomes_resilient(
+    tasks: list[dict[str, Any]],
+    jobs: int,
+    policy: RetryPolicy,
+    chaos: WorkerChaos | None,
+) -> Iterator[dict[str, Any]]:
+    """Isolated-attempt execution: worker threads drive child processes."""
+    if jobs == 1 or len(tasks) == 1:
+        for task in tasks:
+            yield _attempt_point(task, policy, chaos)
+        return
+    with ThreadPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        pending = {
+            pool.submit(_attempt_point, task, policy, chaos) for task in tasks
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+
+
 def run_sweep(
     grid: SweepGrid,
     config: SystemConfig | None = None,
     max_requests: int = DEFAULT_SWEEP_REQUESTS,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    policy: RetryPolicy | None = None,
+    chaos: WorkerChaos | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
 ) -> SweepResult:
     """Execute every point of ``grid`` and return the merged result.
 
@@ -162,10 +309,33 @@ def run_sweep(
             fallback), ``<= 0`` uses one worker per CPU.
         cache: optional on-disk result cache; hits skip simulation,
             misses are stored after simulation.
+        policy: optional :class:`~repro.sweep.resilience.RetryPolicy`;
+            when given (or when ``chaos`` is), every point runs in
+            killable per-attempt child processes with timeouts and
+            deterministic backoff between retries.
+        chaos: optional executor fault injection
+            (:class:`~repro.sweep.resilience.WorkerChaos`); test/CI only.
+        checkpoint: optional path for periodic progress snapshots
+            (written atomically every ``checkpoint_every`` completions
+            and at the end).
+        resume: replay completed points from ``checkpoint`` before
+            executing the remainder.  The final document is
+            byte-identical to an uninterrupted run (enforced by tests).
+        checkpoint_every: completions between snapshots.
+
+    A point that keeps failing is quarantined into the result's
+    ``failures`` list instead of aborting the grid; infrastructure
+    errors (invalid grid, unusable checkpoint) still raise.
     """
     config = config or SystemConfig()
     if max_requests <= 0:
         raise ConfigError(f"max_requests must be positive, got {max_requests}")
+    if checkpoint_every <= 0:
+        raise ConfigError(
+            f"checkpoint_every must be positive, got {checkpoint_every}"
+        )
+    if resume and checkpoint is None:
+        raise ConfigError("resume=True requires a checkpoint path")
     validate_grid(grid, config)
     jobs = resolve_jobs(jobs)
     started = time.perf_counter()
@@ -179,8 +349,29 @@ def run_sweep(
     points = grid.points()
     results: list[dict[str, Any] | None] = [None] * len(points)
     registry = MetricsRegistry()
+
+    ckpt: SweepCheckpoint | None = None
+    completed: dict[int, dict[str, Any]] = {}
+    resumed = 0
+    if checkpoint is not None:
+        ckpt = SweepCheckpoint(
+            checkpoint,
+            SweepCheckpoint.digest_for(
+                grid.as_dict(), config_dicts, max_requests, CACHE_VERSION
+            ),
+        )
+        if resume:
+            completed, _ = ckpt.load()
+            for index, result in completed.items():
+                if 0 <= index < len(points):
+                    results[index] = result
+            resumed = sum(1 for entry in results if entry is not None)
+
     tasks: list[dict[str, Any]] = []
+    cached = 0
     for index, point in enumerate(points):
+        if results[index] is not None:
+            continue
         payload = {
             "point": point.as_dict(),
             "config": config_dicts[point.config_label],
@@ -189,43 +380,89 @@ def run_sweep(
         key = None
         if cache is not None:
             key = cache.key_for(payload)
-            cached = cache.get(key)
-            if cached is not None:
-                results[index] = cached
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                completed[index] = hit
+                cached += 1
                 continue
         tasks.append({"index": index, "key": key, **payload})
 
+    failures: list[dict[str, Any]] = []
+    retries_total = 0
+    simulated = 0
+    outcomes_by_index: dict[int, dict[str, Any]] = {}
+    tasks_by_index = {task["index"]: task for task in tasks}
+
     if tasks:
-        if jobs == 1 or len(tasks) == 1:
-            outcomes = [_execute_task(task) for task in tasks]
+        if policy is not None or chaos is not None:
+            stream = _iter_outcomes_resilient(
+                tasks, jobs, policy or RetryPolicy(), chaos
+            )
         else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-                outcomes = list(pool.map(_execute_task, tasks))
-        for task, outcome in zip(tasks, outcomes):
-            results[outcome["index"]] = outcome["result"]
-            registry.merge_snapshot(outcome["metrics"])
-            if cache is not None:
-                payload = {
-                    "point": task["point"],
-                    "config": task["config"],
-                    "max_requests": task["max_requests"],
-                }
-                cache.put(task["key"], payload, outcome["result"])
+            stream = _iter_outcomes_fast(tasks, jobs)
+        since_snapshot = 0
+        for entry in stream:
+            retries_total += entry["retries"]
+            if entry["status"] == "ok":
+                outcome = entry["outcome"]
+                index = outcome["index"]
+                results[index] = outcome["result"]
+                completed[index] = outcome["result"]
+                outcomes_by_index[index] = outcome
+                simulated += 1
+                task = tasks_by_index[index]
+                if cache is not None:
+                    cache.put(
+                        task["key"],
+                        {
+                            "point": task["point"],
+                            "config": task["config"],
+                            "max_requests": task["max_requests"],
+                        },
+                        outcome["result"],
+                    )
+            else:
+                failures.append(entry["failure"])
+            since_snapshot += 1
+            if ckpt is not None and since_snapshot >= checkpoint_every:
+                ckpt.save(completed, sorted(failures, key=lambda f: f["index"]))
+                since_snapshot = 0
+
+    failures.sort(key=lambda f: f["index"])
+    if ckpt is not None:
+        ckpt.save(completed, failures)
+    for index in sorted(outcomes_by_index):
+        registry.merge_snapshot(outcomes_by_index[index]["metrics"])
 
     registry.counter("sweep.cache.hits", help="points replayed from cache").inc(
-        len(points) - len(tasks)
+        cached
     )
     registry.counter("sweep.cache.misses", help="points simulated fresh").inc(
         len(tasks)
     )
+    if retries_total:
+        registry.counter("sweep.retries", help="extra attempts across points").inc(
+            retries_total
+        )
+    if failures:
+        registry.counter("sweep.failures", help="points quarantined").inc(
+            len(failures)
+        )
     final: list[dict[str, Any]] = []
+    failed_indices = {failure["index"] for failure in failures}
     for index, entry in enumerate(results):
-        assert entry is not None, f"point {index} produced no result"
+        if entry is None:
+            assert index in failed_indices, f"point {index} produced no result"
+            continue
         final.append(entry)
     meta = {
         "jobs": jobs,
-        "simulated": len(tasks),
-        "cached": len(points) - len(tasks),
+        "simulated": simulated,
+        "cached": cached,
+        "resumed": resumed,
+        "failed": len(failures),
+        "retries": retries_total,
         "wall_s": time.perf_counter() - started,
         "cache": cache.stats.as_dict() if cache is not None else None,
     }
@@ -235,4 +472,5 @@ def run_sweep(
         results=final,
         registry=registry,
         meta=meta,
+        failures=failures,
     )

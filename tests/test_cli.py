@@ -212,6 +212,98 @@ class TestTraceCommand:
         assert "`memory.bandwidth_gbps`" in out
 
 
+class TestFaultsCommand:
+    def test_markdown_report(self, capsys):
+        assert main(["faults", "--size", "256", "--max-requests", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault degradation report" in out
+        assert "| block-ddl |" in out
+        for plan in ("vault-failure", "latency-jitter", "refresh-storm",
+                     "thermal-throttle", "bit-errors"):
+            assert plan in out
+
+    def test_json_report_is_deterministic(self, capsys):
+        argv = ["faults", "--size", "256", "--max-requests", "8192", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        import json
+
+        report = json.loads(first)
+        assert set(report["layouts"]) == {"row-major", "column-major",
+                                          "block-ddl"}
+
+    def test_plan_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "plan.json"
+        spec.write_text(json.dumps({
+            "name": "two-dead",
+            "injectors": [{"kind": "vault-failure", "dead_vaults": [0, 1]}],
+        }))
+        target = tmp_path / "report.md"
+        assert main(["faults", "--size", "256", "--max-requests", "8192",
+                     "--plan", str(spec), "--out", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "two-dead" in target.read_text(encoding="utf-8")
+
+
+class TestExitCodeDiscipline:
+    """Every ReproError becomes a one-line stderr message and exit 2."""
+
+    def test_missing_fault_plan_exits_2(self, capsys):
+        assert main(["faults", "--plan", "/nonexistent/plan.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro faults: error:")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_missing_sweep_spec_exits_2(self, capsys):
+        assert main(["sweep", "--spec", "/nonexistent/grid.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro sweep: error:")
+
+    def test_invalid_grid_exits_2(self, capsys):
+        assert main(["sweep", "--sizes", "128", "--layouts", "ddl",
+                     "--heights", "24", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "row buffer" in err
+
+    def test_debug_reraises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["--debug", "sweep", "--spec", "/nonexistent/grid.json"])
+
+
+class TestResilientSweepCli:
+    def test_chaos_failure_quarantined_exit_0(self, capsys):
+        # The CI fault-injection smoke: one injected worker failure must
+        # not break the run -- healthy points report, the failure lands
+        # in the quarantine section, exit code stays 0.
+        assert main([
+            "sweep", "--sizes", "128", "--layouts", "row-major", "ddl",
+            "--no-cache", "--max-requests", "4096",
+            "--chaos-fail", "0", "--retries", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 FAILED" in out
+        assert "quarantined" in out
+        assert "SweepExecutionError" in out
+
+    def test_checkpoint_resume_flags(self, capsys, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt.json"
+        argv = ["sweep", "--sizes", "128", "--no-cache",
+                "--max-requests", "4096", "--checkpoint", str(ckpt)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert ckpt.is_file()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 from checkpoint" in out
+
+
 class TestGoldenOutputs:
     """Exact-text regression locks on the paper tables."""
 

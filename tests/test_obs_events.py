@@ -147,7 +147,7 @@ class TestEventBreakdowns:
         counts = EventTrace().counts()
         assert counts == {
             "ACTIVATE": 0, "ROW_HIT": 0, "REFRESH_STALL": 0,
-            "TSV_CONTENTION": 0,
+            "TSV_CONTENTION": 0, "BIT_ERROR": 0,
         }
 
     def test_to_metrics(self, mem_config):

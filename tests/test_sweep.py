@@ -5,15 +5,19 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SweepExecutionError
 from repro.serialization import stable_digest
 from repro.sweep import (
     CACHE_VERSION,
     ConfigVariant,
     ResultCache,
+    RetryPolicy,
+    SweepCheckpoint,
     SweepError,
     SweepGrid,
     SweepPoint,
+    WorkerChaos,
+    backoff_jitter,
     grid_from_dict,
     load_grid_spec,
     run_sweep,
@@ -130,7 +134,7 @@ class TestCache:
         cache.put(key, payload, {"answer": 42.5})
         assert cache.get(key) == {"answer": 42.5}
         assert cache.stats.as_dict() == {
-            "hits": 1, "misses": 1, "stores": 1, "invalid": 0,
+            "hits": 1, "misses": 1, "stores": 1, "invalid": 0, "healed": 0,
         }
         assert len(cache) == 1
 
@@ -228,11 +232,256 @@ class TestResults:
 
     def test_json_document_shape(self, serial_result):
         doc = serial_result.to_json_dict()
-        assert doc["schema"] == "repro-sweep-result/v1"
+        assert doc["schema"] == "repro-sweep-result/v2"
         assert len(doc["results"]) == 28
         assert doc["grid"]["sizes"] == [128, 256]
+        assert doc["failures"] == []
         # The deterministic payload carries no run metadata.
         assert "wall_s" not in json.dumps(doc)
+
+
+class TestRetryPolicy:
+    def test_jitter_is_deterministic_and_bounded(self):
+        values = {backoff_jitter(i, a) for i in range(8) for a in range(1, 4)}
+        assert len(values) == 24  # distinct per (point, attempt)
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert backoff_jitter(3, 2) == backoff_jitter(3, 2)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(retries=5, backoff_s=0.1,
+                             backoff_multiplier=2.0, max_backoff_s=0.3)
+        delays = [policy.backoff_for(0, attempt) for attempt in (1, 2, 3, 4)]
+        # Each delay sits in [base/2, base) for base = min(0.1 * 2^(a-1), cap).
+        for delay, base in zip(delays, (0.1, 0.2, 0.3, 0.3)):
+            assert base / 2 <= delay < base
+        assert policy.max_attempts == 6
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(timeout_s=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_s=2.0, max_backoff_s=1.0)
+
+    def test_invalid_chaos_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkerChaos(fail_attempts=0)
+        with pytest.raises(ConfigError):
+            WorkerChaos(hang_s=0)
+
+
+class TestQuarantine:
+    """Worker failures land in ``failures``; the grid always completes."""
+
+    def test_bad_point_is_quarantined_not_fatal(self):
+        # N=100 with Eq. (1) passes fail-fast validation but the layout
+        # constructor rejects it in the worker -- the classic mid-sweep
+        # surprise the quarantine exists for.
+        grid = SweepGrid(sizes=(100, 128), layouts=("ddl",))
+        result = run_sweep(grid, max_requests=SAMPLE, jobs=1)
+        assert len(result.results) == 1
+        assert result.results[0]["n"] == 128
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure["index"] == 0
+        assert failure["point"]["n"] == 100
+        assert failure["error"] == "LayoutError"
+        assert failure["attempts"] == 1
+        assert failure["timed_out"] is False
+        assert result.meta["failed"] == 1
+
+    def test_quarantine_is_jobs_independent(self):
+        grid = SweepGrid(sizes=(100, 128, 256), layouts=("ddl",))
+        serial = run_sweep(grid, max_requests=SAMPLE, jobs=1)
+        parallel = run_sweep(grid, max_requests=SAMPLE, jobs=3)
+        assert parallel.to_json() == serial.to_json()
+        assert parallel.registry.as_dict()["sweep.failures"]["value"] == 1
+
+    def test_failures_never_poison_the_cache(self, tmp_path):
+        grid = SweepGrid(sizes=(100, 128), layouts=("ddl",))
+        cache = ResultCache(tmp_path)
+        run_sweep(grid, max_requests=SAMPLE, cache=cache)
+        assert cache.stats.stores == 1  # only the healthy point
+        again = ResultCache(tmp_path)
+        rerun = run_sweep(grid, max_requests=SAMPLE, cache=again)
+        assert again.stats.hits == 1
+        assert len(rerun.failures) == 1  # the bad point fails afresh
+
+
+class TestResilientExecution:
+    """Chaos-driven acceptance: crash + hang + healthy in one grid."""
+
+    #: 3-point grid: row-major (idx 0), ddl h=2 (idx 1), ddl h=4 (idx 2).
+    GRID = SweepGrid(sizes=(128,), layouts=("row-major", "ddl"),
+                     heights=(2, 4))
+
+    def test_crash_hang_and_healthy_points(self):
+        policy = RetryPolicy(timeout_s=5.0, retries=1, backoff_s=0.01,
+                             max_backoff_s=0.02)
+        chaos = WorkerChaos(fail_points=(0,), hang_points=(2,), hang_s=30.0)
+        result = run_sweep(self.GRID, max_requests=SAMPLE, jobs=2,
+                           policy=policy, chaos=chaos)
+        # The healthy point survives; the crasher and the hanger are
+        # quarantined with their retry counts; nothing aborted.
+        assert [r["height"] for r in result.results] == [2]
+        by_index = {f["index"]: f for f in result.failures}
+        assert set(by_index) == {0, 2}
+        assert by_index[0]["error"] == "SweepExecutionError"
+        assert by_index[0]["attempts"] == 2
+        assert by_index[0]["timed_out"] is False
+        assert by_index[2]["error"] == "TimeoutError"
+        assert by_index[2]["attempts"] == 2
+        assert by_index[2]["timed_out"] is True
+        assert result.meta["failed"] == 2
+        assert result.meta["retries"] == 2
+
+    def test_retry_then_recover_matches_clean_run(self):
+        clean = run_sweep(self.GRID, max_requests=SAMPLE, jobs=1)
+        policy = RetryPolicy(retries=2, backoff_s=0.01, max_backoff_s=0.02)
+        chaos = WorkerChaos(fail_points=(1,), fail_attempts=1)
+        recovered = run_sweep(self.GRID, max_requests=SAMPLE, jobs=1,
+                              policy=policy, chaos=chaos)
+        # One retry heals the point and the document is byte-identical
+        # to an undisturbed run -- resilience never changes results.
+        assert recovered.to_json() == clean.to_json()
+        assert recovered.failures == []
+        assert recovered.meta["retries"] == 1
+
+    def test_policy_without_chaos_matches_plain_run(self):
+        clean = run_sweep(self.GRID, max_requests=SAMPLE, jobs=1)
+        guarded = run_sweep(self.GRID, max_requests=SAMPLE, jobs=2,
+                            policy=RetryPolicy(timeout_s=60.0, retries=1))
+        assert guarded.to_json() == clean.to_json()
+
+
+class TestCheckpointResume:
+    GRID = SweepGrid(sizes=(128,), layouts=("row-major", "ddl"),
+                     heights=(2, 4))
+
+    def test_resume_is_byte_identical(self, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt.json"
+        clean = run_sweep(self.GRID, max_requests=SAMPLE, jobs=1)
+        # First run: point 1 fails every attempt, progress checkpointed.
+        partial = run_sweep(
+            self.GRID, max_requests=SAMPLE, jobs=1,
+            policy=RetryPolicy(retries=0),
+            chaos=WorkerChaos(fail_points=(1,)),
+            checkpoint=ckpt, checkpoint_every=1,
+        )
+        assert len(partial.failures) == 1
+        assert ckpt.is_file()
+        # Resume with the fault gone: only the missing point simulates,
+        # and the final document matches an uninterrupted run exactly.
+        resumed = run_sweep(self.GRID, max_requests=SAMPLE, jobs=1,
+                            checkpoint=ckpt, resume=True)
+        assert resumed.meta["resumed"] == 2
+        assert resumed.meta["simulated"] == 1
+        assert resumed.to_json() == clean.to_json()
+
+    def test_checkpoint_digest_guards_identity(self, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt.json"
+        run_sweep(self.GRID, max_requests=SAMPLE, checkpoint=ckpt)
+        other = SweepGrid(sizes=(256,), layouts=("row-major",))
+        with pytest.raises(SweepExecutionError, match="different sweep"):
+            run_sweep(other, max_requests=SAMPLE, checkpoint=ckpt,
+                      resume=True)
+        # A different request budget is a different sweep too.
+        with pytest.raises(SweepExecutionError, match="different sweep"):
+            run_sweep(self.GRID, max_requests=2 * SAMPLE, checkpoint=ckpt,
+                      resume=True)
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt.json"
+        ckpt.write_text("{torn", encoding="utf-8")
+        with pytest.raises(SweepExecutionError, match="corrupt"):
+            run_sweep(self.GRID, max_requests=SAMPLE, checkpoint=ckpt,
+                      resume=True)
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(ConfigError, match="checkpoint"):
+            run_sweep(self.GRID, max_requests=SAMPLE, resume=True)
+
+    def test_missing_checkpoint_is_a_fresh_run(self, tmp_path):
+        ckpt = tmp_path / "absent.json"
+        result = run_sweep(self.GRID, max_requests=SAMPLE, checkpoint=ckpt,
+                           resume=True)
+        assert result.meta["resumed"] == 0
+        assert len(result.results) == 3
+
+    def test_checkpoint_digest_stable(self):
+        digest = SweepCheckpoint.digest_for(
+            self.GRID.as_dict(), {"default": {}}, SAMPLE, CACHE_VERSION
+        )
+        assert digest == SweepCheckpoint.digest_for(
+            self.GRID.as_dict(), {"default": {}}, SAMPLE, CACHE_VERSION
+        )
+        assert digest != SweepCheckpoint.digest_for(
+            self.GRID.as_dict(), {"default": {}}, SAMPLE + 1, CACHE_VERSION
+        )
+
+
+class TestCacheSelfHealing:
+    GRID = SweepGrid(sizes=(128,), layouts=("row-major", "ddl"),
+                     heights=(2, 4))
+
+    def _entries(self, root):
+        return sorted(root.glob("*/*.json"))
+
+    def test_truncated_and_bitflipped_entries_heal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        clean = run_sweep(self.GRID, max_requests=SAMPLE, cache=cache)
+        entries = self._entries(tmp_path)
+        assert len(entries) == 3
+        # Truncate one entry (torn write) and bit-flip another's result.
+        entries[0].write_text(
+            entries[0].read_text(encoding="utf-8")[:40], encoding="utf-8"
+        )
+        doc = json.loads(entries[1].read_text(encoding="utf-8"))
+        doc["result"]["throughput_gbps"] += 1.0  # digest now lies
+        entries[1].write_text(json.dumps(doc), encoding="utf-8")
+
+        healed_cache = ResultCache(tmp_path)
+        rerun = run_sweep(self.GRID, max_requests=SAMPLE, cache=healed_cache)
+        assert rerun.to_json() == clean.to_json()
+        assert healed_cache.stats.as_dict() == {
+            "hits": 1, "misses": 2, "stores": 2, "invalid": 2, "healed": 2,
+        }
+        # The rewrites are good: a third run is all hits.
+        warm = ResultCache(tmp_path)
+        run_sweep(self.GRID, max_requests=SAMPLE, cache=warm)
+        assert warm.stats.as_dict() == {
+            "hits": 3, "misses": 0, "stores": 0, "invalid": 0, "healed": 0,
+        }
+
+    def test_miskeyed_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"p": 1})
+        cache.put(key, {"p": 1}, {"v": 1})
+        # Graft the valid entry under a different key: digest still
+        # matches, but the embedded key does not.
+        other = cache.key_for({"p": 2})
+        cache.path_for(other).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(other).write_text(
+            cache.path_for(key).read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        assert cache.get(other) is None
+        assert cache.stats.invalid == 1
+        assert cache.stats.healed == 1
+        assert cache.get(key) == {"v": 1}  # the original is untouched
+
+    def test_scrub_reports_and_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in range(4):
+            key = cache.key_for({"p": n})
+            cache.put(key, {"p": n}, {"v": n})
+        victim = self._entries(tmp_path)[2]
+        victim.write_text("garbage", encoding="utf-8")
+        report = ResultCache(tmp_path).scrub()
+        assert report == {"checked": 4, "healed": 1}
+        assert len(self._entries(tmp_path)) == 3
 
 
 class TestSweepCli:
