@@ -1,0 +1,59 @@
+"""Domain-specific static analysis for the repro codebase.
+
+Three of this repo's core invariants live in conventions no general
+linter checks: byte-identical determinism in :mod:`repro.sweep` (seeded
+RNG, no wall clocks, atomic writes), unit discipline in the timing and
+energy models (ns vs cycles vs bytes flowing through plain floats), and
+the registered event vocabulary of :mod:`repro.obs`.  ``repro.analysis``
+is a small AST-based lint framework -- visitor core, rule registry,
+per-line suppression via ``# repro: ignore[RULE-ID]``, JSON and human
+diagnostics -- plus the battery of domain rules in
+:mod:`repro.analysis.rules`.
+
+Run it as ``python -m repro lint [--format json] [--rules ID ...]
+[--changed-only] [paths ...]``; exit code 0 means clean, 2 means
+findings (or a bad invocation).  See ``docs/static-analysis.md`` for
+the rule catalog.
+"""
+
+from repro.analysis.core import (
+    Diagnostic,
+    ImportMap,
+    LintContext,
+    LintReport,
+    Rule,
+    build_rules,
+    dotted_name,
+    iter_python_files,
+    lint_file,
+    load_context,
+    parse_suppressions,
+    register,
+    rule_catalog,
+    run_lint,
+)
+from repro.analysis.project import (
+    DEFAULT_LINT_ROOTS,
+    changed_python_files,
+    default_lint_paths,
+)
+
+__all__ = [
+    "DEFAULT_LINT_ROOTS",
+    "Diagnostic",
+    "ImportMap",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "build_rules",
+    "changed_python_files",
+    "default_lint_paths",
+    "dotted_name",
+    "iter_python_files",
+    "lint_file",
+    "load_context",
+    "parse_suppressions",
+    "register",
+    "rule_catalog",
+    "run_lint",
+]

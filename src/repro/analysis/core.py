@@ -1,0 +1,384 @@
+"""Visitor core of the domain lint framework.
+
+The framework is deliberately small: a :class:`Rule` is a class with an
+``id``, a path-scoping predicate and a ``check`` generator that walks a
+parsed module (:class:`LintContext`) and yields :class:`Diagnostic`
+objects with ``file:line:col`` anchors.  Rules self-register through the
+:func:`register` decorator; :func:`run_lint` walks a set of paths,
+parses each Python file once, runs every applicable rule and filters
+out findings the source suppresses with a ``# repro: ignore[RULE-ID]``
+comment (same line, or a standalone comment line directly above).
+
+Everything here is stdlib-only (``ast`` + ``tokenize``); the rules live
+in :mod:`repro.analysis.rules` and the CLI wiring in
+:func:`repro.cli._cmd_lint`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+from repro.errors import AnalysisError
+
+#: Rule id shape: an uppercase category plus a three-digit number.
+RULE_ID_PATTERN = re.compile(r"^[A-Z]{3,8}\d{3}$")
+
+#: ``# repro: ignore[DET001]`` or ``# repro: ignore[DET001, OBS001]``.
+_SUPPRESSION = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]"
+)
+
+#: Synthetic rule id attached to unparseable files.
+SYNTAX_RULE_ID = "SYNTAX"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Human-readable one-liner: ``path:line:col: RULE-ID message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-native form (stable key order via ``sort_keys``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintContext:
+    """One parsed module plus the location metadata rules scope on."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Lower-cased path components of the display path."""
+        return tuple(part.lower() for part in Path(self.rel).parts)
+
+    @property
+    def filename(self) -> str:
+        return self.path.name
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True when ``line`` carries (or follows) a matching suppression."""
+        return rule_id in self.suppressions.get(line, set())
+
+    def diagnostic(
+        self, rule_id: str, node: ast.AST, message: str
+    ) -> Diagnostic:
+        """Anchor a finding to an AST node of this module."""
+        return Diagnostic(
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class every domain rule derives from.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` narrows the rule to the module paths where its
+    invariant is meaningful (determinism rules skip ``obs`` and bench
+    files, the CLI rule only looks at ``cli.py``, ...).
+    """
+
+    #: Stable identifier (``DET001``); used in reports and suppressions.
+    id: ClassVar[str] = ""
+    #: One-line summary shown by ``lint --list-rules``.
+    title: ClassVar[str] = ""
+    #: Why the invariant matters (rendered into the rule catalog docs).
+    rationale: ClassVar[str] = ""
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Whether this rule should run over ``ctx`` at all."""
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        """Yield every violation found in the module."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not RULE_ID_PATTERN.match(cls.id):
+        raise AnalysisError(
+            f"rule id {cls.id!r} does not match CATEGORY000 shape"
+        )
+    if cls.id in _REGISTRY:
+        raise AnalysisError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def rule_catalog() -> dict[str, type[Rule]]:
+    """All registered rules, id -> class, in id order."""
+    _ensure_rules_loaded()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def build_rules(rule_ids: Sequence[str] | None = None) -> list[Rule]:
+    """Instantiate the requested rules (all of them by default)."""
+    catalog = rule_catalog()
+    if rule_ids is None:
+        return [cls() for cls in catalog.values()]
+    rules: list[Rule] = []
+    for rule_id in rule_ids:
+        normalized = rule_id.upper()
+        if normalized not in catalog:
+            known = ", ".join(catalog)
+            raise AnalysisError(
+                f"unknown rule id {rule_id!r} (known rules: {known})"
+            )
+        rules.append(catalog[normalized]())
+    return rules
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the rule battery exactly once (registration side effect)."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+
+# ---------------------------------------------------------------- suppression
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    A suppression comment covers the physical line it sits on; a comment
+    that is the only thing on its line additionally covers the next
+    line, so multi-line statements can carry their waiver above them.
+    """
+    suppressed: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressed
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION.search(token.string)
+        if not match:
+            continue
+        ids = {part.strip().upper() for part in match.group(1).split(",")}
+        ids.discard("")
+        line = token.start[0]
+        suppressed.setdefault(line, set()).update(ids)
+        text_before = lines[line - 1][: token.start[1]] if line <= len(lines) else ""
+        if not text_before.strip():
+            suppressed.setdefault(line + 1, set()).update(ids)
+    return suppressed
+
+
+# -------------------------------------------------------------------- running
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (skipping caches), sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisError(f"lint path does not exist: {path}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def load_context(path: Path, root: Path | None = None) -> LintContext | None:
+    """Parse one file into a :class:`LintContext` (None on syntax error).
+
+    ``root`` controls the display path; diagnostics are reported
+    relative to it when the file lives underneath.
+    """
+    source = Path(path).read_text(encoding="utf-8")
+    rel = _display_path(Path(path), root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    return LintContext(
+        path=Path(path),
+        rel=rel,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    base = (root or Path.cwd()).resolve()
+    try:
+        return path.resolve().relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def render_text(self) -> str:
+        """Human diagnostics, one per line, plus a summary trailer."""
+        lines = [diag.format() for diag in self.diagnostics]
+        summary = (
+            f"{len(self.diagnostics)} finding(s) in {self.files_checked} "
+            f"file(s) [{', '.join(self.rules_run)}]"
+            if self.diagnostics
+            else f"clean: {self.files_checked} file(s), "
+            f"rules {', '.join(self.rules_run)}"
+        )
+        return "\n".join([*lines, summary])
+
+    def render_json(self) -> str:
+        """Deterministic JSON document (sorted keys, trailing newline)."""
+        document = {
+            "schema": "repro-lint/v1",
+            "files_checked": self.files_checked,
+            "rules": list(self.rules_run),
+            "count": len(self.diagnostics),
+            "diagnostics": [diag.as_dict() for diag in self.diagnostics],
+        }
+        return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule], root: Path | None = None
+) -> list[Diagnostic]:
+    """Run ``rules`` over one file, honouring suppressions."""
+    ctx = load_context(path, root)
+    if ctx is None:
+        return [
+            Diagnostic(
+                path=_display_path(Path(path), root),
+                line=1,
+                col=1,
+                rule_id=SYNTAX_RULE_ID,
+                message="file does not parse as Python",
+            )
+        ]
+    findings: list[Diagnostic] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for diag in rule.check(ctx):
+            if not ctx.is_suppressed(diag.line, diag.rule_id):
+                findings.append(diag)
+    return findings
+
+
+def run_lint(
+    paths: Iterable[Path | str],
+    rule_ids: Sequence[str] | None = None,
+    root: Path | None = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the selected rules."""
+    rules = build_rules(rule_ids)
+    diagnostics: list[Diagnostic] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        diagnostics.extend(lint_file(path, rules, root))
+    diagnostics.sort()
+    return LintReport(
+        diagnostics=diagnostics,
+        files_checked=files,
+        rules_run=tuple(rule.id for rule in rules),
+    )
+
+
+# ------------------------------------------------------------- ast utilities
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local alias -> canonical dotted origin, from a module's imports.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``;
+    ``from time import perf_counter as pc`` maps ``pc`` to
+    ``time.perf_counter``.  :meth:`resolve` rewrites a call-site dotted
+    chain through the map, so ``np.random.rand`` canonicalizes to
+    ``numpy.random.rand`` regardless of the alias in use.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else local
+                    self.aliases[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the leading alias of ``dotted`` to its canonical import."""
+        head, _, rest = dotted.partition(".")
+        origin = self.aliases.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call's callee (None if dynamic)."""
+        dotted = dotted_name(node.func)
+        return self.resolve(dotted) if dotted else None

@@ -1,0 +1,85 @@
+"""Project-level helpers: default lint roots and changed-file discovery.
+
+``python -m repro lint`` with no paths lints the package sources plus
+the repo's tooling; ``--changed-only`` narrows the run to the Python
+files a git diff touches, which is what pre-commit hooks and the CI
+PR job want (see ``tools/lint_changed.py``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+#: Directories linted when the CLI is invoked without explicit paths,
+#: relative to the working directory (missing ones are skipped).
+DEFAULT_LINT_ROOTS = ("src/repro", "tools")
+
+
+def default_lint_paths(root: Path | None = None) -> list[Path]:
+    """The default lint targets that exist under ``root`` (cwd)."""
+    base = Path(root) if root is not None else Path.cwd()
+    paths = [base / entry for entry in DEFAULT_LINT_ROOTS]
+    existing = [path for path in paths if path.exists()]
+    if existing:
+        return existing
+    if (base / "repro").is_dir():  # running from inside src/
+        return [base / "repro"]
+    return [base]
+
+
+def _git_lines(args: list[str], root: Path) -> list[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as exc:
+        raise AnalysisError(f"git is not available: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip().splitlines()
+        reason = detail[0] if detail else f"exit {proc.returncode}"
+        raise AnalysisError(f"git {' '.join(args)} failed: {reason}")
+    return [line for line in proc.stdout.split("\0") if line]
+
+
+def changed_python_files(
+    base: str = "HEAD",
+    cached: bool = False,
+    root: Path | None = None,
+    include_untracked: bool = True,
+) -> list[Path]:
+    """Python files changed relative to ``base``, for ``--changed-only``.
+
+    Args:
+        base: git revision (or ``A...B`` range) to diff against; an
+            empty string diffs the working tree against the index.
+        cached: diff the index instead of the working tree (pre-commit).
+        root: repository directory to run git in (default: cwd).
+        include_untracked: also return new, not-yet-added ``.py`` files
+            (skipped when ``cached`` is set).
+
+    Returns files that still exist, sorted, relative to ``root``.
+    """
+    where = Path(root) if root is not None else Path.cwd()
+    diff_args = ["diff", "--name-only", "--diff-filter=ACMR", "-z"]
+    if cached:
+        diff_args.insert(1, "--cached")
+    if base:
+        diff_args.append(base)
+    names = set(_git_lines(diff_args, where))
+    if include_untracked and not cached:
+        names.update(
+            _git_lines(["ls-files", "--others", "--exclude-standard", "-z"], where)
+        )
+    files = sorted(
+        where / name
+        for name in names
+        if name.endswith(".py") and (where / name).is_file()
+    )
+    return files

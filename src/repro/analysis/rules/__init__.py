@@ -1,0 +1,40 @@
+"""The shipped rule battery.
+
+Importing this package registers every rule with the framework registry
+(:func:`repro.analysis.core.register`); :func:`repro.analysis.core.rule_catalog`
+triggers the import lazily so the core never depends on the rules.
+
+Shipped rules:
+
+========  ==============================================================
+DET001    no wall-clock reads outside ``repro.obs`` and benches
+DET002    no unseeded global RNG in ``memory3d`` / ``sweep`` / ``faults``
+DET003    cache/checkpoint writes must be atomic (tmp + ``os.replace``)
+UNIT001   call sites must not mix unit suffixes (``_ns`` vs ``_cycles``)
+CFG001    unit-suffixed dataclass defaults respect their unit
+OBS001    record calls use registered event names
+API001    façade re-exports and ``__all__`` entries resolve
+CLI001    CLI handlers honour the ReproError exit-2 contract
+========  ==============================================================
+"""
+
+from repro.analysis.rules.api import ReExportRule
+from repro.analysis.rules.cli_rules import CliDisciplineRule
+from repro.analysis.rules.determinism import (
+    NonAtomicWriteRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.analysis.rules.obs import EventNameRule
+from repro.analysis.rules.units import ConfigDefaultRule, UnitMismatchRule
+
+__all__ = [
+    "CliDisciplineRule",
+    "ConfigDefaultRule",
+    "EventNameRule",
+    "NonAtomicWriteRule",
+    "ReExportRule",
+    "UnitMismatchRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]

@@ -1,0 +1,193 @@
+"""Re-export integrity rule: API001 -- façade imports resolve.
+
+Package ``__init__`` façades re-export their submodules' public names;
+``tests/test_public_api.py`` samples a few of them, but a renamed
+function leaves the façade broken for every name the tests do not
+import.  API001 statically resolves every ``from package.sub import X``
+in an ``__init__.py`` against the submodule's actual top-level bindings,
+and checks ``__all__`` entries are bound in the façade itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+from typing import ClassVar
+
+from repro.analysis.core import Diagnostic, LintContext, Rule, register
+
+
+def _package_dotted(path: Path) -> tuple[str, ...]:
+    """Dotted name of the package an ``__init__.py`` defines."""
+    parts: list[str] = []
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        current = current.parent
+    return tuple(reversed(parts))
+
+
+def _collect_bound_names(body: list[ast.stmt], into: set[str]) -> None:
+    """Names bound at a module's top level (descending into if/try)."""
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            into.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        into.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                into.add(node.target.id)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    into.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                into.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(node, ast.If):
+            _collect_bound_names(node.body, into)
+            _collect_bound_names(node.orelse, into)
+        elif isinstance(node, ast.Try):
+            _collect_bound_names(node.body, into)
+            for handler in node.handlers:
+                _collect_bound_names(handler.body, into)
+            _collect_bound_names(node.orelse, into)
+            _collect_bound_names(node.finalbody, into)
+
+
+def module_bindings(path: Path) -> set[str] | None:
+    """Top-level names a module file binds (None if unreadable)."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    names: set[str] = set()
+    _collect_bound_names(tree.body, names)
+    return names
+
+
+@register
+class ReExportRule(Rule):
+    """API001: façade re-exports must exist in their submodules."""
+
+    id: ClassVar[str] = "API001"
+    title: ClassVar[str] = (
+        "__init__ façade imports and __all__ entries resolve to real names"
+    )
+    rationale: ClassVar[str] = (
+        "Re-export drift (a submodule rename the façade missed) breaks "
+        "`from repro import X` for exactly the names the sampled public-"
+        "API tests skip."
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.filename == "__init__.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        package_dir = ctx.path.parent
+        package = _package_dotted(ctx.path)
+        cache: dict[Path, set[str] | None] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import(
+                    ctx, node, package_dir, package, cache
+                )
+        yield from self._check_dunder_all(ctx)
+
+    def _resolve_module_file(
+        self,
+        node: ast.ImportFrom,
+        package_dir: Path,
+        package: tuple[str, ...],
+    ) -> Path | None:
+        """Locate the source file an import-from names, if ours."""
+        if node.level:
+            base = package_dir
+            for _ in range(node.level - 1):
+                base = base.parent
+            remainder = tuple(node.module.split(".")) if node.module else ()
+        else:
+            if not node.module:
+                return None
+            target = tuple(node.module.split("."))
+            if target[: len(package)] != package or target == package:
+                # Absolute import from outside this façade's subtree
+                # (third-party, stdlib, or a sibling package): resolve
+                # through the source root when the file exists there.
+                root = package_dir
+                for _ in package:
+                    root = root.parent
+                candidate_dir = root.joinpath(*target)
+                candidate_file = root.joinpath(*target[:-1], f"{target[-1]}.py")
+                if candidate_file.is_file():
+                    return candidate_file
+                if (candidate_dir / "__init__.py").is_file():
+                    return candidate_dir / "__init__.py"
+                return None
+            base = package_dir
+            remainder = target[len(package):]
+        if not remainder:
+            return None
+        module_file = base.joinpath(*remainder[:-1], f"{remainder[-1]}.py")
+        if module_file.is_file():
+            return module_file
+        init_file = base.joinpath(*remainder, "__init__.py")
+        if init_file.is_file():
+            return init_file
+        return None
+
+    def _check_import(
+        self,
+        ctx: LintContext,
+        node: ast.ImportFrom,
+        package_dir: Path,
+        package: tuple[str, ...],
+        cache: dict[Path, set[str] | None],
+    ) -> Iterator[Diagnostic]:
+        module_file = self._resolve_module_file(node, package_dir, package)
+        if module_file is None:
+            return
+        if module_file not in cache:
+            cache[module_file] = module_bindings(module_file)
+        bound = cache[module_file]
+        if bound is None:
+            return
+        label = node.module or "." * node.level
+        for alias in node.names:
+            if alias.name != "*" and alias.name not in bound:
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"re-exported name {alias.name!r} does not exist in "
+                    f"{label} (checked {module_file.name})",
+                )
+
+    def _check_dunder_all(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        bound: set[str] = set()
+        _collect_bound_names(ctx.tree.body, bound)
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                continue
+            if not isinstance(node.value, (ast.List, ast.Tuple)):
+                continue
+            for element in node.value.elts:
+                if (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                    and element.value not in bound
+                ):
+                    yield ctx.diagnostic(
+                        self.id,
+                        element,
+                        f"__all__ lists {element.value!r} but the façade "
+                        "never binds it",
+                    )

@@ -1,0 +1,140 @@
+"""CLI discipline rule: CLI001 -- handlers honour the ReproError
+exit-2 contract.
+
+``repro.cli.main`` owns error presentation: every expected failure is a
+:class:`~repro.errors.ReproError` that main() turns into a one-line
+stderr message and exit code 2 (``--debug`` re-raises).  Handlers that
+``sys.exit()`` directly, raise ``SystemExit``, or swallow broad
+exceptions bypass that contract -- errors then lose the uniform
+formatting, the exit-code meaning, and the ``--debug`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.core import Diagnostic, LintContext, Rule, dotted_name, register
+
+#: Subcommand handler naming convention.
+_HANDLER_PREFIXES = ("_cmd_", "cmd_")
+
+#: Calls that terminate the process out from under main().
+_EXIT_CALLS = frozenset({"sys.exit", "os._exit", "exit", "quit"})
+
+#: Exception names too broad for a handler to swallow.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException", "ReproError"})
+
+
+def _is_handler(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return node.name.startswith(_HANDLER_PREFIXES)
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(stmt, ast.Raise) for stmt in ast.walk(handler))
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    if handler.type is None:
+        return {"BaseException"}  # a bare except catches everything
+    nodes: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        nodes = list(handler.type.elts)
+    else:
+        nodes = [handler.type]
+    names: set[str] = set()
+    for node in nodes:
+        chain = dotted_name(node)
+        if chain:
+            names.add(chain.rsplit(".", 1)[-1])
+    return names
+
+
+@register
+class CliDisciplineRule(Rule):
+    """CLI001: subcommand handlers route errors through ReproError."""
+
+    id: ClassVar[str] = "CLI001"
+    title: ClassVar[str] = (
+        "CLI handlers return exit codes and let ReproError reach main()"
+    )
+    rationale: ClassVar[str] = (
+        "main() is the single place errors become user-facing text and "
+        "exit code 2; handlers that sys.exit() or swallow exceptions "
+        "fork the contract and break --debug."
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.filename == "cli.py" or "cli" in ctx.parts
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        handlers = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and _is_handler(node)
+        ]
+        for handler in handlers:
+            yield from self._check_handler(ctx, handler)
+        if handlers:
+            yield from self._check_main(ctx)
+
+    def _check_handler(
+        self, ctx: LintContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                chain = dotted_name(node.func)
+                if chain in _EXIT_CALLS:
+                    yield ctx.diagnostic(
+                        self.id,
+                        node,
+                        f"handler {func.name}() calls {chain}(); return an "
+                        "int (or raise ReproError) so main() keeps the "
+                        "exit-2 discipline",
+                    )
+            elif isinstance(node, ast.Raise):
+                chain = dotted_name(
+                    node.exc.func if isinstance(node.exc, ast.Call) else node.exc
+                ) if node.exc is not None else None
+                if chain == "SystemExit":
+                    yield ctx.diagnostic(
+                        self.id,
+                        node,
+                        f"handler {func.name}() raises SystemExit; return "
+                        "an int (or raise ReproError) instead",
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                if _BROAD_EXCEPTIONS & _caught_names(
+                    node
+                ) and not _handler_reraises(node):
+                    yield ctx.diagnostic(
+                        self.id,
+                        node,
+                        f"handler {func.name}() swallows "
+                        f"{'/'.join(sorted(_BROAD_EXCEPTIONS & _caught_names(node)))}"
+                        "; let ReproError propagate to main()",
+                    )
+
+    def _check_main(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        main = next(
+            (
+                node
+                for node in ctx.tree.body
+                if isinstance(node, ast.FunctionDef) and node.name == "main"
+            ),
+            None,
+        )
+        if main is None:
+            return
+        for node in ast.walk(main):
+            if isinstance(node, ast.ExceptHandler):
+                if "ReproError" in _caught_names(node):
+                    return
+        yield ctx.diagnostic(
+            self.id,
+            main,
+            "main() never catches ReproError; expected failures must "
+            "become one-line stderr messages with exit code 2",
+        )

@@ -1,0 +1,236 @@
+"""Determinism rules: DET001 wall clocks, DET002 unseeded RNG, DET003
+non-atomic writes.
+
+The sweep engine's contract is byte-identical output across runs, job
+counts and cache states; these rules fence off the three ways that
+contract quietly breaks: reading a wall clock, drawing from a global
+(process-order-dependent) RNG, and letting a crash tear a cache or
+checkpoint file in half.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.core import (
+    Diagnostic,
+    ImportMap,
+    LintContext,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: Wall-clock reads, keyed by their trailing ``module.function`` pair.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: ``numpy.random`` constructors that *are* the seeded-RNG discipline.
+SEEDED_NUMPY_FACTORIES = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: ``random`` attributes that construct seedable instances (allowed).
+SEEDED_STDLIB_FACTORIES = frozenset({"Random", "SystemRandom"})
+
+#: Substrings of a write-target name that mark it as a scratch file.
+_TEMP_MARKERS = ("tmp", "temp")
+
+
+def _is_test_or_bench(ctx: LintContext) -> bool:
+    name = ctx.filename
+    return (
+        name.startswith(("test_", "bench_", "conftest"))
+        or "tests" in ctx.parts
+        or "benchmarks" in ctx.parts
+    )
+
+
+@register
+class WallClockRule(Rule):
+    """DET001: no wall-clock reads outside ``repro.obs`` and benches."""
+
+    id: ClassVar[str] = "DET001"
+    title: ClassVar[str] = (
+        "no time.time/perf_counter/datetime.now outside repro.obs and benches"
+    )
+    rationale: ClassVar[str] = (
+        "Simulated time is the model's output; host time leaking into "
+        "results breaks byte-identical sweeps and cache replay."
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return "obs" not in ctx.parts and not _is_test_or_bench(ctx)
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.resolve_call(node)
+            if canonical is None:
+                continue
+            tail = ".".join(canonical.split(".")[-2:])
+            if canonical in WALL_CLOCK_CALLS or tail in WALL_CLOCK_CALLS:
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"wall-clock read {canonical}() in deterministic code; "
+                    "use simulated time, or move it behind repro.obs",
+                )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET002: no global-RNG draws in memory3d / sweep / faults."""
+
+    id: ClassVar[str] = "DET002"
+    title: ClassVar[str] = (
+        "no unseeded random/numpy.random module-level draws in "
+        "memory3d, sweep, faults"
+    )
+    rationale: ClassVar[str] = (
+        "Module-level RNGs are shared process state: results then depend "
+        "on import order and worker scheduling.  Derive generators from "
+        "an explicit seed (numpy.random.default_rng(seed))."
+    )
+
+    _SCOPES = frozenset({"memory3d", "sweep", "faults"})
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return bool(self._SCOPES & set(ctx.parts)) and not _is_test_or_bench(ctx)
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.resolve_call(node)
+            if canonical is None:
+                continue
+            if canonical.startswith("random."):
+                leaf = canonical.rsplit(".", 1)[-1]
+                if leaf not in SEEDED_STDLIB_FACTORIES:
+                    yield ctx.diagnostic(
+                        self.id,
+                        node,
+                        f"global stdlib RNG draw {canonical}(); "
+                        "use a seeded random.Random(seed) instance",
+                    )
+            elif canonical.startswith("numpy.random."):
+                leaf = canonical.rsplit(".", 1)[-1]
+                if leaf not in SEEDED_NUMPY_FACTORIES:
+                    yield ctx.diagnostic(
+                        self.id,
+                        node,
+                        f"global numpy RNG call {canonical}(); "
+                        "use numpy.random.default_rng(seed)",
+                    )
+
+
+def _call_mode(node: ast.Call) -> str | None:
+    """The mode string of an ``open(...)`` call, if literal."""
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _target_is_temp(node: ast.expr) -> bool:
+    """Heuristic: the write target is a scratch file (``tmp``/``temp``)."""
+    name: str | None = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(marker in lowered for marker in _TEMP_MARKERS)
+
+
+@register
+class NonAtomicWriteRule(Rule):
+    """DET003: cache/checkpoint files must be written atomically."""
+
+    id: ClassVar[str] = "DET003"
+    title: ClassVar[str] = (
+        "cache/checkpoint paths must write via temp file + os.replace"
+    )
+    rationale: ClassVar[str] = (
+        "A crash mid-write leaves a torn JSON entry that a later sweep "
+        "replays as data.  Write to a tmp sibling and os.replace() it."
+    )
+
+    _SCOPE_MARKERS = ("cache", "checkpoint")
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        if _is_test_or_bench(ctx):
+            return False
+        haystack = "/".join(ctx.parts)
+        return "sweep" in ctx.parts or any(
+            marker in haystack for marker in self._SCOPE_MARKERS
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                mode = _call_mode(node)
+                if mode is None or not any(ch in mode for ch in "wax"):
+                    continue
+                if node.args and _target_is_temp(node.args[0]):
+                    continue
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"non-atomic open(..., {mode!r}) in a cache/checkpoint "
+                    "path; write a tmp sibling and os.replace() it",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("write_text", "write_bytes")
+                and not _target_is_temp(node.func.value)
+                and dotted_name(node.func.value) is not None
+            ):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    f"direct {node.func.attr}() to a non-temp target in a "
+                    "cache/checkpoint path; write a tmp sibling and "
+                    "os.replace() it",
+                )

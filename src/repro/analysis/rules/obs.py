@@ -1,0 +1,86 @@
+"""Event-schema rule: OBS001 -- record calls use registered event names.
+
+The event vocabulary lives in one place,
+:data:`repro.obs.events.EVENT_REGISTRY`; the timing engines record
+through ``EV_*`` integer aliases derived from it.  This rule closes the
+loop: any ``*.record(...)`` / ``record_event(...)`` call whose kind
+argument is not a registered name (or is a raw integer literal) is a
+schema violation -- downstream consumers (metrics folding, Chrome trace
+export, per-vault tables) would silently drop or mislabel the events.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.core import Diagnostic, LintContext, Rule, dotted_name, register
+
+
+def _registered_names() -> frozenset[str]:
+    from repro.obs.events import registered_event_names
+
+    return registered_event_names()
+
+
+#: Call shapes treated as event-recording sites.
+_RECORD_CALLEES = frozenset({"record", "record_event"})
+
+
+@register
+class EventNameRule(Rule):
+    """OBS001: record calls must use names from the obs event registry."""
+
+    id: ClassVar[str] = "OBS001"
+    title: ClassVar[str] = (
+        "EventTrace.record/record_event call sites use registered "
+        "EV_*/EventKind names"
+    )
+    rationale: ClassVar[str] = (
+        "repro.obs.events.EVENT_REGISTRY is the single source of truth "
+        "for the event schema; an unregistered kind renders as garbage "
+        "in every exporter and is invisible to metrics folding."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        registry = _registered_names()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee: str | None = None
+            if isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                callee = node.func.id
+            if callee not in _RECORD_CALLEES or not node.args:
+                continue
+            kind = node.args[0]
+            if isinstance(kind, ast.Name) and kind.id.startswith("EV_"):
+                name = kind.id[3:]
+                if name not in registry:
+                    yield ctx.diagnostic(
+                        self.id,
+                        kind,
+                        f"event alias {kind.id} is not in the "
+                        "repro.obs event registry "
+                        f"(registered: {', '.join(sorted(registry))})",
+                    )
+            elif isinstance(kind, ast.Attribute):
+                chain = dotted_name(kind) or kind.attr
+                base, _, leaf = chain.rpartition(".")
+                if base.split(".")[-1] == "EventKind" and leaf not in registry:
+                    yield ctx.diagnostic(
+                        self.id,
+                        kind,
+                        f"event kind {chain} is not in the repro.obs event "
+                        f"registry (registered: {', '.join(sorted(registry))})",
+                    )
+            elif isinstance(kind, ast.Constant) and isinstance(kind.value, int):
+                yield ctx.diagnostic(
+                    self.id,
+                    kind,
+                    f"raw event kind {kind.value}; record through a "
+                    "registered EV_* alias or EventKind member so the "
+                    "schema stays greppable",
+                )

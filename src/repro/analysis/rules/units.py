@@ -1,0 +1,243 @@
+"""Unit-safety rules: UNIT001 call-site suffix mismatches, CFG001
+physical dataclass defaults.
+
+The library's convention (documented in :mod:`repro.units`) is that
+plain floats carry their unit in the name: ``elapsed_ns``, ``t_rfc_ns``,
+``row_bytes``, ``tsv_freq_hz``.  A ns/cycles mix-up type-checks fine
+and only shows up as a bandwidth model that is quietly wrong by 10^3 --
+these rules make the convention machine-checked at the call and
+config-default boundaries where values change hands.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.core import Diagnostic, LintContext, Rule, register
+
+#: Recognised unit suffixes.  ``s`` is only honoured as an underscore
+#: suffix (``timeout_s``); a bare ``s`` is the paper's row-buffer
+#: element count, not seconds.
+UNIT_SUFFIXES = frozenset(
+    {"ns", "s", "us", "ms", "cycles", "bytes", "bits", "hz", "gbps", "nj", "pj"}
+)
+
+#: Bare identifiers that count as unit-bearing without an underscore.
+_BARE_UNIT_NAMES = frozenset({"ns", "cycles", "hz"})
+
+
+def unit_suffix(name: str | None) -> str | None:
+    """The unit a name claims to carry, or None.
+
+    Rate names (``bytes_per_s``, anything with ``_per_``) are exempt:
+    their trailing token is a denominator, not the value's unit.
+    """
+    if not name or "_per_" in name or name.endswith("_per"):
+        return None
+    if "_" in name:
+        token = name.rsplit("_", 1)[1]
+        return token if token in UNIT_SUFFIXES else None
+    return name if name in _BARE_UNIT_NAMES else None
+
+
+def _expr_unit(node: ast.expr) -> tuple[str | None, str | None]:
+    """(claimed unit, source name) of an argument expression."""
+    if isinstance(node, ast.Name):
+        return unit_suffix(node.id), node.id
+    if isinstance(node, ast.Attribute):
+        return unit_suffix(node.attr), node.attr
+    return None, None
+
+
+def _function_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    params = [arg.arg for arg in node.args.posonlyargs + node.args.args]
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    return params
+
+
+@register
+class UnitMismatchRule(Rule):
+    """UNIT001: unit-suffixed parameters must receive matching values."""
+
+    id: ClassVar[str] = "UNIT001"
+    title: ClassVar[str] = (
+        "call sites must not mix unit suffixes (_ns vs _cycles vs _bytes)"
+    )
+    rationale: ClassVar[str] = (
+        "Times, cycle counts and sizes all travel as plain floats; the "
+        "name suffix is the only type system they have.  Passing x_cycles "
+        "where y_ns is expected is a silent 10^3-scale model bug."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        signatures: dict[str, list[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                signatures[node.name] = _function_params(node)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_keywords(ctx, node)
+            yield from self._check_positionals(ctx, node, signatures)
+
+    def _check_keywords(
+        self, ctx: LintContext, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        for keyword in node.keywords:
+            expected = unit_suffix(keyword.arg)
+            if expected is None:
+                continue
+            actual, source = _expr_unit(keyword.value)
+            if actual is not None and actual != expected:
+                yield ctx.diagnostic(
+                    self.id,
+                    keyword.value,
+                    f"argument {source!r} carries unit '{actual}' but "
+                    f"parameter {keyword.arg!r} expects '{expected}'",
+                )
+
+    def _check_positionals(
+        self,
+        ctx: LintContext,
+        node: ast.Call,
+        signatures: dict[str, list[str]],
+    ) -> Iterator[Diagnostic]:
+        callee: str | None = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        params = signatures.get(callee or "")
+        if params is None:
+            return
+        for arg, param in zip(node.args, params):
+            if isinstance(arg, ast.Starred):
+                return
+            expected = unit_suffix(param)
+            if expected is None:
+                continue
+            actual, source = _expr_unit(arg)
+            if actual is not None and actual != expected:
+                yield ctx.diagnostic(
+                    self.id,
+                    arg,
+                    f"argument {source!r} carries unit '{actual}' but "
+                    f"parameter {param!r} of {callee}() expects '{expected}'",
+                )
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _literal_number(node: ast.expr) -> float | None:
+    """The numeric value of a (possibly negated) literal, else None."""
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+        and not isinstance(node.operand.value, bool)
+    ):
+        return -float(node.operand.value)
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    ):
+        return float(node.value)
+    return None
+
+
+def _unwrap_field_default(node: ast.expr) -> ast.expr | None:
+    """The effective default expression of a dataclass field."""
+    if isinstance(node, ast.Call):
+        target = node.func
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name == "field":
+            for keyword in node.keywords:
+                if keyword.arg == "default":
+                    return keyword.value
+            return None  # default_factory etc. -- nothing literal to check
+    return node
+
+
+@register
+class ConfigDefaultRule(Rule):
+    """CFG001: physical dataclass defaults must respect their unit."""
+
+    id: ClassVar[str] = "CFG001"
+    title: ClassVar[str] = (
+        "unit-suffixed dataclass fields need unit-consistent defaults "
+        "(frequencies via repro.units helpers, byte fields integral, "
+        "durations non-negative)"
+    )
+    rationale: ClassVar[str] = (
+        "Memory3DConfig-like defaults are where a '1.25' silently means "
+        "Hz instead of GHz.  Frequencies must go through ghz()/mhz() or "
+        "a named repro.units constant so the magnitude is explicit."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass_decorated(
+                node
+            ):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                if not isinstance(statement.target, ast.Name):
+                    continue
+                if statement.value is None:
+                    continue
+                suffix = unit_suffix(statement.target.id)
+                if suffix is None:
+                    continue
+                default = _unwrap_field_default(statement.value)
+                if default is None:
+                    continue
+                yield from self._check_field(
+                    ctx, statement.target.id, suffix, default
+                )
+
+    def _check_field(
+        self, ctx: LintContext, name: str, suffix: str, default: ast.expr
+    ) -> Iterator[Diagnostic]:
+        number = _literal_number(default)
+        if suffix == "hz":
+            if number is not None:
+                yield ctx.diagnostic(
+                    self.id,
+                    default,
+                    f"frequency field {name!r} defaults to the bare literal "
+                    f"{number:g}; spell the magnitude with repro.units "
+                    "(ghz/mhz) or a named constant",
+                )
+            return
+        if number is None:
+            return
+        if suffix in ("bytes", "bits") and not number.is_integer():
+            yield ctx.diagnostic(
+                self.id,
+                default,
+                f"size field {name!r} defaults to non-integral {number}",
+            )
+        if number < 0:
+            yield ctx.diagnostic(
+                self.id,
+                default,
+                f"field {name!r} defaults to negative {number:g}; physical "
+                "quantities here are non-negative",
+            )

@@ -13,6 +13,7 @@ Commands regenerate the paper's evaluation artifacts:
 * ``trace``            -- record a run and export a Chrome/Perfetto trace
 * ``sweep``            -- parallel design-space sweep with result caching
 * ``faults``           -- layout degradation under injected memory faults
+* ``lint``             -- repo-specific static analysis (domain rules)
 
 Every command reports a :class:`~repro.errors.ReproError` as a one-line
 message on stderr with exit code 2; pass ``--debug`` (before the
@@ -23,7 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core import (
     AnalyticModel,
@@ -477,6 +478,46 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        changed_python_files,
+        default_lint_paths,
+        rule_catalog,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for rule_id, rule_cls in rule_catalog().items():
+            print(f"{rule_id}  {rule_cls.title}")
+        return 0
+    root = Path.cwd()
+    if args.changed_only:
+        paths: list[Path] = [
+            path
+            for path in changed_python_files(base=args.base, root=root)
+            if not args.paths
+            or any(
+                path.resolve().is_relative_to(Path(p).resolve())
+                for p in args.paths
+            )
+        ]
+        if not paths:
+            print("lint: no changed Python files")
+            return 0
+    elif args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = default_lint_paths(root)
+    report = run_lint(paths, rule_ids=args.rules, root=root)
+    if args.format == "json":
+        print(report.render_json(), end="")
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -730,6 +771,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace_event JSON (Perfetto-loadable) here",
     )
     px.set_defaults(func=_cmd_trace)
+
+    pl = sub.add_parser(
+        "lint",
+        help="repo-specific static analysis (determinism, units, schema)",
+    )
+    pl.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro and tools)",
+    )
+    pl.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="diagnostics output format",
+    )
+    pl.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE-ID",
+        help="run only these rule ids (default: the full battery)",
+    )
+    pl.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only Python files changed relative to --base "
+             "(plus untracked files)",
+    )
+    pl.add_argument(
+        "--base",
+        type=str,
+        default="HEAD",
+        help="git revision (or A...B range) --changed-only diffs against",
+    )
+    pl.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    pl.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -63,7 +63,7 @@ class KernelConfig:
             return table[0][1]
         if n >= table[-1][0]:
             return table[-1][1]
-        for (lo_n, lo_clk), (hi_n, hi_clk) in zip(table, table[1:]):
+        for (lo_n, lo_clk), (hi_n, hi_clk) in zip(table, table[1:], strict=False):
             if lo_n < n < hi_n:
                 frac = (math.log2(n) - math.log2(lo_n)) / (
                     math.log2(hi_n) - math.log2(lo_n)

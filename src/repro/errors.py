@@ -50,6 +50,16 @@ class SweepExecutionError(ReproError):
     """
 
 
+class AnalysisError(ReproError):
+    """The static-analysis driver was misconfigured (unknown rule id,
+    unreadable path, or a git query for ``--changed-only`` failed).
+
+    Lint *findings* are not errors -- ``python -m repro lint`` reports
+    them as diagnostics and exits 2; this exception covers problems with
+    the lint invocation itself.
+    """
+
+
 class CacheCorruptionError(ReproError):
     """A result-cache entry failed digest or key verification.
 

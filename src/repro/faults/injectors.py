@@ -29,7 +29,8 @@ The five shipped failure modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.errors import FaultError
 

@@ -18,7 +18,8 @@ activation storm.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.core.config import SystemConfig
 from repro.faults.plan import FaultPlan, builtin_fault_plans

@@ -13,7 +13,7 @@ considers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.layouts import (
     BlockDDLLayout,

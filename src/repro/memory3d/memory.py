@@ -172,7 +172,7 @@ class Memory3D:
         latency_sum = 0.0
         latency_max = 0.0
         for i, (vid, bank, row) in enumerate(
-            zip(v_ids.tolist(), banks.tolist(), rows.tolist())
+            zip(v_ids.tolist(), banks.tolist(), rows.tolist(), strict=True)
         ):
             ready = stream_ready if discipline == "in_order" else per_vault_ready[vid]
             if arrivals is not None and arrivals[i] > ready:

@@ -21,12 +21,14 @@ See ``docs/observability.md`` for the event schema and workflows, and
 """
 
 from repro.obs.events import (
+    EVENT_REGISTRY,
     NULL_RECORDER,
     Event,
     EventKind,
     EventTrace,
     NullRecorder,
     Recorder,
+    registered_event_names,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -46,6 +48,7 @@ from repro.obs.spans import Span, SpanTimeline, span_or_null
 
 __all__ = [
     "Counter",
+    "EVENT_REGISTRY",
     "Event",
     "EventKind",
     "EventTrace",
@@ -60,6 +63,7 @@ __all__ = [
     "chrome_trace",
     "event_summary_table",
     "merge_registries",
+    "registered_event_names",
     "span_or_null",
     "stats_vault_table",
     "vault_utilization_table",

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -52,12 +52,25 @@ class EventKind(IntEnum):
     BIT_ERROR = 4
 
 
+#: The registered event vocabulary: name -> kind.  This mapping is the
+#: single source of truth for event names; the engines' ``EV_*`` aliases
+#: below are derived from it, and the OBS001 lint rule
+#: (:mod:`repro.analysis.rules.obs`) imports it to verify that every
+#: ``record`` call site uses a registered name.
+EVENT_REGISTRY: dict[str, EventKind] = {kind.name: kind for kind in EventKind}
+
+
+def registered_event_names() -> frozenset[str]:
+    """The names every ``record`` call site must draw from."""
+    return frozenset(EVENT_REGISTRY)
+
+
 #: Module-level aliases so the hot loop avoids enum attribute lookups.
-EV_ACTIVATE = int(EventKind.ACTIVATE)
-EV_ROW_HIT = int(EventKind.ROW_HIT)
-EV_REFRESH_STALL = int(EventKind.REFRESH_STALL)
-EV_TSV_CONTENTION = int(EventKind.TSV_CONTENTION)
-EV_BIT_ERROR = int(EventKind.BIT_ERROR)
+EV_ACTIVATE = int(EVENT_REGISTRY["ACTIVATE"])
+EV_ROW_HIT = int(EVENT_REGISTRY["ROW_HIT"])
+EV_REFRESH_STALL = int(EVENT_REGISTRY["REFRESH_STALL"])
+EV_TSV_CONTENTION = int(EVENT_REGISTRY["TSV_CONTENTION"])
+EV_BIT_ERROR = int(EVENT_REGISTRY["BIT_ERROR"])
 
 
 @dataclass(frozen=True)
@@ -163,7 +176,8 @@ class EventTrace(Recorder):
 
     def __iter__(self) -> Iterator[Event]:
         for kind, vault, bank, row, ts, dur in zip(
-            self.kinds, self.vaults, self.banks, self.rows, self.ts_ns, self.dur_ns
+            self.kinds, self.vaults, self.banks, self.rows, self.ts_ns, self.dur_ns,
+            strict=True,
         ):
             yield Event(EventKind(kind), vault, bank, row, ts, dur)
 
@@ -190,7 +204,8 @@ class EventTrace(Recorder):
     def end_ns(self) -> float:
         """Latest event end time (0 when empty)."""
         return max(
-            (ts + dur for ts, dur in zip(self.ts_ns, self.dur_ns)), default=0.0
+            (ts + dur for ts, dur in zip(self.ts_ns, self.dur_ns, strict=True)),
+            default=0.0,
         )
 
     # ------------------------------------------------------------ breakdowns
@@ -198,14 +213,14 @@ class EventTrace(Recorder):
         """Total stalled nanoseconds attributed to one stall kind."""
         want = int(kind)
         return sum(
-            dur for k, dur in zip(self.kinds, self.dur_ns) if k == want
+            dur for k, dur in zip(self.kinds, self.dur_ns, strict=True) if k == want
         )
 
     def per_vault_counts(self, kind: EventKind) -> dict[int, int]:
         """Events of ``kind`` per vault."""
         want = int(kind)
         result: dict[int, int] = {}
-        for k, vault in zip(self.kinds, self.vaults):
+        for k, vault in zip(self.kinds, self.vaults, strict=True):
             if k == want:
                 result[vault] = result.get(vault, 0) + 1
         return result
@@ -224,7 +239,7 @@ class EventTrace(Recorder):
     def per_vault_busy_ns(self) -> dict[int, float]:
         """Data-beat nanoseconds per vault (ACTIVATE + ROW_HIT beats)."""
         result: dict[int, float] = {}
-        for kind, vault, dur in zip(self.kinds, self.vaults, self.dur_ns):
+        for kind, vault, dur in zip(self.kinds, self.vaults, self.dur_ns, strict=True):
             if kind == EV_ROW_HIT:
                 result[vault] = result.get(vault, 0.0) + dur
         return result
@@ -267,7 +282,7 @@ class EventTrace(Recorder):
         )
         last_activate: dict[int, float] = {}
         for kind, vault, ts, dur in zip(
-            self.kinds, self.vaults, self.ts_ns, self.dur_ns
+            self.kinds, self.vaults, self.ts_ns, self.dur_ns, strict=True
         ):
             if kind == EV_ACTIVATE:
                 prev = last_activate.get(vault)

@@ -46,7 +46,7 @@ def chrome_trace_events(events: EventTrace) -> list[dict]:
     """
     out: list[dict] = []
     seen_tracks: set[tuple[int, int]] = set()
-    for vault, bank in zip(events.vaults, events.banks):
+    for vault, bank in zip(events.vaults, events.banks, strict=True):
         seen_tracks.add((vault, bank))
     for vault in sorted({v for v, _ in seen_tracks}):
         out.append(
@@ -70,7 +70,7 @@ def chrome_trace_events(events: EventTrace) -> list[dict]:
         )
     for kind, vault, bank, row, ts, dur in zip(
         events.kinds, events.vaults, events.banks, events.rows,
-        events.ts_ns, events.dur_ns,
+        events.ts_ns, events.dur_ns, strict=True,
     ):
         out.append(
             {

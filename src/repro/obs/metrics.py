@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.errors import ReproError
 
@@ -92,7 +92,7 @@ class Histogram:
         self.bounds = tuple(float(b) for b in self.bounds)
         if not self.bounds:
             raise MetricsError(f"histogram {self.name}: needs at least one bound")
-        if any(b >= a for b, a in zip(self.bounds, self.bounds[1:])):
+        if any(b >= a for b, a in zip(self.bounds, self.bounds[1:], strict=False)):
             raise MetricsError(
                 f"histogram {self.name}: bounds must be strictly increasing"
             )
@@ -269,7 +269,7 @@ class MetricsRegistry:
             labels = [f"<= {b:g}" for b in entry["bounds"]] + [
                 f"> {entry['bounds'][-1]:g}"
             ]
-            for label, count in zip(labels, entry["counts"]):
+            for label, count in zip(labels, entry["counts"], strict=True):
                 lines.append(f"| {label} | {count:,} |")
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
@@ -293,7 +293,7 @@ def merge_registries(target: MetricsRegistry, source: Mapping[str, dict]) -> Non
             )
             if list(hist.bounds) != list(entry["bounds"]):
                 raise MetricsError(f"histogram {name!r}: bounds mismatch on merge")
-            hist.counts = [a + b for a, b in zip(hist.counts, entry["counts"])]
+            hist.counts = [a + b for a, b in zip(hist.counts, entry["counts"], strict=True)]
             hist.count += entry["count"]
             hist.total += entry["mean"] * entry["count"]
             if entry["count"]:

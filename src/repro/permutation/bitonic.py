@@ -179,8 +179,8 @@ class BitonicPermutationRouter:
             raise PermutationError(
                 f"data length {values.shape[-1]} does not match network {self.n}"
             )
-        for stage, bits in zip(self.stages, self._controls):
-            for (lo, hi), swap in zip(stage, bits):
+        for stage, bits in zip(self.stages, self._controls, strict=True):
+            for (lo, hi), swap in zip(stage, bits, strict=True):
                 if swap:
                     tmp = values[..., lo].copy()
                     values[..., lo] = values[..., hi]

@@ -29,7 +29,8 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Any, Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
 
 from repro.core.config import SystemConfig
 from repro.core.simulate import simulate_column_phase
@@ -338,7 +339,9 @@ def run_sweep(
         raise ConfigError("resume=True requires a checkpoint path")
     validate_grid(grid, config)
     jobs = resolve_jobs(jobs)
-    started = time.perf_counter()
+    # Wall-clock is run *metadata* (meta["wall_s"]), never part of the
+    # deterministic result document results.py serializes.
+    started = time.perf_counter()  # repro: ignore[DET001]
 
     config_dicts = {
         variant.label: system_to_dict(
@@ -463,7 +466,7 @@ def run_sweep(
         "resumed": resumed,
         "failed": len(failures),
         "retries": retries_total,
-        "wall_s": time.perf_counter() - started,
+        "wall_s": time.perf_counter() - started,  # repro: ignore[DET001]
         "cache": cache.stats.as_dict() if cache is not None else None,
     }
     return SweepResult(

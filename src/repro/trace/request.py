@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -109,7 +109,7 @@ class TraceArray:
         return int(self.addresses.size)
 
     def __iter__(self) -> Iterator[Request]:
-        for address, write in zip(self.addresses.tolist(), self.is_write.tolist()):
+        for address, write in zip(self.addresses.tolist(), self.is_write.tolist(), strict=True):
             yield Request(int(address), bool(write))
 
     def __getitem__(self, index: slice) -> "TraceArray":

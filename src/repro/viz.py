@@ -7,7 +7,7 @@ consistent (fixed-width bars, aligned labels, stable rounding).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.errors import ReproError
 
@@ -122,5 +122,5 @@ def side_by_side(left: str, right: str, gap: int = 4) -> str:
     left_lines += [""] * (height - len(left_lines))
     right_lines += [""] * (height - len(right_lines))
     return "\n".join(
-        f"{l:<{width}}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines)
+        f"{l:<{width}}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines, strict=True)
     )

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Run the domain linter over the Python files a git diff touches.
+
+This is the ``--changed-only`` entry point for hooks and CI:
+
+* pre-commit:  ``python tools/lint_changed.py --cached``
+* CI PR diff:  ``python tools/lint_changed.py --base "origin/$BASE_REF"``
+* local:       ``python tools/lint_changed.py`` (working tree vs HEAD,
+  untracked files included)
+
+It resolves the changed file set with git, then invokes the in-process
+equivalent of ``python -m repro lint <files>`` and exits with the same
+code (0 clean, 2 findings / bad invocation).  Extra arguments after
+``--`` are forwarded to the lint command (e.g. ``-- --format json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def main(argv: list[str] | None = None) -> int:
+    raw = list(sys.argv[1:] if argv is None else argv)
+    forwarded: list[str] = []
+    if "--" in raw:
+        split = raw.index("--")
+        raw, forwarded = raw[:split], raw[split + 1:]
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base",
+        default="HEAD",
+        help="git revision (or A...B range) to diff against",
+    )
+    parser.add_argument(
+        "--cached",
+        action="store_true",
+        help="diff the index instead of the working tree (pre-commit)",
+    )
+    args = parser.parse_args(raw)
+
+    from repro.analysis import changed_python_files
+    from repro.cli import main as repro_main
+    from repro.errors import ReproError
+
+    try:
+        files = changed_python_files(
+            base=args.base, cached=args.cached, root=REPO_ROOT
+        )
+    except ReproError as exc:
+        print(f"lint-changed: error: {exc}", file=sys.stderr)
+        return 2
+    files = [path for path in files if path.name != "conftest.py"]
+    if not files:
+        print("lint-changed: no changed Python files")
+        return 0
+    print(f"lint-changed: {len(files)} file(s) vs {args.base}")
+    return repro_main(["lint", *forwarded, *(str(path) for path in files)])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
