@@ -33,6 +33,21 @@ QUICK = ((256, 512), (2, 8, 32), 16_384, 3.0, 1.3)
 JOBS = 4
 
 
+def effective_cores() -> int:
+    """CPU cores this process can actually schedule on.
+
+    ``os.cpu_count()`` reports the machine; under cgroup limits or CPU
+    affinity masks (CI runners, containers) the process may own far
+    fewer.  ``BENCH_sweep.json`` once reported ``cores: 4`` alongside a
+    0.97x "speedup" measured on a single usable core -- gate-relevant
+    numbers must describe the cores the workers really had.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
 def build_grid(sizes, heights) -> SweepGrid:
     """A grid spanning every axis: N, layout, h and a timing variant."""
     return SweepGrid(
@@ -54,15 +69,21 @@ def test_sweep_parallel_and_cache_speedup(quick, tmp_path):
     )
     grid = build_grid(sizes, heights)
     n_points = grid.n_points()
-    cores = os.cpu_count() or 1
+    cores = effective_cores()
+    # jobs=4 on a 1-core box measures scheduling overhead, not fan-out;
+    # skip the leg and flag it instead of gating on a meaningless ratio.
+    run_parallel = min(JOBS, cores) > 1
 
     start = time.perf_counter()
     serial = run_sweep(grid, max_requests=requests, jobs=1)
     serial_s = time.perf_counter() - start
 
-    start = time.perf_counter()
-    parallel = run_sweep(grid, max_requests=requests, jobs=JOBS)
-    parallel_s = time.perf_counter() - start
+    parallel = serial
+    parallel_s = None
+    if run_parallel:
+        start = time.perf_counter()
+        parallel = run_sweep(grid, max_requests=requests, jobs=JOBS)
+        parallel_s = time.perf_counter() - start
 
     cache = ResultCache(tmp_path / "cache")
     run_sweep(grid, max_requests=requests, jobs=1, cache=cache)
@@ -76,29 +97,40 @@ def test_sweep_parallel_and_cache_speedup(quick, tmp_path):
     assert warm.to_json() == serial.to_json()
     assert warm.meta["cached"] == n_points
 
-    parallel_speedup = serial_s / parallel_s
+    parallel_speedup = serial_s / parallel_s if parallel_s else None
     cache_speedup = serial_s / warm_s
 
     print(banner("SWEEP: serial vs parallel vs warm cache"))
     print(f"  grid                : {n_points} points, "
-          f"{requests:,} requests/point, {cores} cores")
+          f"{requests:,} requests/point, {cores} usable cores")
     print(f"  serial   (jobs=1)   : {serial_s:7.3f} s")
-    print(f"  parallel (jobs={JOBS})   : {parallel_s:7.3f} s "
-          f"({parallel_speedup:.2f}x)")
+    if parallel_speedup is not None:
+        print(f"  parallel (jobs={JOBS})   : {parallel_s:7.3f} s "
+              f"({parallel_speedup:.2f}x)")
+    else:
+        print(f"  parallel (jobs={JOBS})   : skipped "
+              f"(only {cores} usable core(s))")
     print(f"  warm cache          : {warm_s:7.3f} s ({cache_speedup:.1f}x)")
 
+    metrics = {
+        "points": n_points,
+        "cores": cores,
+        "serial_s": serial_s,
+        "warm_cache_s": warm_s,
+        "cache_speedup": cache_speedup,
+    }
+    if parallel_speedup is not None:
+        metrics["parallel_s"] = parallel_s
+        metrics["parallel_speedup"] = parallel_speedup
     write_bench_json(
         "sweep",
-        {
-            "points": n_points,
-            "cores": cores,
-            "serial_s": serial_s,
-            "parallel_s": parallel_s,
-            "parallel_speedup": parallel_speedup,
-            "warm_cache_s": warm_s,
-            "cache_speedup": cache_speedup,
+        metrics,
+        info={
+            "requests": requests,
+            "jobs": JOBS,
+            "quick": quick,
+            "parallel_skipped": not run_parallel,
         },
-        info={"requests": requests, "jobs": JOBS, "quick": quick},
     )
 
     # Warm replay skips every simulation; it must be near-instant.

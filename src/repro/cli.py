@@ -13,11 +13,15 @@ Commands regenerate the paper's evaluation artifacts:
 * ``trace``            -- record a run and export a Chrome/Perfetto trace
 * ``sweep``            -- parallel design-space sweep with result caching
 * ``faults``           -- layout degradation under injected memory faults
+* ``report``           -- self-contained static HTML run report
 * ``lint``             -- repo-specific static analysis (domain rules)
 
 Every command reports a :class:`~repro.errors.ReproError` as a one-line
 message on stderr with exit code 2; pass ``--debug`` (before the
-command) to re-raise with the full traceback instead.
+command) to re-raise with the full traceback instead.  A global
+``--profile HZ`` samples the whole command with the zero-dependency
+profiler (:mod:`repro.obs.profile`) and prints a self-time table to
+stderr when it finishes.
 """
 
 from __future__ import annotations
@@ -375,6 +379,33 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_sweep_telemetry(args: argparse.Namespace, result) -> None:
+    """Export a telemetry-enabled sweep's trace and OpenMetrics files.
+
+    Notices go to stderr under ``--json`` so stdout stays a parseable
+    result document.
+    """
+    from repro.obs import MetricsRegistry, write_openmetrics
+
+    chatter = sys.stderr if args.json else sys.stdout
+    trace_path = args.trace_out or "sweep-trace.json"
+    result.telemetry.write_chrome_trace(
+        trace_path,
+        metadata={
+            "points": len(result.results),
+            "jobs": result.meta["jobs"],
+        },
+    )
+    print(
+        f"wrote {trace_path} ({result.telemetry.summary()})", file=chatter
+    )
+    metrics_path = args.openmetrics_out or "sweep-metrics.prom"
+    merged = MetricsRegistry.from_snapshot(result.registry.as_dict())
+    merged.merge_snapshot(result.telemetry.registry.as_dict())
+    write_openmetrics(metrics_path, merged)
+    print(f"wrote {metrics_path} ({len(merged)} metrics)", file=chatter)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import (
         RetryPolicy,
@@ -409,6 +440,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             fail_attempts=args.chaos_fail_attempts,
             hang_s=args.chaos_hang_s,
         )
+    telemetry = bool(
+        args.telemetry or args.trace_out or args.openmetrics_out
+    )
     result = run_sweep(
         grid,
         max_requests=args.max_requests,
@@ -418,7 +452,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         chaos=chaos,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        telemetry=telemetry,
     )
+    if result.telemetry is not None:
+        _write_sweep_telemetry(args, result)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
@@ -478,6 +515,38 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import glob
+
+    from repro.obs.report import build_run_report
+    from repro.sweep import SweepGrid, run_sweep
+
+    telemetry = None
+    if not args.no_sweep:
+        sweep = run_sweep(
+            SweepGrid(sizes=(args.size,), layouts=("row-major", "ddl")),
+            max_requests=args.max_requests,
+            jobs=args.jobs,
+            telemetry=True,
+        )
+        telemetry = sweep.telemetry
+    bench_paths: list[str] = []
+    for pattern in args.bench:
+        bench_paths.extend(sorted(glob.glob(pattern)))
+    html_text = build_run_report(
+        n=args.size,
+        max_requests=args.max_requests,
+        telemetry=telemetry,
+        bench_paths=bench_paths,
+        include_faults=not args.no_faults,
+        seed=args.seed,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html_text)
+    print(f"wrote {args.out} ({len(html_text):,} bytes)")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -529,6 +598,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-raise errors with full tracebacks instead of the "
              "one-line exit-code-2 summary",
+    )
+    parser.add_argument(
+        "--profile",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="sample the command with the built-in profiler at HZ and "
+             "print a self-time table to stderr",
+    )
+    parser.add_argument(
+        "--profile-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write collapsed (folded) stacks for flamegraph tools",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -715,6 +799,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="(testing) how long a hanging chaos attempt sleeps",
     )
+    pw.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record cross-process run telemetry and write the merged "
+             "Chrome/Perfetto trace plus an OpenMetrics dump "
+             "(sweep-trace.json / sweep-metrics.prom by default)",
+    )
+    pw.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="merged Chrome trace_event JSON path (implies --telemetry)",
+    )
+    pw.add_argument(
+        "--openmetrics-out",
+        type=str,
+        default=None,
+        help="OpenMetrics text exposition path (implies --telemetry)",
+    )
     pw.set_defaults(func=_cmd_sweep)
 
     pf = sub.add_parser(
@@ -772,6 +875,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     px.set_defaults(func=_cmd_trace)
 
+    ph = sub.add_parser(
+        "report",
+        help="self-contained static HTML run report (no server needed)",
+    )
+    ph.add_argument(
+        "--html",
+        action="store_true",
+        help="emit HTML (the only format today; kept explicit for "
+             "forward compatibility)",
+    )
+    ph.add_argument(
+        "--out", type=str, default="run-report.html",
+        help="output HTML path",
+    )
+    ph.add_argument("--size", type=int, default=512, help="2D FFT size N")
+    ph.add_argument("--max-requests", type=int, default=32_768)
+    ph.add_argument(
+        "--jobs", type=int, default=1,
+        help="workers for the embedded telemetry sweep",
+    )
+    ph.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed for the degradation section",
+    )
+    ph.add_argument(
+        "--bench",
+        nargs="*",
+        default=["BENCH_*.json"],
+        metavar="GLOB",
+        help="BENCH_*.json artifact paths/globs, oldest first "
+             "(for the trajectory sparklines)",
+    )
+    ph.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the (expensive) fault-degradation section",
+    )
+    ph.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the embedded telemetry sweep / timeline section",
+    )
+    ph.set_defaults(func=_cmd_report)
+
     pl = sub.add_parser(
         "lint",
         help="repo-specific static analysis (determinism, units, schema)",
@@ -827,6 +974,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     args = build_parser().parse_args(argv)
     try:
+        if args.profile:
+            from repro.obs.profile import SamplingProfiler
+
+            profiler = SamplingProfiler(hz=args.profile)
+            with profiler:
+                code = args.func(args)
+            if args.profile_out:
+                with open(args.profile_out, "w", encoding="utf-8") as handle:
+                    handle.write(profiler.collapsed() + "\n")
+                print(f"wrote {args.profile_out}", file=sys.stderr)
+            print(profiler.top_table(), file=sys.stderr)
+            return code
         return args.func(args)
     except ReproError as exc:
         if args.debug:

@@ -161,6 +161,29 @@ def degradation_report(
     }
 
 
+def degradation_rows(
+    report: Mapping[str, Any],
+) -> tuple[list[str], list[list[str]]]:
+    """The degradation table as (header, formatted rows).
+
+    Shared by the markdown renderer below and the HTML run report
+    (:mod:`repro.obs.report`), so both always show the same cells.
+    """
+    header = ["layout", "healthy"] + [str(p) for p in report["plans"]]
+    rows = []
+    for layout in REPORT_LAYOUTS:
+        entry = report["layouts"][layout]
+        row = [layout, f"{entry['healthy_gbps']:.2f} GB/s"]
+        for plan in report["plans"]:
+            cell = entry["plans"][plan]
+            row.append(
+                f"{cell['bandwidth_gbps']:.2f} GB/s "
+                f"({100 * cell['retained']:.0f}%)"
+            )
+        rows.append(row)
+    return header, rows
+
+
 def render_degradation(
     report: Mapping[str, Any], heading: str | None = None
 ) -> str:
@@ -182,18 +205,7 @@ def render_degradation(
         "bandwidth that survives.",
         "",
     ]
-    header = ["layout", "healthy"] + [str(p) for p in report["plans"]]
-    rows = []
-    for layout in REPORT_LAYOUTS:
-        entry = report["layouts"][layout]
-        row = [layout, f"{entry['healthy_gbps']:.2f} GB/s"]
-        for plan in report["plans"]:
-            cell = entry["plans"][plan]
-            row.append(
-                f"{cell['bandwidth_gbps']:.2f} GB/s "
-                f"({100 * cell['retained']:.0f}%)"
-            )
-        rows.append(row)
+    header, rows = degradation_rows(report)
     lines.append("| " + " | ".join(header) + " |")
     lines.append("|" + "|".join("---" for _ in header) + "|")
     for row in rows:

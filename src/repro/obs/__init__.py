@@ -15,6 +15,17 @@ with zero third-party dependencies:
   timers for the modelling pipeline.
 * :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON (open in
   Perfetto) and per-vault utilization / row-hit breakdown tables.
+* :mod:`repro.obs.telemetry` -- cross-process run telemetry: the sweep
+  runner injects a :class:`TraceContext` into each worker, workers ship
+  :class:`WorkerTelemetry` payloads back, and :class:`RunTelemetry`
+  merges everything into one clock-aligned Perfetto trace.
+* :mod:`repro.obs.profile` -- a zero-dependency
+  :class:`SamplingProfiler` (``--profile hz``) with collapsed-stack and
+  top-N self-time output.
+* :mod:`repro.obs.openmetrics` -- OpenMetrics/Prometheus text
+  exposition (and validator) for any :class:`MetricsRegistry`.
+* :mod:`repro.obs.report` -- the self-contained static HTML run report
+  behind ``python -m repro report --html``.
 
 See ``docs/observability.md`` for the event schema and workflows, and
 ``python -m repro trace`` for the one-command entry point.
@@ -44,9 +55,22 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_registries,
 )
+from repro.obs.openmetrics import (
+    parse_openmetrics,
+    render_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.profile import SamplingProfiler, profile_call
 from repro.obs.spans import Span, SpanTimeline, span_or_null
+from repro.obs.telemetry import (
+    ClockAnchor,
+    RunTelemetry,
+    TraceContext,
+    WorkerTelemetry,
+)
 
 __all__ = [
+    "ClockAnchor",
     "Counter",
     "EVENT_REGISTRY",
     "Event",
@@ -58,14 +82,22 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
+    "RunTelemetry",
+    "SamplingProfiler",
     "Span",
     "SpanTimeline",
+    "TraceContext",
+    "WorkerTelemetry",
     "chrome_trace",
     "event_summary_table",
     "merge_registries",
+    "parse_openmetrics",
+    "profile_call",
     "registered_event_names",
+    "render_openmetrics",
     "span_or_null",
     "stats_vault_table",
     "vault_utilization_table",
     "write_chrome_trace",
+    "write_openmetrics",
 ]

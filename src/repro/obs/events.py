@@ -31,6 +31,23 @@ Event kinds (:class:`EventKind`):
     A fault-injected transient bit flip was detected on the data beat
     (:class:`~repro.faults.BitErrorModel`); ``dur_ns`` is the ECC
     correction penalty (zero for detected-but-uncorrectable errors).
+
+Kinds ``WORKER_START`` .. ``CACHE_HIT`` are *run-telemetry* events:
+they describe the execution machinery (sweep workers, queueing,
+retries, cache replay) rather than the simulated device, are recorded
+through :mod:`repro.obs.telemetry` in host seconds, and never appear in
+an engine :class:`EventTrace`.  They share this registry so the OBS001
+lint rule covers every ``record``/``record_event`` call site in the
+repository from one vocabulary:
+
+``WORKER_START`` / ``WORKER_END``
+    A sweep worker process picked up / finished one grid point.
+``QUEUE_WAIT``
+    Time a dispatched point spent waiting for a worker slot.
+``RETRY``
+    A point needed extra attempts under the resilient executor.
+``CACHE_HIT``
+    A point was replayed from the on-disk result cache.
 """
 
 from __future__ import annotations
@@ -50,6 +67,29 @@ class EventKind(IntEnum):
     REFRESH_STALL = 2
     TSV_CONTENTION = 3
     BIT_ERROR = 4
+    # Run-telemetry kinds (host time, recorded via repro.obs.telemetry).
+    WORKER_START = 5
+    WORKER_END = 6
+    QUEUE_WAIT = 7
+    RETRY = 8
+    CACHE_HIT = 9
+
+
+#: The engine-emitted kinds: events with device (vault/bank/row)
+#: coordinates, recorded in simulated nanoseconds.
+ENGINE_EVENT_KINDS = frozenset(
+    {
+        EventKind.ACTIVATE,
+        EventKind.ROW_HIT,
+        EventKind.REFRESH_STALL,
+        EventKind.TSV_CONTENTION,
+        EventKind.BIT_ERROR,
+    }
+)
+
+#: The run-telemetry kinds: execution-machinery events recorded in host
+#: seconds by :mod:`repro.obs.telemetry`.
+TELEMETRY_EVENT_KINDS = frozenset(set(EventKind) - ENGINE_EVENT_KINDS)
 
 
 #: The registered event vocabulary: name -> kind.  This mapping is the
@@ -71,6 +111,11 @@ EV_ROW_HIT = int(EVENT_REGISTRY["ROW_HIT"])
 EV_REFRESH_STALL = int(EVENT_REGISTRY["REFRESH_STALL"])
 EV_TSV_CONTENTION = int(EVENT_REGISTRY["TSV_CONTENTION"])
 EV_BIT_ERROR = int(EVENT_REGISTRY["BIT_ERROR"])
+EV_WORKER_START = int(EVENT_REGISTRY["WORKER_START"])
+EV_WORKER_END = int(EVENT_REGISTRY["WORKER_END"])
+EV_QUEUE_WAIT = int(EVENT_REGISTRY["QUEUE_WAIT"])
+EV_RETRY = int(EVENT_REGISTRY["RETRY"])
+EV_CACHE_HIT = int(EVENT_REGISTRY["CACHE_HIT"])
 
 
 @dataclass(frozen=True)
@@ -189,10 +234,18 @@ class EventTrace(Recorder):
         return [event for event in self if event.kind == want]
 
     def counts(self) -> dict[str, int]:
-        """Event count per kind name (all kinds present, zero-filled)."""
-        result = {kind.name: 0 for kind in EventKind}
+        """Event count per kind name (engine kinds present, zero-filled).
+
+        Engine traces only ever carry :data:`ENGINE_EVENT_KINDS`; should
+        a run-telemetry kind be recorded anyway it is still counted
+        under its own name rather than dropped.
+        """
+        result = {
+            kind.name: 0 for kind in sorted(ENGINE_EVENT_KINDS)
+        }
         for kind in self.kinds:
-            result[EventKind(kind).name] += 1
+            name = EventKind(kind).name
+            result[name] = result.get(name, 0) + 1
         return result
 
     def count(self, kind: EventKind) -> int:

@@ -31,7 +31,17 @@ _EVENT_NAMES = {
     int(EventKind.REFRESH_STALL): "REFRESH",
     int(EventKind.TSV_CONTENTION): "TSV_WAIT",
     int(EventKind.BIT_ERROR): "BIT_ERR",
+    int(EventKind.WORKER_START): "WORKER_START",
+    int(EventKind.WORKER_END): "WORKER_END",
+    int(EventKind.QUEUE_WAIT): "QUEUE_WAIT",
+    int(EventKind.RETRY): "RETRY",
+    int(EventKind.CACHE_HIT): "CACHE_HIT",
 }
+
+
+def event_slice_name(kind: int) -> str:
+    """The Perfetto slice label for one event kind."""
+    return _EVENT_NAMES.get(kind, f"KIND_{kind}")
 
 #: Process id offset for the span (host-time) track, clear of vault pids.
 SPAN_PID = 10_000

@@ -1,0 +1,205 @@
+"""OpenMetrics / Prometheus text exposition for :class:`MetricsRegistry`.
+
+Renders any registry snapshot in the OpenMetrics text format
+(https://prometheus.io/docs/specs/om/open_metrics_spec/), the wire
+format every Prometheus-compatible scraper and pushgateway understands:
+
+* counters are suffixed ``_total`` with a ``# TYPE ... counter`` family;
+* gauges expose their point value;
+* histograms emit cumulative ``_bucket{le="..."}`` series (including
+  the mandatory ``le="+Inf"`` bucket), plus ``_sum`` and ``_count``;
+* metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (the dots
+  our registries use become underscores);
+* the exposition ends with the mandatory ``# EOF`` terminator.
+
+A small :func:`parse_openmetrics` validator round-trips the output for
+tests and CI gates without pulling in a client library.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+from typing import IO
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+class OpenMetricsError(ReproError):
+    """Malformed exposition text or un-renderable registry."""
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a registry metric name for the exposition format."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    """Canonical number rendering (integers without a trailing .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_openmetrics(
+    registry: MetricsRegistry | Mapping[str, dict],
+) -> str:
+    """The OpenMetrics text exposition of a registry (or its snapshot)."""
+    snapshot = (
+        registry.as_dict()
+        if isinstance(registry, MetricsRegistry)
+        else dict(registry)
+    )
+    lines: list[str] = []
+    for raw_name in sorted(snapshot):
+        entry = snapshot[raw_name]
+        kind = entry["type"]
+        name = metric_name(raw_name)
+        help_text = _escape_help(str(entry.get("help", "")))
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"{name}_total {_fmt(entry['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"{name} {_fmt(entry['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {name} histogram")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            cumulative = 0
+            for bound, count in zip(
+                entry["bounds"], entry["counts"][:-1], strict=True
+            ):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+                )
+            cumulative += entry["counts"][-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(
+                f"{name}_sum {_fmt(entry['mean'] * entry['count'])}"
+            )
+            lines.append(f"{name}_count {entry['count']}")
+        else:
+            raise OpenMetricsError(
+                f"unknown instrument type {kind!r} for {raw_name!r}"
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    target: str | IO[str], registry: MetricsRegistry | Mapping[str, dict]
+) -> None:
+    """Serialize :func:`render_openmetrics` to a path or open text file."""
+    text = render_openmetrics(registry)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse (and validate) an exposition produced by this module.
+
+    Returns ``{family_name: {"type": ..., "samples": {sample_key: value}}}``
+    where histogram sample keys include their ``le`` label.  Raises
+    :class:`OpenMetricsError` on structural violations: missing ``# EOF``,
+    samples without a preceding ``# TYPE``, bad names, non-cumulative or
+    ``+Inf``-less histogram buckets, counters without ``_total``.
+    """
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise OpenMetricsError("exposition must end with '# EOF'")
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for line in lines[:-1]:
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if not _NAME_OK.match(name):
+                raise OpenMetricsError(f"bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise OpenMetricsError(f"bad metric type {kind!r} for {name}")
+            types[name] = kind
+            families[name] = {"type": kind, "samples": {}}
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise OpenMetricsError(f"malformed sample line {line!r}")
+        sample = match.group("name")
+        family = _family_of(sample, types)
+        if family is None:
+            raise OpenMetricsError(f"sample {sample!r} has no # TYPE family")
+        key = sample
+        if match.group("labels"):
+            key += "{" + match.group("labels") + "}"
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise OpenMetricsError(f"bad value in {line!r}") from exc
+        families[family]["samples"][key] = value
+    _validate_families(families)
+    return families
+
+
+def _family_of(sample: str, types: Mapping[str, str]) -> str | None:
+    if sample in types and types[sample] == "gauge":
+        return sample
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if sample.endswith(suffix):
+            family = sample[: -len(suffix)]
+            if family in types:
+                return family
+    return sample if sample in types else None
+
+
+def _validate_families(families: Mapping[str, dict]) -> None:
+    for name, family in families.items():
+        samples = family["samples"]
+        if family["type"] == "counter":
+            if f"{name}_total" not in samples:
+                raise OpenMetricsError(f"counter {name} lacks a _total sample")
+        elif family["type"] == "histogram":
+            buckets = [
+                (key, value)
+                for key, value in samples.items()
+                if key.startswith(f"{name}_bucket{{")
+            ]
+            if not any('le="+Inf"' in key for key, _ in buckets):
+                raise OpenMetricsError(
+                    f"histogram {name} lacks an le=\"+Inf\" bucket"
+                )
+            counts = [value for _, value in buckets]
+            if any(b < a for a, b in zip(counts, counts[1:], strict=False)):
+                raise OpenMetricsError(
+                    f"histogram {name} buckets are not cumulative"
+                )
+            if f"{name}_count" not in samples or f"{name}_sum" not in samples:
+                raise OpenMetricsError(
+                    f"histogram {name} lacks _sum/_count samples"
+                )

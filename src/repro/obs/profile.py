@@ -1,0 +1,207 @@
+"""A zero-dependency sampling profiler for the modelling stack.
+
+``cProfile`` taxes every function call, which distorts exactly the hot
+loops (per-request engine stepping) we care about; a sampling profiler
+observes the program from outside at a fixed rate and costs nothing
+between samples.  This one needs only the standard library: a daemon
+thread wakes ``hz`` times per second, snapshots every thread's stack via
+``sys._current_frames()``, and accumulates collapsed call stacks.
+
+Outputs:
+
+* :meth:`SamplingProfiler.collapsed` -- Brendan-Gregg folded-stack text
+  (``a;b;c 42`` per line), ready for any flamegraph tool;
+* :meth:`SamplingProfiler.top_table` -- a markdown top-N table of
+  *self* samples per frame, attributing time to ``repro.*`` modules.
+
+Opt in from the CLI with ``python -m repro --profile HZ <command>``
+(``--profile-out`` writes the folded stacks next to the table).
+
+Sampling is per-process: worker processes forked by the sweep engine
+are not visible to the parent's profiler -- use ``--jobs 1`` (or the
+serial fallback) when profiling sweep internals, or rely on the
+telemetry spans for cross-process attribution.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import Counter
+from types import FrameType
+
+from repro.errors import ReproError
+
+#: Stack depth cap -- deeper frames are truncated with a marker.
+MAX_STACK_DEPTH = 64
+
+
+class ProfileError(ReproError):
+    """Invalid profiler configuration or use."""
+
+
+def _frame_label(frame: FrameType) -> str:
+    """``module:function`` label for one frame."""
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{frame.f_code.co_name}"
+
+
+def _stack_of(frame: FrameType | None) -> tuple[str, ...]:
+    """Root-first label stack for a thread's current frame."""
+    labels: list[str] = []
+    while frame is not None and len(labels) < MAX_STACK_DEPTH:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    if frame is not None:
+        labels.append("...:truncated")
+    labels.reverse()
+    return tuple(labels)
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler.
+
+    Use as a context manager (or ``start()``/``stop()``)::
+
+        with SamplingProfiler(hz=97) as profiler:
+            run_workload()
+        print(profiler.top_table())
+        open("profile.folded", "w").write(profiler.collapsed())
+
+    Attributes:
+        hz: target sampling frequency.
+        stacks: collapsed-stack sample counts (root-first tuples).
+        samples: total number of sampling ticks taken.
+    """
+
+    def __init__(self, hz: float = 97.0) -> None:
+        if hz <= 0:
+            raise ProfileError(f"sampling rate must be positive, got {hz}")
+        if hz > 1000:
+            raise ProfileError(f"sampling rate {hz} Hz is too fast (max 1000)")
+        self.hz = float(hz)
+        self.stacks: Counter[tuple[str, ...]] = Counter()
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling in a daemon thread."""
+        if self._thread is not None:
+            raise ProfileError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- sampling
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_ident = threading.get_ident()
+        while not self._stop.wait(interval):
+            self._sample(own_ident)
+
+    def _sample(self, skip_ident: int | None = None) -> None:
+        """Take one sample of every thread's stack (skipping our own)."""
+        self.samples += 1
+        for ident, frame in sys._current_frames().items():
+            if ident == skip_ident:
+                continue
+            stack = _stack_of(frame)
+            if stack:
+                self.stacks[stack] += 1
+
+    # ----------------------------------------------------------------- views
+    def total_stack_samples(self) -> int:
+        """Total stack samples recorded (>= samples on multi-thread runs)."""
+        return sum(self.stacks.values())
+
+    def self_counts(self) -> Counter[str]:
+        """Samples in which each frame label was the *leaf* (self time)."""
+        counts: Counter[str] = Counter()
+        for stack, count in self.stacks.items():
+            counts[stack[-1]] += count
+        return counts
+
+    def module_counts(self) -> Counter[str]:
+        """Leaf samples aggregated by module (``repro.*`` vs the rest)."""
+        counts: Counter[str] = Counter()
+        for label, count in self.self_counts().items():
+            counts[label.split(":", 1)[0]] += count
+        return counts
+
+    def collapsed(self) -> str:
+        """Folded-stack text: one ``frame;frame;frame count`` per line.
+
+        Lines are sorted by descending count (ties lexical) -- feed
+        directly to flamegraph.pl / speedscope / inferno.
+        """
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(
+                self.stacks.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines)
+
+    def top_table(self, n: int = 15) -> str:
+        """Markdown top-``n`` frames by self samples.
+
+        Self time attributes a sample to its leaf frame; the share
+        column is against all stack samples, and ``repro.*`` frames are
+        what the table exists to surface.
+        """
+        total = self.total_stack_samples()
+        if not total:
+            return "(no samples collected)"
+        rows = sorted(
+            self.self_counts().items(), key=lambda item: (-item[1], item[0])
+        )[:n]
+        lines = [
+            f"{total} stack samples at {self.hz:g} Hz",
+            "",
+            "| self | share | frame |",
+            "|---|---|---|",
+        ]
+        for label, count in rows:
+            lines.append(f"| {count} | {100 * count / total:.1f}% | `{label}` |")
+        repro_share = sum(
+            count
+            for module, count in self.module_counts().items()
+            if module == "repro" or module.startswith("repro.")
+        )
+        lines += [
+            "",
+            f"repro.* self share: {100 * repro_share / total:.1f}% "
+            f"({repro_share}/{total} samples)",
+        ]
+        return "\n".join(lines)
+
+
+def profile_call(fn, hz: float = 97.0, *args: object, **kwargs: object):
+    """Run ``fn(*args, **kwargs)`` under a profiler; return (result, profiler).
+
+    Convenience wrapper for the CLI's ``--profile`` flag: sampling covers
+    exactly the call, even when it raises.
+    """
+    profiler = SamplingProfiler(hz=hz)
+    with profiler:
+        result = fn(*args, **kwargs)
+    return result, profiler

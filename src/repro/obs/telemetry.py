@@ -1,0 +1,624 @@
+"""Cross-process run telemetry: trace contexts, worker payloads, merging.
+
+The parallel sweep engine fans grid points out over worker processes,
+and before this module those workers were observability black holes:
+per-point spans, retry timing and cache behaviour died inside the child
+process, leaving a 40-point sweep summarised by one wall-clock number.
+This module threads one trace through the whole run:
+
+* :class:`TraceContext` -- the identity the runner injects into each
+  worker task (run id, point id, attempt);
+* :class:`WorkerTelemetry` -- what a worker records locally (a
+  :class:`~repro.obs.spans.SpanTimeline`, run-telemetry events, a
+  :class:`~repro.obs.metrics.MetricsRegistry`) plus a
+  :class:`ClockAnchor` pairing its monotonic clock with wall time, all
+  serialized as one JSON-native payload shipped back with the result;
+* :class:`RunTelemetry` -- the parent-side merge: every worker payload
+  is aligned into the parent's monotonic clock domain via the anchors,
+  queue waits are derived from dispatch-vs-start timestamps, and the
+  whole run exports as ONE Chrome ``trace_event`` JSON -- runner spans,
+  per-point lifecycle tracks (queue wait, retries, cache hits) and one
+  process per worker.
+
+All wall-clock reads in the repository's deterministic layers happen
+here (``repro.obs`` is the DET001-exempt zone); telemetry is run
+*metadata* and never part of a deterministic result document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+from repro.errors import ReproError
+from repro.obs.events import (
+    EV_QUEUE_WAIT,
+    EV_WORKER_START,
+    EventKind,
+    registered_event_names,
+)
+from repro.obs.export import event_slice_name
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, SpanTimeline
+
+#: Schema tag stamped into every serialized worker payload.
+WORKER_TELEMETRY_SCHEMA = "repro-worker-telemetry/v1"
+
+#: Chrome pid of the parent runner's span track.
+RUNNER_PID = 0
+
+#: Chrome pid of the per-point lifecycle track group.
+POINTS_PID = 1
+
+#: First chrome pid assigned to worker processes (then sequential).
+WORKER_PID_BASE = 100
+
+#: Bucket bounds for the queue-wait histogram (seconds).
+_QUEUE_WAIT_BOUNDS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
+
+
+class TelemetryError(ReproError):
+    """Malformed telemetry payload or invalid telemetry use."""
+
+
+# ---------------------------------------------------------------- clock anchor
+@dataclass(frozen=True)
+class ClockAnchor:
+    """A simultaneous reading of the wall clock and the monotonic clock.
+
+    ``perf_counter`` timestamps are only meaningful within one process;
+    pairing each process's monotonic clock with wall time at a known
+    instant lets the parent translate worker timestamps into its own
+    monotonic domain: two anchors differ by the (wall-estimated) offset
+    between the two monotonic clocks.
+    """
+
+    wall_s: float
+    perf_s: float
+
+    @classmethod
+    def now(cls) -> "ClockAnchor":
+        """Anchor this instant (one wall read, one monotonic read)."""
+        return cls(wall_s=time.time(), perf_s=time.perf_counter())
+
+    def offset_to(self, other: "ClockAnchor") -> float:
+        """Seconds to ADD to this clock's perf timestamps to express
+        them in ``other``'s perf domain."""
+        return (self.wall_s - self.perf_s) - (other.wall_s - other.perf_s)
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-native form."""
+        return {"wall_s": self.wall_s, "perf_s": self.perf_s}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ClockAnchor":
+        """Inverse of :meth:`as_dict`."""
+        return cls(wall_s=float(data["wall_s"]), perf_s=float(data["perf_s"]))
+
+
+# --------------------------------------------------------------- trace context
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a sweep runner injects into one worker task.
+
+    Attributes:
+        run_id: stable identifier of the whole sweep run (the runner
+            derives it from the sweep's content digest).
+        point_id: grid index of the point this task executes.
+        attempt: 1-based attempt number under the resilient executor.
+    """
+
+    run_id: str
+    point_id: int
+    attempt: int = 1
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-native form (embedded in worker task payloads)."""
+        return {
+            "run_id": self.run_id,
+            "point_id": self.point_id,
+            "attempt": self.attempt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceContext":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            run_id=str(data["run_id"]),
+            point_id=int(data["point_id"]),
+            attempt=int(data.get("attempt", 1)),
+        )
+
+
+# ------------------------------------------------------------ telemetry events
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One run-telemetry event in some process's monotonic clock.
+
+    Attributes:
+        kind: a registered :class:`~repro.obs.events.EventKind` value.
+        ts_s: ``perf_counter`` timestamp (process-local until aligned).
+        dur_s: duration (0 for instants).
+        meta: free-form JSON-native annotations (point, attempt, ...).
+    """
+
+    kind: int
+    ts_s: float
+    dur_s: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-native form."""
+        return {
+            "kind": int(self.kind),
+            "ts_s": self.ts_s,
+            "dur_s": self.dur_s,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetryEvent":
+        """Inverse of :meth:`as_dict` (validates the kind is registered)."""
+        kind = int(data["kind"])
+        try:
+            name = EventKind(kind).name
+        except ValueError:
+            name = ""
+        if name not in registered_event_names():
+            raise TelemetryError(f"unregistered telemetry event kind {kind}")
+        return cls(
+            kind=kind,
+            ts_s=float(data["ts_s"]),
+            dur_s=float(data.get("dur_s", 0.0)),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+def _span_to_dict(span: Span, span_id: int) -> dict[str, Any]:
+    return {
+        "id": span_id,
+        "name": span.name,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "depth": span.depth,
+        "parent": span.parent,
+        "meta": {k: _json_safe(v) for k, v in span.meta.items()},
+    }
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _timeline_to_dicts(timeline: SpanTimeline) -> list[dict[str, Any]]:
+    return [
+        _span_to_dict(span, index) for index, span in enumerate(timeline.spans)
+    ]
+
+
+def _timeline_from_dicts(spans: list[dict[str, Any]]) -> SpanTimeline:
+    timeline = SpanTimeline()
+    for entry in spans:
+        timeline.spans.append(
+            Span(
+                name=str(entry["name"]),
+                start_s=float(entry["start_s"]),
+                end_s=(
+                    None if entry.get("end_s") is None else float(entry["end_s"])
+                ),
+                depth=int(entry.get("depth", 0)),
+                parent=int(entry.get("parent", -1)),
+                meta=dict(entry.get("meta", {})),
+            )
+        )
+    return timeline
+
+
+# ------------------------------------------------------------ worker telemetry
+class WorkerTelemetry:
+    """What one worker records about one grid-point execution.
+
+    Created at task pickup (:meth:`start` anchors the clocks and records
+    a ``WORKER_START`` event), filled by the worker body (spans around
+    trace generation and simulation, telemetry events, metrics), and
+    shipped back to the parent as the JSON-native :meth:`as_dict`
+    payload riding on the task outcome.
+    """
+
+    def __init__(
+        self,
+        context: TraceContext,
+        worker_id: int | None = None,
+        anchor: ClockAnchor | None = None,
+    ) -> None:
+        self.context = context
+        self.worker_id = os.getpid() if worker_id is None else worker_id
+        self.anchor = anchor or ClockAnchor.now()
+        self.timeline = SpanTimeline()
+        self.registry = MetricsRegistry()
+        self.events: list[TelemetryEvent] = []
+
+    @classmethod
+    def start(cls, context: TraceContext) -> "WorkerTelemetry":
+        """Begin recording: anchor the clocks, mark ``WORKER_START``."""
+        telemetry = cls(context)
+        telemetry.record_event(
+            EV_WORKER_START,
+            point=context.point_id,
+            attempt=context.attempt,
+        )
+        return telemetry
+
+    def now(self) -> float:
+        """This process's monotonic clock (``perf_counter`` seconds)."""
+        return time.perf_counter()
+
+    def record_event(
+        self, kind: int, dur_s: float = 0.0, ts_s: float | None = None,
+        **meta: Any,
+    ) -> TelemetryEvent:
+        """Record one run-telemetry event (timestamped now by default)."""
+        event = TelemetryEvent(
+            kind=int(kind),
+            ts_s=self.now() if ts_s is None else ts_s,
+            dur_s=dur_s,
+            meta={k: _json_safe(v) for k, v in meta.items()},
+        )
+        self.events.append(event)
+        return event
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON-native payload shipped back with the task outcome."""
+        return {
+            "schema": WORKER_TELEMETRY_SCHEMA,
+            "run_id": self.context.run_id,
+            "point_id": self.context.point_id,
+            "attempt": self.context.attempt,
+            "worker_id": self.worker_id,
+            "anchor": self.anchor.as_dict(),
+            "spans": _timeline_to_dicts(self.timeline),
+            "events": [event.as_dict() for event in self.events],
+            "metrics": self.registry.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkerTelemetry":
+        """Rebuild a worker payload (inverse of :meth:`as_dict`).
+
+        Raises :class:`TelemetryError` on a missing/foreign schema tag
+        or malformed members -- a worker payload is machine-generated,
+        so anything unexpected is a bug, not user input to coerce.
+        """
+        if not isinstance(data, dict):
+            raise TelemetryError("worker telemetry payload must be a mapping")
+        if data.get("schema") != WORKER_TELEMETRY_SCHEMA:
+            raise TelemetryError(
+                f"not a worker telemetry payload "
+                f"(schema {data.get('schema')!r} != {WORKER_TELEMETRY_SCHEMA!r})"
+            )
+        try:
+            context = TraceContext(
+                run_id=str(data["run_id"]),
+                point_id=int(data["point_id"]),
+                attempt=int(data.get("attempt", 1)),
+            )
+            telemetry = cls(
+                context,
+                worker_id=int(data["worker_id"]),
+                anchor=ClockAnchor.from_dict(data["anchor"]),
+            )
+            telemetry.timeline = _timeline_from_dicts(data.get("spans", []))
+            telemetry.events = [
+                TelemetryEvent.from_dict(entry)
+                for entry in data.get("events", [])
+            ]
+            telemetry.registry = MetricsRegistry.from_snapshot(
+                data.get("metrics", {})
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TelemetryError(
+                f"malformed worker telemetry payload ({exc!r})"
+            ) from exc
+        return telemetry
+
+
+# --------------------------------------------------------------- run telemetry
+class RunTelemetry:
+    """The parent-side merge of a whole run's telemetry.
+
+    Collects the runner's own spans and events, dispatch timestamps per
+    point, and every worker's :class:`WorkerTelemetry` payload -- each
+    aligned into the parent's monotonic clock domain via the paired
+    :class:`ClockAnchor` readings -- and exports the lot as one
+    Chrome/Perfetto trace plus a merged metrics registry.
+    """
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        self.anchor = ClockAnchor.now()
+        self.timeline = SpanTimeline()
+        self.registry = MetricsRegistry()
+        self.events: list[TelemetryEvent] = []
+        #: Aligned worker records, in merge order.  Each holds the raw
+        #: payload's identity plus spans/events shifted into the parent
+        #: clock domain.
+        self.workers: list[dict[str, Any]] = []
+        self._submits: dict[int, float] = {}
+
+    @classmethod
+    def start(cls, run_id: str) -> "RunTelemetry":
+        """Anchor the parent clocks and begin a run trace."""
+        return cls(run_id)
+
+    # ------------------------------------------------------------- recording
+    def now(self) -> float:
+        """The parent's monotonic clock (``perf_counter`` seconds)."""
+        return time.perf_counter()
+
+    def span(self, name: str, **meta: Any):
+        """A parent-side timeline span (context manager)."""
+        return self.timeline.span(name, **meta)
+
+    def mark_submit(self, point_id: int) -> None:
+        """Record the dispatch instant of one point (queue-wait origin)."""
+        self._submits[point_id] = self.now()
+
+    def record_event(
+        self, kind: int, dur_s: float = 0.0, ts_s: float | None = None,
+        **meta: Any,
+    ) -> TelemetryEvent:
+        """Record one parent-side run-telemetry event."""
+        event = TelemetryEvent(
+            kind=int(kind),
+            ts_s=self.now() if ts_s is None else ts_s,
+            dur_s=dur_s,
+            meta={k: _json_safe(v) for k, v in meta.items()},
+        )
+        self.events.append(event)
+        return event
+
+    def context_for(self, point_id: int, attempt: int = 1) -> TraceContext:
+        """The :class:`TraceContext` to inject into one worker task."""
+        return TraceContext(
+            run_id=self.run_id, point_id=point_id, attempt=attempt
+        )
+
+    # --------------------------------------------------------------- merging
+    def merge_worker(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Fold one worker payload in; returns the aligned record.
+
+        Spans and events are shifted into the parent's monotonic domain
+        (anchor-pair offset), worker span ids are namespaced by worker
+        so duplicate ids across processes can never collide, a
+        ``QUEUE_WAIT`` event is derived from the dispatch timestamp, and
+        the worker's metrics fold into :attr:`registry`.
+        """
+        telemetry = WorkerTelemetry.from_dict(payload)
+        if telemetry.context.run_id != self.run_id:
+            raise TelemetryError(
+                f"worker payload belongs to run {telemetry.context.run_id!r}, "
+                f"expected {self.run_id!r}"
+            )
+        offset = telemetry.anchor.offset_to(self.anchor)
+        point_id = telemetry.context.point_id
+        spans = []
+        for span_id, span in enumerate(telemetry.timeline.spans):
+            aligned = _span_to_dict(span, span_id)
+            aligned["id"] = f"{telemetry.worker_id}/{point_id}/{span_id}"
+            aligned["start_s"] = span.start_s + offset
+            if span.end_s is not None:
+                aligned["end_s"] = span.end_s + offset
+            spans.append(aligned)
+        events = [
+            TelemetryEvent(
+                kind=event.kind,
+                ts_s=event.ts_s + offset,
+                dur_s=event.dur_s,
+                meta=event.meta,
+            )
+            for event in telemetry.events
+        ]
+        record = {
+            "worker_id": telemetry.worker_id,
+            "point_id": point_id,
+            "attempt": telemetry.context.attempt,
+            "clock_offset_s": offset,
+            "spans": spans,
+            "events": events,
+        }
+        self.workers.append(record)
+        self.registry.merge_snapshot(telemetry.registry.as_dict())
+        submitted = self._submits.get(point_id)
+        started = min((span["start_s"] for span in spans), default=None)
+        if submitted is not None and started is not None:
+            wait = max(0.0, started - submitted)
+            self.record_event(
+                EV_QUEUE_WAIT,
+                dur_s=wait,
+                ts_s=submitted,
+                point=point_id,
+                worker=telemetry.worker_id,
+            )
+            self.registry.histogram(
+                "telemetry.queue_wait_s",
+                _QUEUE_WAIT_BOUNDS,
+                help="dispatch-to-worker-start wait per point (seconds)",
+            ).observe(wait)
+        return record
+
+    # ----------------------------------------------------------------- views
+    def worker_ids(self) -> list[int]:
+        """Distinct worker (OS process) ids, in first-seen order."""
+        seen: dict[int, None] = {}
+        for record in self.workers:
+            seen.setdefault(record["worker_id"], None)
+        return list(seen)
+
+    def origin_s(self) -> float:
+        """Earliest aligned timestamp across the whole run (0 if empty)."""
+        candidates = [span.start_s for span in self.timeline.spans]
+        candidates += [event.ts_s for event in self.events]
+        candidates += list(self._submits.values())
+        for record in self.workers:
+            candidates += [span["start_s"] for span in record["spans"]]
+            candidates += [event.ts_s for event in record["events"]]
+        return min(candidates, default=0.0)
+
+    def summary(self) -> str:
+        """One-line human description of the merged trace."""
+        spans = len(self.timeline) + sum(
+            len(record["spans"]) for record in self.workers
+        )
+        events = len(self.events) + sum(
+            len(record["events"]) for record in self.workers
+        )
+        return (
+            f"run {self.run_id}: {len(self.workers)} worker payload(s) from "
+            f"{len(self.worker_ids())} process(es), {spans} spans, "
+            f"{events} telemetry events"
+        )
+
+    # ---------------------------------------------------------------- export
+    def chrome_trace(self, metadata: dict | None = None) -> dict:
+        """ONE Chrome ``trace_event`` JSON for the entire run.
+
+        Track layout: pid :data:`RUNNER_PID` carries the parent runner's
+        span timeline; pid :data:`POINTS_PID` has one thread per grid
+        point with its lifecycle slices (``QUEUE_WAIT`` waits, ``RETRY``
+        and ``CACHE_HIT`` instants); each worker process gets its own
+        pid (named after the worker's OS pid) whose slices are the
+        clock-aligned worker spans.  All timestamps are microseconds
+        relative to the earliest aligned instant, so the viewer opens at
+        t=0 with every process on one monotonic axis.
+        """
+        origin = self.origin_s()
+        out: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": RUNNER_PID,
+                "tid": 0,
+                "args": {"name": "sweep runner"},
+            }
+        ]
+        out.extend(
+            self.timeline.to_chrome_events(
+                pid=RUNNER_PID, tid=0, clock_offset_s=origin
+            )
+        )
+
+        point_ids = sorted(
+            {event.meta["point"] for event in self.events
+             if "point" in event.meta}
+            | {record["point_id"] for record in self.workers}
+        )
+        if point_ids:
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": POINTS_PID,
+                    "tid": 0,
+                    "args": {"name": "sweep points"},
+                }
+            )
+        for point_id in point_ids:
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": POINTS_PID,
+                    "tid": point_id,
+                    "args": {"name": f"point {point_id}"},
+                }
+            )
+        for event in self.events:
+            tid = event.meta.get("point", 0)
+            entry = {
+                "name": event_slice_name(event.kind),
+                "cat": "telemetry",
+                "pid": POINTS_PID,
+                "tid": tid,
+                "ts": (event.ts_s - origin) * 1e6,
+                "args": {k: _json_safe(v) for k, v in event.meta.items()},
+            }
+            if event.dur_s > 0:
+                entry["ph"] = "X"
+                entry["dur"] = event.dur_s * 1e6
+            else:
+                entry["ph"] = "i"
+                entry["s"] = "t"
+            out.append(entry)
+
+        pid_of = {
+            worker_id: WORKER_PID_BASE + index
+            for index, worker_id in enumerate(self.worker_ids())
+        }
+        for worker_id, pid in pid_of.items():
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"worker pid={worker_id}"},
+                }
+            )
+        for record in self.workers:
+            pid = pid_of[record["worker_id"]]
+            for span in record["spans"]:
+                end = span["end_s"]
+                duration = 0.0 if end is None else end - span["start_s"]
+                args = {str(k): _json_safe(v) for k, v in span["meta"].items()}
+                args["span"] = span["id"]
+                args["point"] = record["point_id"]
+                out.append(
+                    {
+                        "name": span["name"],
+                        "cat": "span",
+                        "ph": "X",
+                        "pid": pid,
+                        "tid": 0,
+                        "ts": (span["start_s"] - origin) * 1e6,
+                        "dur": duration * 1e6,
+                        "args": args,
+                    }
+                )
+            for event in record["events"]:
+                out.append(
+                    {
+                        "name": event_slice_name(event.kind),
+                        "cat": "telemetry",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": pid,
+                        "tid": 0,
+                        "ts": (event.ts_s - origin) * 1e6,
+                        "args": {
+                            k: _json_safe(v) for k, v in event.meta.items()
+                        },
+                    }
+                )
+
+        doc: dict = {"traceEvents": out, "displayTimeUnit": "ms"}
+        other = {"run_id": self.run_id, "workers": len(pid_of)}
+        if metadata:
+            other.update({str(k): str(v) for k, v in metadata.items()})
+        doc["otherData"] = {str(k): str(v) for k, v in other.items()}
+        return doc
+
+    def write_chrome_trace(
+        self, target: str | IO[str], metadata: dict | None = None
+    ) -> None:
+        """Serialize :meth:`chrome_trace` to a path or open text file."""
+        doc = self.chrome_trace(metadata=metadata)
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+        else:
+            json.dump(doc, target)

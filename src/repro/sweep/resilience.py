@@ -203,8 +203,15 @@ def run_attempt(
     on success, ``{"status": "error", ...}`` when the worker raised,
     ``{"status": "timeout"}`` when the attempt exceeded ``timeout_s``
     (the child is terminated), ``{"status": "crashed"}`` when the child
-    died without reporting (hard crash).
+    died without reporting (hard crash).  Every status carries the
+    attempt's measured ``duration_s``.
     """
+    # Attempt duration is telemetry about THIS execution (it feeds the
+    # run trace's retry annotations), never part of the deterministic
+    # result payload -- same carve-out as the runner's meta["wall_s"].
+    import time
+
+    started = time.perf_counter()  # repro: ignore[DET001]
     parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
     proc = multiprocessing.Process(
         target=_attempt_child, args=(child_conn, task), daemon=True
@@ -215,14 +222,17 @@ def run_attempt(
         if not parent_conn.poll(timeout_s):
             proc.terminate()
             proc.join()
-            return {"status": "timeout"}
-        try:
-            return parent_conn.recv()
-        except EOFError:
-            return {
-                "status": "crashed",
-                "exitcode": proc.exitcode,
-            }
+            status: dict[str, Any] = {"status": "timeout"}
+        else:
+            try:
+                status = parent_conn.recv()
+            except EOFError:
+                status = {
+                    "status": "crashed",
+                    "exitcode": proc.exitcode,
+                }
+        status["duration_s"] = time.perf_counter() - started  # repro: ignore[DET001]
+        return status
     finally:
         parent_conn.close()
         proc.join()

@@ -7,10 +7,10 @@ A :class:`SweepResult` separates two kinds of information:
   Running the same grid with any ``--jobs`` value, or replaying it from
   a warm cache, produces byte-identical JSON (the test suite enforces
   this);
-* the **run metadata** (``meta``, ``registry``, ``cache_stats``) --
-  wall-clock time, worker count, cache hit rates and merged metrics,
-  which describe *this execution* and are deliberately excluded from
-  the payload.
+* the **run metadata** (``meta``, ``registry``, ``telemetry``) --
+  wall-clock time, worker count, cache hit rates, merged metrics and
+  cross-process trace telemetry, which describe *this execution* and
+  are deliberately excluded from the payload.
 
 Quarantined point failures (schema v2) live in the document's
 ``failures`` list: structured records of every point the resilient
@@ -28,6 +28,7 @@ from typing import Any
 
 from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunTelemetry
 from repro.sweep.grid import SweepGrid
 
 #: Schema tag stamped into every result document.  v2 added the
@@ -51,6 +52,10 @@ class SweepResult:
     #: Quarantine records of points the executor gave up on (grid order);
     #: see :func:`repro.sweep.resilience.failure_record` for the shape.
     failures: list[dict[str, Any]] = field(default_factory=list)
+    #: Merged cross-process run telemetry (``run_sweep(telemetry=True)``);
+    #: run metadata like ``meta``/``registry``, never part of the
+    #: deterministic payload.
+    telemetry: RunTelemetry | None = None
 
     # ------------------------------------------------------------- selection
     def select(self, **criteria: Any) -> list[dict[str, Any]]:

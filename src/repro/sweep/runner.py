@@ -35,7 +35,10 @@ from typing import Any
 from repro.core.config import SystemConfig
 from repro.core.simulate import simulate_column_phase
 from repro.errors import ConfigError
+from repro.obs.events import EV_CACHE_HIT, EV_RETRY, EV_WORKER_END
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import span_or_null
+from repro.obs.telemetry import RunTelemetry, TraceContext, WorkerTelemetry
 from repro.serialization import system_from_dict, system_to_dict, system_with_overrides
 from repro.sweep.cache import CACHE_VERSION, ResultCache
 from repro.sweep.grid import SweepGrid, SweepPoint
@@ -161,16 +164,52 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
     optional ``chaos`` member (see
     :class:`~repro.sweep.resilience.WorkerChaos`) makes the attempt
     misbehave for executor testing.
+
+    When the task carries a ``telemetry`` trace context (see
+    :class:`~repro.obs.telemetry.TraceContext`) the worker records a
+    local span timeline around the simulation and ships the serialized
+    :class:`~repro.obs.telemetry.WorkerTelemetry` payload back on the
+    outcome; without it the body is exactly the pre-telemetry code path.
     """
     chaos = task.get("chaos")
     if chaos:
         apply_chaos(chaos, task["index"], task.get("attempt", 1))
+    ctx_data = task.get("telemetry")
+    worker_tel: WorkerTelemetry | None = None
+    if ctx_data:
+        ctx = TraceContext.from_dict(ctx_data)
+        if task.get("attempt", 1) != ctx.attempt:
+            ctx = TraceContext(
+                run_id=ctx.run_id,
+                point_id=ctx.point_id,
+                attempt=task.get("attempt", 1),
+            )
+        worker_tel = WorkerTelemetry.start(ctx)
     config = system_from_dict(task["config"])
     point = SweepPoint(**task["point"])
     registry = MetricsRegistry()
-    result = point_result(point, config, task["max_requests"])
+    if worker_tel is not None:
+        with worker_tel.timeline.span(
+            "point",
+            n=point.n,
+            layout=point.layout,
+            config=point.config_label,
+            attempt=task.get("attempt", 1),
+        ):
+            with worker_tel.timeline.span("simulate"):
+                result = point_result(point, config, task["max_requests"])
+    else:
+        result = point_result(point, config, task["max_requests"])
     _record_point_metrics(registry, result)
-    return {"index": task["index"], "result": result, "metrics": registry.as_dict()}
+    outcome = {
+        "index": task["index"],
+        "result": result,
+        "metrics": registry.as_dict(),
+    }
+    if worker_tel is not None:
+        worker_tel.record_event(EV_WORKER_END, point=task["index"])
+        outcome["telemetry"] = worker_tel.as_dict()
+    return outcome
 
 
 # -------------------------------------------------------------- outcome plumbing
@@ -182,23 +221,34 @@ def _attempt_point(
     """Run one point under the retry policy in killable child processes.
 
     Returns ``{"status": "ok", "outcome": ..., "retries": n}`` or
-    ``{"status": "failed", "failure": ..., "retries": n}``.
+    ``{"status": "failed", "failure": ..., "retries": n}``; both carry
+    an ``attempts_log`` of ``{attempt, status, duration_s}`` records the
+    runner turns into RETRY telemetry events.
     """
     index = task["index"]
     last_error = "SweepExecutionError"
     last_message = "no attempt ran"
     timed_out = False
+    attempts_log: list[dict[str, Any]] = []
     for attempt in range(1, policy.max_attempts + 1):
         payload = dict(task)
         payload["attempt"] = attempt
         if chaos is not None:
             payload["chaos"] = chaos.as_dict()
         status = run_attempt(payload, policy.timeout_s)
+        attempts_log.append(
+            {
+                "attempt": attempt,
+                "status": status["status"],
+                "duration_s": status.get("duration_s", 0.0),
+            }
+        )
         if status["status"] == "ok":
             return {
                 "status": "ok",
                 "outcome": status["outcome"],
                 "retries": attempt - 1,
+                "attempts_log": attempts_log,
             }
         if status["status"] == "timeout":
             last_error = "TimeoutError"
@@ -226,7 +276,32 @@ def _attempt_point(
         attempts=policy.max_attempts,
         timed_out=timed_out,
     )
-    return {"status": "failed", "failure": failure, "retries": policy.retries}
+    return {
+        "status": "failed",
+        "failure": failure,
+        "retries": policy.retries,
+        "attempts_log": attempts_log,
+    }
+
+
+def _record_retry_events(
+    run_tel: RunTelemetry, entry: dict[str, Any]
+) -> None:
+    """Turn one outcome's failed attempts into RETRY telemetry events."""
+    if entry["status"] == "ok":
+        index = entry["outcome"]["index"]
+    else:
+        index = entry["failure"]["index"]
+    for record in entry.get("attempts_log", []):
+        if record["status"] == "ok":
+            continue
+        run_tel.record_event(
+            EV_RETRY,
+            point=index,
+            attempt=record["attempt"],
+            status=record["status"],
+            duration_s=record["duration_s"],
+        )
 
 
 def _iter_outcomes_fast(
@@ -298,6 +373,7 @@ def run_sweep(
     checkpoint: str | Path | None = None,
     resume: bool = False,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    telemetry: bool = False,
 ) -> SweepResult:
     """Execute every point of ``grid`` and return the merged result.
 
@@ -323,6 +399,12 @@ def run_sweep(
             executing the remainder.  The final document is
             byte-identical to an uninterrupted run (enforced by tests).
         checkpoint_every: completions between snapshots.
+        telemetry: record cross-process run telemetry -- every worker
+            task carries a :class:`~repro.obs.telemetry.TraceContext`,
+            workers ship span/event payloads back, and the merged
+            :class:`~repro.obs.telemetry.RunTelemetry` lands on the
+            result's ``telemetry`` attribute (run metadata only: the
+            deterministic JSON document is untouched).
 
     A point that keeps failing is quarantined into the result's
     ``failures`` list instead of aborting the grid; infrastructure
@@ -349,6 +431,12 @@ def run_sweep(
         )
         for variant in grid.configs
     }
+    run_tel: RunTelemetry | None = None
+    if telemetry:
+        run_id = SweepCheckpoint.digest_for(
+            grid.as_dict(), config_dicts, max_requests, CACHE_VERSION
+        )[:12]
+        run_tel = RunTelemetry.start(run_id)
     points = grid.points()
     results: list[dict[str, Any] | None] = [None] * len(points)
     registry = MetricsRegistry()
@@ -388,8 +476,15 @@ def run_sweep(
                 results[index] = hit
                 completed[index] = hit
                 cached += 1
+                if run_tel is not None:
+                    run_tel.record_event(EV_CACHE_HIT, point=index)
                 continue
-        tasks.append({"index": index, "key": key, **payload})
+        task = {"index": index, "key": key, **payload}
+        if run_tel is not None:
+            # Attached AFTER key_for(payload): the trace context must
+            # never influence cache identity.
+            task["telemetry"] = run_tel.context_for(index).as_dict()
+        tasks.append(task)
 
     failures: list[dict[str, Any]] = []
     retries_total = 0
@@ -398,6 +493,9 @@ def run_sweep(
     tasks_by_index = {task["index"]: task for task in tasks}
 
     if tasks:
+        if run_tel is not None:
+            for task in tasks:
+                run_tel.mark_submit(task["index"])
         if policy is not None or chaos is not None:
             stream = _iter_outcomes_resilient(
                 tasks, jobs, policy or RetryPolicy(), chaos
@@ -405,32 +503,45 @@ def run_sweep(
         else:
             stream = _iter_outcomes_fast(tasks, jobs)
         since_snapshot = 0
-        for entry in stream:
-            retries_total += entry["retries"]
-            if entry["status"] == "ok":
-                outcome = entry["outcome"]
-                index = outcome["index"]
-                results[index] = outcome["result"]
-                completed[index] = outcome["result"]
-                outcomes_by_index[index] = outcome
-                simulated += 1
-                task = tasks_by_index[index]
-                if cache is not None:
-                    cache.put(
-                        task["key"],
-                        {
-                            "point": task["point"],
-                            "config": task["config"],
-                            "max_requests": task["max_requests"],
-                        },
-                        outcome["result"],
+        with span_or_null(
+            run_tel.timeline if run_tel is not None else None,
+            "execute",
+            tasks=len(tasks),
+            jobs=jobs,
+        ):
+            for entry in stream:
+                retries_total += entry["retries"]
+                if run_tel is not None:
+                    _record_retry_events(run_tel, entry)
+                if entry["status"] == "ok":
+                    outcome = entry["outcome"]
+                    index = outcome["index"]
+                    results[index] = outcome["result"]
+                    completed[index] = outcome["result"]
+                    outcomes_by_index[index] = outcome
+                    simulated += 1
+                    if run_tel is not None and "telemetry" in outcome:
+                        run_tel.merge_worker(outcome["telemetry"])
+                    task = tasks_by_index[index]
+                    if cache is not None:
+                        cache.put(
+                            task["key"],
+                            {
+                                "point": task["point"],
+                                "config": task["config"],
+                                "max_requests": task["max_requests"],
+                            },
+                            outcome["result"],
+                        )
+                else:
+                    failures.append(entry["failure"])
+                since_snapshot += 1
+                if ckpt is not None and since_snapshot >= checkpoint_every:
+                    ckpt.save(
+                        completed,
+                        sorted(failures, key=lambda f: f["index"]),
                     )
-            else:
-                failures.append(entry["failure"])
-            since_snapshot += 1
-            if ckpt is not None and since_snapshot >= checkpoint_every:
-                ckpt.save(completed, sorted(failures, key=lambda f: f["index"]))
-                since_snapshot = 0
+                    since_snapshot = 0
 
     failures.sort(key=lambda f: f["index"])
     if ckpt is not None:
@@ -469,6 +580,8 @@ def run_sweep(
         "wall_s": time.perf_counter() - started,  # repro: ignore[DET001]
         "cache": cache.stats.as_dict() if cache is not None else None,
     }
+    if run_tel is not None:
+        meta["run_id"] = run_tel.run_id
     return SweepResult(
         grid=grid,
         max_requests=max_requests,
@@ -476,4 +589,5 @@ def run_sweep(
         registry=registry,
         meta=meta,
         failures=failures,
+        telemetry=run_tel,
     )

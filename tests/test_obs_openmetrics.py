@@ -1,0 +1,151 @@
+"""OpenMetrics text exposition: rendering, sanitization, validation."""
+
+import io
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_openmetrics,
+    render_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.openmetrics import OpenMetricsError, metric_name
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("sim.requests", help="requests simulated").inc(42)
+    registry.gauge("memory.row_hit_rate", help="open-row fraction").set(0.75)
+    hist = registry.histogram(
+        "stall.duration_ns", bounds=(1.0, 10.0, 100.0), help="stall lengths"
+    )
+    for value in (0.5, 5.0, 5.0, 50.0, 500.0):
+        hist.observe(value)
+    return registry
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("sim.requests") == "sim_requests"
+
+    def test_leading_digit_prefixed(self):
+        assert metric_name("3d.vaults") == "_3d_vaults"
+
+    def test_valid_names_unchanged(self):
+        assert metric_name("already_fine:ok") == "already_fine:ok"
+
+
+class TestRender:
+    def test_counter_family(self):
+        text = render_openmetrics(sample_registry())
+        assert "# TYPE sim_requests counter" in text
+        assert "# HELP sim_requests requests simulated" in text
+        assert "sim_requests_total 42" in text
+
+    def test_gauge_family(self):
+        text = render_openmetrics(sample_registry())
+        assert "# TYPE memory_row_hit_rate gauge" in text
+        assert "memory_row_hit_rate 0.75" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_openmetrics(sample_registry())
+        assert 'stall_duration_ns_bucket{le="1"} 1' in text
+        assert 'stall_duration_ns_bucket{le="10"} 3' in text
+        assert 'stall_duration_ns_bucket{le="100"} 4' in text
+        assert 'stall_duration_ns_bucket{le="+Inf"} 5' in text
+        assert "stall_duration_ns_count 5" in text
+        # _sum is reconstructed as mean * count.
+        assert "stall_duration_ns_sum 560.5" in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_accepts_plain_snapshot(self):
+        registry = sample_registry()
+        assert render_openmetrics(registry.as_dict()) == render_openmetrics(
+            registry
+        )
+
+    def test_unknown_instrument_type_rejected(self):
+        with pytest.raises(OpenMetricsError, match="unknown instrument"):
+            render_openmetrics({"x": {"type": "summary", "value": 1}})
+
+    def test_families_sorted_by_name(self):
+        text = render_openmetrics(sample_registry())
+        order = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert order == sorted(order)
+
+
+class TestWrite:
+    def test_to_path_and_handle(self, tmp_path):
+        registry = sample_registry()
+        target = tmp_path / "metrics.prom"
+        write_openmetrics(str(target), registry)
+        buffer = io.StringIO()
+        write_openmetrics(buffer, registry)
+        assert target.read_text() == buffer.getvalue()
+        assert parse_openmetrics(target.read_text())
+
+
+class TestParse:
+    def test_round_trip(self):
+        families = parse_openmetrics(render_openmetrics(sample_registry()))
+        assert set(families) == {
+            "sim_requests", "memory_row_hit_rate", "stall_duration_ns",
+        }
+        assert families["sim_requests"]["type"] == "counter"
+        assert families["sim_requests"]["samples"]["sim_requests_total"] == 42
+        hist = families["stall_duration_ns"]["samples"]
+        assert hist['stall_duration_ns_bucket{le="+Inf"}'] == 5
+
+    def test_empty_registry_round_trip(self):
+        assert parse_openmetrics(render_openmetrics(MetricsRegistry())) == {}
+
+    def test_missing_eof_rejected(self):
+        with pytest.raises(OpenMetricsError, match="EOF"):
+            parse_openmetrics("# TYPE x counter\nx_total 1\n")
+
+    def test_sample_without_family_rejected(self):
+        with pytest.raises(OpenMetricsError, match="no # TYPE"):
+            parse_openmetrics("orphan 1\n# EOF")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(OpenMetricsError, match="bad value"):
+            parse_openmetrics("# TYPE x gauge\nx nope\n# EOF")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(OpenMetricsError, match="bad metric type"):
+            parse_openmetrics("# TYPE x summary\n# EOF")
+
+    def test_counter_without_total_rejected(self):
+        with pytest.raises(OpenMetricsError, match="_total"):
+            parse_openmetrics("# TYPE x counter\nx 1\n# EOF")
+
+    def test_histogram_without_inf_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 1\nh_count 1\n# EOF"
+        )
+        with pytest.raises(OpenMetricsError, match=r"\+Inf"):
+            parse_openmetrics(text)
+
+    def test_non_cumulative_histogram_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 3\n# EOF"
+        )
+        with pytest.raises(OpenMetricsError, match="cumulative"):
+            parse_openmetrics(text)
+
+    def test_histogram_without_sum_count_rejected(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="+Inf"} 1\n# EOF'
+        with pytest.raises(OpenMetricsError, match="_sum/_count"):
+            parse_openmetrics(text)

@@ -1,0 +1,138 @@
+"""The zero-dependency sampling profiler."""
+
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.obs import SamplingProfiler, profile_call
+from repro.obs.profile import MAX_STACK_DEPTH, ProfileError, _stack_of
+
+
+def spin(seconds: float) -> int:
+    """A busy loop the sampler can catch in the act."""
+    total = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        total += sum(range(100))
+    return total
+
+
+class TestConfiguration:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ProfileError, match="positive"):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ProfileError, match="positive"):
+            SamplingProfiler(hz=-5)
+
+    def test_rejects_absurd_rate(self):
+        with pytest.raises(ProfileError, match="too fast"):
+            SamplingProfiler(hz=5000)
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(hz=100)
+        with profiler:
+            with pytest.raises(ProfileError, match="already started"):
+                profiler.start()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.stop()
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+
+
+class TestSampling:
+    def test_catches_a_busy_loop(self):
+        with SamplingProfiler(hz=500) as profiler:
+            spin(0.25)
+        assert profiler.samples > 0
+        assert profiler.total_stack_samples() > 0
+        leaves = profiler.self_counts()
+        # The busy loop's module must dominate at least one leaf label.
+        assert any("spin" in label or "sum" in label for label in leaves)
+
+    def test_own_sampler_thread_not_sampled(self):
+        with SamplingProfiler(hz=500) as profiler:
+            spin(0.1)
+        assert not any(
+            label == "repro.obs.profile:_sample"
+            for stack in profiler.stacks
+            for label in stack
+        )
+
+    def test_collapsed_format(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.stacks = Counter(
+            {("a:f", "b:g"): 3, ("a:f",): 1, ("c:h", "d:i"): 3}
+        )
+        lines = profiler.collapsed().splitlines()
+        # Sorted by descending count, ties lexical.
+        assert lines == ["a:f;b:g 3", "c:h;d:i 3", "a:f 1"]
+
+    def test_deep_stack_truncated(self):
+        def recurse(depth):
+            if depth:
+                return recurse(depth - 1)
+            import sys
+            return _stack_of(sys._getframe())
+
+        stack = recurse(MAX_STACK_DEPTH + 20)
+        assert len(stack) == MAX_STACK_DEPTH + 1
+        assert stack[0] == "...:truncated"
+
+
+class TestViews:
+    def make(self) -> SamplingProfiler:
+        profiler = SamplingProfiler(hz=97)
+        profiler.stacks = Counter(
+            {
+                ("main:run", "repro.core:simulate"): 6,
+                ("main:run", "numpy:dot"): 3,
+                ("main:run",): 1,
+            }
+        )
+        profiler.samples = 10
+        return profiler
+
+    def test_self_counts_attribute_leaves(self):
+        counts = self.make().self_counts()
+        assert counts["repro.core:simulate"] == 6
+        assert counts["numpy:dot"] == 3
+        assert counts["main:run"] == 1
+
+    def test_module_counts(self):
+        counts = self.make().module_counts()
+        assert counts == {"repro.core": 6, "numpy": 3, "main": 1}
+
+    def test_top_table_contents(self):
+        table = self.make().top_table(n=2)
+        assert "10 stack samples at 97 Hz" in table
+        assert "| 6 | 60.0% | `repro.core:simulate` |" in table
+        assert "repro.* self share: 60.0% (6/10 samples)" in table
+        # n=2 trims the third row.
+        assert "main:run" not in table
+
+    def test_top_table_empty(self):
+        assert SamplingProfiler().top_table() == "(no samples collected)"
+
+
+class TestProfileCall:
+    def test_returns_result_and_profiler(self):
+        result, profiler = profile_call(spin, 500, 0.2)
+        assert result > 0
+        assert isinstance(profiler, SamplingProfiler)
+        assert profiler.samples > 0
+
+    def test_profiler_stopped_even_when_fn_raises(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            profile_call(boom, 100)
+        # No leaked profiler thread.
+        assert not any(
+            t.name == "repro-profiler" for t in threading.enumerate()
+        )

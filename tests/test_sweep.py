@@ -524,3 +524,112 @@ class TestSweepCli:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert "1 from cache" in second
+
+    def test_telemetry_flag_writes_trace_and_openmetrics(
+        self, capsys, tmp_path
+    ):
+        from repro.obs import parse_openmetrics
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main([
+            "sweep", "--sizes", "128", "--layouts", "ddl",
+            "--heights", "2", "--no-cache",
+            "--max-requests", str(SAMPLE),
+            "--trace-out", str(trace_path),
+            "--openmetrics-out", str(metrics_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        doc = json.loads(trace_path.read_text())
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "process_name"
+        ]
+        assert "sweep runner" in names
+        assert any(name.startswith("worker pid=") for name in names)
+
+        families = parse_openmetrics(metrics_path.read_text())
+        assert "sweep_points" in families
+        assert "telemetry_queue_wait_s" in families
+
+
+class TestTelemetry:
+    GRID = SweepGrid(sizes=(128,), layouts=("row-major", "ddl"), heights=(2,))
+
+    def test_off_by_default_and_byte_identical(self):
+        plain = run_sweep(self.GRID, max_requests=SAMPLE)
+        traced = run_sweep(self.GRID, max_requests=SAMPLE, telemetry=True)
+        assert plain.telemetry is None
+        assert traced.telemetry is not None
+        # Telemetry is run metadata: the deterministic document is
+        # byte-identical with it on or off, serial or parallel.
+        assert traced.to_json() == plain.to_json()
+        parallel = run_sweep(
+            self.GRID, max_requests=SAMPLE, jobs=2, telemetry=True
+        )
+        assert parallel.to_json() == plain.to_json()
+
+    def test_parallel_run_merges_every_worker(self):
+        result = run_sweep(
+            self.GRID, max_requests=SAMPLE, jobs=2, telemetry=True
+        )
+        telemetry = result.telemetry
+        # One payload per simulated point, clock-aligned into one trace.
+        assert len(telemetry.workers) == self.GRID.n_points()
+        assert result.meta["run_id"] == telemetry.run_id
+        doc = telemetry.chrome_trace()
+        span_names = {
+            e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        assert {"execute", "point", "simulate"} <= span_names
+        stamps = [e["ts"] for e in doc["traceEvents"] if "ts" in e]
+        assert min(stamps) >= 0.0
+        # Queue waits were derived for each merged payload.
+        hist = telemetry.registry.as_dict()["telemetry.queue_wait_s"]
+        assert hist["count"] == self.GRID.n_points()
+
+    def test_cache_hits_recorded(self, tmp_path):
+        run_sweep(
+            self.GRID, max_requests=SAMPLE, cache=ResultCache(tmp_path / "cache")
+        )
+        warm = run_sweep(
+            self.GRID,
+            max_requests=SAMPLE,
+            cache=ResultCache(tmp_path / "cache"),
+            telemetry=True,
+        )
+        from repro.obs.events import EV_CACHE_HIT
+
+        hits = [
+            event
+            for event in warm.telemetry.events
+            if event.kind == EV_CACHE_HIT
+        ]
+        assert len(hits) == self.GRID.n_points()
+        assert {event.meta["point"] for event in hits} == set(
+            range(self.GRID.n_points())
+        )
+
+    def test_retry_events_under_chaos(self):
+        from repro.obs.events import EV_RETRY
+
+        result = run_sweep(
+            self.GRID,
+            max_requests=SAMPLE,
+            policy=RetryPolicy(retries=2, backoff_s=0.0),
+            chaos=WorkerChaos(fail_points=(0,), fail_attempts=1),
+            telemetry=True,
+        )
+        assert not result.failures
+        retries = [
+            event
+            for event in result.telemetry.events
+            if event.kind == EV_RETRY
+        ]
+        assert [(e.meta["point"], e.meta["attempt"]) for e in retries] == [
+            (0, 1)
+        ]
+        assert retries[0].meta["status"] == "error"
