@@ -15,6 +15,7 @@ CFG001    unit-suffixed dataclass defaults respect their unit
 OBS001    record calls use registered event names
 API001    façade re-exports and ``__all__`` entries resolve
 CLI001    CLI handlers honour the ReproError exit-2 contract
+LOG001    no bare ``print()`` outside the CLI/report rendering paths
 ========  ==============================================================
 """
 
@@ -25,10 +26,12 @@ from repro.analysis.rules.determinism import (
     UnseededRandomRule,
     WallClockRule,
 )
+from repro.analysis.rules.logging_rules import BarePrintRule
 from repro.analysis.rules.obs import EventNameRule
 from repro.analysis.rules.units import ConfigDefaultRule, UnitMismatchRule
 
 __all__ = [
+    "BarePrintRule",
     "CliDisciplineRule",
     "ConfigDefaultRule",
     "EventNameRule",

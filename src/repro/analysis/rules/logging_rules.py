@@ -1,0 +1,78 @@
+"""Logging rule: LOG001 -- no bare ``print()`` outside rendering paths.
+
+``repro.obs.logging`` gives every layer a structured, level-gated,
+correlation-bound channel; a bare ``print()`` in library code bypasses
+all of it -- the line has no level, no context, no sink, and corrupts
+machine-read stdout (``--json`` result documents, OpenMetrics dumps).
+The CLI and the report/table renderers are the *output* layer, so they
+keep ``print()``; everything else routes through
+:func:`repro.obs.logging.get_logger`.  Suppress a deliberate exception
+with ``# repro: ignore[LOG001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.analysis.core import Diagnostic, LintContext, Rule, register
+
+#: Module filenames that ARE the user-facing output layer: the CLI and
+#: the markdown/HTML/terminal renderers print by design.
+RENDERING_FILENAMES = frozenset(
+    {
+        "cli.py",
+        "__main__.py",
+        "reporting.py",
+        "report.py",
+        "viz.py",
+    }
+)
+
+
+def _is_exempt(ctx: LintContext) -> bool:
+    name = ctx.filename
+    return (
+        name in RENDERING_FILENAMES
+        or name.startswith(("test_", "bench_", "conftest"))
+        or "tests" in ctx.parts
+        or "benchmarks" in ctx.parts
+        or "tools" in ctx.parts
+    )
+
+
+@register
+class BarePrintRule(Rule):
+    """LOG001: no bare ``print()`` outside the CLI/report rendering paths."""
+
+    id: ClassVar[str] = "LOG001"
+    title: ClassVar[str] = (
+        "no bare print() outside the CLI and report renderers -- use the "
+        "structured logger"
+    )
+    rationale: ClassVar[str] = (
+        "A print() in library code has no level, no correlation context "
+        "and no sink, and corrupts machine-read stdout (--json result "
+        "documents); repro.obs.logging.get_logger() is the library "
+        "channel."
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not _is_exempt(ctx)
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.diagnostic(
+                    self.id,
+                    node,
+                    "bare print() in library code; emit through "
+                    "repro.obs.logging.get_logger(...) (or suppress a "
+                    "deliberate rendering path with "
+                    "# repro: ignore[LOG001])",
+                )

@@ -12,6 +12,7 @@ Commands regenerate the paper's evaluation artifacts:
 * ``energy``           -- column-phase energy, baseline vs DDL
 * ``trace``            -- record a run and export a Chrome/Perfetto trace
 * ``sweep``            -- parallel design-space sweep with result caching
+* ``tail``             -- live progress view of a monitored sweep
 * ``faults``           -- layout degradation under injected memory faults
 * ``report``           -- self-contained static HTML run report
 * ``lint``             -- repo-specific static analysis (domain rules)
@@ -21,7 +22,11 @@ message on stderr with exit code 2; pass ``--debug`` (before the
 command) to re-raise with the full traceback instead.  A global
 ``--profile HZ`` samples the whole command with the zero-dependency
 profiler (:mod:`repro.obs.profile`) and prints a self-time table to
-stderr when it finishes.
+stderr when it finishes; global ``--log-level``/``--log-out`` configure
+the structured JSONL logger (:mod:`repro.obs.logging`).  The three
+compose in one invocation with a fixed shutdown order: the sweep
+monitor closes first, then the profiler stops and reports, then the
+log sinks flush.
 """
 
 from __future__ import annotations
@@ -440,21 +445,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             fail_attempts=args.chaos_fail_attempts,
             hang_s=args.chaos_hang_s,
         )
-    telemetry = bool(
+    telemetry_requested = bool(
         args.telemetry or args.trace_out or args.openmetrics_out
     )
-    result = run_sweep(
-        grid,
-        max_requests=args.max_requests,
-        jobs=args.jobs,
-        cache=_sweep_cache(args),
-        policy=policy,
-        chaos=chaos,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-        telemetry=telemetry,
-    )
-    if result.telemetry is not None:
+    monitor = None
+    status = None
+    if args.monitor is not None:
+        from repro.obs import SweepMonitor, SweepStatus
+
+        status = SweepStatus()
+        monitor = SweepMonitor(status, port=args.monitor).start()
+        chatter = sys.stderr if args.json else sys.stdout
+        print(
+            f"monitoring at {monitor.url} (/status /metrics /logs)",
+            file=chatter,
+        )
+    try:
+        result = run_sweep(
+            grid,
+            max_requests=args.max_requests,
+            jobs=args.jobs,
+            cache=_sweep_cache(args),
+            policy=policy,
+            chaos=chaos,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            # The monitor needs telemetry so worker identities flow back,
+            # but only the explicit flags trigger the trace/metrics files.
+            telemetry=telemetry_requested or monitor is not None,
+            status=status,
+        )
+    finally:
+        if monitor is not None:
+            monitor.close()
+    if result.telemetry is not None and telemetry_requested:
         _write_sweep_telemetry(args, result)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -481,6 +505,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(result.registry.render_markdown())
     return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs import render_status_line
+    from repro.obs.monitor import MonitorError
+
+    url = args.url.rstrip("/") + "/status"
+    seen = False
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+                snapshot = json.load(resp)
+        except (OSError, ValueError) as exc:
+            if seen and not args.once:
+                # The server vanished after serving us: the monitored
+                # sweep (and its embedded server) finished.
+                print()
+                print(f"monitor at {args.url} went away (run finished)")
+                return 0
+            raise MonitorError(f"cannot poll {url} ({exc})") from exc
+        seen = True
+        line = render_status_line(snapshot)
+        if args.once:
+            print(line)
+            return 0
+        sys.stdout.write("\r\x1b[K" + line)
+        sys.stdout.flush()
+        if snapshot.get("state") == "done":
+            print()
+            return 0
+        time.sleep(args.interval)
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -613,6 +673,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write collapsed (folded) stacks for flamegraph tools",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="enable structured logging at this level (default: logging "
+             "stays at the quiet warning threshold)",
+    )
+    parser.add_argument(
+        "--log-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL log records to this file "
+             "(implies --log-level info unless given)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -818,7 +893,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="OpenMetrics text exposition path (implies --telemetry)",
     )
+    pw.add_argument(
+        "--monitor",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live GET /status, /metrics and /logs on this port "
+             "while the sweep runs (0 = ephemeral; enables telemetry)",
+    )
     pw.set_defaults(func=_cmd_sweep)
+
+    pq = sub.add_parser(
+        "tail",
+        help="poll a monitored sweep's /status and render live progress",
+    )
+    pq.add_argument(
+        "--url",
+        type=str,
+        required=True,
+        help="base URL of the monitor (e.g. http://127.0.0.1:8787)",
+    )
+    pq.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls",
+    )
+    pq.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-request timeout in seconds",
+    )
+    pq.add_argument(
+        "--once",
+        action="store_true",
+        help="print one status line and exit instead of live-updating",
+    )
+    pq.set_defaults(func=_cmd_tail)
 
     pf = sub.add_parser(
         "faults",
@@ -973,25 +1085,43 @@ def main(argv: Sequence[str] | None = None) -> int:
     traceback.  Genuine bugs always propagate.
     """
     args = build_parser().parse_args(argv)
+    if args.log_level or args.log_out:
+        from repro.obs.logging import configure_logging
+
+        # Registers the shutdown hook with atexit exactly once per
+        # process, however many times the CLI runs in it.
+        configure_logging(
+            level=args.log_level or "info", log_path=args.log_out
+        )
+    profiler = None
     try:
         if args.profile:
             from repro.obs.profile import SamplingProfiler
 
-            profiler = SamplingProfiler(hz=args.profile)
-            with profiler:
-                code = args.func(args)
+            profiler = SamplingProfiler(hz=args.profile).start()
+        code = args.func(args)
+        # Shutdown order when --profile/--monitor/--telemetry compose:
+        # the monitor server closed inside the command, the profiler
+        # stops and reports here, and the log sinks flush last (below).
+        if profiler is not None:
+            profiler.stop()
             if args.profile_out:
                 with open(args.profile_out, "w", encoding="utf-8") as handle:
                     handle.write(profiler.collapsed() + "\n")
                 print(f"wrote {args.profile_out}", file=sys.stderr)
             print(profiler.top_table(), file=sys.stderr)
-            return code
-        return args.func(args)
+        return code
     except ReproError as exc:
         if args.debug:
             raise
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        from repro.obs.logging import shutdown_logging
+
+        shutdown_logging()
 
 
 if __name__ == "__main__":  # pragma: no cover

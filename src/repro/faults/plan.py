@@ -34,6 +34,7 @@ from repro.faults.injectors import (
     injector_from_dict,
 )
 from repro.memory3d.config import Memory3DConfig
+from repro.obs.logging import get_logger
 
 #: Error-class codes in :attr:`FaultState.error_class`.
 ERR_NONE = 0
@@ -227,6 +228,13 @@ def compile_plan(
     its draws and a fixed seed reproduces the identical degraded run.
     """
     state = FaultState(plan)
+    get_logger("repro.faults").debug(
+        "compiling fault plan",
+        plan=plan.name,
+        seed=plan.seed,
+        injectors=len(plan.injectors),
+        requests=n_requests,
+    )
     for index, injector in enumerate(plan.injectors):
         rng = np.random.default_rng([plan.seed, index])
         if isinstance(injector, VaultFailure):

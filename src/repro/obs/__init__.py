@@ -24,6 +24,14 @@ with zero third-party dependencies:
   top-N self-time output.
 * :mod:`repro.obs.openmetrics` -- OpenMetrics/Prometheus text
   exposition (and validator) for any :class:`MetricsRegistry`.
+* :mod:`repro.obs.logging` -- zero-dependency structured JSONL logging
+  with bound correlation context (``run_id``/``point_id``/``worker_id``/
+  ``attempt``), a bounded ring buffer and an on-disk sink
+  (``--log-level``/``--log-out``).
+* :mod:`repro.obs.monitor` -- the live sweep monitor:
+  :class:`SweepStatus` accounting plus the embedded ``/status`` +
+  ``/metrics`` + ``/logs`` HTTP server behind ``repro sweep --monitor``
+  and ``repro tail``.
 * :mod:`repro.obs.report` -- the self-contained static HTML run report
   behind ``python -m repro report --html``.
 
@@ -48,12 +56,35 @@ from repro.obs.export import (
     vault_utilization_table,
     write_chrome_trace,
 )
+from repro.obs.logging import (
+    CONTEXT_KEYS,
+    LOG_SCHEMA,
+    JsonlSink,
+    ListSink,
+    LogPipeline,
+    LogRecord,
+    RingBufferSink,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    global_pipeline,
+    global_ring,
+    reset_logging,
+    shutdown_logging,
+    validate_log_line,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     merge_registries,
+)
+from repro.obs.monitor import (
+    STATUS_SCHEMA,
+    SweepMonitor,
+    SweepStatus,
+    render_status_line,
 )
 from repro.obs.openmetrics import (
     parse_openmetrics,
@@ -70,6 +101,7 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "CONTEXT_KEYS",
     "ClockAnchor",
     "Counter",
     "EVENT_REGISTRY",
@@ -78,25 +110,43 @@ __all__ = [
     "EventTrace",
     "Gauge",
     "Histogram",
+    "JsonlSink",
+    "LOG_SCHEMA",
+    "ListSink",
+    "LogPipeline",
+    "LogRecord",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
+    "RingBufferSink",
     "RunTelemetry",
+    "STATUS_SCHEMA",
     "SamplingProfiler",
     "Span",
     "SpanTimeline",
+    "StructuredLogger",
+    "SweepMonitor",
+    "SweepStatus",
     "TraceContext",
     "WorkerTelemetry",
     "chrome_trace",
+    "configure_logging",
     "event_summary_table",
+    "get_logger",
+    "global_pipeline",
+    "global_ring",
     "merge_registries",
     "parse_openmetrics",
     "profile_call",
     "registered_event_names",
     "render_openmetrics",
+    "render_status_line",
+    "reset_logging",
+    "shutdown_logging",
     "span_or_null",
     "stats_vault_table",
+    "validate_log_line",
     "vault_utilization_table",
     "write_chrome_trace",
     "write_openmetrics",

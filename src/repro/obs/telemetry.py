@@ -41,6 +41,14 @@ from repro.obs.events import (
     registered_event_names,
 )
 from repro.obs.export import event_slice_name
+from repro.obs.logging import (
+    DEBUG,
+    ListSink,
+    LogPipeline,
+    LogRecord,
+    StructuredLogger,
+    global_pipeline,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span, SpanTimeline
 
@@ -242,6 +250,11 @@ class WorkerTelemetry:
         self.timeline = SpanTimeline()
         self.registry = MetricsRegistry()
         self.events: list[TelemetryEvent] = []
+        #: Structured log records captured by :meth:`logger`, shipped
+        #: home with the payload and clock-aligned on merge like spans.
+        self.logs: list[LogRecord] = []
+        self._log_pipeline = LogPipeline(level=DEBUG)
+        self._log_pipeline.sinks = [ListSink(self.logs)]
 
     @classmethod
     def start(cls, context: TraceContext) -> "WorkerTelemetry":
@@ -257,6 +270,26 @@ class WorkerTelemetry:
     def now(self) -> float:
         """This process's monotonic clock (``perf_counter`` seconds)."""
         return time.perf_counter()
+
+    def logger(self, name: str = "repro.sweep.worker") -> StructuredLogger:
+        """A logger whose records are captured into :attr:`logs`.
+
+        The returned logger is pre-bound with the full correlation
+        context (run, point, worker pid, attempt) and writes into this
+        payload only -- records travel home with the task outcome and
+        reach the parent's sinks via
+        :meth:`RunTelemetry.merge_worker`, clock-aligned like spans.
+        """
+        return StructuredLogger(
+            name,
+            {
+                "run_id": self.context.run_id,
+                "point_id": self.context.point_id,
+                "worker_id": self.worker_id,
+                "attempt": self.context.attempt,
+            },
+            self._log_pipeline,
+        )
 
     def record_event(
         self, kind: int, dur_s: float = 0.0, ts_s: float | None = None,
@@ -284,6 +317,7 @@ class WorkerTelemetry:
             "spans": _timeline_to_dicts(self.timeline),
             "events": [event.as_dict() for event in self.events],
             "metrics": self.registry.as_dict(),
+            "logs": [record.as_dict() for record in self.logs],
         }
 
     @classmethod
@@ -319,6 +353,10 @@ class WorkerTelemetry:
             ]
             telemetry.registry = MetricsRegistry.from_snapshot(
                 data.get("metrics", {})
+            )
+            telemetry.logs.extend(
+                LogRecord.from_dict(entry)
+                for entry in data.get("logs", [])
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise TelemetryError(
@@ -423,6 +461,7 @@ class RunTelemetry:
             )
             for event in telemetry.events
         ]
+        logs = [log.shifted(offset) for log in telemetry.logs]
         record = {
             "worker_id": telemetry.worker_id,
             "point_id": point_id,
@@ -430,9 +469,14 @@ class RunTelemetry:
             "clock_offset_s": offset,
             "spans": spans,
             "events": events,
+            "logs": logs,
         }
         self.workers.append(record)
         self.registry.merge_snapshot(telemetry.registry.as_dict())
+        pipeline = global_pipeline()
+        for log in logs:
+            if pipeline.enabled_for(log.level):
+                pipeline.emit(log)
         submitted = self._submits.get(point_id)
         started = min((span["start_s"] for span in spans), default=None)
         if submitted is not None and started is not None:

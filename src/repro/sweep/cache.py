@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import CacheCorruptionError
+from repro.obs.logging import get_logger
 from repro.serialization import stable_digest
 
 #: Bump when the simulator or result schema changes meaning; every bump
@@ -125,6 +126,9 @@ class ResultCache:
         except OSError:  # pragma: no cover - already gone / permission race
             return
         self.stats.healed += 1
+        get_logger("repro.sweep.cache").warning(
+            "corrupt cache entry healed", path=str(path)
+        )
 
     # ---------------------------------------------------------------- access
     def get(self, key: str) -> dict[str, Any] | None:

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigError, SweepExecutionError
+from repro.obs.logging import get_logger
 from repro.serialization import stable_digest
 
 #: Schema tag stamped into every checkpoint file.
@@ -218,11 +219,17 @@ def run_attempt(
     )
     proc.start()
     child_conn.close()
+    log = get_logger(
+        "repro.sweep.resilience",
+        point_id=task["index"],
+        attempt=task.get("attempt", 1),
+    )
     try:
         if not parent_conn.poll(timeout_s):
             proc.terminate()
             proc.join()
             status: dict[str, Any] = {"status": "timeout"}
+            log.warning("attempt timed out", timeout_s=timeout_s)
         else:
             try:
                 status = parent_conn.recv()
@@ -231,6 +238,13 @@ def run_attempt(
                     "status": "crashed",
                     "exitcode": proc.exitcode,
                 }
+                log.warning("worker crashed", exitcode=proc.exitcode)
+        if status["status"] == "error":
+            log.warning(
+                "attempt raised",
+                error=status.get("error"),
+                detail=status.get("message"),
+            )
         status["duration_s"] = time.perf_counter() - started  # repro: ignore[DET001]
         return status
     finally:
@@ -361,3 +375,9 @@ class SweepCheckpoint:
             encoding="utf-8",
         )
         os.replace(tmp, self.path)
+        get_logger("repro.sweep.resilience").debug(
+            "checkpoint saved",
+            path=str(self.path),
+            completed=len(completed),
+            failures=len(failures),
+        )

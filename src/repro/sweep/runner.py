@@ -36,7 +36,9 @@ from repro.core.config import SystemConfig
 from repro.core.simulate import simulate_column_phase
 from repro.errors import ConfigError
 from repro.obs.events import EV_CACHE_HIT, EV_RETRY, EV_WORKER_END
+from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import SweepStatus
 from repro.obs.spans import span_or_null
 from repro.obs.telemetry import RunTelemetry, TraceContext, WorkerTelemetry
 from repro.serialization import system_from_dict, system_to_dict, system_with_overrides
@@ -208,6 +210,13 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
     }
     if worker_tel is not None:
         worker_tel.record_event(EV_WORKER_END, point=task["index"])
+        worker_tel.logger().debug(
+            "point simulated",
+            n=result["n"],
+            layout=result["layout"],
+            config=result["config"],
+            throughput_gbps=result["throughput_gbps"],
+        )
         outcome["telemetry"] = worker_tel.as_dict()
     return outcome
 
@@ -374,6 +383,7 @@ def run_sweep(
     resume: bool = False,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     telemetry: bool = False,
+    status: SweepStatus | None = None,
 ) -> SweepResult:
     """Execute every point of ``grid`` and return the merged result.
 
@@ -405,6 +415,12 @@ def run_sweep(
             :class:`~repro.obs.telemetry.RunTelemetry` lands on the
             result's ``telemetry`` attribute (run metadata only: the
             deterministic JSON document is untouched).
+        status: optional :class:`~repro.obs.monitor.SweepStatus` the
+            runner keeps current while executing, so an embedded
+            :class:`~repro.obs.monitor.SweepMonitor` can serve live
+            ``/status`` + ``/metrics`` from another thread.  Run
+            metadata only -- the deterministic document is identical
+            with or without it.
 
     A point that keeps failing is quarantined into the result's
     ``failures`` list instead of aborting the grid; infrastructure
@@ -432,11 +448,15 @@ def run_sweep(
         for variant in grid.configs
     }
     run_tel: RunTelemetry | None = None
-    if telemetry:
+    run_id: str | None = None
+    if telemetry or status is not None:
         run_id = SweepCheckpoint.digest_for(
             grid.as_dict(), config_dicts, max_requests, CACHE_VERSION
         )[:12]
+    if telemetry:
+        assert run_id is not None
         run_tel = RunTelemetry.start(run_id)
+    log = get_logger("repro.sweep", **({"run_id": run_id} if run_id else {}))
     points = grid.points()
     results: list[dict[str, Any] | None] = [None] * len(points)
     registry = MetricsRegistry()
@@ -458,6 +478,12 @@ def run_sweep(
                     results[index] = result
             resumed = sum(1 for entry in results if entry is not None)
 
+    if status is not None:
+        status.start_run(
+            len(points), run_id=run_id, jobs=jobs, resumed=resumed
+        )
+    log.info("sweep started", points=len(points), jobs=jobs, resumed=resumed)
+
     tasks: list[dict[str, Any]] = []
     cached = 0
     for index, point in enumerate(points):
@@ -476,8 +502,11 @@ def run_sweep(
                 results[index] = hit
                 completed[index] = hit
                 cached += 1
+                if status is not None:
+                    status.mark_cached(index)
                 if run_tel is not None:
                     run_tel.record_event(EV_CACHE_HIT, point=index)
+                log.debug("cache hit", point=index)
                 continue
         task = {"index": index, "key": key, **payload}
         if run_tel is not None:
@@ -520,8 +549,20 @@ def run_sweep(
                     completed[index] = outcome["result"]
                     outcomes_by_index[index] = outcome
                     simulated += 1
+                    worker_id: int | None = None
                     if run_tel is not None and "telemetry" in outcome:
-                        run_tel.merge_worker(outcome["telemetry"])
+                        worker_record = run_tel.merge_worker(
+                            outcome["telemetry"]
+                        )
+                        worker_id = worker_record["worker_id"]
+                    if status is not None:
+                        status.mark_ok(
+                            index,
+                            worker_id=worker_id,
+                            metrics=outcome["metrics"],
+                        )
+                        if entry["retries"]:
+                            status.mark_retry(index, entry["retries"])
                     task = tasks_by_index[index]
                     if cache is not None:
                         cache.put(
@@ -534,7 +575,20 @@ def run_sweep(
                             outcome["result"],
                         )
                 else:
-                    failures.append(entry["failure"])
+                    failure = entry["failure"]
+                    failures.append(failure)
+                    if status is not None:
+                        status.mark_failed(failure["index"])
+                        if entry["retries"]:
+                            status.mark_retry(
+                                failure["index"], entry["retries"]
+                            )
+                    log.warning(
+                        "point quarantined",
+                        point=failure["index"],
+                        error=failure["error"],
+                        attempts=failure["attempts"],
+                    )
                 since_snapshot += 1
                 if ckpt is not None and since_snapshot >= checkpoint_every:
                     ckpt.save(
@@ -582,6 +636,16 @@ def run_sweep(
     }
     if run_tel is not None:
         meta["run_id"] = run_tel.run_id
+    if status is not None:
+        status.finish()
+    log.info(
+        "sweep finished",
+        simulated=simulated,
+        cached=cached,
+        failed=len(failures),
+        retries=retries_total,
+        wall_s=meta["wall_s"],
+    )
     return SweepResult(
         grid=grid,
         max_requests=max_requests,

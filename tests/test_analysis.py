@@ -45,6 +45,7 @@ class TestFramework:
             "OBS001",
             "API001",
             "CLI001",
+            "LOG001",
         }
 
     def test_catalog_rules_carry_metadata(self):
@@ -595,6 +596,50 @@ class TestCLI001:
         assert lint_source(tmp_path, source, "CLI001", rel="worker.py") == []
 
 
+class TestLOG001:
+    def test_positive_bare_print_in_library_code(self, tmp_path):
+        source = """\
+            def report_progress(i, total):
+                print(f"{i}/{total} done")
+        """
+        diags = lint_source(tmp_path, source, "LOG001", rel="sweep/runner.py")
+        assert len(diags) == 1
+        assert "get_logger" in diags[0].message
+
+    def test_cli_and_report_renderers_exempt(self, tmp_path):
+        source = """\
+            def _cmd_show(args):
+                print("table goes here")
+                return 0
+        """
+        assert lint_source(tmp_path, source, "LOG001", rel="cli.py") == []
+        assert lint_source(tmp_path, source, "LOG001", rel="obs/report.py") == []
+
+    def test_tests_benches_and_tools_exempt(self, tmp_path):
+        source = """\
+            def check():
+                print("debugging aid")
+        """
+        assert lint_source(tmp_path, source, "LOG001", rel="tests/test_x.py") == []
+        assert lint_source(tmp_path, source, "LOG001", rel="bench_x.py") == []
+        assert lint_source(tmp_path, source, "LOG001", rel="tools/gen.py") == []
+
+    def test_suppression_comment_honoured(self, tmp_path):
+        source = """\
+            def banner():
+                print("ascii art")  # repro: ignore[LOG001]
+        """
+        assert lint_source(tmp_path, source, "LOG001", rel="sweep/x.py") == []
+
+    def test_shadowed_or_method_print_not_flagged(self, tmp_path):
+        source = """\
+            def render(doc):
+                doc.print()
+                return doc
+        """
+        assert lint_source(tmp_path, source, "LOG001", rel="sweep/x.py") == []
+
+
 def write_violation_tree(root: Path) -> int:
     """A fixture tree with >= 1 violation of each shipped rule."""
     (root / "sweep").mkdir(parents=True)
@@ -634,7 +679,11 @@ def write_violation_tree(root: Path) -> int:
         "import sys\n\n\ndef _cmd_boom(args):\n    sys.exit(3)\n",
         encoding="utf-8",
     )
-    return 8
+    (root / "sweep" / "progress.py").write_text(
+        'def report(i, total):\n    print(f"{i}/{total}")\n',
+        encoding="utf-8",
+    )
+    return 9
 
 
 class TestLintCLI:
@@ -651,6 +700,7 @@ class TestLintCLI:
             "OBS001",
             "API001",
             "CLI001",
+            "LOG001",
         ):
             assert rule_id in out, f"{rule_id} missing from:\n{out}"
         # file:line:col anchors
@@ -662,7 +712,7 @@ class TestLintCLI:
         doc = json.loads(capsys.readouterr().out)
         assert doc["schema"] == "repro-lint/v1"
         rules_hit = {d["rule"] for d in doc["diagnostics"]}
-        assert len(rules_hit) >= 8
+        assert len(rules_hit) >= 9
 
     def test_rule_filter(self, tmp_path, capsys):
         write_violation_tree(tmp_path)

@@ -1,0 +1,338 @@
+"""Live monitoring: SweepStatus accounting and the embedded HTTP server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    STATUS_SCHEMA,
+    SweepMonitor,
+    SweepStatus,
+    parse_openmetrics,
+    render_status_line,
+)
+from repro.obs.logging import (
+    LogRecord,
+    RingBufferSink,
+    configure_logging,
+    get_logger,
+    reset_logging,
+    validate_log_line,
+)
+from repro.obs.monitor import OPENMETRICS_CONTENT_TYPE, MonitorError
+from repro.sweep import SweepGrid, run_sweep
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def get(url, timeout=5.0):
+    """GET a URL, returning (status_code, content_type, body_bytes)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.headers["Content-Type"], (
+                response.read()
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers["Content-Type"], exc.read()
+
+
+def get_json(url, timeout=5.0):
+    code, _, body = get(url, timeout=timeout)
+    return code, json.loads(body)
+
+
+class TestSweepStatus:
+    def test_lifecycle_counts_and_progress(self):
+        status = SweepStatus()
+        assert status.snapshot()["state"] == "idle"
+        status.start_run(10, run_id="abc123", jobs=2, resumed=2)
+        status.mark_cached(0)
+        status.mark_ok(1, worker_id=41, metrics=None)
+        status.mark_ok(2, worker_id=42, metrics=None)
+        status.mark_retry(3, attempts=2)
+        status.mark_failed(3)
+        snap = status.snapshot()
+        assert snap["schema"] == STATUS_SCHEMA
+        assert snap["run_id"] == "abc123"
+        assert snap["state"] == "running"
+        assert snap["total"] == 10
+        assert snap["simulated"] == 2
+        assert snap["cached"] == 1
+        assert snap["failed"] == 1
+        assert snap["retries"] == 2
+        assert snap["resumed"] == 2
+        assert snap["completed"] == 6  # 2 sim + 1 cached + 1 failed + 2 resumed
+        assert snap["progress"] == pytest.approx(0.6)
+        assert snap["cache_hit_rate"] == pytest.approx(1 / 3)
+        assert snap["jobs"] == 2
+        assert set(snap["workers"]) == {"41", "42"}
+        assert snap["workers"]["41"]["points"] == 1
+        assert snap["workers"]["42"]["last_point"] == 2
+
+    def test_eta_appears_with_throughput_and_clears_on_finish(self):
+        status = SweepStatus()
+        status.start_run(4)
+        assert status.snapshot()["eta_s"] is None  # nothing completed yet
+        status.mark_ok(0)
+        snap = status.snapshot()
+        assert snap["throughput_pts_per_s"] > 0
+        assert snap["eta_s"] is not None and snap["eta_s"] >= 0
+        status.finish()
+        done = status.snapshot()
+        assert done["state"] == "done"
+        # Elapsed freezes once finished.
+        assert done["elapsed_s"] == status.snapshot()["elapsed_s"]
+
+    def test_metrics_snapshot_carries_progress_gauges(self):
+        status = SweepStatus()
+        status.start_run(2, run_id="r")
+        status.mark_ok(
+            0,
+            worker_id=7,
+            metrics={
+                "sim.requests": {"type": "counter", "value": 5.0, "help": ""}
+            },
+        )
+        snap = status.metrics_snapshot()
+        assert snap["sim.requests"]["value"] == 5.0
+        assert snap["sweep.points_total"]["value"] == 2.0
+        assert snap["sweep.points_completed"]["value"] == 1.0
+        assert snap["sweep.progress"]["value"] == pytest.approx(0.5)
+        assert snap["sweep.workers_seen"]["value"] == 1.0
+
+    def test_start_run_resets_previous_run(self):
+        status = SweepStatus()
+        status.start_run(5, run_id="one")
+        status.mark_failed(0)
+        status.mark_ok(1, worker_id=9)
+        status.start_run(3, run_id="two")
+        snap = status.snapshot()
+        assert snap["run_id"] == "two"
+        assert snap["completed"] == 0
+        assert snap["failed"] == 0
+        assert snap["workers"] == {}
+
+
+@pytest.fixture()
+def monitor():
+    """A running SweepMonitor on an ephemeral port with seeded status."""
+    status = SweepStatus()
+    status.start_run(4, run_id="feedface", jobs=2)
+    status.mark_ok(0, worker_id=11)
+    status.mark_cached(1)
+    with SweepMonitor(status, port=0) as running:
+        yield running
+
+
+class TestEndpoints:
+    def test_status_serves_the_snapshot(self, monitor):
+        code, doc = get_json(monitor.url + "/status")
+        assert code == 200
+        assert doc["schema"] == STATUS_SCHEMA
+        assert doc["run_id"] == "feedface"
+        assert doc["state"] == "running"
+        assert doc["completed"] == 2
+        assert "11" in doc["workers"]
+
+    def test_metrics_serves_valid_openmetrics(self, monitor):
+        code, content_type, body = get(monitor.url + "/metrics")
+        assert code == 200
+        assert content_type == OPENMETRICS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        parsed = parse_openmetrics(text)
+        assert "sweep_progress" in parsed
+        samples = parsed["sweep_points_total"]["samples"]
+        assert samples["sweep_points_total"] == 4.0
+
+    def test_logs_tail_respects_n_and_reports_drops(self, monitor):
+        ring = RingBufferSink(capacity=3)
+        monitor._ring = ring
+        for i in range(5):
+            ring.emit(
+                LogRecord(
+                    level=20,
+                    logger="repro.test",
+                    message=f"line {i}",
+                    ts_s=1.0,
+                    perf_s=float(i),
+                )
+            )
+        code, doc = get_json(monitor.url + "/logs?n=2")
+        assert code == 200
+        assert doc["schema"] == "repro-logs-tail/v1"
+        assert doc["count"] == 2
+        assert doc["dropped"] == 2
+        messages = [record["message"] for record in doc["records"]]
+        assert messages == ["line 3", "line 4"]
+        for record in doc["records"]:
+            validate_log_line(json.dumps(record))
+
+    def test_logs_defaults_to_global_ring(self, monitor):
+        configure_logging(level="info")
+        get_logger("repro.test", run_id="feedface").info("hello monitor")
+        code, doc = get_json(monitor.url + "/logs")
+        assert code == 200
+        messages = [record["message"] for record in doc["records"]]
+        assert "hello monitor" in messages
+
+    def test_logs_rejects_non_integer_n(self, monitor):
+        code, doc = get_json(monitor.url + "/logs?n=lots")
+        assert code == 400
+        assert "integer" in doc["error"]
+
+    def test_unknown_path_404_lists_endpoints(self, monitor):
+        code, doc = get_json(monitor.url + "/nope")
+        assert code == 404
+        assert doc["endpoints"] == ["/status", "/metrics", "/logs"]
+
+
+class TestMonitorLifecycle:
+    def test_invalid_port_rejected(self):
+        with pytest.raises(MonitorError, match="invalid monitor port"):
+            SweepMonitor(SweepStatus(), port=70000)
+
+    def test_close_is_idempotent_and_releases_port(self):
+        monitor = SweepMonitor(SweepStatus(), port=0).start()
+        port = monitor.port
+        monitor.close()
+        monitor.close()
+        # The port is free again: a new monitor can bind it.
+        rebound = SweepMonitor(SweepStatus(), port=port)
+        rebound.close()
+
+    def test_start_is_idempotent(self):
+        monitor = SweepMonitor(SweepStatus(), port=0).start().start()
+        try:
+            code, _ = get_json(monitor.url + "/status")
+            assert code == 200
+        finally:
+            monitor.close()
+
+
+GRID = SweepGrid(sizes=(128,), layouts=("row-major", "ddl"))
+SAMPLE = 2_048
+
+
+class TestLiveSweep:
+    def test_endpoints_serve_during_and_after_a_run(self):
+        status = SweepStatus()
+        with SweepMonitor(status, port=0) as monitor:
+            result = run_sweep(
+                GRID, max_requests=SAMPLE, jobs=1,
+                telemetry=True, status=status,
+            )
+            code, doc = get_json(monitor.url + "/status")
+            assert code == 200
+            assert doc["state"] == "done"
+            assert doc["completed"] == doc["total"] == 2
+            assert doc["run_id"] == result.telemetry.run_id
+            assert doc["workers"], "per-worker state missing"
+            _, _, body = get(monitor.url + "/metrics")
+            parsed = parse_openmetrics(body.decode("utf-8"))
+            samples = parsed["sweep_points_completed"]["samples"]
+            assert samples["sweep_points_completed"] == 2.0
+
+    def test_document_byte_identical_with_monitor_on(self):
+        plain = run_sweep(GRID, max_requests=SAMPLE, jobs=1)
+        status = SweepStatus()
+        with SweepMonitor(status, port=0):
+            monitored = run_sweep(
+                GRID, max_requests=SAMPLE, jobs=1,
+                telemetry=True, status=status,
+            )
+        assert monitored.to_json() == plain.to_json()
+
+
+class TestStatusLine:
+    def test_render_running_snapshot(self):
+        line = render_status_line(
+            {
+                "run_id": "feedface",
+                "state": "running",
+                "total": 10,
+                "completed": 5,
+                "progress": 0.5,
+                "workers": {"1": {}, "2": {}},
+                "cached": 2,
+                "failed": 1,
+                "retries": 3,
+                "throughput_pts_per_s": 2.0,
+                "eta_s": 2.5,
+            },
+            width=10,
+        )
+        assert "run feedface" in line
+        assert "[#####-----] 5/10 (50%)" in line
+        assert "2 worker(s)" in line
+        assert "2 cached" in line
+        assert "1 FAILED" in line
+        assert "3 retries" in line
+        assert "2.00 pt/s" in line
+        assert "ETA 2s" in line
+
+    def test_render_done_snapshot_omits_eta(self):
+        line = render_status_line(
+            {
+                "run_id": None,
+                "state": "done",
+                "total": 2,
+                "completed": 2,
+                "progress": 1.0,
+                "workers": {},
+                "eta_s": 0.0,
+            }
+        )
+        assert line.startswith("run -")
+        assert line.endswith("done")
+        assert "ETA" not in line
+
+
+class TestCliCompose:
+    def test_tail_once_renders_the_status_line(self, monitor, capsys):
+        code = main(["tail", "--url", monitor.url, "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run feedface" in out
+        assert "2/4" in out
+
+    def test_tail_unreachable_url_is_a_repro_error(self, capsys):
+        code = main(
+            ["tail", "--url", "http://127.0.0.1:9", "--once",
+             "--timeout", "0.5"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_monitor_telemetry_compose(self, tmp_path, capsys):
+        argv = [
+            "--profile", "50",
+            "--log-level", "debug",
+            "--log-out", str(tmp_path / "run.jsonl"),
+            "sweep",
+            "--sizes", "128",
+            "--layouts", "row-major",
+            "--max-requests", str(SAMPLE),
+            "--no-cache",
+            "--monitor", "0",
+            "--telemetry",
+            "--out", str(tmp_path / "result.json"),
+        ]
+        assert main(list(argv)) == 0
+        first = capsys.readouterr()
+        assert "monitoring at http://127.0.0.1:" in first.out
+        assert "samples" in first.err  # profiler table reported on stderr
+        # Same process, same flags again: atexit hooks and global state
+        # must not stack (the --profile + --monitor compose fix).
+        assert main(list(argv)) == 0
+        lines = (tmp_path / "run.jsonl").read_text("utf-8").splitlines()
+        records = [validate_log_line(line) for line in lines]
+        assert any(r.message == "sweep finished" for r in records)
+        assert json.loads((tmp_path / "result.json").read_text("utf-8"))
