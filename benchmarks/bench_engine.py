@@ -1,0 +1,107 @@
+"""Vector-engine speedup guard -- the batch pricer must stay >=10x.
+
+The vectorized engine exists for one reason: pricing the paper's big
+column-phase traces (N=4096 is 16.7M requests) at array speed instead of
+355 ns/request Python-loop speed.  This benchmark pins that claim on the
+exact workload the issue names -- the column walk over a row-major
+N=4096 image -- and writes ``BENCH_engine.json`` for
+``tools/check_bench.py``, CI's benchmark-regression gate.
+
+Three timings per run:
+
+* **exact**   -- the per-request reference loop (``engine="exact"``);
+* **vector**  -- a raw request array handed to ``engine="vector"``
+  (auto-compilation into run descriptors is part of the measured cost);
+* **compiled**-- a pre-compiled :class:`repro.CompiledTrace`, isolating
+  the closed-form run pricer from compilation overhead.
+
+Equivalence is asserted outright (``==`` on the stats, not approximate;
+both engines share the integer-picosecond timebase), and the vector runs
+must report ``last_engine == "vector"`` -- a silent exact fallback would
+otherwise masquerade as a 1x "speedup".
+
+Run quick mode (``pytest benchmarks/bench_engine.py --quick``) for the
+CI smoke variant: a 256-column prefix of the same trace.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import banner, write_bench_json
+from repro import Memory3D, RowMajorLayout, column_walk_trace, compile_trace
+from repro.memory3d import pact15_hmc_config
+
+#: Matrix edge for the column-phase trace (the paper's largest problem).
+N = 4096
+
+#: Columns walked per mode: full = the whole N=4096 phase (16.7M
+#: requests), quick = a 256-column prefix (1M requests).
+FULL_COLS = N
+QUICK_COLS = 256
+
+#: Speedup floor from ISSUE/BENCH_engine.json; measured headroom is
+#: ~10x beyond this on both paths.
+SPEEDUP_FLOOR = 10.0
+
+
+def _time_simulate(memory: Memory3D, trace, engine: str) -> tuple[float, object]:
+    start = time.perf_counter()
+    stats = memory.simulate(trace, discipline="in_order", engine=engine)
+    return time.perf_counter() - start, stats
+
+
+def test_vector_engine_speedup(quick):
+    cols = QUICK_COLS if quick else FULL_COLS
+    layout = RowMajorLayout(N, N)
+    trace = column_walk_trace(layout, cols=range(cols))
+    compiled = compile_trace(trace)
+    requests = len(trace)
+
+    config = pact15_hmc_config()
+    exact_s, exact = _time_simulate(Memory3D(config), trace, "exact")
+
+    mem_vector = Memory3D(config)
+    vector_s, vector = _time_simulate(mem_vector, trace, "vector")
+    assert mem_vector.last_engine == "vector", mem_vector.last_fallback_reason
+
+    mem_compiled = Memory3D(config)
+    compiled_s, from_compiled = _time_simulate(mem_compiled, compiled, "vector")
+    assert mem_compiled.last_engine == "vector", mem_compiled.last_fallback_reason
+
+    # The contract the equivalence gate enforces corpus-wide, re-checked
+    # here on the headline workload: identical stats, not close ones.
+    assert exact == vector, "vector engine diverged from exact on column phase"
+    assert exact == from_compiled, "compiled pricing diverged from exact"
+
+    speedup_x = exact_s / vector_s if vector_s > 0 else float("inf")
+    compiled_speedup_x = exact_s / compiled_s if compiled_s > 0 else float("inf")
+    per_request_ns = exact_s / requests * 1e9
+
+    print(banner(f"ENGINE: vector batch pricer vs exact loop (N={N})"))
+    print(f"  trace               : column walk, {cols} cols, "
+          f"{requests:,} requests")
+    print(f"  exact engine        : {exact_s:.3f} s "
+          f"({per_request_ns:.0f} ns/request)")
+    print(f"  vector (raw array)  : {vector_s:.3f} s  ({speedup_x:.1f}x)")
+    print(f"  vector (compiled)   : {compiled_s:.3f} s  "
+          f"({compiled_speedup_x:.1f}x)")
+
+    write_bench_json(
+        "engine",
+        {
+            "speedup_x": speedup_x,
+            "compiled_speedup_x": compiled_speedup_x,
+            "exact_s": exact_s,
+            "vector_s": vector_s,
+            "compiled_s": compiled_s,
+        },
+        info={"n": N, "cols": cols, "requests": requests, "quick": quick,
+              "discipline": "in_order"},
+    )
+
+    assert speedup_x >= SPEEDUP_FLOOR, (
+        f"vector engine only {speedup_x:.1f}x over exact "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+    assert compiled_speedup_x >= SPEEDUP_FLOOR

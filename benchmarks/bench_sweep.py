@@ -75,21 +75,25 @@ def test_sweep_parallel_and_cache_speedup(quick, tmp_path):
     run_parallel = min(JOBS, cores) > 1
 
     start = time.perf_counter()
-    serial = run_sweep(grid, max_requests=requests, jobs=1)
+    serial = run_sweep(grid, max_requests=requests, jobs=1, engine="exact")
     serial_s = time.perf_counter() - start
 
     parallel = serial
     parallel_s = None
     if run_parallel:
         start = time.perf_counter()
-        parallel = run_sweep(grid, max_requests=requests, jobs=JOBS)
+        parallel = run_sweep(
+            grid, max_requests=requests, jobs=JOBS, engine="exact"
+        )
         parallel_s = time.perf_counter() - start
 
     cache = ResultCache(tmp_path / "cache")
-    run_sweep(grid, max_requests=requests, jobs=1, cache=cache)
+    run_sweep(grid, max_requests=requests, jobs=1, cache=cache, engine="exact")
     warm_cache = ResultCache(tmp_path / "cache")
     start = time.perf_counter()
-    warm = run_sweep(grid, max_requests=requests, jobs=1, cache=warm_cache)
+    warm = run_sweep(
+        grid, max_requests=requests, jobs=1, cache=warm_cache, engine="exact"
+    )
     warm_s = time.perf_counter() - start
 
     # Speed without agreement is meaningless: all paths, one result.

@@ -83,11 +83,13 @@ from repro.permutation import ControllingUnit, PermutationNetwork
 from repro.permutation.bitonic import BitonicPermutationRouter
 from repro.reporting import reproduce_report
 from repro.trace import (
+    CompiledTrace,
     Request,
     TraceArray,
     block_column_read_trace,
     block_write_trace,
     column_walk_trace,
+    compile_trace,
     row_walk_trace,
 )
 
@@ -104,6 +106,7 @@ __all__ = [
     "BlockDDLLayout",
     "BlockGeometry",
     "ColumnMajorLayout",
+    "CompiledTrace",
     "ControllingUnit",
     "EnergyBreakdown",
     "EnergyModel",
@@ -147,6 +150,7 @@ __all__ = [
     "block_write_trace",
     "chrome_trace",
     "column_walk_trace",
+    "compile_trace",
     "ddr3_like_config",
     "fft2d_spec",
     "fft_convolve2d",

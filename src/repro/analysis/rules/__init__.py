@@ -10,6 +10,7 @@ Shipped rules:
 DET001    no wall-clock reads outside ``repro.obs`` and benches
 DET002    no unseeded global RNG in ``memory3d`` / ``sweep`` / ``faults``
 DET003    cache/checkpoint writes must be atomic (tmp + ``os.replace``)
+DET004    ``repro.memory3d.vector`` hot paths loop over ``range`` only
 UNIT001   call sites must not mix unit suffixes (``_ns`` vs ``_cycles``)
 CFG001    unit-suffixed dataclass defaults respect their unit
 OBS001    record calls use registered event names
@@ -23,6 +24,7 @@ from repro.analysis.rules.api import ReExportRule
 from repro.analysis.rules.cli_rules import CliDisciplineRule
 from repro.analysis.rules.determinism import (
     NonAtomicWriteRule,
+    PerRequestLoopRule,
     UnseededRandomRule,
     WallClockRule,
 )
@@ -36,6 +38,7 @@ __all__ = [
     "ConfigDefaultRule",
     "EventNameRule",
     "NonAtomicWriteRule",
+    "PerRequestLoopRule",
     "ReExportRule",
     "UnitMismatchRule",
     "UnseededRandomRule",

@@ -1,11 +1,15 @@
 """Determinism rules: DET001 wall clocks, DET002 unseeded RNG, DET003
-non-atomic writes.
+non-atomic writes, DET004 per-request loops in the vector engine.
 
 The sweep engine's contract is byte-identical output across runs, job
-counts and cache states; these rules fence off the three ways that
+counts and cache states; DET001-003 fence off the three ways that
 contract quietly breaks: reading a wall clock, drawing from a global
 (process-order-dependent) RNG, and letting a crash tear a cache or
-checkpoint file in half.
+checkpoint file in half.  DET004 guards a different contract -- the
+vector engine's *speed*: its hot paths must stay array-at-a-time, so
+any ``for``/comprehension there that does not iterate a literal
+``range(...)`` (pass counters, block tiles, run descriptors -- all
+O(n / BLOCK) or O(runs), never O(requests)) is flagged.
 """
 
 from __future__ import annotations
@@ -234,3 +238,59 @@ class NonAtomicWriteRule(Rule):
                     "cache/checkpoint path; write a tmp sibling and "
                     "os.replace() it",
                 )
+
+
+def _is_range_iter(node: ast.expr) -> bool:
+    """True when a loop iterable is a literal ``range(...)`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    )
+
+
+@register
+class PerRequestLoopRule(Rule):
+    """DET004: no per-request Python loops in the vector engine."""
+
+    id: ClassVar[str] = "DET004"
+    title: ClassVar[str] = (
+        "repro.memory3d.vector hot paths iterate range(...) only, "
+        "never request sequences"
+    )
+    rationale: ClassVar[str] = (
+        "The vector engine's whole value is pricing traces array-at-a-"
+        "time; a loop over requests (addresses, latencies, zip of "
+        "per-request arrays) silently reintroduces the 355 ns/request "
+        "Python floor the module exists to delete.  Loops over pass "
+        "counts, blocks or run descriptors are fine -- and those are "
+        "exactly the ``range(...)`` loops this rule admits."
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return "memory3d" in ctx.parts and ctx.filename == "vector.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if not _is_range_iter(node.iter):
+                    yield ctx.diagnostic(
+                        self.id,
+                        node,
+                        "for-loop over a non-range iterable in the vector "
+                        "engine; hot paths must stay array-at-a-time "
+                        "(iterate range(...) over blocks/runs, or hoist "
+                        "the work into numpy)",
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for comp in node.generators:
+                    if not _is_range_iter(comp.iter):
+                        yield ctx.diagnostic(
+                            self.id,
+                            node,
+                            "comprehension over a non-range iterable in the "
+                            "vector engine; hot paths must stay array-at-a-"
+                            "time (iterate range(...) or hoist into numpy)",
+                        )

@@ -474,6 +474,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # but only the explicit flags trigger the trace/metrics files.
             telemetry=telemetry_requested or monitor is not None,
             status=status,
+            engine=args.engine,
         )
     finally:
         if monitor is not None:
@@ -798,6 +799,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="read column slices instead of whole blocks per block visit",
     )
     pw.add_argument("--max-requests", type=int, default=65_536)
+    pw.add_argument(
+        "--engine",
+        choices=["exact", "vector"],
+        default="vector",
+        help="timing engine for workers: 'vector' (batch array pricer, "
+             "default) or 'exact' (per-request reference loop); both "
+             "produce byte-identical result documents",
+    )
     pw.add_argument(
         "--out", type=str, default=None,
         help="write the deterministic result JSON here",

@@ -7,6 +7,13 @@ periodic in the device geometry, large problems are simulated on a
 representative slice (a few columns / block rows) and extrapolated --
 ``sample_fraction`` controls how much is simulated exactly, and the test
 suite validates the extrapolation against full runs at small sizes.
+
+Every driver takes ``engine`` (``"exact"`` or ``"vector"``) and forwards
+it to :meth:`Memory3D.simulate`; the engines are stat-for-stat
+equivalent (CI's ``engine-equivalence`` gate), so the choice is purely a
+throughput knob.  The sweep workers default to ``"vector"``; these
+drivers default to ``"exact"`` so direct callers keep the reference
+path unless they opt in.
 """
 
 from __future__ import annotations
@@ -58,6 +65,7 @@ def simulate_baseline_column_phase(
     n: int,
     max_requests: int = DEFAULT_SAMPLE_REQUESTS,
     spans: SpanTimeline | None = None,
+    engine: str = "exact",
 ) -> PhaseMetrics:
     """Phase 2 of the baseline: stride-``n`` walks over a row-major image.
 
@@ -72,7 +80,11 @@ def simulate_baseline_column_phase(
         with span_or_null(spans, "generate-trace", cols=sample_cols):
             trace = column_walk_trace(layout, cols=range(sample_cols))
         with span_or_null(spans, "simulate", requests=len(trace)):
-            stats = _sampled(memory.simulate(trace, "in_order"), len(trace), total)
+            stats = _sampled(
+                memory.simulate(trace, "in_order", engine=engine),
+                len(trace),
+                total,
+            )
     # After extrapolation, elapsed covers all n uniform columns.
     first_column_ns = stats.elapsed_ns / n
     return PhaseMetrics(
@@ -92,6 +104,7 @@ def simulate_optimized_column_phase(
     whole_blocks: bool = True,
     max_requests: int = DEFAULT_SAMPLE_REQUESTS,
     spans: SpanTimeline | None = None,
+    engine: str = "exact",
 ) -> PhaseMetrics:
     """Phase 2 under the DDL: parallel block-column streams, per-vault queues.
 
@@ -118,7 +131,7 @@ def simulate_optimized_column_phase(
             )
         sample = min(len(trace), max_requests)
         with span_or_null(spans, "simulate", requests=sample):
-            stats = memory.simulate(trace, "per_vault", sample=sample)
+            stats = memory.simulate(trace, "per_vault", sample=sample, engine=engine)
         stats = _sampled(stats, round_elements, rounds_total * round_elements)
     # First column: a stream fetches its block column's first N elements
     # (w*h per block visit) at the vault beat.
@@ -158,6 +171,7 @@ def simulate_column_phase(
     whole_blocks: bool = True,
     max_requests: int = DEFAULT_SAMPLE_REQUESTS,
     spans: SpanTimeline | None = None,
+    engine: str = "exact",
 ) -> ColumnPhaseRun:
     """Phase 2 of the application under a named data layout.
 
@@ -176,7 +190,7 @@ def simulate_column_phase(
     """
     if layout == "row-major":
         metrics = simulate_baseline_column_phase(
-            config, n, max_requests=max_requests, spans=spans
+            config, n, max_requests=max_requests, spans=spans, engine=engine
         )
         return ColumnPhaseRun(metrics, layout, "in_order")
     s = config.memory.row_elements
@@ -190,7 +204,7 @@ def simulate_column_phase(
         block = BlockDDLLayout(n, n, s // height, height)
         metrics = simulate_optimized_column_phase(
             config, n, block, whole_blocks=whole_blocks,
-            max_requests=max_requests, spans=spans,
+            max_requests=max_requests, spans=spans, engine=engine,
         )
         return ColumnPhaseRun(
             metrics, layout, "per_vault", height=block.height, width=block.width
@@ -208,7 +222,7 @@ def simulate_column_phase(
     if isinstance(built, BlockDDLLayout):
         metrics = simulate_optimized_column_phase(
             config, n, built, whole_blocks=whole_blocks,
-            max_requests=max_requests, spans=spans,
+            max_requests=max_requests, spans=spans, engine=engine,
         )
         return ColumnPhaseRun(
             metrics, layout, "per_vault", height=built.height, width=built.width
@@ -220,7 +234,11 @@ def simulate_column_phase(
         with span_or_null(spans, "generate-trace", cols=sample_cols):
             trace = column_walk_trace(built, cols=range(sample_cols))
         with span_or_null(spans, "simulate", requests=len(trace)):
-            stats = _sampled(memory.simulate(trace, "in_order"), len(trace), total)
+            stats = _sampled(
+                memory.simulate(trace, "in_order", engine=engine),
+                len(trace),
+                total,
+            )
     metrics = PhaseMetrics(
         name="column",
         n_bytes=total * ELEMENT_BYTES,
@@ -238,6 +256,7 @@ def simulate_row_phase(
     layout: BlockDDLLayout | None = None,
     max_requests: int = DEFAULT_SAMPLE_REQUESTS,
     spans: SpanTimeline | None = None,
+    engine: str = "exact",
 ) -> PhaseMetrics:
     """Phase 1: streaming writes of row-FFT results.
 
@@ -272,7 +291,9 @@ def simulate_row_phase(
                 simulated = len(trace)
         with span_or_null(spans, "simulate", requests=simulated):
             stats = _sampled(
-                memory.simulate(trace, "per_vault"), simulated, total
+                memory.simulate(trace, "per_vault", engine=engine),
+                simulated,
+                total,
             )
     first_row_ns = n * ELEMENT_BYTES / config.kernel.throughput_bytes_per_s(n) * 1e9
     return PhaseMetrics(

@@ -16,10 +16,25 @@ disciplines are supported:
     architecture, whose controlling unit issues block requests to all
     vaults up front.
 
-The per-request rules are exactly those of
-:class:`~repro.memory3d.vault.VaultTimingModel`; the hot loop here is an
-array-state re-implementation (no per-request allocation) that the test
-suite cross-checks against the reference class.
+Two engines price a trace:
+
+``exact``
+    The per-request array-state loop below -- the reference semantics.
+    Its rules are exactly those of
+    :class:`~repro.memory3d.vault.VaultTimingModel` (cross-checked in the
+    tests); faults, refresh, recorders and every other feature run here.
+
+``vector``
+    The numpy batch engine in :mod:`repro.memory3d.vector`: whole-trace
+    array scans, typically one to two orders of magnitude faster.  Both
+    engines compute in the shared integer-picosecond timebase
+    (:mod:`repro.memory3d.timebase`), so on every supported trace the
+    vector engine is *stat-for-stat equal* to the exact one -- the same
+    doubles, the same counts -- which CI enforces with a corpus-wide
+    equivalence gate.  Configurations the scan form cannot express
+    exactly (refresh, storm/throttle fault windows, attached event
+    recorders) fall back to the exact engine automatically; the
+    fallback reason lands in :attr:`Memory3D.last_fallback_reason`.
 
 Huge traces (an 8192x8192 phase is 67M requests) can be simulated on a
 representative prefix and extrapolated with :meth:`Memory3D.simulate`'s
@@ -38,6 +53,13 @@ from repro.errors import SimulationError
 from repro.memory3d.address import AddressMapping
 from repro.memory3d.config import Memory3DConfig
 from repro.memory3d.stats import AccessStats
+from repro.memory3d.timebase import (
+    mean_latency_ns,
+    ns_array_to_ps,
+    ns_to_ps,
+    ps_array_to_ns,
+    ps_to_ns,
+)
 from repro.memory3d.vault import VaultTimingModel
 from repro.obs.events import (
     EV_ACTIVATE,
@@ -56,8 +78,40 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> memory3d)
 
 _NEG_INF = float("-inf")
 
+#: Integer stand-in for "no activation yet" in the picosecond engines.
+_NO_ACT = -(1 << 62)
+
 #: Disciplines accepted by :meth:`Memory3D.simulate`.
 DISCIPLINES = ("in_order", "per_vault")
+
+#: Engines accepted by :meth:`Memory3D.simulate` (see module docs).
+ENGINES = ("exact", "vector")
+
+
+def _check_trace(trace: Any) -> Any:
+    """Validate a trace argument without expanding it.
+
+    Compiled traces are kept compact here: the vector engine prices
+    their runs directly, and only the exact engine (or a sampled run)
+    forces expansion via :func:`_as_trace`.
+    """
+    if isinstance(trace, TraceArray) or callable(getattr(trace, "expand", None)):
+        return trace
+    raise SimulationError(
+        f"expected a TraceArray or CompiledTrace, got {type(trace).__name__}"
+    )
+
+
+def _as_trace(trace: Any) -> TraceArray:
+    """Accept a TraceArray or anything expandable into one (CompiledTrace)."""
+    if isinstance(trace, TraceArray):
+        return trace
+    expand = getattr(trace, "expand", None)
+    if callable(expand):
+        return expand()
+    raise SimulationError(
+        f"expected a TraceArray or CompiledTrace, got {type(trace).__name__}"
+    )
 
 
 class Memory3D:
@@ -66,9 +120,11 @@ class Memory3D:
     An optional :class:`~repro.obs.events.Recorder` (e.g. an
     :class:`~repro.obs.events.EventTrace`) receives typed per-request
     events -- ACTIVATE, ROW_HIT, REFRESH_STALL, TSV_CONTENTION -- from
-    both engines.  The default :data:`~repro.obs.events.NULL_RECORDER`
+    both serial engines.  The default :data:`~repro.obs.events.NULL_RECORDER`
     disables recording; the hot loop then pays a single pointer test per
     request (benchmarked in ``benchmarks/bench_observability.py``).
+    An enabled recorder forces the exact engine (the vector engine
+    aggregates counts instead of emitting per-request events).
     """
 
     def __init__(
@@ -86,6 +142,12 @@ class Memory3D:
         #: :meth:`~repro.faults.plan.FaultState.summary` of the most recent
         #: faulted simulation (``None`` until one runs).
         self.last_fault_summary: dict[str, Any] | None = None
+        #: Engine that actually priced the most recent simulation
+        #: (``"exact"`` or ``"vector"``; ``None`` until one runs).
+        self.last_engine: str | None = None
+        #: Why a ``engine="vector"`` request fell back to the exact engine
+        #: (``None`` when it did not).
+        self.last_fallback_reason: str | None = None
 
     # ------------------------------------------------------------------ public
     def simulate(
@@ -94,11 +156,16 @@ class Memory3D:
         discipline: str = "in_order",
         sample: int | None = None,
         fault_plan: FaultPlan | None = None,
+        engine: str = "exact",
     ) -> AccessStats:
         """Run a trace and return aggregate statistics.
 
         Args:
-            trace: the element accesses, in program order.
+            trace: the element accesses, in program order (a
+                :class:`~repro.trace.request.TraceArray` or a
+                :class:`~repro.trace.compile.CompiledTrace`, which the
+                vector engine prices run by run and the exact engine
+                expands first).
             discipline: ``"in_order"`` or ``"per_vault"`` (see module docs).
             sample: if given and smaller than the trace, simulate only the
                 first ``sample`` requests and linearly extrapolate counts and
@@ -109,7 +176,12 @@ class Memory3D:
                 this run with (overrides the constructor plan; ``None``
                 falls back to it).  The fault accounting of the run lands
                 in :attr:`last_fault_summary`.
+            engine: ``"exact"`` (the per-request reference loop) or
+                ``"vector"`` (the numpy batch engine; stat-for-stat equal
+                on supported traces, with automatic exact fallback
+                otherwise -- see :attr:`last_fallback_reason`).
         """
+        trace = _check_trace(trace)
         if discipline not in DISCIPLINES:
             raise SimulationError(
                 f"unknown discipline {discipline!r}; expected one of {DISCIPLINES}"
@@ -120,14 +192,12 @@ class Memory3D:
         run = trace
         scale = 1.0
         if sample is not None and 0 < sample < total:
-            run = trace.head(sample)
+            run = _as_trace(trace).head(sample)
             scale = total / sample
         faults = self._compile_faults(fault_plan, len(run))
+        stats, _ = self._dispatch(run, discipline, faults, False, engine)
         if faults is not None:
-            stats, _ = self._simulate_faulted(run, discipline, faults)
             self.last_fault_summary = faults.summary()
-        else:
-            stats, _ = self._simulate_fast(run, discipline)
         if scale != 1.0:
             stats = stats.scaled(scale)
         return stats
@@ -142,6 +212,48 @@ class Memory3D:
         from repro.faults.plan import compile_plan
 
         return compile_plan(plan, self.config, n_requests)
+
+    def _dispatch(
+        self,
+        run: TraceArray,
+        discipline: str,
+        faults: FaultState | None,
+        record: bool,
+        engine: str,
+    ) -> tuple[AccessStats, np.ndarray | None]:
+        """Route one prepared run to the requested engine.
+
+        ``engine="vector"`` falls back to the exact engine when the trace
+        or configuration is outside the scan form's support envelope (or
+        if the scan fails to converge); the reason is kept in
+        :attr:`last_fallback_reason` and the engine that actually ran in
+        :attr:`last_engine`.
+        """
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.last_fallback_reason = None
+        if engine == "vector":
+            from repro.memory3d import vector
+
+            reason = vector.unsupported_reason(self.config, self.recorder, faults)
+            if reason is None:
+                try:
+                    out = vector.simulate_vector(
+                        self, run, discipline, faults, record
+                    )
+                except vector.VectorConvergenceError as exc:
+                    reason = str(exc)
+                else:
+                    self.last_engine = "vector"
+                    return out
+            self.last_fallback_reason = reason
+        self.last_engine = "exact"
+        run = _as_trace(run)
+        if faults is not None:
+            return self._simulate_faulted(run, discipline, faults, record)
+        return self._simulate_fast(run, discipline, record)
 
     def simulate_reference(
         self, trace: TraceArray, discipline: str = "in_order"
@@ -165,6 +277,11 @@ class Memory3D:
         ]
         v_ids, banks, rows, _ = self.mapping.decode_array(trace.addresses)
         arrivals = trace.arrival_ns
+        if arrivals is not None:
+            # The production engines snap arrivals onto the integer-ps
+            # grid at their boundary; the reference must gate on the
+            # same instants or latencies drift by up to 0.5 ps/request.
+            arrivals = ps_array_to_ns(ns_array_to_ps(arrivals))
         stream_ready = 0.0
         per_vault_ready = [0.0] * self.config.vaults
         first_completion = None
@@ -243,12 +360,15 @@ class Memory3D:
         tags: np.ndarray,
         discipline: str = "per_vault",
         fault_plan: FaultPlan | None = None,
+        engine: str = "exact",
     ) -> dict[int, AccessStats]:
         """Run a merged multi-tenant trace and split the stats per tag.
 
         Args:
             trace: the interleaved requests of all tenants, in issue order.
             tags: integer tenant id per request.
+            engine: ``"exact"`` or ``"vector"`` (same contract as
+                :meth:`simulate`).
 
         Returns:
             Per-tenant :class:`AccessStats`.  Each tenant's
@@ -262,6 +382,7 @@ class Memory3D:
             global (attributed to the shared banks) and reported only on
             the merged key ``-1``.
         """
+        trace = _as_trace(trace)
         tags = np.asarray(tags, dtype=np.int64)
         if tags.shape != trace.addresses.shape:
             raise SimulationError("tags shape must match the trace")
@@ -272,13 +393,9 @@ class Memory3D:
         if len(trace) == 0:
             return {-1: AccessStats()}
         faults = self._compile_faults(fault_plan, len(trace))
+        merged, completions = self._dispatch(trace, discipline, faults, True, engine)
         if faults is not None:
-            merged, completions = self._simulate_faulted(
-                trace, discipline, faults, record=True
-            )
             self.last_fault_summary = faults.summary()
-        else:
-            merged, completions = self._simulate_fast(trace, discipline, record=True)
         assert completions is not None
         result: dict[int, AccessStats] = {-1: merged}
         for tag in np.unique(tags).tolist():
@@ -301,6 +418,7 @@ class Memory3D:
         discipline: str = "in_order",
         bucket_ns: float = 100.0,
         sample: int | None = None,
+        engine: str = "exact",
     ) -> np.ndarray:
         """Achieved bandwidth (bytes/second) per time bucket.
 
@@ -316,12 +434,13 @@ class Memory3D:
             )
         if bucket_ns <= 0:
             raise SimulationError(f"bucket_ns must be positive, got {bucket_ns}")
-        run = trace
+        run = _check_trace(trace)
         if sample is not None and 0 < sample < len(trace):
-            run = trace.head(sample)
+            run = _as_trace(trace).head(sample)
         if len(run) == 0:
             return np.zeros(0)
-        _, completions = self._simulate_fast(run, discipline, record=True)
+        _, completions = self._dispatch(run, discipline, None, True, engine)
+        assert completions is not None
         buckets = np.floor_divide(completions, bucket_ns).astype(np.int64)
         counts = np.bincount(buckets)
         return counts * ELEMENT_BYTES / (bucket_ns / 1e9)
@@ -356,7 +475,13 @@ class Memory3D:
     def _simulate_fast(
         self, trace: TraceArray, discipline: str, record: bool = False
     ) -> tuple[AccessStats, np.ndarray | None]:
-        """Array-state in-order engine (same rules as VaultTimingModel).
+        """Array-state per-request engine (same rules as VaultTimingModel).
+
+        All internal arithmetic is integer picoseconds (see
+        :mod:`repro.memory3d.timebase`): associativity of integer
+        ``max``/``add`` is what makes the vectorized engine's scans
+        bit-identical to this loop.  Nanoseconds are converted at entry
+        (timing parameters, arrivals) and exit (stats, completions).
 
         With ``record=True`` the per-request completion times are returned
         alongside the stats (for :meth:`bandwidth_timeline`).
@@ -368,22 +493,25 @@ class Memory3D:
         """
         cfg = self.config
         timing = cfg.timing
-        t_in_row = timing.t_in_row
-        t_in_vault = timing.t_in_vault
-        t_diff_bank = timing.t_diff_bank
-        t_diff_row = timing.t_diff_row
+        t_in_row = ns_to_ps(timing.t_in_row)
+        t_in_vault = ns_to_ps(timing.t_in_vault)
+        t_diff_bank = ns_to_ps(timing.t_diff_bank)
+        t_diff_row = ns_to_ps(timing.t_diff_row)
         n_layers = cfg.layers
         banks_per_vault = cfg.banks_per_vault
         in_order = discipline == "in_order"
         recorder = self.recorder
         record_event = recorder.record if recorder.enabled else None
-        stall = 0.0
-        stall_ts = 0.0
+        stall = 0
+        stall_ts = 0
         refresh = cfg.refresh
         if refresh is not None:
-            refi = refresh.t_refi_ns
-            rfc = refresh.t_rfc_ns
-            refresh_offset = [v * refi / cfg.vaults for v in range(cfg.vaults)]
+            refi = ns_to_ps(refresh.t_refi_ns)
+            rfc = ns_to_ps(refresh.t_rfc_ns)
+            refresh_offset = [
+                ns_to_ps(v * refresh.t_refi_ns / cfg.vaults)
+                for v in range(cfg.vaults)
+            ]
 
         vaults_arr, banks_arr, rows_arr, _ = self.mapping.decode_array(trace.addresses)
         # Global bank ids flatten (vault, bank) so state lives in flat lists.
@@ -392,28 +520,30 @@ class Memory3D:
         bank_list = banks_arr.tolist()
         row_list = rows_arr.tolist()
         arrival_list = (
-            trace.arrival_ns.tolist() if trace.arrival_ns is not None else None
+            ns_array_to_ps(trace.arrival_ns).tolist()
+            if trace.arrival_ns is not None
+            else None
         )
 
         n_banks = cfg.total_banks
         n_vaults = cfg.vaults
         open_row = [-1] * n_banks
-        bank_next_act = [0.0] * n_banks
-        tsv_next = [0.0] * n_vaults
-        last_act_time = [_NEG_INF] * n_vaults
+        bank_next_act = [0] * n_banks
+        tsv_next = [0] * n_vaults
+        last_act_time = [_NO_ACT] * n_vaults
         last_act_layer = [-1] * n_vaults
         last_act_bank = [-1] * n_vaults
-        vault_ready = [0.0] * n_vaults
-        stream_ready = 0.0
+        vault_ready = [0] * n_vaults
+        stream_ready = 0
 
         activations = 0
         hits = 0
-        first_completion = 0.0
-        last_completion = 0.0
-        completions: list[float] | None = [] if record else None
+        first_completion = 0
+        last_completion = 0
+        completions: list[int] | None = [] if record else None
 
-        latency_sum = 0.0
-        latency_max = 0.0
+        latency_sum = 0
+        latency_max = 0
 
         for i, gbank in enumerate(gbank_list):
             vid = vault_list[i]
@@ -426,7 +556,7 @@ class Memory3D:
                 tsv_prev = tsv_next[vid]
                 beat = tsv_prev if tsv_prev > ready else ready
                 if refresh is not None:
-                    stall = 0.0
+                    stall = 0
                     phase = (beat - refresh_offset[vid]) % refi
                     if phase < rfc:
                         stall = rfc - phase
@@ -437,28 +567,32 @@ class Memory3D:
                     bank = bank_list[i]
                     if tsv_prev > ready:
                         record_event(
-                            EV_TSV_CONTENTION, vid, bank, row, ready,
-                            tsv_prev - ready,
+                            EV_TSV_CONTENTION, vid, bank, row, ps_to_ns(ready),
+                            ps_to_ns(tsv_prev - ready),
                         )
-                    if stall > 0.0:
+                    if stall > 0:
                         record_event(
-                            EV_REFRESH_STALL, vid, bank, row, stall_ts, stall
+                            EV_REFRESH_STALL, vid, bank, row,
+                            ps_to_ns(stall_ts), ps_to_ns(stall),
                         )
-                    record_event(EV_ROW_HIT, vid, bank, row, beat, t_in_row)
+                    record_event(
+                        EV_ROW_HIT, vid, bank, row, ps_to_ns(beat),
+                        timing.t_in_row,
+                    )
             else:
                 act = bank_next_act[gbank]
                 if ready > act:
                     act = ready
                 prev_act = last_act_time[vid]
                 bank = bank_list[i]
-                if prev_act != _NEG_INF and last_act_bank[vid] != bank:
+                if prev_act != _NO_ACT and last_act_bank[vid] != bank:
                     layer = bank % n_layers
                     gap = t_diff_bank if layer == last_act_layer[vid] else t_in_vault
                     gated = prev_act + gap
                     if gated > act:
                         act = gated
                 if refresh is not None:
-                    stall = 0.0
+                    stall = 0
                     stall_ts = act
                     phase = (act - refresh_offset[vid]) % refi
                     if phase < rfc:
@@ -476,21 +610,25 @@ class Memory3D:
                     phase = (beat - refresh_offset[vid]) % refi
                     if phase < rfc:
                         extra = rfc - phase
-                        if stall == 0.0:
+                        if stall == 0:
                             stall_ts = beat
                         stall += extra
                         beat += extra
                 completion = beat + t_in_row
                 if record_event is not None:
-                    record_event(EV_ACTIVATE, vid, bank, row, act, t_diff_row)
+                    record_event(
+                        EV_ACTIVATE, vid, bank, row, ps_to_ns(act),
+                        timing.t_diff_row,
+                    )
                     if tsv_prev > act:
                         record_event(
-                            EV_TSV_CONTENTION, vid, bank, row, act,
-                            tsv_prev - act,
+                            EV_TSV_CONTENTION, vid, bank, row, ps_to_ns(act),
+                            ps_to_ns(tsv_prev - act),
                         )
-                    if stall > 0.0:
+                    if stall > 0:
                         record_event(
-                            EV_REFRESH_STALL, vid, bank, row, stall_ts, stall
+                            EV_REFRESH_STALL, vid, bank, row,
+                            ps_to_ns(stall_ts), ps_to_ns(stall),
                         )
             tsv_next[vid] = completion
             if in_order:
@@ -510,25 +648,30 @@ class Memory3D:
                     latency_max = latency
 
         busy = {
-            vid: tsv_next[vid] for vid in range(n_vaults) if tsv_next[vid] > 0.0
+            vid: ps_to_ns(tsv_next[vid])
+            for vid in range(n_vaults)
+            if tsv_next[vid] > 0
         }
         n_requests = len(trace)
         stats = AccessStats(
             requests=n_requests,
             bytes_transferred=n_requests * ELEMENT_BYTES,
-            elapsed_ns=last_completion,
+            elapsed_ns=ps_to_ns(last_completion),
             row_activations=activations,
             row_hits=hits,
             per_vault_busy_ns=busy,
-            first_response_ns=first_completion,
+            first_response_ns=ps_to_ns(first_completion),
             mean_request_latency_ns=(
-                latency_sum / n_requests if arrival_list is not None and n_requests
+                mean_latency_ns(latency_sum, n_requests)
+                if arrival_list is not None
                 else 0.0
             ),
-            max_request_latency_ns=latency_max,
+            max_request_latency_ns=ps_to_ns(latency_max),
         )
         recorded = (
-            np.asarray(completions, dtype=np.float64) if record else None
+            ps_array_to_ns(np.asarray(completions, dtype=np.int64))
+            if record
+            else None
         )
         return stats, recorded
 
@@ -547,26 +690,31 @@ class Memory3D:
         vault remapping, storm lockouts, thermal beat stretching, seeded
         jitter and ECC correction penalties.  With an all-identity
         :class:`~repro.faults.plan.FaultState` the produced stats equal
-        the fast engine's exactly (cross-checked in the tests).
+        the fast engine's exactly (cross-checked in the tests).  Like the
+        healthy loop, the arithmetic is integer picoseconds; the fault
+        plan's ns magnitudes are converted once on entry.
         """
         cfg = self.config
         timing = cfg.timing
-        t_in_row = timing.t_in_row
-        t_in_vault = timing.t_in_vault
-        t_diff_bank = timing.t_diff_bank
-        t_diff_row = timing.t_diff_row
+        t_in_row = ns_to_ps(timing.t_in_row)
+        t_in_vault = ns_to_ps(timing.t_in_vault)
+        t_diff_bank = ns_to_ps(timing.t_diff_bank)
+        t_diff_row = ns_to_ps(timing.t_diff_row)
         n_layers = cfg.layers
         banks_per_vault = cfg.banks_per_vault
         in_order = discipline == "in_order"
         recorder = self.recorder
         record_event = recorder.record if recorder.enabled else None
-        stall = 0.0
-        stall_ts = 0.0
+        stall = 0
+        stall_ts = 0
         refresh = cfg.refresh
         if refresh is not None:
-            refi = refresh.t_refi_ns
-            rfc = refresh.t_rfc_ns
-            refresh_offset = [v * refi / cfg.vaults for v in range(cfg.vaults)]
+            refi = ns_to_ps(refresh.t_refi_ns)
+            rfc = ns_to_ps(refresh.t_rfc_ns)
+            refresh_offset = [
+                ns_to_ps(v * refresh.t_refi_ns / cfg.vaults)
+                for v in range(cfg.vaults)
+            ]
 
         vaults_arr, banks_arr, rows_arr, _ = self.mapping.decode_array(trace.addresses)
         f_remap = faults.remap
@@ -575,44 +723,63 @@ class Memory3D:
             remapped = remap_arr[vaults_arr]
             faults.remapped_requests = int((remapped != vaults_arr).sum())
             vaults_arr = remapped
-        f_jitter = faults.jitter
-        f_storms = faults.storms
+        f_jitter = (
+            ns_array_to_ps(np.asarray(faults.jitter)).tolist()
+            if faults.jitter is not None
+            else None
+        )
+        f_storms = tuple(
+            (
+                ns_to_ps(period),
+                ns_to_ps(duration),
+                [ns_to_ps(off) for off in offsets],
+                vault_set,
+            )
+            for period, duration, offsets, vault_set in faults.storms
+        )
         f_throttle = faults.throttle
         f_errors = faults.error_class
-        f_correction = faults.correction_ns
+        f_correction = ns_to_ps(faults.correction_ns)
 
         gbank_list = (vaults_arr * banks_per_vault + banks_arr).tolist()
         vault_list = vaults_arr.tolist()
         bank_list = banks_arr.tolist()
         row_list = rows_arr.tolist()
         arrival_list = (
-            trace.arrival_ns.tolist() if trace.arrival_ns is not None else None
+            ns_array_to_ps(trace.arrival_ns).tolist()
+            if trace.arrival_ns is not None
+            else None
         )
 
         n_banks = cfg.total_banks
         n_vaults = cfg.vaults
         open_row = [-1] * n_banks
-        bank_next_act = [0.0] * n_banks
-        tsv_next = [0.0] * n_vaults
-        last_act_time = [_NEG_INF] * n_vaults
+        bank_next_act = [0] * n_banks
+        tsv_next = [0] * n_vaults
+        last_act_time = [_NO_ACT] * n_vaults
         last_act_layer = [-1] * n_vaults
         last_act_bank = [-1] * n_vaults
-        vault_ready = [0.0] * n_vaults
-        stream_ready = 0.0
+        vault_ready = [0] * n_vaults
+        stream_ready = 0
         if f_throttle is not None:
-            window_ns, busy_limit_ns, extra_factor = f_throttle
-            win_start = [0.0] * n_vaults
-            win_busy = [0.0] * n_vaults
+            window_ps = ns_to_ps(f_throttle[0])
+            busy_limit_ps = ns_to_ps(f_throttle[1])
+            extra_per_beat = ns_to_ps(timing.t_in_row * f_throttle[2])
+            win_start = [0] * n_vaults
+            win_busy = [0] * n_vaults
             throttled = [False] * n_vaults
 
         activations = 0
         hits = 0
-        first_completion = 0.0
-        last_completion = 0.0
-        completions: list[float] | None = [] if record else None
+        first_completion = 0
+        last_completion = 0
+        completions: list[int] | None = [] if record else None
 
-        latency_sum = 0.0
-        latency_max = 0.0
+        jitter_total = 0
+        storm_total = 0
+        throttle_total = 0
+        latency_sum = 0
+        latency_max = 0
 
         for i, gbank in enumerate(gbank_list):
             vid = vault_list[i]
@@ -624,7 +791,7 @@ class Memory3D:
                 hits += 1
                 tsv_prev = tsv_next[vid]
                 beat = tsv_prev if tsv_prev > ready else ready
-                stall = 0.0
+                stall = 0
                 if refresh is not None:
                     phase = (beat - refresh_offset[vid]) % refi
                     if phase < rfc:
@@ -637,11 +804,11 @@ class Memory3D:
                     phase = (beat - offsets[vid]) % period
                     if phase < duration:
                         extra = duration - phase
-                        if stall == 0.0:
+                        if stall == 0:
                             stall_ts = beat
                         stall += extra
                         beat += extra
-                        faults.storm_stall_ns += extra
+                        storm_total += extra
                 hit = True
                 act = beat  # event timestamp base for the beat
             else:
@@ -650,13 +817,13 @@ class Memory3D:
                     act = ready
                 prev_act = last_act_time[vid]
                 bank = bank_list[i]
-                if prev_act != _NEG_INF and last_act_bank[vid] != bank:
+                if prev_act != _NO_ACT and last_act_bank[vid] != bank:
                     layer = bank % n_layers
                     gap = t_diff_bank if layer == last_act_layer[vid] else t_in_vault
                     gated = prev_act + gap
                     if gated > act:
                         act = gated
-                stall = 0.0
+                stall = 0
                 stall_ts = act
                 if refresh is not None:
                     phase = (act - refresh_offset[vid]) % refi
@@ -671,7 +838,7 @@ class Memory3D:
                         extra = duration - phase
                         stall += extra
                         act += extra
-                        faults.storm_stall_ns += extra
+                        storm_total += extra
                 open_row[gbank] = row
                 bank_next_act[gbank] = act + t_diff_row
                 last_act_time[vid] = act
@@ -684,7 +851,7 @@ class Memory3D:
                     phase = (beat - refresh_offset[vid]) % refi
                     if phase < rfc:
                         extra = rfc - phase
-                        if stall == 0.0:
+                        if stall == 0:
                             stall_ts = beat
                         stall += extra
                         beat += extra
@@ -694,38 +861,37 @@ class Memory3D:
                     phase = (beat - offsets[vid]) % period
                     if phase < duration:
                         extra = duration - phase
-                        if stall == 0.0:
+                        if stall == 0:
                             stall_ts = beat
                         stall += extra
                         beat += extra
-                        faults.storm_stall_ns += extra
+                        storm_total += extra
                 hit = False
 
             # Thermal throttling: close windows that ended before this beat,
             # then stretch the beat if the vault is currently derated.
-            beat_ns = t_in_row
+            beat_time = t_in_row
             if f_throttle is not None:
                 ws = win_start[vid]
-                if beat >= ws + window_ns:
-                    elapsed_windows = int((beat - ws) // window_ns)
-                    hot = win_busy[vid] > busy_limit_ns
+                if beat >= ws + window_ps:
+                    elapsed_windows = (beat - ws) // window_ps
+                    hot = win_busy[vid] > busy_limit_ps
                     # Only an *adjacent* hot window carries the derate over;
                     # any idle window in between lets the vault cool.
                     throttled[vid] = hot and elapsed_windows == 1
                     if hot:
                         faults.throttled_windows += 1
-                    win_start[vid] = ws + elapsed_windows * window_ns
-                    win_busy[vid] = 0.0
+                    win_start[vid] = ws + elapsed_windows * window_ps
+                    win_busy[vid] = 0
                 if throttled[vid]:
-                    extra = t_in_row * extra_factor
-                    beat_ns += extra
-                    faults.throttle_stall_ns += extra
-                win_busy[vid] += beat_ns
-            completion = beat + beat_ns
+                    beat_time += extra_per_beat
+                    throttle_total += extra_per_beat
+                win_busy[vid] += beat_time
+            completion = beat + beat_time
             if f_jitter is not None:
                 jit = f_jitter[i]
                 completion += jit
-                faults.jitter_ns += jit
+                jitter_total += jit
             err = 0
             if f_errors is not None:
                 err = f_errors[i]
@@ -740,26 +906,33 @@ class Memory3D:
                 if hit:
                     if tsv_prev > ready:
                         record_event(
-                            EV_TSV_CONTENTION, vid, bank, row, ready,
-                            tsv_prev - ready,
+                            EV_TSV_CONTENTION, vid, bank, row, ps_to_ns(ready),
+                            ps_to_ns(tsv_prev - ready),
                         )
                 else:
-                    record_event(EV_ACTIVATE, vid, bank, row, act, t_diff_row)
+                    record_event(
+                        EV_ACTIVATE, vid, bank, row, ps_to_ns(act),
+                        timing.t_diff_row,
+                    )
                     if tsv_prev > act:
                         record_event(
-                            EV_TSV_CONTENTION, vid, bank, row, act,
-                            tsv_prev - act,
+                            EV_TSV_CONTENTION, vid, bank, row, ps_to_ns(act),
+                            ps_to_ns(tsv_prev - act),
                         )
-                if stall > 0.0:
+                if stall > 0:
                     record_event(
-                        EV_REFRESH_STALL, vid, bank, row, stall_ts, stall
+                        EV_REFRESH_STALL, vid, bank, row,
+                        ps_to_ns(stall_ts), ps_to_ns(stall),
                     )
                 if hit:
-                    record_event(EV_ROW_HIT, vid, bank, row, beat, beat_ns)
+                    record_event(
+                        EV_ROW_HIT, vid, bank, row, ps_to_ns(beat),
+                        ps_to_ns(beat_time),
+                    )
                 if err:
                     record_event(
-                        EV_BIT_ERROR, vid, bank, row, beat,
-                        f_correction if err == 1 else 0.0,
+                        EV_BIT_ERROR, vid, bank, row, ps_to_ns(beat),
+                        faults.correction_ns if err == 1 else 0.0,
                     )
 
             tsv_next[vid] = completion
@@ -779,25 +952,33 @@ class Memory3D:
                 if latency > latency_max:
                     latency_max = latency
 
+        faults.jitter_ns = ps_to_ns(jitter_total)
+        faults.storm_stall_ns = ps_to_ns(storm_total)
+        faults.throttle_stall_ns = ps_to_ns(throttle_total)
         busy = {
-            vid: tsv_next[vid] for vid in range(n_vaults) if tsv_next[vid] > 0.0
+            vid: ps_to_ns(tsv_next[vid])
+            for vid in range(n_vaults)
+            if tsv_next[vid] > 0
         }
         n_requests = len(trace)
         stats = AccessStats(
             requests=n_requests,
             bytes_transferred=n_requests * ELEMENT_BYTES,
-            elapsed_ns=last_completion,
+            elapsed_ns=ps_to_ns(last_completion),
             row_activations=activations,
             row_hits=hits,
             per_vault_busy_ns=busy,
-            first_response_ns=first_completion,
+            first_response_ns=ps_to_ns(first_completion),
             mean_request_latency_ns=(
-                latency_sum / n_requests if arrival_list is not None and n_requests
+                mean_latency_ns(latency_sum, n_requests)
+                if arrival_list is not None
                 else 0.0
             ),
-            max_request_latency_ns=latency_max,
+            max_request_latency_ns=ps_to_ns(latency_max),
         )
         recorded = (
-            np.asarray(completions, dtype=np.float64) if record else None
+            ps_array_to_ns(np.asarray(completions, dtype=np.int64))
+            if record
+            else None
         )
         return stats, recorded

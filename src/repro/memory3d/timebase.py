@@ -1,0 +1,58 @@
+"""Integer-picosecond timebase shared by the timing engines.
+
+Both engines (the exact per-request loop in
+:mod:`repro.memory3d.memory` and the vectorized batch engine in
+:mod:`repro.memory3d.vector`) do their internal arithmetic in *integer
+picoseconds*.  Integer ``add``/``max`` are associative, so a serial
+recurrence and a numpy scan over the same trace produce bit-identical
+values -- which is what lets the equivalence gate assert the two engines
+stat-for-stat *equal* (``==``, not ``approx``) and lets sweep documents
+stay byte-identical whichever engine priced them.
+
+Nanoseconds remain the public unit: configs, fault plans and
+:class:`~repro.memory3d.stats.AccessStats` all speak ns.  Conversion
+happens once per simulation at this boundary; ``1.6 ns`` becomes exactly
+``1600 ps`` and ``1600 / 1000.0`` is exactly the double ``1.6`` again,
+so round-tripping the paper's timing constants is lossless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Picoseconds per nanosecond -- the fixed-point scale of the engines.
+PS_PER_NS = 1000
+
+
+def ns_to_ps(value_ns: float) -> int:
+    """One ns quantity as integer picoseconds (nearest-ps rounding)."""
+    return int(round(value_ns * PS_PER_NS))
+
+
+def ns_array_to_ps(values_ns: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`ns_to_ps` -- float64 ns to int64 ps."""
+    return np.rint(np.asarray(values_ns, dtype=np.float64) * PS_PER_NS).astype(
+        np.int64
+    )
+
+
+def ps_to_ns(value_ps: int) -> float:
+    """Integer picoseconds back to float nanoseconds."""
+    return value_ps / PS_PER_NS
+
+
+def ps_array_to_ns(values_ps: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`ps_to_ns` -- int64 ps to float64 ns."""
+    return np.asarray(values_ps, dtype=np.float64) / PS_PER_NS
+
+
+def mean_latency_ns(latency_sum_ps: int, n_requests: int) -> float:
+    """The canonical mean-latency conversion both engines must share.
+
+    Floating-point division is deterministic but not associative, so the
+    two engines must evaluate the *same expression* on the same integer
+    aggregate to report the same double.
+    """
+    if n_requests <= 0:
+        return 0.0
+    return (latency_sum_ps / n_requests) / PS_PER_NS

@@ -1,0 +1,800 @@
+"""Vectorized batch timing engine.
+
+This module prices a whole trace with numpy array scans and closed-form
+run arithmetic instead of the per-request Python loop in
+:mod:`repro.memory3d.memory`.  It is selected with ``engine="vector"``
+on :meth:`~repro.memory3d.memory.Memory3D.simulate` and is the default
+engine for sweep workers; CI's ``engine-equivalence`` job asserts it
+stat-for-stat *equal* (``==``, not approximately equal) to the exact
+engine on the full corpus.
+
+How the scan form works
+-----------------------
+
+Let ``x_i`` be the completion time of request *i*,
+``add_i = t_in_row + jitter_i + correction_i`` its service tail, and
+``a_i = x_i - add_i`` its beat (hit) or activation (miss) time.  In the
+exact engine every ``a_i`` is the maximum of a handful of lower bounds,
+each tying a request to its *predecessor along one chain*:
+
+* **Chain A (discipline)** -- ``a_i >= a_pred + add_pred`` where ``pred``
+  is the previous request globally (``in_order``) or on the same vault
+  (``per_vault``).
+* **Chain B (row buffer)** -- a row miss activates at least
+  ``t_diff_row`` after the previous activation of the same bank.
+* **Chain C (vault activation gate)** -- consecutive activations on the
+  same vault are spaced by ``t_diff_bank`` (same layer) or
+  ``t_in_vault`` (different layer); when they hit the same bank, chain B
+  already enforces the stronger ``t_diff_row``, so the link is dropped.
+
+Each chain constraint ``a_i >= a_pred + step_i`` becomes a *running
+maximum* after subtracting the chain's prefix sum of steps, and a
+running maximum over many independent chains is one
+``np.maximum.accumulate`` after offsetting each chain into its own
+disjoint value band (chain counts are bounded by the device geometry --
+vaults and banks -- never by the trace length).  The engine seeds ``a``
+with the arrival lower bound and sweeps chains A, B, C until a whole
+pass changes nothing: because every relaxation only applies true
+constraints of the exact system, the least fixpoint it converges to *is*
+the exact engine's solution, bit for bit (both engines share the
+integer-picosecond timebase of :mod:`repro.memory3d.timebase`, where
+``max``/``add`` are associative).
+
+Two refinements keep the pass count small:
+
+* **Dominance pruning.**  A chain-B/C link whose endpoints are ``d``
+  requests apart along their chain-A path is implied by chain A whenever
+  ``d * min(add) >= step`` -- composing A's per-request spacing already
+  yields a bound at least as strong.  Pruned links break their chain, so
+  scattered access patterns (where bank revisits are far apart) collapse
+  to chain A alone.
+* **Blocking.**  The trace is priced in cache-resident blocks; the exact
+  per-bank / per-vault state (open row, earliest next activation, last
+  activation, ready times) is carried across block boundaries and enters
+  the next block as constant lower bounds on each chain's first members.
+  The constraint set is unchanged -- blocking only bounds how far a
+  relaxation pass must propagate.
+
+Closed-form run pricing
+-----------------------
+
+A :class:`~repro.trace.compile.CompiledTrace` run whose stride keeps
+every request on *one* bank (stride divisible by
+``row_bytes * vaults * banks_per_vault``) has a trivially serial
+interior: each request's beat is ``max(add, t_diff_row)`` after its
+predecessor (row-stepping runs miss every time) or exactly ``add``
+after it (stride-0 runs hit every time), so the whole run is an
+arithmetic series priced with O(1) scalar work.  Only the run's first
+two requests see carried device state.  The engine walks a compiled
+trace run by run, pricing such uniform-bank runs in closed form and
+batching everything else through the array scan above, with the same
+carried state threaded through both paths -- so the result is still
+bit-identical to the exact engine.  Raw :class:`TraceArray` inputs are
+auto-compiled when they compress well (see :data:`AUTO_COMPILE_MIN`).
+
+TSV return-link contention never constrains either discipline (the
+link's previous completion is always <= the stream/vault ready time), so
+the scan form omits it.
+
+Support envelope
+----------------
+
+Refresh windows, storm/throttle fault windows and per-request event
+recording are inherently serial (each request's stall depends on where
+inside a wall-clock window its beat lands), so those configurations fall
+back to the exact engine -- see :func:`unsupported_reason`.  Vault
+remapping, latency jitter, arrival times and bit-error correction are
+handled here, vectorized.
+
+Per-request Python loops are banned in this module by lint rule DET004
+(see :mod:`repro.analysis.rules.determinism`): every ``for`` must
+iterate over a ``range()`` whose extent is the block count, the run
+count, the pass budget or device geometry, never the trace itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import AddressError
+from repro.memory3d.stats import AccessStats
+from repro.memory3d.timebase import (
+    mean_latency_ns,
+    ns_array_to_ps,
+    ns_to_ps,
+    ps_array_to_ns,
+    ps_to_ns,
+)
+from repro.units import ELEMENT_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.faults.plan import FaultState
+    from repro.memory3d.config import Memory3DConfig
+    from repro.memory3d.memory import Memory3D
+    from repro.obs.events import Recorder
+    from repro.trace.compile import CompiledTrace
+    from repro.trace.request import TraceArray
+
+#: Requests per pricing block.  Big enough to amortize per-block numpy
+#: setup, small enough that the working set stays cache-resident and the
+#: in-block critical path hops between chain families only a few times.
+BLOCK = 1 << 18
+
+#: Upper bound on relaxation sweeps within one block before the engine
+#: gives up and the caller falls back to the exact loop.  Real traces
+#: settle in a handful of sweeps; the cap only exists so an adversarial
+#: interleaving degrades to the exact engine instead of spinning.
+MAX_PASSES = 64
+
+#: Raw traces at least this long are auto-compiled to run descriptors
+#: (and priced per run when that compresses by :data:`AUTO_COMPILE_RATIO`
+#: or better).  Short traces skip the probe -- the array scan is cheap
+#: enough there.
+AUTO_COMPILE_MIN = 1 << 14
+
+#: Minimum requests-per-run, on average, for auto-compilation to pay:
+#: below this the per-run Python arithmetic would rival the array scan.
+AUTO_COMPILE_RATIO = 64
+
+#: Error-class codes, mirroring ``repro.faults.plan`` (not imported at
+#: runtime to keep the faults -> memory3d dependency one-directional).
+_ERR_CORRECTED = 1
+_ERR_UNCORRECTABLE = 2
+
+#: Integer stand-in for "no activation yet", matching the exact engine.
+_NO_ACT = -(1 << 62)
+
+
+class VectorConvergenceError(RuntimeError):
+    """The chain relaxation did not reach a fixpoint within budget.
+
+    Raised (rarely) instead of returning a wrong answer;
+    :class:`~repro.memory3d.memory.Memory3D` catches it and re-runs the
+    trace on the exact engine.
+    """
+
+
+def unsupported_reason(
+    config: Memory3DConfig,
+    recorder: Recorder,
+    faults: FaultState | None,
+) -> str | None:
+    """Why this configuration needs the exact engine (``None`` = it doesn't).
+
+    The vector engine handles every timing rule that can be phrased as a
+    fixed minimum spacing along a chain.  Window-based features cannot:
+    a refresh or storm stall depends on *where in the window* the beat
+    lands, which depends on every earlier stall.  Event recording needs
+    the per-request loop because events carry per-request context.
+    """
+    if config.refresh is not None:
+        return "refresh windows require serial phase arithmetic"
+    if recorder.enabled:
+        return "an enabled event recorder requires per-request event emission"
+    if faults is not None:
+        if faults.storms:
+            return "refresh-storm windows require serial phase arithmetic"
+        if faults.throttle is not None:
+            return "thermal-throttle windows require serial busy accounting"
+    return None
+
+
+def _changes(values: np.ndarray) -> np.ndarray:
+    """Boolean head marks: True at 0 and wherever ``values[k] != values[k-1]``."""
+    head = np.ones(len(values), dtype=bool)
+    head[1:] = values[1:] != values[:-1]
+    return head
+
+
+def _relax(
+    a: np.ndarray,
+    order: np.ndarray | None,
+    c: np.ndarray,
+    seg: np.ndarray | None,
+) -> bool:
+    """One relaxation sweep of ``a`` along a family of disjoint chains.
+
+    ``order`` lists request indices chain by chain (``None`` = the whole
+    block in program order, one chain); ``c`` is the prefix sum of the
+    chain steps; ``seg`` numbers the chains (``None`` = single chain).
+    Enforces, in place,
+
+        a[order[k]] >= a[order[k-1]] + (c[k] - c[k-1])    (within a chain)
+
+    by turning the constraint into a running maximum of ``a - c``, with
+    each chain lifted into its own disjoint value band so one
+    ``np.maximum.accumulate`` covers all of them.  Returns ``True`` if
+    any value was raised.
+    """
+    cur = a if order is None else a[order]
+    y = cur - c
+    if seg is not None:
+        span = int(y.max()) - int(y.min()) + 1
+        # Chain counts are device geometry (<= banks), so the band trick
+        # cannot overflow int64 in practice; degrade safely regardless.
+        if span * (int(seg[-1]) + 1) >= (1 << 62):
+            raise VectorConvergenceError("chain band offset would overflow int64")
+        band = seg * span
+        y += band
+        np.maximum.accumulate(y, out=y)
+        y -= band
+    else:
+        np.maximum.accumulate(y, out=y)
+    y += c
+    if np.array_equal(y, cur):
+        return False
+    if order is None:
+        a[:] = y
+    else:
+        a[order] = y
+    return True
+
+
+def _seg_ids(head: np.ndarray) -> np.ndarray | None:
+    """Chain ids from head marks (``None`` when there is a single chain)."""
+    seg = np.cumsum(head, dtype=np.int64) - 1
+    return seg if int(seg[-1]) > 0 else None
+
+
+class _Engine:
+    """Carried device state plus aggregates, shared by both pricing paths.
+
+    The attributes mirror the exact engine's per-bank / per-vault
+    variables one for one; :meth:`price_arrays` advances them with the
+    blocked chain relaxation and :meth:`price_run` with closed-form run
+    arithmetic.  Either way the state after a prefix of the trace is
+    identical, which is what lets a compiled trace interleave the two.
+    """
+
+    def __init__(
+        self, memory: Memory3D, discipline: str, n: int, record: bool
+    ) -> None:
+        cfg = memory.config
+        timing = cfg.timing
+        self.t_in_row = ns_to_ps(timing.t_in_row)
+        self.t_in_vault = ns_to_ps(timing.t_in_vault)
+        self.t_diff_bank = ns_to_ps(timing.t_diff_bank)
+        self.t_diff_row = ns_to_ps(timing.t_diff_row)
+        self.n_layers = cfg.layers
+        self.n_vaults = cfg.vaults
+        self.n_banks = cfg.total_banks
+        self.banks_per_vault = cfg.banks_per_vault
+        self.in_order = discipline == "in_order"
+
+        # Carried cross-block state -- exactly the exact engine's arrays.
+        self.open_row = np.full(self.n_banks, -1, dtype=np.int64)
+        self.bank_next_act = np.zeros(self.n_banks, dtype=np.int64)
+        self.last_act_a = np.full(self.n_vaults, _NO_ACT, dtype=np.int64)
+        self.last_act_bank = np.full(self.n_vaults, -1, dtype=np.int64)
+        self.vault_ready = np.zeros(self.n_vaults, dtype=np.int64)
+        self.stream_ready = 0
+
+        self.busy_ps = np.zeros(self.n_vaults, dtype=np.int64)
+        self.x_out = np.empty(n, dtype=np.int64) if record else None
+        self.activations = 0
+        self.first_completion = 0
+        self.last_completion = 0
+        self.latency_sum = 0
+        self.latency_max = 0
+
+    # ------------------------------------------------------------ array path
+    def price_arrays(
+        self,
+        va: np.ndarray,
+        ba: np.ndarray,
+        rows: np.ndarray,
+        gbank: np.ndarray,
+        add: np.ndarray | None,
+        min_add: int,
+        arrivals: np.ndarray | None,
+        base: int,
+    ) -> None:
+        """Price one contiguous trace segment with the blocked chain scan.
+
+        ``add is None`` means the constant service tail ``t_in_row``
+        (the fault-free case); ``base`` is the segment's global request
+        index, used for the recorded completions and the first response.
+        """
+        t_in_row = self.t_in_row
+        t_in_vault = self.t_in_vault
+        t_diff_bank = self.t_diff_bank
+        t_diff_row = self.t_diff_row
+        n_layers = self.n_layers
+        in_order = self.in_order
+        open_row = self.open_row
+        bank_next_act = self.bank_next_act
+        last_act_a = self.last_act_a
+        last_act_bank = self.last_act_bank
+        vault_ready = self.vault_ready
+
+        n = len(va)
+        block_arange = np.arange(min(n, BLOCK), dtype=np.int64)
+        n_blocks = (n + BLOCK - 1) // BLOCK
+        for blk in range(n_blocks):
+            lo = blk * BLOCK
+            hi = min(lo + BLOCK, n)
+            m = hi - lo
+            va_b = va[lo:hi]
+            ba_b = ba[lo:hi]
+            gb_b = gbank[lo:hi]
+            rows_b = rows[lo:hi]
+            add_b = add[lo:hi] if add is not None else None
+            pos_b = block_arange[:m]
+
+            # --- row hit/miss classification (timing-independent) ---------
+            # Request k hits iff the previous access to its bank touched
+            # the same row; "previous" resolves within the block via a
+            # stable group-by-bank sort and across blocks via the carried
+            # open rows.
+            og = np.argsort(gb_b, kind="stable")
+            gs = gb_b[og]
+            rs = rows_b[og]
+            head_g = _changes(gs)
+            hit_sorted = np.zeros(m, dtype=bool)
+            hit_sorted[1:] = ~head_g[1:] & (rs[1:] == rs[:-1])
+            g_firsts = np.flatnonzero(head_g)
+            hit_sorted[g_firsts] = open_row[gs[g_firsts]] == rs[g_firsts]
+            g_ends = np.append(g_firsts[1:] - 1, m - 1)
+            open_row[gs[g_ends]] = rs[g_ends]
+            block_hits = int(hit_sorted.sum())
+            self.activations += m - block_hits
+
+            # --- chain construction ---------------------------------------
+            # og restricted to misses keeps both the bank grouping and the
+            # program order within each group: chain B needs no second sort.
+            miss_sorted = np.flatnonzero(~hit_sorted)
+            ob = og[miss_sorted]
+            gb_ob = gs[miss_sorted]
+            head_b0 = _changes(gb_ob) if len(ob) else np.zeros(0, dtype=bool)
+
+            if in_order:
+                rank = pos_b
+                ov = None
+                # misses in vault order, program order within each vault --
+                # ``ob`` is bank-major, so restore program order first or
+                # the vault chains would link backwards and cycle with
+                # chain A.
+                mi = np.sort(ob)
+                oc = mi[np.argsort(va_b[mi], kind="stable")] if len(ob) else ob
+            else:
+                ov = np.argsort(va_b, kind="stable")
+                vs = va_b[ov]
+                head_v = _changes(vs)
+                v_starts = np.flatnonzero(head_v)
+                seg_v = np.cumsum(head_v, dtype=np.int64) - 1
+                rank_sorted = pos_b - v_starts[seg_v]
+                rank = np.empty(m, dtype=np.int64)
+                rank[ov] = rank_sorted
+                # misses in vault order, program order within each vault:
+                hit_flags = np.zeros(m, dtype=bool)
+                hit_flags[og] = hit_sorted
+                oc = ov[~hit_flags[ov]]
+            va_oc = va_b[oc]
+            head_c0 = _changes(va_oc) if len(oc) else np.zeros(0, dtype=bool)
+
+            # Chain B: constant step, pruned where the chain-A path between
+            # consecutive same-bank activations is already wider.
+            head_b = head_b0.copy()
+            if len(ob) > 1:
+                dist_b = np.empty(len(ob), dtype=np.int64)
+                dist_b[0] = 0
+                dist_b[1:] = rank[ob[1:]] - rank[ob[:-1]]
+                head_b |= dist_b * min_add >= t_diff_row
+            has_b = len(ob) > 1 and bool((~head_b).any())
+
+            # Chain C: layer-dependent step; same-bank links are chain B's,
+            # and chain-A-dominated links are pruned the same way.
+            head_c = head_c0.copy()
+            if len(oc) > 1:
+                ba_oc = ba_b[oc]
+                step_c = np.where(
+                    (ba_oc % n_layers)[1:] == (ba_oc % n_layers)[:-1],
+                    t_diff_bank,
+                    t_in_vault,
+                )
+                step_c = np.concatenate(([0], step_c))
+                head_c[1:] |= ba_oc[1:] == ba_oc[:-1]
+                dist_c = np.empty(len(oc), dtype=np.int64)
+                dist_c[0] = 0
+                dist_c[1:] = rank[oc[1:]] - rank[oc[:-1]]
+                head_c |= dist_c * min_add >= step_c
+            has_c = len(oc) > 1 and bool((~head_c).any())
+
+            # --- seed the beat times with every constant lower bound ------
+            a = (
+                arrivals[lo:hi].copy()
+                if arrivals is not None
+                else np.zeros(m, dtype=np.int64)
+            )
+            if in_order:
+                if a[0] < self.stream_ready:
+                    a[0] = self.stream_ready
+                if add_b is None:
+                    c_a = pos_b * t_in_row
+                else:
+                    c_a = np.cumsum(add_b, dtype=np.int64) - add_b
+                order_a = None
+                seg_a = None
+            else:
+                firsts = ov[v_starts]
+                a[firsts] = np.maximum(a[firsts], vault_ready[vs[v_starts]])
+                if add_b is None:
+                    c_a = rank_sorted * t_in_row
+                else:
+                    steps = add_b[ov]
+                    c_a = np.cumsum(steps, dtype=np.int64) - steps
+                order_a = ov
+                seg_a = _seg_ids(head_v)
+            if len(ob):
+                b_firsts = ob[np.flatnonzero(head_b0)]
+                a[b_firsts] = np.maximum(a[b_firsts], bank_next_act[gb_b[b_firsts]])
+            if len(oc):
+                c_firsts = oc[np.flatnonzero(head_c0)]
+                v_first = va_b[c_firsts]
+                prev_bank = last_act_bank[v_first]
+                gate = np.where(
+                    (prev_bank % n_layers) == (ba_b[c_firsts] % n_layers),
+                    t_diff_bank,
+                    t_in_vault,
+                )
+                bound = last_act_a[v_first] + gate
+                apply = (prev_bank >= 0) & (prev_bank != ba_b[c_firsts])
+                a[c_firsts] = np.maximum(
+                    a[c_firsts], np.where(apply, bound, _NO_ACT)
+                )
+
+            # --- relax to the least fixpoint ------------------------------
+            if has_b:
+                c_b = (pos_b[: len(ob)]) * t_diff_row
+                seg_b = _seg_ids(head_b)
+            if has_c:
+                c_c = np.cumsum(np.where(head_c, 0, step_c), dtype=np.int64)
+                seg_c = _seg_ids(head_c)
+            for _ in range(MAX_PASSES):
+                changed = _relax(a, order_a, c_a, seg_a)
+                if has_b:
+                    changed |= _relax(a, ob, c_b, seg_b)
+                if has_c:
+                    changed |= _relax(a, oc, c_c, seg_c)
+                if not changed:
+                    break
+            else:
+                raise VectorConvergenceError(
+                    f"no fixpoint after {MAX_PASSES} relaxation passes"
+                    f" (block {blk + 1}/{n_blocks})"
+                )
+
+            # --- fold the block into the aggregates, carry the state ------
+            x = a + (add_b if add_b is not None else t_in_row)
+            if self.x_out is not None:
+                self.x_out[base + lo : base + hi] = x
+            if base + lo == 0:
+                self.first_completion = int(x[0])
+            self.last_completion = max(self.last_completion, int(x.max()))
+            np.maximum.at(self.busy_ps, va_b, x)
+            if arrivals is not None:
+                lat = x - arrivals[lo:hi]
+                self.latency_sum += int(lat.sum())
+                self.latency_max = max(self.latency_max, int(lat.max()))
+            if len(ob):
+                b_ends = np.append(np.flatnonzero(head_b0)[1:] - 1, len(ob) - 1)
+                bank_next_act[gb_ob[b_ends]] = a[ob[b_ends]] + t_diff_row
+            if len(oc):
+                c_ends = np.append(np.flatnonzero(head_c0)[1:] - 1, len(oc) - 1)
+                last_act_a[va_oc[c_ends]] = a[oc[c_ends]]
+                last_act_bank[va_oc[c_ends]] = ba_b[oc[c_ends]]
+            if in_order:
+                self.stream_ready = int(x[-1])
+            else:
+                v_ends = np.append(v_starts[1:] - 1, m - 1)
+                vault_ready[vs[v_ends]] = x[ov[v_ends]]
+
+    # ------------------------------------------------------- closed-form path
+    def price_run(
+        self, vault: int, bank: int, row0: int, row_step: int, count: int, base: int
+    ) -> None:
+        """Price one uniform-bank run as an arithmetic series, O(1) work.
+
+        All ``count`` requests decode to (``vault``, ``bank``) with rows
+        ``row0, row0+row_step, ...``.  With a nonzero row step every
+        request past the first misses and follows its predecessor by
+        ``max(add, t_diff_row)``; with a zero step every request past the
+        first hits and follows by ``add`` alone.  Only the first two
+        requests consult carried device state -- exactly the requests a
+        fresh relaxation block would seed -- so the state handed to the
+        next run is bit-identical to the array path's.
+        """
+        add = self.t_in_row
+        miss_step = add if add > self.t_diff_row else self.t_diff_row
+        gb = vault * self.banks_per_vault + bank
+
+        ready = self.stream_ready if self.in_order else int(self.vault_ready[vault])
+        hit0 = int(self.open_row[gb]) == row0
+        a0 = ready
+        acts = 0
+        last_act = 0
+        if not hit0:
+            nxt = int(self.bank_next_act[gb])
+            if a0 < nxt:
+                a0 = nxt
+            gated = self._vault_gate(vault, bank)
+            if a0 < gated:
+                a0 = gated
+            acts = 1
+            last_act = a0
+        if count == 1:
+            a1 = a_last = a0
+        elif row_step == 0:
+            # The remaining requests re-read the now-open row: pure hits.
+            a1 = a0 + add
+            a_last = a0 + (count - 1) * add
+        else:
+            # The remaining requests each open a fresh row on this bank.
+            if hit0:
+                a1 = a0 + add
+                nxt = int(self.bank_next_act[gb])
+                if a1 < nxt:
+                    a1 = nxt
+                gated = self._vault_gate(vault, bank)
+                if a1 < gated:
+                    a1 = gated
+            else:
+                a1 = a0 + miss_step
+            a_last = a1 + (count - 2) * miss_step
+            acts += count - 1
+            last_act = a_last
+        x0 = a0 + add
+        x_last = a_last + add
+
+        if self.x_out is not None:
+            seg = self.x_out[base : base + count]
+            seg[0] = x0
+            if count > 1:
+                step = add if row_step == 0 else miss_step
+                seg[1:] = (a1 + add) + step * np.arange(count - 1, dtype=np.int64)
+        if base == 0:
+            self.first_completion = x0
+        if x_last > self.last_completion:
+            self.last_completion = x_last
+        if x_last > int(self.busy_ps[vault]):
+            self.busy_ps[vault] = x_last
+        self.activations += acts
+
+        self.open_row[gb] = row0 + row_step * (count - 1)
+        if acts:
+            self.bank_next_act[gb] = last_act + self.t_diff_row
+            self.last_act_a[vault] = last_act
+            self.last_act_bank[vault] = bank
+        if self.in_order:
+            self.stream_ready = x_last
+        else:
+            self.vault_ready[vault] = x_last
+
+    def _vault_gate(self, vault: int, bank: int) -> int:
+        """Chain-C lower bound for an activation of ``bank`` on ``vault``.
+
+        Same-bank reactivations are governed by the strictly wider
+        ``bank_next_act`` bound (chain B), so they gate nothing here --
+        mirroring the dropped same-bank links of the array path.
+        """
+        prev_bank = int(self.last_act_bank[vault])
+        if prev_bank < 0 or prev_bank == bank:
+            return _NO_ACT
+        gate = (
+            self.t_diff_bank
+            if prev_bank % self.n_layers == bank % self.n_layers
+            else self.t_in_vault
+        )
+        return int(self.last_act_a[vault]) + gate
+
+    # -------------------------------------------------------------- finalize
+    def finish(
+        self, n: int, had_arrivals: bool, record: bool
+    ) -> tuple[AccessStats, np.ndarray | None]:
+        """Convert the integer-ps aggregates into the public ns stats."""
+        busy_list = self.busy_ps.tolist()
+        busy = {
+            vid: ps_to_ns(busy_list[vid])
+            for vid in range(self.n_vaults)
+            if busy_list[vid] > 0
+        }
+        stats = AccessStats(
+            requests=n,
+            bytes_transferred=n * ELEMENT_BYTES,
+            elapsed_ns=ps_to_ns(self.last_completion),
+            row_activations=self.activations,
+            row_hits=n - self.activations,
+            per_vault_busy_ns=busy,
+            first_response_ns=ps_to_ns(self.first_completion),
+            mean_request_latency_ns=(
+                mean_latency_ns(self.latency_sum, n) if had_arrivals else 0.0
+            ),
+            max_request_latency_ns=ps_to_ns(self.latency_max),
+        )
+        out = ps_array_to_ns(self.x_out) if record and self.x_out is not None else None
+        return stats, out
+
+
+def _decode(
+    memory: Memory3D, addresses: np.ndarray, faults: FaultState | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized decode (with vault remapping) to int64 coordinate arrays."""
+    vaults_arr, banks_arr, rows_arr, _ = memory.mapping.decode_array(addresses)
+    if faults is not None and faults.remap is not None:
+        remap_arr = np.asarray(faults.remap, dtype=vaults_arr.dtype)
+        remapped = remap_arr[vaults_arr]
+        faults.remapped_requests = int((remapped != vaults_arr).sum())
+        vaults_arr = remapped
+    vaults64 = vaults_arr.astype(np.int64)
+    banks64 = banks_arr.astype(np.int64)
+    rows64 = rows_arr.astype(np.int64)
+    gbank = vaults64 * memory.config.banks_per_vault + banks64
+    return vaults64, banks64, rows64, gbank
+
+
+def _service_tail(
+    n: int, t_in_row: int, faults: FaultState | None
+) -> tuple[np.ndarray | None, int, int]:
+    """Per-request service tail ``add`` (``None`` = constant ``t_in_row``).
+
+    Returns ``(add, min_add, jitter_total)`` and books the fault
+    counters (corrected / uncorrectable errors) as a side effect, the
+    way the exact loop does while iterating.
+    """
+    if faults is None or (faults.jitter is None and faults.error_class is None):
+        return None, t_in_row, 0
+    add = np.full(n, t_in_row, dtype=np.int64)
+    jitter_total = 0
+    if faults.jitter is not None:
+        jit = ns_array_to_ps(np.asarray(faults.jitter, dtype=np.float64))
+        add += jit
+        jitter_total = int(jit.sum())
+    if faults.error_class is not None:
+        err = np.asarray(faults.error_class, dtype=np.int64)
+        corrected_mask = err == _ERR_CORRECTED
+        add += np.where(corrected_mask, ns_to_ps(faults.correction_ns), 0)
+        faults.corrected_errors = int(corrected_mask.sum())
+        faults.uncorrectable_errors = int((err == _ERR_UNCORRECTABLE).sum())
+    return add, int(add.min()), jitter_total
+
+
+def simulate_vector(
+    memory: Memory3D,
+    trace: TraceArray | CompiledTrace,
+    discipline: str,
+    faults: FaultState | None = None,
+    record: bool = False,
+) -> tuple[AccessStats, np.ndarray | None]:
+    """Price one trace with array scans; exact-engine-equal by construction.
+
+    Mirrors the contract of ``Memory3D._simulate_fast`` /
+    ``_simulate_faulted``: returns the stats plus (when ``record`` is
+    set) the per-request completion times in ns.  The caller has already
+    checked :func:`unsupported_reason`.  Accepts a raw
+    :class:`~repro.trace.request.TraceArray` (auto-compiled when long
+    and compressible) or a :class:`~repro.trace.compile.CompiledTrace`
+    (priced run by run).
+    """
+    from repro.trace.compile import compile_trace
+    from repro.trace.request import TraceArray
+
+    n = len(trace)
+    if n == 0:
+        return AccessStats(), (np.zeros(0, dtype=np.float64) if record else None)
+
+    compiled: Any = None
+    if isinstance(trace, TraceArray):
+        plain = faults is None and trace.arrival_ns is None
+        if plain and n >= AUTO_COMPILE_MIN:
+            probe = compile_trace(trace)
+            if len(probe.runs) * AUTO_COMPILE_RATIO <= n:
+                compiled = probe
+    else:
+        if faults is None and trace.arrival_ns is None:
+            compiled = trace
+        else:
+            # Fault penalties and arrivals are request-granular, so run
+            # arithmetic does not apply; the array scan still does.
+            trace = trace.expand()
+
+    engine = _Engine(memory, discipline, n, record)
+    if compiled is not None:
+        _price_compiled(memory, engine, compiled)
+        if faults is not None:  # pragma: no cover - guarded above
+            raise AssertionError("compiled pricing is fault-free by construction")
+        return engine.finish(n, had_arrivals=False, record=record)
+
+    va, ba, rows, gbank = _decode(memory, trace.addresses, faults)
+    add, min_add, jitter_total = _service_tail(n, engine.t_in_row, faults)
+    arrivals = (
+        ns_array_to_ps(trace.arrival_ns) if trace.arrival_ns is not None else None
+    )
+    engine.price_arrays(va, ba, rows, gbank, add, min_add, arrivals, base=0)
+    if faults is not None:
+        faults.jitter_ns = ps_to_ns(jitter_total)
+        faults.storm_stall_ns = 0.0
+        faults.throttle_stall_ns = 0.0
+    return engine.finish(n, had_arrivals=arrivals is not None, record=record)
+
+
+def _price_compiled(
+    memory: Memory3D, engine: _Engine, compiled: CompiledTrace
+) -> None:
+    """Walk a compiled trace, pricing runs in closed form where possible.
+
+    Runs whose stride pins every request to one bank (or single-request
+    runs) go through :meth:`_Engine.price_run`; maximal stretches of
+    everything else are expanded and batched through the array scan.
+    The carried state makes the interleaving exact.
+    """
+    from repro.trace.compile import expand_runs
+
+    cfg = memory.config
+    mapping = memory.mapping
+    runs = compiled.runs
+    starts = runs["start"]
+    steps = runs["step"]
+    counts = runs["count"]
+
+    ends = starts + (counts - 1) * steps
+    if min(int(starts.min()), int(ends.min())) < 0 or max(
+        int(starts.max()), int(ends.max())
+    ) >= cfg.capacity_bytes:
+        # Mirrors AddressMapping.decode_array for the expanded trace.
+        raise AddressError("address array contains out-of-capacity addresses")
+
+    # A run stays on one bank iff its stride is a whole number of
+    # row-sized chunks times the full vault x bank interleave.
+    bank_stride = cfg.row_bytes << (
+        mapping._vault_bits + mapping._bank_bits
+    )
+    closed = (counts == 1) | (steps % bank_stride == 0)
+
+    # Maximal stretches of same-kind runs, walked in order.
+    stretch_starts = np.flatnonzero(_changes(closed))
+    stretch_ends = np.append(stretch_starts[1:], len(runs))
+    bases = np.cumsum(counts, dtype=np.int64) - counts
+
+    starts_l = starts.tolist()
+    steps_l = steps.tolist()
+    counts_l = counts.tolist()
+    bases_l = bases.tolist()
+    closed_l = closed.tolist()
+    offset_bits = mapping._offset_bits
+    vault_bits = mapping._vault_bits
+    vault_mask = mapping._vault_mask
+    bank_mask = mapping._bank_mask
+    row_shift = vault_bits + mapping._bank_bits
+
+    for s_idx in range(len(stretch_starts)):
+        s = int(stretch_starts[s_idx])
+        e = int(stretch_ends[s_idx])
+        if closed_l[s]:
+            for r in range(s, e):
+                start = starts_l[r]
+                count = counts_l[r]
+                chunk = start >> offset_bits
+                row_step = steps_l[r] // bank_stride if count > 1 else 0
+                engine.price_run(
+                    vault=chunk & vault_mask,
+                    bank=(chunk >> vault_bits) & bank_mask,
+                    row0=chunk >> row_shift,
+                    row_step=row_step,
+                    count=count,
+                    base=bases_l[r],
+                )
+        else:
+            addresses, _ = expand_runs(runs[s:e])
+            va, ba, rows, gbank = _decode(memory, addresses, None)
+            engine.price_arrays(
+                va,
+                ba,
+                rows,
+                gbank,
+                add=None,
+                min_add=engine.t_in_row,
+                arrivals=None,
+                base=bases_l[s],
+            )

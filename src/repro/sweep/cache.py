@@ -37,8 +37,10 @@ from repro.serialization import stable_digest
 
 #: Bump when the simulator or result schema changes meaning; every bump
 #: invalidates all previously cached points at once.  v2 added per-entry
-#: result digests (verified on every read).
-CACHE_VERSION = "repro-sweep-cache/v2"
+#: result digests (verified on every read).  v3: the timing loop moved
+#: to an integer-picosecond timebase (sub-femtosecond shifts in derived
+#: floats), so entries cached by the float-ns simulator are stale.
+CACHE_VERSION = "repro-sweep-cache/v3"
 
 
 @dataclass

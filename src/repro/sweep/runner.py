@@ -96,13 +96,19 @@ def validate_grid(grid: SweepGrid, config: SystemConfig) -> None:
 
 
 def point_result(
-    point: SweepPoint, config: SystemConfig, max_requests: int
+    point: SweepPoint,
+    config: SystemConfig,
+    max_requests: int,
+    engine: str = "vector",
 ) -> dict[str, Any]:
     """Simulate one sweep point and package the result as a plain dict.
 
     The dict is JSON-native (string keys, scalars only) so it survives
     the cache round-trip byte-for-byte -- a replayed point is
-    indistinguishable from a fresh one.
+    indistinguishable from a fresh one.  ``engine`` picks the timing
+    engine; the two are stat-for-stat equivalent (CI's
+    ``engine-equivalence`` gate), so it changes wall-clock only, never
+    the result dict.
     """
     run = simulate_column_phase(
         config,
@@ -111,6 +117,7 @@ def point_result(
         height=point.height,
         whole_blocks=point.whole_blocks,
         max_requests=max_requests,
+        engine=engine,
     )
     metrics = run.metrics
     stats = metrics.stats
@@ -190,6 +197,7 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
     config = system_from_dict(task["config"])
     point = SweepPoint(**task["point"])
     registry = MetricsRegistry()
+    engine = task.get("engine", "vector")
     if worker_tel is not None:
         with worker_tel.timeline.span(
             "point",
@@ -199,9 +207,11 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
             attempt=task.get("attempt", 1),
         ):
             with worker_tel.timeline.span("simulate"):
-                result = point_result(point, config, task["max_requests"])
+                result = point_result(
+                    point, config, task["max_requests"], engine=engine
+                )
     else:
-        result = point_result(point, config, task["max_requests"])
+        result = point_result(point, config, task["max_requests"], engine=engine)
     _record_point_metrics(registry, result)
     outcome = {
         "index": task["index"],
@@ -384,6 +394,7 @@ def run_sweep(
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     telemetry: bool = False,
     status: SweepStatus | None = None,
+    engine: str = "vector",
 ) -> SweepResult:
     """Execute every point of ``grid`` and return the merged result.
 
@@ -421,12 +432,22 @@ def run_sweep(
             ``/status`` + ``/metrics`` from another thread.  Run
             metadata only -- the deterministic document is identical
             with or without it.
+        engine: timing engine workers use (``"vector"`` by default,
+            ``"exact"`` for the reference loop).  The engines are
+            stat-for-stat equivalent (CI's ``engine-equivalence``
+            gate), so the choice never enters cache keys or result
+            documents -- a cache written by one engine replays under
+            the other.
 
     A point that keeps failing is quarantined into the result's
     ``failures`` list instead of aborting the grid; infrastructure
     errors (invalid grid, unusable checkpoint) still raise.
     """
     config = config or SystemConfig()
+    if engine not in ("exact", "vector"):
+        raise ConfigError(
+            f"unknown engine {engine!r}; expected 'exact' or 'vector'"
+        )
     if max_requests <= 0:
         raise ConfigError(f"max_requests must be positive, got {max_requests}")
     if checkpoint_every <= 0:
@@ -509,6 +530,10 @@ def run_sweep(
                 log.debug("cache hit", point=index)
                 continue
         task = {"index": index, "key": key, **payload}
+        # Attached AFTER key_for(payload): the engine choice (like the
+        # trace context below) must never influence cache identity --
+        # both engines produce the identical result document.
+        task["engine"] = engine
         if run_tel is not None:
             # Attached AFTER key_for(payload): the trace context must
             # never influence cache identity.

@@ -6,6 +6,7 @@ byte addresses, optionally tagged as writes.
 """
 
 from repro.trace.request import Request, TraceArray
+from repro.trace.compile import RUN_DTYPE, CompiledTrace, compile_trace, expand_runs
 from repro.trace.generators import (
     block_column_read_trace,
     block_write_trace,
@@ -17,8 +18,12 @@ from repro.trace.generators import (
 )
 
 __all__ = [
+    "CompiledTrace",
+    "RUN_DTYPE",
     "Request",
     "TraceArray",
+    "compile_trace",
+    "expand_runs",
     "block_column_read_trace",
     "block_write_trace",
     "column_walk_trace",

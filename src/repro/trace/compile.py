@@ -1,0 +1,130 @@
+"""Compact array descriptors for traces: run-length compiled form.
+
+Every generator in :mod:`repro.trace.generators` emits long arithmetic
+stretches of addresses (a column walk is one fixed stride per column, a
+row walk is element-sized strides, a tiled walk is short strides broken
+at tile seams).  :func:`compile_trace` captures that structure in a
+dtype-stable structured array of *runs* -- ``(start, step, count,
+is_write)`` -- which is both a compact wire/cache format and the input
+the vectorized timing engine (:mod:`repro.memory3d.vector`) prices in
+closed form per run instead of per request.
+
+The contract is exact round-tripping: ``compile_trace(t).expand()``
+reproduces the original :class:`~repro.trace.request.TraceArray` request
+for request (addresses, write flags and arrival times), which
+``tests/test_trace.py`` asserts for every generator and
+``tests/test_properties.py`` asserts for random traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.request import TraceArray
+
+#: One compiled run: ``count`` requests at ``start, start+step, ...``.
+#: Single-request runs are normalized to ``step == 0``.
+RUN_DTYPE = np.dtype(
+    [
+        ("start", np.int64),
+        ("step", np.int64),
+        ("count", np.int64),
+        ("is_write", np.bool_),
+    ]
+)
+
+
+def expand_runs(runs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand ``RUN_DTYPE`` runs to ``(addresses, is_write)`` arrays."""
+    counts = runs["count"]
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    run_of = np.repeat(np.arange(len(runs), dtype=np.int64), counts)
+    offsets = np.cumsum(counts, dtype=np.int64) - counts
+    within = np.arange(total, dtype=np.int64) - offsets[run_of]
+    addresses = runs["start"][run_of] + within * runs["step"][run_of]
+    return addresses, runs["is_write"][run_of]
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """A trace as run descriptors (plus verbatim arrival times, if any).
+
+    ``runs`` is a 1-D :data:`RUN_DTYPE` structured array; ``arrival_ns``
+    is carried request-granular and unchanged (arrivals are data, not
+    structure).  The object is accepted anywhere a
+    :class:`~repro.trace.request.TraceArray` is -- the exact engine
+    expands it first, the vector engine prices runs directly.
+    """
+
+    runs: np.ndarray
+    arrival_ns: np.ndarray | None = None
+    _n: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        runs = np.ascontiguousarray(self.runs, dtype=RUN_DTYPE)
+        if runs.ndim != 1:
+            raise ValueError("runs must be a 1-D structured array")
+        if len(runs) and int(runs["count"].min()) < 1:
+            raise ValueError("every run must cover at least one request")
+        object.__setattr__(self, "runs", runs)
+        object.__setattr__(self, "_n", int(runs["count"].sum()))
+        if self.arrival_ns is not None:
+            arr = np.asarray(self.arrival_ns, dtype=np.float64)
+            if len(arr) != self._n:
+                raise ValueError(
+                    f"arrival_ns covers {len(arr)} requests, runs cover {self._n}"
+                )
+            object.__setattr__(self, "arrival_ns", arr)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_requests(self) -> int:
+        """Total requests across all runs."""
+        return self._n
+
+    def expand(self) -> TraceArray:
+        """Materialize back into the request-per-element array form."""
+        addresses, is_write = expand_runs(self.runs)
+        return TraceArray(
+            addresses=addresses, is_write=is_write, arrival_ns=self.arrival_ns
+        )
+
+
+def compile_trace(trace: TraceArray) -> CompiledTrace:
+    """Compress a trace into maximal-stride run descriptors.
+
+    A new run starts wherever the address stride changes (element ``i``
+    starts one iff ``addr[i] - addr[i-1] != addr[i-1] - addr[i-2]``) or
+    the write flag flips.  Every run is a true arithmetic progression,
+    so :meth:`CompiledTrace.expand` is an exact inverse; a stride
+    discontinuity costs at most one single-request run.
+    """
+    addr = np.asarray(trace.addresses, dtype=np.int64)
+    is_write = np.asarray(trace.is_write, dtype=bool)
+    n = len(addr)
+    if n == 0:
+        return CompiledTrace(
+            runs=np.zeros(0, dtype=RUN_DTYPE), arrival_ns=trace.arrival_ns
+        )
+    head = np.zeros(n, dtype=bool)
+    head[0] = True
+    if n > 1:
+        head[1:] |= is_write[1:] != is_write[:-1]
+    if n > 2:
+        d = addr[1:] - addr[:-1]
+        head[2:] |= d[1:] != d[:-1]
+    starts_at = np.flatnonzero(head)
+    counts = np.diff(np.append(starts_at, n))
+    runs = np.zeros(len(starts_at), dtype=RUN_DTYPE)
+    runs["start"] = addr[starts_at]
+    runs["count"] = counts
+    multi = counts > 1
+    runs["step"][multi] = addr[starts_at[multi] + 1] - addr[starts_at[multi]]
+    runs["is_write"] = is_write[starts_at]
+    return CompiledTrace(runs=runs, arrival_ns=trace.arrival_ns)

@@ -40,6 +40,7 @@ class TestFramework:
             "DET001",
             "DET002",
             "DET003",
+            "DET004",
             "UNIT001",
             "CFG001",
             "OBS001",
@@ -268,6 +269,66 @@ class TestDET003:
                     handle.write(text)
         """
         assert lint_source(tmp_path, source, "DET003", rel="reporting.py") == []
+
+
+class TestDET004:
+    REL = "memory3d/vector.py"
+
+    def test_positive_loop_over_requests(self, tmp_path):
+        source = """\
+            def price(addresses):
+                total = 0
+                for address in addresses:
+                    total += address
+                return total
+        """
+        diags = lint_source(tmp_path, source, "DET004", rel=self.REL)
+        assert len(diags) == 1
+        assert "array-at-a-time" in diags[0].message
+
+    def test_positive_comprehension_over_zip(self, tmp_path):
+        source = """\
+            def pair(vaults, banks):
+                return [v * 8 + b for v, b in zip(vaults, banks)]
+        """
+        diags = lint_source(tmp_path, source, "DET004", rel=self.REL)
+        assert len(diags) == 1
+
+    def test_negative_range_loops(self, tmp_path):
+        source = """\
+            def relax(n, block):
+                for start in range(0, n, block):
+                    yield start
+                return [i * 2 for i in range(4)]
+        """
+        assert lint_source(tmp_path, source, "DET004", rel=self.REL) == []
+
+    def test_suppressed_with_ignore_comment(self, tmp_path):
+        source = """\
+            def summarize(counters):
+                total = 0
+                for value in counters:  # repro: ignore[DET004]
+                    total += value
+                return total
+        """
+        assert lint_source(tmp_path, source, "DET004", rel=self.REL) == []
+
+    def test_other_modules_out_of_scope(self, tmp_path):
+        source = """\
+            def walk(requests):
+                for request in requests:
+                    yield request
+        """
+        assert lint_source(tmp_path, source, "DET004", rel="memory3d/memory.py") == []
+        assert lint_source(tmp_path, source, "DET004", rel="sweep/vector.py") == []
+
+    def test_shipped_vector_module_is_clean(self):
+        report = run_lint(
+            [REPO_ROOT / "src" / "repro" / "memory3d" / "vector.py"],
+            rule_ids=["DET004"],
+            root=REPO_ROOT,
+        )
+        assert report.diagnostics == []
 
 
 class TestUNIT001:

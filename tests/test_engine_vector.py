@@ -1,0 +1,236 @@
+"""The vectorized batch timing engine vs the exact reference loop.
+
+The contract under test is *identity*, not approximation: both engines
+share the integer-picosecond timebase, so every supported case must
+compare ``==`` on the full :class:`AccessStats` -- and every unsupported
+case must fall back to the exact loop loudly
+(:attr:`Memory3D.last_fallback_reason`), never silently diverge.
+CI's ``engine-equivalence`` job runs the full corpus via
+``tools/check_engine_equivalence.py``; these tests pin the same contract
+plus the dispatch/fallback machinery at unit granularity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.faults.plan import builtin_fault_plans
+from repro.layouts import BlockDDLLayout, ColumnMajorLayout, RowMajorLayout
+from repro.memory3d import Memory3D, Memory3DConfig, pact15_hmc_config
+from repro.memory3d.config import (
+    RefreshParameters,
+    hmc_gen2_config,
+    wideio_like_config,
+)
+from repro.obs import EventTrace
+from repro.sweep import SweepGrid, run_sweep
+from repro.trace import (
+    TraceArray,
+    block_column_read_trace,
+    column_walk_trace,
+    compile_trace,
+    linear_trace,
+    row_walk_trace,
+    strided_trace,
+)
+
+N = 32
+
+
+def corpus():
+    rm = RowMajorLayout(N, N)
+    cm = ColumnMajorLayout(N, N)
+    ddl = BlockDDLLayout(N, N, width=8, height=8)
+    return {
+        "linear": linear_trace(0, N * N),
+        "strided-bank": strided_trace(0, 512, 1 << 15),
+        "col-walk-rm": column_walk_trace(rm),
+        "row-walk-cm": row_walk_trace(cm),
+        "ddl-read": block_column_read_trace(ddl, n_streams=4),
+    }
+
+
+def both_engines(trace, discipline, config=None, **kwargs):
+    config = config or pact15_hmc_config()
+    mem_exact = Memory3D(config)
+    mem_vector = Memory3D(config)
+    exact = mem_exact.simulate(trace, discipline, engine="exact", **kwargs)
+    vector = mem_vector.simulate(trace, discipline, engine="vector", **kwargs)
+    return exact, vector, mem_exact, mem_vector
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("discipline", ["in_order", "per_vault"])
+    @pytest.mark.parametrize("name", sorted(corpus()))
+    def test_stats_identical(self, name, discipline):
+        exact, vector, _, _ = both_engines(corpus()[name], discipline)
+        assert exact == vector
+
+    @pytest.mark.parametrize(
+        "config",
+        [pact15_hmc_config(), hmc_gen2_config(), wideio_like_config()],
+        ids=["pact15", "gen2", "wideio"],
+    )
+    def test_stats_identical_across_configs(self, config):
+        trace = column_walk_trace(RowMajorLayout(N, N))
+        exact, vector, _, _ = both_engines(trace, "per_vault", config=config)
+        assert exact == vector
+
+    def test_compiled_trace_identical_on_both_engines(self):
+        trace = column_walk_trace(RowMajorLayout(N, N))
+        compiled = compile_trace(trace)
+        exact, vector, _, mem = both_engines(compiled, "in_order")
+        assert exact == vector
+        assert mem.last_engine == "vector"
+        assert exact == Memory3D(pact15_hmc_config()).simulate(trace)
+
+    def test_closed_form_run_pricing_matches_exact(self):
+        # Stride 1<<15 keeps every request of a run on one (vault, bank)
+        # with affine rows: the compiled walker prices it in closed form.
+        compiled = compile_trace(strided_trace(0, 2048, 1 << 15))
+        exact, vector, _, mem = both_engines(compiled, "in_order")
+        assert mem.last_engine == "vector"
+        assert exact == vector
+
+    def test_event_counts_match_vector_aggregates(self):
+        trace = column_walk_trace(RowMajorLayout(N, N))
+        recorder = EventTrace()
+        Memory3D(pact15_hmc_config(), recorder=recorder).simulate(trace)
+        vector = Memory3D(pact15_hmc_config()).simulate(trace, engine="vector")
+        counts = recorder.counts()
+        assert counts.get("ACTIVATE", 0) == vector.row_activations
+        assert counts.get("ROW_HIT", 0) == vector.row_hits
+
+    def test_sampled_extrapolation_identical(self):
+        trace = column_walk_trace(RowMajorLayout(N, N))
+        exact, vector, _, _ = both_engines(trace, "per_vault", sample=200)
+        assert exact == vector
+
+    def test_arrival_times_identical(self):
+        rng = np.random.default_rng(7)
+        base = linear_trace(0, 600)
+        trace = TraceArray(
+            base.addresses,
+            arrival_ns=np.cumsum(rng.uniform(0.0, 3.0, size=600)),
+        )
+        exact, vector, _, _ = both_engines(trace, "in_order")
+        assert exact == vector
+
+    def test_tagged_split_identical(self):
+        trace = column_walk_trace(RowMajorLayout(N, N))
+        tags = np.arange(len(trace)) % 3
+        exact = Memory3D(pact15_hmc_config()).simulate_tagged(
+            trace, tags, engine="exact"
+        )
+        vector = Memory3D(pact15_hmc_config()).simulate_tagged(
+            trace, tags, engine="vector"
+        )
+        assert exact == vector
+
+
+class TestFaultPlans:
+    @pytest.mark.parametrize(
+        "plan_name", ["vault-failure", "latency-jitter", "bit-errors"]
+    )
+    def test_vectorized_fault_plans_identical(self, plan_name):
+        plan = builtin_fault_plans(seed=11)[plan_name]
+        trace = column_walk_trace(RowMajorLayout(N, N))
+        exact, vector, mem_exact, mem_vector = both_engines(
+            trace, "per_vault", fault_plan=plan
+        )
+        assert exact == vector
+        assert mem_exact.last_fault_summary == mem_vector.last_fault_summary
+        assert mem_vector.last_engine == "vector"
+
+    @pytest.mark.parametrize(
+        "plan_name,reason_word",
+        [("refresh-storm", "storm"), ("thermal-throttle", "throttle")],
+    )
+    def test_window_plans_fall_back_exactly(self, plan_name, reason_word):
+        plan = builtin_fault_plans(seed=11)[plan_name]
+        trace = column_walk_trace(RowMajorLayout(N, N))
+        exact, vector, mem_exact, mem_vector = both_engines(
+            trace, "per_vault", fault_plan=plan
+        )
+        assert exact == vector  # fallback is equivalence too
+        assert mem_vector.last_engine == "exact"
+        assert reason_word in mem_vector.last_fallback_reason
+        assert mem_exact.last_fault_summary == mem_vector.last_fault_summary
+
+
+class TestDispatch:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            Memory3D(pact15_hmc_config()).simulate(
+                linear_trace(0, 8), engine="warp"
+            )
+
+    def test_vector_engine_reported(self):
+        mem = Memory3D(pact15_hmc_config())
+        mem.simulate(column_walk_trace(RowMajorLayout(N, N)), engine="vector")
+        assert mem.last_engine == "vector"
+        assert mem.last_fallback_reason is None
+
+    def test_exact_engine_reported(self):
+        mem = Memory3D(pact15_hmc_config())
+        mem.simulate(linear_trace(0, 64), engine="exact")
+        assert mem.last_engine == "exact"
+        assert mem.last_fallback_reason is None
+
+    def test_recorder_forces_exact_fallback(self):
+        mem = Memory3D(pact15_hmc_config(), recorder=EventTrace())
+        mem.simulate(linear_trace(0, 64), engine="vector")
+        assert mem.last_engine == "exact"
+        assert "recorder" in mem.last_fallback_reason
+
+    def test_refresh_config_forces_exact_fallback(self):
+        config = Memory3DConfig(refresh=RefreshParameters())
+        mem = Memory3D(config)
+        stats = mem.simulate(linear_trace(0, 64), engine="vector")
+        assert mem.last_engine == "exact"
+        assert "refresh" in mem.last_fallback_reason
+        assert stats == Memory3D(config).simulate(linear_trace(0, 64))
+
+    def test_fallback_still_prices_compiled_traces(self):
+        # The exact loop sees an expanded TraceArray even when the caller
+        # handed a CompiledTrace and the vector engine bowed out.
+        mem = Memory3D(pact15_hmc_config(), recorder=EventTrace())
+        compiled = compile_trace(linear_trace(0, 64))
+        stats = mem.simulate(compiled, engine="vector")
+        assert mem.last_engine == "exact"
+        assert stats == Memory3D(pact15_hmc_config()).simulate(
+            linear_trace(0, 64)
+        )
+
+
+class TestSweepIntegration:
+    GRID = dict(sizes=(128,), layouts=("row-major", "ddl"))
+
+    def test_sweep_documents_byte_identical_across_engines(self):
+        grid = SweepGrid(**self.GRID)
+        exact = run_sweep(grid, max_requests=4096, engine="exact")
+        vector = run_sweep(grid, max_requests=4096, engine="vector")
+        assert exact.to_json() == vector.to_json()
+
+    def test_cache_is_shared_across_engines(self, tmp_path):
+        from repro.sweep import ResultCache
+
+        grid = SweepGrid(**self.GRID)
+        cold = run_sweep(
+            grid,
+            max_requests=4096,
+            cache=ResultCache(tmp_path / "c"),
+            engine="exact",
+        )
+        warm = run_sweep(
+            grid,
+            max_requests=4096,
+            cache=ResultCache(tmp_path / "c"),
+            engine="vector",
+        )
+        assert warm.meta["cached"] == grid.n_points()
+        assert warm.to_json() == cold.to_json()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            run_sweep(SweepGrid(**self.GRID), engine="warp")

@@ -17,7 +17,7 @@ from repro.layouts import (
 )
 from repro.memory3d import Memory3D, Memory3DConfig
 from repro.permutation import PermutationNetwork
-from repro.trace import TraceArray
+from repro.trace import TraceArray, column_walk_trace, compile_trace
 
 # ---------------------------------------------------------------- strategies
 
@@ -221,6 +221,82 @@ class TestMemoryProperties:
         vault, _, _, _ = memory.mapping.decode_array(trace.addresses)
         busiest = max(np.bincount(vault, minlength=config.vaults))
         assert stats.elapsed_ns >= busiest * config.timing.t_in_row - 1e-9
+
+
+# ------------------------------------------------- trace compiler / engines
+
+
+def random_runs_trace(seed: int, with_arrivals: bool) -> TraceArray:
+    """A trace of random arithmetic stretches -- the compiler's worst food:
+    run seams everywhere, mixed strides, flag flips, duplicate addresses."""
+    rng = np.random.default_rng(seed)
+    pieces = []
+    flags = []
+    for _ in range(int(rng.integers(1, 12))):
+        count = int(rng.integers(1, 40))
+        start = int(rng.integers(0, 1 << 16)) * 8
+        step = int(rng.integers(-16, 17)) * 8
+        if step < 0:
+            start += (count - 1) * (-step)
+        pieces.append(start + np.arange(count, dtype=np.int64) * step)
+        flags.append(np.full(count, bool(rng.integers(0, 2))))
+    addresses = np.concatenate(pieces)
+    is_write = np.concatenate(flags)
+    arrivals = None
+    if with_arrivals:
+        arrivals = np.cumsum(rng.uniform(0.0, 2.0, size=len(addresses)))
+    return TraceArray(addresses, is_write, arrival_ns=arrivals)
+
+
+class TestTraceCompileProperties:
+    @given(seed=st.integers(0, 2**16), with_arrivals=st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_compile_expand_is_identity(self, seed, with_arrivals):
+        trace = random_runs_trace(seed, with_arrivals)
+        compiled = compile_trace(trace)
+        expanded = compiled.expand()
+        assert expanded == trace
+        if with_arrivals:
+            assert np.array_equal(expanded.arrival_ns, trace.arrival_ns)
+        else:
+            assert expanded.arrival_ns is None
+        # Compression is real: runs never outnumber requests, and every
+        # request is accounted for.
+        assert len(compiled.runs) <= len(trace)
+        assert compiled.n_requests == len(trace)
+
+    @given(
+        seed=st.integers(0, 2**16),
+        discipline=st.sampled_from(["in_order", "per_vault"]),
+        n=st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_vector_engine_matches_exact(self, seed, discipline, n):
+        """Same trace, both engines, stat-for-stat identical results."""
+        rng = np.random.default_rng(seed)
+        walk = column_walk_trace(
+            RowMajorLayout(n, n), cols=range(int(rng.integers(1, n)))
+        )
+        config = Memory3DConfig()
+        exact = Memory3D(config).simulate(walk, discipline, engine="exact")
+        vector = Memory3D(config).simulate(walk, discipline, engine="vector")
+        assert exact == vector
+
+    @given(
+        seed=st.integers(0, 2**16),
+        discipline=st.sampled_from(["in_order", "per_vault"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_form_prices_like_raw_arrays(self, seed, discipline):
+        """Compiling a trace never changes what either engine computes."""
+        trace = random_runs_trace(seed, with_arrivals=False)
+        compiled = compile_trace(trace)
+        config = Memory3DConfig()
+        raw = Memory3D(config).simulate(trace, discipline, engine="vector")
+        from_compiled = Memory3D(config).simulate(
+            compiled, discipline, engine="vector"
+        )
+        assert raw == from_compiled
 
 
 # ---------------------------------------------------------- address mapping

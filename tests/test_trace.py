@@ -1,16 +1,25 @@
-"""Request, TraceArray and the trace generators."""
+"""Request, TraceArray, the trace generators and the run compiler."""
 
 import numpy as np
 import pytest
 
 from repro.errors import TraceError
-from repro.layouts import BlockDDLLayout, RowMajorLayout, TiledLayout
+from repro.layouts import (
+    BlockDDLLayout,
+    ColumnMajorLayout,
+    RowMajorLayout,
+    TiledLayout,
+)
 from repro.trace import (
+    RUN_DTYPE,
+    CompiledTrace,
     Request,
     TraceArray,
     block_column_read_trace,
     block_write_trace,
     column_walk_trace,
+    compile_trace,
+    expand_runs,
     linear_trace,
     row_walk_trace,
     strided_trace,
@@ -198,3 +207,97 @@ class TestBlockTraces:
 
     def test_empty_block_cols(self, layout):
         assert len(block_column_read_trace(layout, 4, block_cols=range(0))) == 0
+
+
+def generator_corpus() -> dict[str, TraceArray]:
+    """One trace per shipped generator (plus mixed-flag stress cases)."""
+    rm = RowMajorLayout(32, 32)
+    cm = ColumnMajorLayout(32, 32)
+    tiled = TiledLayout(32, 32, 8, 8)
+    ddl = BlockDDLLayout(32, 32, width=8, height=8)
+    rng = np.random.default_rng(19411218)
+    return {
+        "linear": linear_trace(0, 257),
+        "linear-write": linear_trace(64, 100, stride_elements=3, is_write=True),
+        "strided": strided_trace(8, 129, 4096),
+        "row-walk-rm": row_walk_trace(rm),
+        "row-walk-cm": row_walk_trace(cm),
+        "col-walk-rm": column_walk_trace(rm),
+        "col-walk-cm": column_walk_trace(cm),
+        "col-walk-tiled": column_walk_trace(tiled),
+        "tiled-walk": tiled_walk_trace(tiled, 8, 8),
+        "block-write": block_write_trace(ddl),
+        "block-read": block_column_read_trace(ddl, n_streams=2),
+        "narrow-read": block_column_read_trace(
+            ddl, n_streams=2, whole_blocks=False
+        ),
+        "random": TraceArray(
+            rng.integers(0, 1 << 20, size=513, dtype=np.int64) * 8,
+            rng.integers(0, 2, size=513).astype(bool),
+        ),
+        "single": linear_trace(8, 1),
+        "empty": linear_trace(0, 0),
+    }
+
+
+class TestCompileTrace:
+    @pytest.mark.parametrize("name", sorted(generator_corpus()))
+    def test_round_trip_every_generator(self, name):
+        trace = generator_corpus()[name]
+        compiled = compile_trace(trace)
+        expanded = compiled.expand()
+        assert expanded == trace, name
+        assert len(compiled) == len(trace)
+
+    def test_runs_are_dtype_stable(self):
+        compiled = compile_trace(column_walk_trace(RowMajorLayout(16, 16)))
+        assert compiled.runs.dtype == RUN_DTYPE
+
+    def test_column_walk_compresses_to_one_run_per_column(self):
+        layout = RowMajorLayout(64, 64)
+        compiled = compile_trace(column_walk_trace(layout))
+        # Each column is one arithmetic stretch; column seams may merge
+        # when the wrap stride happens to match, so <= is the contract.
+        assert len(compiled.runs) <= 2 * 64
+        assert compiled.n_requests == 64 * 64
+
+    def test_singleton_runs_normalize_step_to_zero(self):
+        trace = TraceArray(np.array([0, 1 << 12, 8], dtype=np.int64))
+        compiled = compile_trace(trace)
+        assert (compiled.runs["count"] >= 1).all()
+        assert (compiled.runs["step"][compiled.runs["count"] == 1] == 0).all()
+        assert compiled.expand() == trace
+
+    def test_write_flag_flip_breaks_runs(self):
+        addr = np.arange(8, dtype=np.int64) * 8
+        flags = np.array([0, 0, 0, 1, 1, 0, 0, 0], dtype=bool)
+        compiled = compile_trace(TraceArray(addr, flags))
+        assert len(compiled.runs) == 3
+        assert compiled.expand() == TraceArray(addr, flags)
+
+    def test_arrivals_carried_verbatim(self):
+        arrivals = np.linspace(0.0, 99.0, 100)
+        trace = TraceArray(linear_trace(0, 100).addresses, arrival_ns=arrivals)
+        compiled = compile_trace(trace)
+        assert np.array_equal(compiled.arrival_ns, arrivals)
+        assert np.array_equal(compiled.expand().arrival_ns, arrivals)
+
+    def test_expand_runs_helper(self):
+        runs = np.array([(0, 8, 3, False), (64, 0, 1, True)], dtype=RUN_DTYPE)
+        addresses, is_write = expand_runs(runs)
+        assert addresses.tolist() == [0, 8, 16, 64]
+        assert is_write.tolist() == [False, False, False, True]
+
+    def test_rejects_zero_count_run(self):
+        bad = np.array([(0, 8, 0, False)], dtype=RUN_DTYPE)
+        with pytest.raises(ValueError):
+            CompiledTrace(runs=bad)
+
+    def test_rejects_2d_runs(self):
+        with pytest.raises(ValueError):
+            CompiledTrace(runs=np.zeros((2, 2), dtype=RUN_DTYPE))
+
+    def test_rejects_mismatched_arrivals(self):
+        runs = np.array([(0, 8, 3, False)], dtype=RUN_DTYPE)
+        with pytest.raises(ValueError):
+            CompiledTrace(runs=runs, arrival_ns=np.zeros(2))

@@ -28,6 +28,13 @@ rather than failed -- a 2x-parallel-speedup demand is meaningless on a
 single-core box.  A baseline metric missing from the fresh artifact
 fails the gate: silently dropping a measurement is itself a regression.
 
+``--check-coverage`` additionally scans ``benchmarks/bench_*.py`` and
+fails when a benchmark file has no committed baseline of the matching
+name (``bench_engine.py`` -> ``baselines/BENCH_engine.json``), so a new
+benchmark cannot land without a regression band.  Benchmarks that
+predate the gate are grandfathered in ``LEGACY_UNGATED``; do not add new
+entries -- write a baseline instead.
+
 Exit status: 0 when every rule holds, 1 otherwise.
 """
 
@@ -43,6 +50,63 @@ from typing import Any
 DEFAULT_BASELINE_DIR = (
     Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
 )
+
+#: Where the benchmark files themselves live.
+DEFAULT_BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+#: Benchmarks that predate the coverage gate and have no baseline yet.
+#: Frozen: new benchmarks must ship a ``baselines/BENCH_<name>.json``
+#: band instead of growing this list.
+LEGACY_UNGATED = frozenset(
+    {
+        "ablation_height",
+        "ablation_timing",
+        "ablation_vaults",
+        "energy",
+        "fft3d",
+        "fft_kernel",
+        "framework",
+        "interference",
+        "layout_comparison",
+        "load_latency",
+        "matmul",
+        "memory_engines",
+        "permutation",
+        "pipeline",
+        "quantization",
+        "scheduler",
+        "table1",
+        "table2",
+        "technology",
+        "validation",
+    }
+)
+
+
+def check_coverage(
+    bench_dir: Path, baseline_dir: Path
+) -> list[tuple[str, str, str]]:
+    """One row per ``bench_*.py``: does a committed baseline exist?"""
+    rows: list[tuple[str, str, str]] = []
+    for bench in sorted(bench_dir.glob("bench_*.py")):
+        name = bench.stem.removeprefix("bench_")
+        baseline = baseline_dir / f"BENCH_{name}.json"
+        if baseline.is_file():
+            rows.append((name, f"baseline {baseline.name}", "ok"))
+        elif name in LEGACY_UNGATED:
+            rows.append(
+                (name, "legacy benchmark, no baseline (grandfathered)", "skip")
+            )
+        else:
+            rows.append(
+                (
+                    name,
+                    f"{bench.name} has no committed {baseline.name} "
+                    "(new benchmarks must ship a regression band)",
+                    "FAIL",
+                )
+            )
+    return rows
 
 
 class CheckFailure(Exception):
@@ -129,7 +193,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "fresh",
-        nargs="+",
+        nargs="*",
         type=Path,
         help="freshly produced BENCH_*.json artifacts",
     )
@@ -139,8 +203,28 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_BASELINE_DIR,
         help="directory of committed baseline JSON files",
     )
+    parser.add_argument(
+        "--check-coverage",
+        action="store_true",
+        help="fail when a bench_*.py has no committed baseline",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=DEFAULT_BENCH_DIR,
+        help="directory of bench_*.py files (for --check-coverage)",
+    )
     args = parser.parse_args(argv)
+    if not args.fresh and not args.check_coverage:
+        parser.error("nothing to do: pass fresh artifacts or --check-coverage")
     failed = False
+    if args.check_coverage:
+        print(f"baseline coverage of {args.bench_dir}/bench_*.py:")
+        coverage_rows = check_coverage(args.bench_dir, args.baseline_dir)
+        for name, detail, status in coverage_rows:
+            print(f"  [{status:>4s}] {name}: {detail}")
+            if status == "FAIL":
+                failed = True
     for fresh_path in args.fresh:
         baseline_path = args.baseline_dir / fresh_path.name
         try:
