@@ -80,15 +80,22 @@ class WallClockRule(Rule):
 
     id: ClassVar[str] = "DET001"
     title: ClassVar[str] = (
-        "no time.time/perf_counter/datetime.now outside repro.obs and benches"
+        "no time.time/perf_counter/datetime.now outside repro.obs, "
+        "repro.serve and benches"
     )
     rationale: ClassVar[str] = (
         "Simulated time is the model's output; host time leaking into "
-        "results breaks byte-identical sweeps and cache replay."
+        "results breaks byte-identical sweeps and cache replay.  The "
+        "obs and serve layers deal in host time by nature (deadlines, "
+        "ETAs, drain timers) and never touch result payloads."
     )
 
     def applies_to(self, ctx: LintContext) -> bool:
-        return "obs" not in ctx.parts and not _is_test_or_bench(ctx)
+        return (
+            "obs" not in ctx.parts
+            and "serve" not in ctx.parts
+            and not _is_test_or_bench(ctx)
+        )
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
         imports = ImportMap(ctx.tree)

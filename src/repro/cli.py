@@ -12,6 +12,7 @@ Commands regenerate the paper's evaluation artifacts:
 * ``energy``           -- column-phase energy, baseline vs DDL
 * ``trace``            -- record a run and export a Chrome/Perfetto trace
 * ``sweep``            -- parallel design-space sweep with result caching
+* ``serve``            -- resilient layout-planning HTTP service
 * ``tail``             -- live progress view of a monitored sweep
 * ``faults``           -- layout degradation under injected memory faults
 * ``report``           -- self-contained static HTML run report
@@ -508,6 +509,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CircuitBreaker, PlanService, serve_forever
+    from repro.sweep import RetryPolicy
+
+    policy = RetryPolicy(
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+    )
+    service = PlanService(
+        cache=_sweep_cache(args),
+        policy=policy,
+        jobs=args.jobs if args.jobs > 0 else 4,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline,
+        drain_s=args.drain,
+        breaker=CircuitBreaker(
+            threshold=args.breaker_threshold,
+            reset_s=args.breaker_reset,
+        ),
+        engine=args.engine,
+    )
+    return serve_forever(
+        service, port=args.port, host=args.host, announce=sys.stderr
+    )
+
+
 def _cmd_tail(args: argparse.Namespace) -> int:
     import json
     import time
@@ -519,6 +547,7 @@ def _cmd_tail(args: argparse.Namespace) -> int:
 
     url = args.url.rstrip("/") + "/status"
     seen = False
+    failures = 0
     while True:
         try:
             with urllib.request.urlopen(url, timeout=args.timeout) as resp:
@@ -530,8 +559,17 @@ def _cmd_tail(args: argparse.Namespace) -> int:
                 print()
                 print(f"monitor at {args.url} went away (run finished)")
                 return 0
-            raise MonitorError(f"cannot poll {url} ({exc})") from exc
+            # Not up yet (connection refused/reset): retry on a bounded
+            # deterministic schedule before giving up.
+            failures += 1
+            if failures <= args.retries:
+                time.sleep(args.retry_interval)
+                continue
+            raise MonitorError(
+                f"cannot poll {url} after {failures} attempt(s) ({exc})"
+            ) from exc
         seen = True
+        failures = 0
         line = render_status_line(snapshot)
         if args.once:
             print(line)
@@ -912,6 +950,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pw.set_defaults(func=_cmd_sweep)
 
+    pz = sub.add_parser(
+        "serve",
+        help="resilient layout-planning HTTP service (POST /plan)",
+    )
+    pz.add_argument(
+        "--port", type=int, default=8790,
+        help="listen port (0 = ephemeral)",
+    )
+    pz.add_argument(
+        "--host", type=str, default="127.0.0.1", help="listen address"
+    )
+    pz.add_argument(
+        "--jobs", type=int, default=4,
+        help="concurrent point computations (0 = default of 4)",
+    )
+    pz.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="max concurrently admitted requests; excess is shed with "
+             "429 + Retry-After",
+    )
+    pz.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="default per-request wall-clock budget in seconds "
+             "(requests may name their own deadline_s)",
+    )
+    pz.add_argument(
+        "--drain",
+        type=float,
+        default=10.0,
+        help="graceful-shutdown budget for draining in-flight requests",
+    )
+    pz.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-attempt worker budget in seconds (hung workers are "
+             "killed and retried)",
+    )
+    pz.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failing point computation",
+    )
+    pz.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="base backoff delay in seconds before the first retry",
+    )
+    pz.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive worker failures that trip the circuit "
+             "breaker into cache-only degraded mode",
+    )
+    pz.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        help="cool-down in seconds before the open breaker probes a "
+             "worker again (half-open recovery)",
+    )
+    pz.add_argument(
+        "--engine",
+        choices=["exact", "vector"],
+        default="vector",
+        help="timing engine for workers (never affects results)",
+    )
+    pz.add_argument(
+        "--cache-dir",
+        type=str,
+        default=".sweep-cache",
+        help="on-disk result cache directory (shared with repro sweep)",
+    )
+    pz.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    pz.set_defaults(func=_cmd_serve)
+
     pq = sub.add_parser(
         "tail",
         help="poll a monitored sweep's /status and render live progress",
@@ -938,6 +1063,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--once",
         action="store_true",
         help="print one status line and exit instead of live-updating",
+    )
+    pq.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="connection attempts before giving up when the monitor "
+             "is not (yet) reachable",
+    )
+    pq.add_argument(
+        "--retry-interval",
+        type=float,
+        default=0.5,
+        help="fixed delay in seconds between connection retries",
     )
     pq.set_defaults(func=_cmd_tail)
 

@@ -61,7 +61,8 @@ LOG_SCHEMA = "repro-log/v1"
 
 #: The registered correlation-context keys (the logging counterpart of
 #: the event registry): everything a record can be joined on.
-CONTEXT_KEYS = ("run_id", "point_id", "worker_id", "attempt")
+#: ``request_id`` correlates ``repro serve`` request lifecycles.
+CONTEXT_KEYS = ("run_id", "point_id", "worker_id", "attempt", "request_id")
 
 #: Level numbers (stdlib-compatible spacing, but no stdlib dependency).
 DEBUG = 10

@@ -87,6 +87,8 @@ class SweepStatus:
         self._finished_perf: float | None = None
         #: worker_id -> {"points": n, "last_point": i, "last_seen_s": t}
         self._workers: dict[int, dict[str, Any]] = {}
+        #: canonical QuarantineReason value -> count of quarantined points
+        self._failure_reasons: dict[str, int] = {}
         self._registry = MetricsRegistry()
 
     # ------------------------------------------------------------- transitions
@@ -108,6 +110,7 @@ class SweepStatus:
             self._started_perf = time.perf_counter()
             self._finished_perf = None
             self._workers = {}
+            self._failure_reasons = {}
             self._registry = MetricsRegistry()
 
     def finish(self) -> None:
@@ -146,10 +149,20 @@ class SweepStatus:
                 entry["last_point"] = index
                 entry["last_seen_s"] = time.time()
 
-    def mark_failed(self, index: int) -> None:
-        """One point quarantined after exhausting its attempts."""
+    def mark_failed(self, index: int, reason: str | None = None) -> None:
+        """One point quarantined after exhausting its attempts.
+
+        ``reason`` is the canonical
+        :class:`~repro.sweep.resilience.QuarantineReason` value from the
+        failure record; ``/status`` reports the per-reason breakdown.
+        """
         with self._lock:
             self.failed += 1
+            if reason:
+                key = str(reason)
+                self._failure_reasons[key] = (
+                    self._failure_reasons.get(key, 0) + 1
+                )
 
     def mark_retry(self, index: int, attempts: int = 1) -> None:
         """``attempts`` extra attempts were spent on one point."""
@@ -188,6 +201,7 @@ class SweepStatus:
                 "cached": self.cached,
                 "resumed": self.resumed,
                 "failed": self.failed,
+                "failure_reasons": dict(sorted(self._failure_reasons.items())),
                 "retries": self.retries,
                 "jobs": self.jobs,
                 "progress": (

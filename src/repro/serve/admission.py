@@ -1,0 +1,133 @@
+"""Bounded admission control: accept, shed, drain -- never queue unbounded.
+
+The service's first line of defense.  Every incoming plan request passes
+through :meth:`AdmissionController.try_admit` *before* any work is
+scheduled; once the number of in-flight requests reaches the limit (or
+a drain has begun), the request is shed on the spot and the HTTP layer
+answers ``429 Too Many Requests`` with a ``Retry-After`` hint.  Nothing
+is ever buffered beyond the limit, so overload cannot grow memory or
+latency without bound.
+
+The controller is a pure counter state machine guarded by one lock, so
+it is exactly testable: the class invariants (every submitted request is
+either accepted or shed; every accepted request ends completed or
+cancelled) are checked by property-based tests in
+``tests/test_serve_properties.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+class AdmissionController:
+    """Thread-safe bounded admission with explicit load shedding.
+
+    Lifecycle of one request::
+
+        if not admission.try_admit():   # full or draining -> shed (429)
+            ...
+        try:
+            ... do the work ...
+            admission.complete()
+        except Cancelled:
+            admission.cancel()
+
+    Invariants (enforced by :meth:`check_invariants` and the property
+    suite):
+
+    * ``accepted + shed == submitted``
+    * ``completed + cancelled + depth == accepted``
+    * ``0 <= depth <= limit``
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ConfigError(
+                f"admission limit must be >= 1, got {limit}"
+            )
+        self.limit = int(limit)
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.accepted = 0
+        self.shed = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.depth = 0
+        self.draining = False
+
+    # ------------------------------------------------------------ transitions
+    def try_admit(self) -> bool:
+        """Admit one request; ``False`` (= shed it) when full or draining."""
+        with self._lock:
+            self.submitted += 1
+            if self.draining or self.depth >= self.limit:
+                self.shed += 1
+                return False
+            self.accepted += 1
+            self.depth += 1
+            return True
+
+    def complete(self) -> None:
+        """One admitted request finished with a response."""
+        with self._lock:
+            if self.depth <= 0:
+                raise ConfigError("complete() without a matching admit")
+            self.depth -= 1
+            self.completed += 1
+
+    def cancel(self) -> None:
+        """One admitted request was abandoned (deadline, disconnect)."""
+        with self._lock:
+            if self.depth <= 0:
+                raise ConfigError("cancel() without a matching admit")
+            self.depth -= 1
+            self.cancelled += 1
+
+    def begin_drain(self) -> None:
+        """Stop admitting: every subsequent :meth:`try_admit` sheds."""
+        with self._lock:
+            self.draining = True
+
+    # ------------------------------------------------------------------ views
+    def idle(self) -> bool:
+        """True when no admitted request is still in flight."""
+        with self._lock:
+            return self.depth == 0
+
+    def check_invariants(self) -> None:
+        """Raise :class:`~repro.errors.ConfigError` on accounting drift."""
+        with self._lock:
+            if self.accepted + self.shed != self.submitted:
+                raise ConfigError(
+                    f"admission drift: accepted({self.accepted}) + "
+                    f"shed({self.shed}) != submitted({self.submitted})"
+                )
+            if self.completed + self.cancelled + self.depth != self.accepted:
+                raise ConfigError(
+                    f"admission drift: completed({self.completed}) + "
+                    f"cancelled({self.cancelled}) + depth({self.depth}) "
+                    f"!= accepted({self.accepted})"
+                )
+            if not 0 <= self.depth <= self.limit:
+                raise ConfigError(
+                    f"admission drift: depth {self.depth} outside "
+                    f"[0, {self.limit}]"
+                )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time counter copy (JSON-native, for ``/status``)."""
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "depth": self.depth,
+                "draining": self.draining,
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "completed": self.completed,
+                "cancelled": self.cancelled,
+            }

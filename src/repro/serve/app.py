@@ -1,0 +1,274 @@
+"""HTTP transport of the layout-planning service.
+
+:class:`PlanServer` wraps one :class:`~repro.serve.service.PlanService`
+in the same stdlib ``ThreadingHTTPServer`` idiom as the sweep monitor
+(:class:`~repro.obs.monitor.SweepMonitor`): a daemon thread, ephemeral
+ports via ``port=0``, idempotent ``close()``.  Endpoints:
+
+* ``POST /plan``  -- one plan request; 200 (envelope), 400 (bad
+  request), 429 + ``Retry-After`` (shed), 503 (degraded / shutdown),
+  504 (deadline).
+* ``GET /healthz`` -- liveness: 200 whenever the process serves HTTP.
+* ``GET /readyz``  -- readiness: 200 while admitting with a closed
+  breaker, 503 while draining or degraded.
+* ``GET /status``  -- the service status document
+  (:data:`~repro.serve.schemas.SERVE_STATUS_SCHEMA`).
+* ``GET /metrics`` -- OpenMetrics text exposition of the ``serve_*``
+  family.
+
+:func:`serve_forever` is the CLI body: it installs SIGTERM/SIGINT
+handlers that trigger graceful shutdown -- stop admission, drain
+in-flight requests within the drain deadline, then tear down in the
+established compose order (server and service first; the CLI's
+profiler and log sinks follow in ``main()``).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.logging import get_logger
+from repro.obs.monitor import OPENMETRICS_CONTENT_TYPE
+from repro.obs.openmetrics import render_openmetrics
+from repro.serve.schemas import ServeError, error_envelope
+from repro.serve.service import PlanService
+
+#: Maximum accepted request body, bytes (a plan request is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Request handler bridging HTTP to the service core."""
+
+    server_version = "repro-serve/1"
+    #: Set by :class:`PlanServer` on the server object.
+    server: Any
+
+    @property
+    def _service(self) -> PlanService:
+        return self.server.service
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json({"ok": True})
+        elif self.path == "/readyz":
+            ready = self._service.ready()
+            self._send_json(
+                {"ready": ready}, code=200 if ready else 503
+            )
+        elif self.path == "/status":
+            self._send_json(self._service.status_snapshot())
+        elif self.path == "/metrics":
+            text = render_openmetrics(self._service.metrics_snapshot())
+            self._send(200, OPENMETRICS_CONTENT_TYPE, text.encode("utf-8"))
+        else:
+            self._send_json(
+                {
+                    "error": f"unknown path {self.path!r}",
+                    "endpoints": [
+                        "/healthz",
+                        "/readyz",
+                        "/status",
+                        "/metrics",
+                        "POST /plan",
+                    ],
+                },
+                code=404,
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/plan":
+            self._send_json(
+                {"error": f"unknown path {self.path!r}"}, code=404
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                error_envelope(
+                    "bad-request", "missing or oversized request body"
+                ),
+                code=400,
+            )
+            return
+        try:
+            data = json.loads(self.rfile.read(length) or b"{}")
+        except (OSError, json.JSONDecodeError) as exc:
+            self._send_json(
+                error_envelope("bad-request", f"invalid JSON body ({exc})"),
+                code=400,
+            )
+            return
+        try:
+            code, payload, headers = self._service.handle(data)
+        except ServeError as exc:
+            self._send_json(
+                error_envelope("unavailable", str(exc)), code=503
+            )
+            return
+        self._send_json(payload, code=code, headers=headers)
+
+    def _send_json(
+        self,
+        payload: dict[str, Any],
+        code: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(
+            code, "application/json; charset=utf-8", body, headers=headers
+        )
+
+    def _send(
+        self,
+        code: int,
+        content_type: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route http.server chatter into the structured logger."""
+        get_logger("repro.serve.http").debug(
+            "http request",
+            request=format % args,
+            client=self.client_address[0],
+        )
+
+
+class PlanServer:
+    """The HTTP server around one (started) :class:`PlanService`.
+
+    Usage::
+
+        with PlanService(...) as service, PlanServer(service, port=0) as srv:
+            print(srv.url)
+            ...
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` / :attr:`url`
+    after construction.  :meth:`close` is idempotent and only stops the
+    HTTP listener -- the service's own drain/teardown belongs to its
+    owner.
+    """
+
+    def __init__(
+        self,
+        service: PlanService,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if port < 0 or port > 65535:
+            raise ServeError(f"invalid serve port {port}")
+        self.service = service
+        try:
+            self._server = ThreadingHTTPServer((host, port), _ServeHandler)
+        except OSError as exc:
+            raise ServeError(
+                f"cannot bind service to {host}:{port} ({exc})"
+            ) from exc
+        self._server.daemon_threads = True
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the actual one when constructed with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PlanServer":
+        """Serve requests in a daemon thread (no-op when already running)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+            get_logger("repro.serve").info("serving", url=self.url)
+        return self
+
+    def close(self) -> None:
+        """Stop listening and release the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "PlanServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def serve_forever(
+    service: PlanService,
+    port: int,
+    host: str = "127.0.0.1",
+    stop_event: threading.Event | None = None,
+    install_signals: bool = True,
+    announce: Any = None,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then shut down gracefully.
+
+    Graceful order: stop admission -> drain in-flight requests within
+    the service's drain deadline -> close the HTTP listener -> close
+    the service (cancelling anything the drain left behind).  Returns 0
+    on a clean drain, 1 when the drain deadline expired.
+
+    ``stop_event`` and ``install_signals`` exist for tests: pass an
+    event and ``install_signals=False`` to drive shutdown without
+    signals (handlers may only be installed on the main thread).
+    """
+    stop = stop_event if stop_event is not None else threading.Event()
+    if install_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: stop.set())
+    service.start()
+    server = PlanServer(service, port=port, host=host).start()
+    if announce is not None:
+        # Deliberate rendering path: the CLI's startup banner.
+        print(  # repro: ignore[LOG001]
+            f"serving at {server.url} "
+            "(POST /plan; /healthz /readyz /status /metrics)",
+            file=announce,
+        )
+    try:
+        # Polling keeps the wait interruptible by signal handlers on
+        # every platform (a bare Event.wait() may block them).
+        while not stop.is_set():
+            stop.wait(0.2)
+        drained = service.drain()
+    finally:
+        server.close()
+        service.close()
+    return 0 if drained else 1

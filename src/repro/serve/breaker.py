@@ -1,0 +1,148 @@
+"""Circuit breaker around the service's worker pool.
+
+Classic three-state breaker (CLOSED / OPEN / HALF_OPEN) guarding the
+compute path:
+
+* CLOSED -- normal operation; consecutive point failures are counted,
+  and reaching the threshold trips the breaker OPEN.
+* OPEN -- compute is refused outright (:meth:`CircuitBreaker.allow`
+  returns ``False``); the service answers from cache only (degraded
+  mode) and ``/readyz`` reports 503.  After ``reset_s`` of cool-down
+  the next ``allow()`` call transitions to HALF_OPEN.
+* HALF_OPEN -- exactly one probe request is let through.  Success
+  closes the breaker (full recovery, no restart needed); failure
+  re-opens it with a fresh cool-down.
+
+The clock is injected (``clock`` returns monotonic seconds) so tests
+drive recovery deterministically, and every transition is guarded by
+one lock so the property suite can hammer it from many threads.  The
+breaker is a *policy* object: it never touches workers itself -- the
+service consults ``allow()`` before scheduling compute and reports
+outcomes back via ``record_success`` / ``record_failure``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ConfigError
+
+#: The three breaker states as ``/status`` strings.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: State -> numeric gauge value for ``serve_breaker_state``.
+STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing.
+
+    Args:
+        threshold: consecutive point failures that trip the breaker.
+        reset_s: cool-down before an OPEN breaker lets one probe through.
+        clock: monotonic-seconds source (injected for deterministic
+            tests; defaults to :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_s: float = 30.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        if reset_s <= 0:
+            raise ConfigError(
+                f"breaker reset_s must be positive, got {reset_s}"
+            )
+        self.threshold = int(threshold)
+        self.reset_s = float(reset_s)
+        # The service is the obs-adjacent host-time zone; the default
+        # clock is wall time by design.
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.trips = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def state(self) -> str:
+        """Current state string (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May the caller schedule compute right now?
+
+        In OPEN, returns ``False`` until ``reset_s`` has elapsed, then
+        transitions to HALF_OPEN and admits exactly one probe; further
+        callers are refused until that probe reports an outcome.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.reset_s:
+                    return False
+                self._state = HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            # HALF_OPEN: one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """A compute the breaker allowed succeeded: close fully."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A compute the breaker allowed failed."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._failures = 0
+        self._probe_in_flight = False
+        self._opened_at = self._clock()
+        self.trips += 1
+
+    # ------------------------------------------------------------------ views
+    def retry_after_s(self) -> float:
+        """Seconds until an OPEN breaker would admit a probe (>= 0)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self.reset_s - (self._clock() - self._opened_at))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time state copy (JSON-native, for ``/status``)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "threshold": self.threshold,
+                "reset_s": self.reset_s,
+                "consecutive_failures": self._failures,
+                "trips": self.trips,
+            }

@@ -1,0 +1,646 @@
+"""The layout-planning service core: asyncio over the sweep machinery.
+
+:class:`PlanService` is the transport-independent heart of ``repro
+serve``.  It owns an asyncio event loop on a dedicated thread and a
+thread pool whose workers drive the sweep stack's killable per-attempt
+child processes (:func:`repro.sweep.resilience.run_attempt`), so every
+robustness property composes from pieces the offline path already
+trusts:
+
+* **Admission** -- :class:`~repro.serve.admission.AdmissionController`
+  bounds in-flight requests; excess load is shed *before* any work is
+  scheduled (HTTP 429 + ``Retry-After``).
+* **Coalescing** -- identical in-flight points share one computation,
+  keyed by the *same* content address the sweep's
+  :class:`~repro.sweep.cache.ResultCache` uses, so the service and
+  ``repro sweep`` interoperate through a shared on-disk cache.
+* **Deadlines** -- each request's budget is enforced with
+  ``asyncio.wait_for``; cancellation propagates through a
+  ``threading.Event`` into :func:`run_attempt`, which terminates the
+  abandoned child process.
+* **Retries** -- transient worker failures replay under the sweep's
+  :class:`~repro.sweep.resilience.RetryPolicy` (deterministic backoff).
+* **Circuit breaking** -- consecutive worker failures trip the
+  :class:`~repro.serve.breaker.CircuitBreaker`; while OPEN the service
+  answers from cache only (``"degraded": true`` envelopes, ``/readyz``
+  503) and recovers through a half-open probe without a restart.
+* **Draining** -- :meth:`PlanService.drain` stops admission and waits
+  for in-flight requests; accepted requests are never dropped.
+
+Result documents embedded in response envelopes are byte-identical to
+``repro sweep`` output for the same resolved config (enforced by test):
+the service builds the same grid, hashes the same payloads and
+assembles the same :class:`~repro.sweep.results.SweepResult`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from concurrent.futures import CancelledError as FutureCancelled
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.core.config import SystemConfig
+from repro.errors import ConfigError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CLOSED, STATE_VALUES, CircuitBreaker
+from repro.serve.schemas import (
+    SERVE_STATUS_SCHEMA,
+    PlanRequest,
+    ServeError,
+    error_envelope,
+    parse_plan_request,
+    response_envelope,
+)
+from repro.sweep.cache import ResultCache
+from repro.sweep.resilience import (
+    QuarantineReason,
+    RetryPolicy,
+    WorkerChaos,
+    run_attempt,
+)
+
+#: Default bound on concurrently admitted requests.
+DEFAULT_QUEUE_LIMIT = 16
+
+#: Default per-request wall-clock budget in seconds.
+DEFAULT_DEADLINE_S = 30.0
+
+#: Default drain budget on graceful shutdown, seconds.
+DEFAULT_DRAIN_S = 10.0
+
+#: ``Retry-After`` hint (seconds) on shed responses.
+SHED_RETRY_AFTER_S = 1
+
+#: How often the drain loop re-checks for idleness, seconds.
+_DRAIN_POLL_S = 0.02
+
+
+class _PointFailure(ServeError):
+    """A point exhausted its attempts; carries the canonical reason."""
+
+    def __init__(self, error: str, message: str, reason: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+        self.detail = message
+        self.reason = reason
+
+
+class _SharedPoint:
+    """One in-flight point computation, shared by coalesced waiters."""
+
+    __slots__ = ("key", "task", "cancel_event", "waiters")
+
+    def __init__(
+        self,
+        key: str,
+        task: "asyncio.Task[dict[str, Any] | None]",
+        cancel_event: threading.Event,
+    ) -> None:
+        self.key = key
+        self.task = task
+        self.cancel_event = cancel_event
+        self.waiters = 0
+
+
+def _consume_exception(task: "asyncio.Task[Any]") -> None:
+    """Done-callback: retrieve an abandoned task's exception quietly."""
+    if not task.cancelled():
+        task.exception()
+
+
+class PlanService:
+    """The serving core: admission, coalescing, deadlines, degradation.
+
+    Thread model: HTTP handler threads call :meth:`handle`, which does
+    admission accounting and blocks on a coroutine scheduled onto the
+    service's private event loop; the loop fans point computations out
+    to a thread pool whose workers drive killable child processes.
+
+    Args:
+        config: base system configuration requests override.
+        cache: shared result cache (interoperable with ``repro sweep``).
+        policy: retry policy for transient worker failures.
+        jobs: thread-pool width (concurrent point computations).
+        queue_limit: max concurrently admitted requests (excess sheds).
+        default_deadline_s: per-request budget when the request names
+            none.
+        drain_s: default drain budget on graceful shutdown.
+        breaker: circuit breaker (injectable clock for tests).
+        chaos: worker fault injection (tests; point index is always 0).
+        engine: timing engine for workers (never affects results).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        cache: ResultCache | None = None,
+        policy: RetryPolicy | None = None,
+        jobs: int = 4,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        default_deadline_s: float = DEFAULT_DEADLINE_S,
+        drain_s: float = DEFAULT_DRAIN_S,
+        breaker: CircuitBreaker | None = None,
+        chaos: WorkerChaos | None = None,
+        engine: str = "vector",
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"serve jobs must be >= 1, got {jobs}")
+        if default_deadline_s <= 0:
+            raise ConfigError(
+                f"default deadline must be positive, got {default_deadline_s}"
+            )
+        self.config = config if config is not None else SystemConfig()
+        self.cache = cache
+        self.policy = policy if policy is not None else RetryPolicy(retries=1)
+        self.jobs = int(jobs)
+        self.default_deadline_s = float(default_deadline_s)
+        self.drain_s = float(drain_s)
+        self.admission = AdmissionController(queue_limit)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.chaos = chaos
+        self.engine = engine
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        #: cache key -> in-flight shared computation (loop-confined).
+        self._inflight: dict[str, _SharedPoint] = {}
+        self._seq = itertools.count(1)
+        self._metrics_lock = threading.Lock()
+        self._counters = {
+            "cache_hits": 0,
+            "coalesced": 0,
+            "computed_points": 0,
+            "deadline_misses": 0,
+            "degraded_answers": 0,
+            "degraded_refusals": 0,
+            "compute_failures": 0,
+        }
+        #: canonical QuarantineReason value -> count of failed points.
+        self._failure_reasons: dict[str, int] = {}
+        self._closed = False
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "PlanService":
+        """Spin up the event loop thread and worker pool (idempotent)."""
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-serve-worker"
+        )
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-loop", daemon=True
+        )
+        self._loop_thread.start()
+        get_logger("repro.serve").info(
+            "service started",
+            jobs=self.jobs,
+            queue_limit=self.admission.limit,
+        )
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests (they shed with 429)."""
+        self.admission.begin_drain()
+        get_logger("repro.serve").info("drain started")
+
+    def drain(self, deadline_s: float | None = None) -> bool:
+        """Stop admission and wait for in-flight requests to finish.
+
+        Returns ``True`` when the service went idle within the budget;
+        ``False`` means requests were still running when it expired
+        (close() will cancel them).
+        """
+        self.begin_drain()
+        budget = self.drain_s if deadline_s is None else deadline_s
+        deadline = time.monotonic() + budget
+        while not self.admission.idle():
+            if time.monotonic() >= deadline:
+                get_logger("repro.serve").warning(
+                    "drain deadline expired",
+                    in_flight=self.admission.snapshot()["depth"],
+                )
+                return False
+            time.sleep(_DRAIN_POLL_S)
+        get_logger("repro.serve").info("drain complete")
+        return True
+
+    def close(self) -> None:
+        """Tear down: cancel leftovers, stop the loop, join the pool.
+
+        Idempotent.  Callers wanting a graceful exit run :meth:`drain`
+        first; anything still in flight here is cancelled (its waiters
+        receive a shutdown error, its child processes are terminated).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is not None:
+
+            def _cancel_inflight() -> None:
+                for shared in list(self._inflight.values()):
+                    shared.cancel_event.set()
+                    shared.task.cancel()
+
+            loop.call_soon_threadsafe(_cancel_inflight)
+            # Give cancellations one beat to propagate, then stop.
+            loop.call_soon_threadsafe(loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=5.0)
+                self._loop_thread = None
+            loop.close()
+            self._loop = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        get_logger("repro.serve").info("service closed")
+
+    def __enter__(self) -> "PlanService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- public API
+    def ready(self) -> bool:
+        """``/readyz`` truth: admitting requests and breaker closed."""
+        return (
+            not self._closed
+            and not self.admission.draining
+            and self.breaker.state == CLOSED
+        )
+
+    def handle(self, data: Any) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Answer one decoded request body; ``(code, payload, headers)``.
+
+        Called from transport threads.  Validation failures are 400 and
+        never enter admission; shed requests are 429 with
+        ``Retry-After`` and never schedule work.
+        """
+        if self._loop is None or self._closed:
+            raise ServeError("service is not running (call start())")
+        try:
+            request = parse_plan_request(data)
+            payloads = request.point_payloads(self.config)
+        except ConfigError as exc:
+            return 400, error_envelope("bad-request", str(exc)), {}
+        if not self.admission.try_admit():
+            why = "draining" if self.admission.draining else "queue full"
+            return (
+                429,
+                error_envelope(
+                    "shed",
+                    f"request shed ({why}); retry after a backoff",
+                ),
+                {"Retry-After": str(SHED_RETRY_AFTER_S)},
+            )
+        request_id = f"{request.digest()[:8]}-{next(self._seq)}"
+        disposition = "cancelled"
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self._handle(request, request_id, payloads), self._loop
+            )
+            code, payload, headers, disposition = future.result()
+            return code, payload, headers
+        except (FutureCancelled, asyncio.CancelledError):
+            return (
+                503,
+                error_envelope(
+                    "shutdown",
+                    "service shut down before the request completed",
+                    request_id=request_id,
+                    reason=QuarantineReason.CANCELLED.value,
+                ),
+                {},
+            )
+        finally:
+            if disposition == "completed":
+                self.admission.complete()
+            else:
+                self.admission.cancel()
+
+    # ------------------------------------------------------------ request core
+    async def _handle(
+        self,
+        request: PlanRequest,
+        request_id: str,
+        payloads: list[tuple[str, dict[str, Any]]],
+    ) -> tuple[int, dict[str, Any], dict[str, str], str]:
+        """One admitted request on the loop: cache, breaker, compute."""
+        log = get_logger("repro.serve", request_id=request_id)
+        deadline_s = request.deadline_s or self.default_deadline_s
+        results: dict[int, dict[str, Any]] = {}
+        missing: list[tuple[int, str, dict[str, Any]]] = []
+        for index, (key, payload) in enumerate(payloads):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                results[index] = hit
+            else:
+                missing.append((index, key, payload))
+        cached = len(results)
+        if cached:
+            self._bump("cache_hits", cached)
+        log.info(
+            "request admitted",
+            n=request.n,
+            points=len(payloads),
+            cached=cached,
+            deadline_s=deadline_s,
+        )
+
+        degraded = False
+        coalesced = 0
+        if missing:
+            if not self.breaker.allow():
+                self._bump("degraded_refusals")
+                retry_after = max(1, int(self.breaker.retry_after_s()) or 1)
+                log.warning(
+                    "degraded refusal",
+                    missing=len(missing),
+                    breaker=self.breaker.state,
+                )
+                return (
+                    503,
+                    error_envelope(
+                        "degraded",
+                        "worker pool unavailable (circuit open) and "
+                        f"{len(missing)} point(s) not cached",
+                        request_id=request_id,
+                        reason=self._last_failure_reason(),
+                    ),
+                    {"Retry-After": str(retry_after)},
+                    "completed",
+                )
+            shares = [self._acquire(key, payload) for _, key, payload in missing]
+            coalesced = sum(1 for share in shares if share.waiters > 1)
+            if coalesced:
+                self._bump("coalesced", coalesced)
+            try:
+                computed = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(self._await_share(share) for share in shares)
+                    ),
+                    timeout=deadline_s,
+                )
+            except (asyncio.TimeoutError, asyncio.CancelledError) as exc:
+                self._bump("deadline_misses")
+                log.warning("deadline missed", deadline_s=deadline_s)
+                if isinstance(exc, asyncio.CancelledError) and self._closed:
+                    raise
+                return (
+                    504,
+                    error_envelope(
+                        "deadline-exceeded",
+                        f"request exceeded its {deadline_s}s deadline; "
+                        "abandoned work was cancelled",
+                        request_id=request_id,
+                        reason=QuarantineReason.TIMEOUT.value,
+                    ),
+                    {},
+                    "cancelled",
+                )
+            except _PointFailure as exc:
+                self._bump("compute_failures")
+                log.error(
+                    "compute failed", error=exc.error, reason=exc.reason
+                )
+                return (
+                    500,
+                    error_envelope(
+                        exc.error,
+                        exc.detail,
+                        request_id=request_id,
+                        reason=exc.reason,
+                    ),
+                    {},
+                    "completed",
+                )
+            finally:
+                for share in shares:
+                    self._release(share)
+            for (index, _, _), result in zip(missing, computed):
+                results[index] = result
+            self._bump("computed_points", len(missing))
+        elif self.breaker.state != CLOSED:
+            # Every point answered from cache while the pool is sick:
+            # still a correct document, flagged so callers know.
+            degraded = True
+            self._bump("degraded_answers")
+
+        ordered = [results[index] for index in range(len(payloads))]
+        envelope = response_envelope(
+            request,
+            request_id,
+            ordered,
+            cached=cached,
+            computed=len(missing),
+            coalesced=coalesced,
+            degraded=degraded,
+        )
+        log.info(
+            "request served",
+            best_layout=envelope["best"]["layout"],
+            cached=cached,
+            computed=len(missing),
+            degraded=degraded,
+        )
+        return 200, envelope, {}, "completed"
+
+    # ------------------------------------------------------------- coalescing
+    def _acquire(self, key: str, payload: dict[str, Any]) -> _SharedPoint:
+        """Join (or start) the in-flight computation for ``key``."""
+        assert self._loop is not None
+        shared = self._inflight.get(key)
+        if shared is None:
+            cancel_event = threading.Event()
+            task = self._loop.create_task(
+                self._run_point(key, payload, cancel_event)
+            )
+            task.add_done_callback(_consume_exception)
+            shared = _SharedPoint(key, task, cancel_event)
+            self._inflight[key] = shared
+        shared.waiters += 1
+        return shared
+
+    def _release(self, shared: _SharedPoint) -> None:
+        """Drop one waiter; the last one cancels abandoned work."""
+        shared.waiters -= 1
+        if shared.waiters <= 0 and not shared.task.done():
+            shared.cancel_event.set()
+            shared.task.cancel()
+            self._inflight.pop(shared.key, None)
+
+    async def _await_share(self, shared: _SharedPoint) -> dict[str, Any]:
+        """Await a shared computation without cancelling co-waiters."""
+        result = await asyncio.shield(shared.task)
+        if result is None:
+            # The computation noticed its cancel event (another waiter's
+            # deadline raced ours); treat as our own cancellation.
+            raise asyncio.CancelledError()
+        return result
+
+    async def _run_point(
+        self, key: str, payload: dict[str, Any], cancel_event: threading.Event
+    ) -> dict[str, Any] | None:
+        """The single shared task computing one point on the pool."""
+        assert self._loop is not None and self._pool is not None
+        try:
+            return await self._loop.run_in_executor(
+                self._pool, self._compute_point, key, payload, cancel_event
+            )
+        finally:
+            self._inflight.pop(key, None)
+
+    # ----------------------------------------------------------- worker bridge
+    def _compute_point(
+        self, key: str, payload: dict[str, Any], cancel_event: threading.Event
+    ) -> dict[str, Any] | None:
+        """Pool-thread body: retries of one killable child-process attempt.
+
+        Returns the point result, ``None`` when cancelled, or raises
+        :class:`_PointFailure` after the policy is exhausted.  Breaker
+        outcomes are recorded here, per point.
+        """
+        task = dict(payload)
+        task["index"] = 0
+        task["engine"] = self.engine
+        last_error = "SweepExecutionError"
+        last_message = "no attempt ran"
+        last_reason = QuarantineReason.EXCEPTION
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if cancel_event.is_set():
+                return None
+            attempt_task = dict(task)
+            attempt_task["attempt"] = attempt
+            chaos = self.chaos
+            if chaos is not None:
+                attempt_task["chaos"] = chaos.as_dict()
+            status = run_attempt(
+                attempt_task, self.policy.timeout_s, cancel_event=cancel_event
+            )
+            if status["status"] == "ok":
+                result = status["outcome"]["result"]
+                self.breaker.record_success()
+                if self.cache is not None:
+                    self.cache.put(
+                        key,
+                        {
+                            "point": payload["point"],
+                            "config": payload["config"],
+                            "max_requests": payload["max_requests"],
+                        },
+                        result,
+                    )
+                return result
+            if status["status"] == "cancelled":
+                return None
+            last_error = status.get("error", status["status"])
+            last_message = status.get("message", f"attempt {status['status']}")
+            last_reason = QuarantineReason(status["reason"])
+            if attempt < self.policy.max_attempts:
+                if cancel_event.wait(self.policy.backoff_for(0, attempt)):
+                    return None
+        self.breaker.record_failure()
+        with self._metrics_lock:
+            self._failure_reasons[last_reason.value] = (
+                self._failure_reasons.get(last_reason.value, 0) + 1
+            )
+        raise _PointFailure(last_error, last_message, last_reason.value)
+
+    # ----------------------------------------------------------------- metrics
+    def _bump(self, name: str, by: int = 1) -> None:
+        with self._metrics_lock:
+            self._counters[name] += by
+
+    def _last_failure_reason(self) -> str | None:
+        """The most common recorded failure reason (degraded envelopes)."""
+        with self._metrics_lock:
+            if not self._failure_reasons:
+                return None
+            return max(
+                sorted(self._failure_reasons),
+                key=lambda reason: self._failure_reasons[reason],
+            )
+
+    def status_snapshot(self) -> dict[str, Any]:
+        """The ``/status`` JSON document of the service."""
+        admission = self.admission.snapshot()
+        with self._metrics_lock:
+            counters = dict(self._counters)
+            reasons = dict(sorted(self._failure_reasons.items()))
+        return {
+            "schema": SERVE_STATUS_SCHEMA,
+            "state": "draining" if admission["draining"] else "serving",
+            "ready": self.ready(),
+            "admission": admission,
+            "breaker": self.breaker.snapshot(),
+            "counters": counters,
+            "failure_reasons": reasons,
+        }
+
+    def metrics_snapshot(self) -> dict[str, dict]:
+        """The ``serve_*`` gauge/counter family for ``/metrics``."""
+        snap = self.status_snapshot()
+        admission = snap["admission"]
+        registry = MetricsRegistry()
+        registry.gauge(
+            "serve.queue_depth", help="admitted requests in flight"
+        ).set(admission["depth"])
+        registry.gauge(
+            "serve.queue_limit", help="admission bound"
+        ).set(admission["limit"])
+        registry.gauge(
+            "serve.draining", help="1 while draining, else 0"
+        ).set(1.0 if admission["draining"] else 0.0)
+        registry.gauge(
+            "serve.breaker_state",
+            help="0 closed, 1 half-open, 2 open",
+        ).set(STATE_VALUES[snap["breaker"]["state"]])
+        registry.counter(
+            "serve.requests", help="requests submitted"
+        ).inc(admission["submitted"])
+        registry.counter(
+            "serve.accepted", help="requests admitted"
+        ).inc(admission["accepted"])
+        registry.counter(
+            "serve.shed", help="requests shed with 429"
+        ).inc(admission["shed"])
+        registry.counter(
+            "serve.completed", help="admitted requests answered"
+        ).inc(admission["completed"])
+        registry.counter(
+            "serve.cancelled", help="admitted requests abandoned"
+        ).inc(admission["cancelled"])
+        registry.counter(
+            "serve.breaker_trips", help="times the breaker opened"
+        ).inc(snap["breaker"]["trips"])
+        counters = snap["counters"]
+        registry.counter(
+            "serve.deadline_misses", help="requests past their deadline"
+        ).inc(counters["deadline_misses"])
+        registry.counter(
+            "serve.cache_hits", help="points answered from cache"
+        ).inc(counters["cache_hits"])
+        registry.counter(
+            "serve.coalesced", help="point computations joined in flight"
+        ).inc(counters["coalesced"])
+        registry.counter(
+            "serve.computed_points", help="points computed by workers"
+        ).inc(counters["computed_points"])
+        registry.counter(
+            "serve.degraded_answers", help="cache-only degraded 200s"
+        ).inc(counters["degraded_answers"])
+        registry.counter(
+            "serve.degraded_refusals", help="degraded 503 refusals"
+        ).inc(counters["degraded_refusals"])
+        registry.counter(
+            "serve.compute_failures", help="requests failed by workers"
+        ).inc(counters["compute_failures"])
+        return registry.as_dict()

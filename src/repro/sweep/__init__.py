@@ -39,11 +39,14 @@ from repro.sweep.grid import (
 )
 from repro.sweep.resilience import (
     CHECKPOINT_SCHEMA,
+    QuarantineReason,
     RetryPolicy,
     SweepCheckpoint,
     WorkerChaos,
     backoff_jitter,
     failure_record,
+    reason_for_status,
+    run_attempt,
 )
 from repro.sweep.results import RESULT_SCHEMA, SweepError, SweepResult
 from repro.sweep.runner import (
@@ -62,6 +65,7 @@ __all__ = [
     "ConfigVariant",
     "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_SWEEP_REQUESTS",
+    "QuarantineReason",
     "RESULT_SCHEMA",
     "ResultCache",
     "RetryPolicy",
@@ -76,7 +80,9 @@ __all__ = [
     "grid_from_dict",
     "load_grid_spec",
     "point_result",
+    "reason_for_status",
     "resolve_jobs",
+    "run_attempt",
     "run_sweep",
     "validate_grid",
 ]

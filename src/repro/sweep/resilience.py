@@ -26,6 +26,7 @@ payload stays deterministic and byte-identical to a failure-free run.
 
 from __future__ import annotations
 
+import enum
 import hashlib
 import json
 import multiprocessing
@@ -40,6 +41,50 @@ from repro.serialization import stable_digest
 
 #: Schema tag stamped into every checkpoint file.
 CHECKPOINT_SCHEMA = "repro-sweep-checkpoint/v1"
+
+
+# ----------------------------------------------------------- failure reasons
+class QuarantineReason(str, enum.Enum):
+    """Why an attempt (or a whole point) was given up on.
+
+    The canonical vocabulary every failure surface shares: per-attempt
+    statuses from :func:`run_attempt`, quarantine records in sweep
+    result documents, the monitor's ``/status`` breakdown, and the
+    serving layer's degraded-mode envelopes.  String-valued so the
+    members serialize as themselves in JSON documents.
+    """
+
+    #: The attempt exceeded its wall-clock budget and was killed.
+    TIMEOUT = "timeout"
+    #: The worker process died without reporting (hard crash).
+    WORKER_CRASH = "worker-crash"
+    #: The worker raised an exception (including injected fault chaos).
+    EXCEPTION = "exception"
+    #: The attempt was abandoned by its caller (deadline/shutdown).
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: ``run_attempt`` status string -> canonical reason.
+_STATUS_REASONS = {
+    "timeout": QuarantineReason.TIMEOUT,
+    "crashed": QuarantineReason.WORKER_CRASH,
+    "error": QuarantineReason.EXCEPTION,
+    "cancelled": QuarantineReason.CANCELLED,
+}
+
+
+def reason_for_status(status: str) -> QuarantineReason:
+    """Map a non-ok :func:`run_attempt` status to its canonical reason."""
+    try:
+        return _STATUS_REASONS[status]
+    except KeyError:
+        raise ConfigError(
+            f"unknown attempt status {status!r} "
+            f"(known: {sorted(_STATUS_REASONS)})"
+        ) from None
 
 
 # ---------------------------------------------------------------- retry policy
@@ -195,8 +240,14 @@ def _attempt_child(conn: Any, task: dict[str, Any]) -> None:
         conn.close()
 
 
+#: How often a cancellable attempt re-checks its cancel event (seconds).
+CANCEL_POLL_S = 0.05
+
+
 def run_attempt(
-    task: dict[str, Any], timeout_s: float | None
+    task: dict[str, Any],
+    timeout_s: float | None,
+    cancel_event: Any | None = None,
 ) -> dict[str, Any]:
     """Run one point attempt in a killable child process.
 
@@ -204,8 +255,17 @@ def run_attempt(
     on success, ``{"status": "error", ...}`` when the worker raised,
     ``{"status": "timeout"}`` when the attempt exceeded ``timeout_s``
     (the child is terminated), ``{"status": "crashed"}`` when the child
-    died without reporting (hard crash).  Every status carries the
-    attempt's measured ``duration_s``.
+    died without reporting (hard crash), ``{"status": "cancelled"}``
+    when ``cancel_event`` was set while the attempt ran (the child is
+    terminated -- abandoned work never lingers).  Every non-ok status
+    carries its canonical ``reason`` (:class:`QuarantineReason`), and
+    every status the attempt's measured ``duration_s``.
+
+    ``cancel_event`` is any object with an ``is_set()`` method (a
+    ``threading.Event`` in practice); when given, the wait polls in
+    :data:`CANCEL_POLL_S` slices so cancellation lands promptly even
+    under an unbounded timeout.  This is the cancellation hook the
+    serving layer uses to propagate per-request deadlines to workers.
     """
     # Attempt duration is telemetry about THIS execution (it feeds the
     # run trace's retry annotations), never part of the deterministic
@@ -224,12 +284,38 @@ def run_attempt(
         point_id=task["index"],
         attempt=task.get("attempt", 1),
     )
+
+    def _wait_for_report() -> str:
+        """Poll the pipe; ``"ready"``, ``"timeout"`` or ``"cancelled"``."""
+        if cancel_event is None:
+            return "ready" if parent_conn.poll(timeout_s) else "timeout"
+        deadline = (
+            None
+            if timeout_s is None
+            else time.perf_counter() + timeout_s  # repro: ignore[DET001]
+        )
+        while True:
+            if cancel_event.is_set():
+                return "cancelled"
+            slice_s = CANCEL_POLL_S
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()  # repro: ignore[DET001]
+                if remaining <= 0:
+                    return "timeout"
+                slice_s = min(slice_s, remaining)
+            if parent_conn.poll(slice_s):
+                return "ready"
+
     try:
-        if not parent_conn.poll(timeout_s):
+        waited = _wait_for_report()
+        if waited != "ready":
             proc.terminate()
             proc.join()
-            status: dict[str, Any] = {"status": "timeout"}
-            log.warning("attempt timed out", timeout_s=timeout_s)
+            status: dict[str, Any] = {"status": waited}
+            if waited == "timeout":
+                log.warning("attempt timed out", timeout_s=timeout_s)
+            else:
+                log.info("attempt cancelled")
         else:
             try:
                 status = parent_conn.recv()
@@ -245,6 +331,8 @@ def run_attempt(
                 error=status.get("error"),
                 detail=status.get("message"),
             )
+        if status["status"] != "ok":
+            status["reason"] = reason_for_status(status["status"]).value
         status["duration_s"] = time.perf_counter() - started  # repro: ignore[DET001]
         return status
     finally:
@@ -259,8 +347,14 @@ def failure_record(
     message: str,
     attempts: int,
     timed_out: bool = False,
+    reason: QuarantineReason | str = QuarantineReason.EXCEPTION,
 ) -> dict[str, Any]:
-    """The quarantine record one failed point leaves in ``failures``."""
+    """The quarantine record one failed point leaves in ``failures``.
+
+    ``reason`` is the canonical :class:`QuarantineReason` of the *last*
+    attempt (free-text stays in ``message``); ``timed_out`` is kept as
+    a redundant boolean for schema-v2 consumers.
+    """
     return {
         "index": index,
         "point": point,
@@ -268,6 +362,7 @@ def failure_record(
         "message": message,
         "attempts": attempts,
         "timed_out": timed_out,
+        "reason": QuarantineReason(reason).value,
     }
 
 

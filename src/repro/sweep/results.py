@@ -32,8 +32,9 @@ from repro.obs.telemetry import RunTelemetry
 from repro.sweep.grid import SweepGrid
 
 #: Schema tag stamped into every result document.  v2 added the
-#: ``failures`` quarantine section.
-RESULT_SCHEMA = "repro-sweep-result/v2"
+#: ``failures`` quarantine section; v3 added the canonical ``reason``
+#: (:class:`~repro.sweep.resilience.QuarantineReason`) to each record.
+RESULT_SCHEMA = "repro-sweep-result/v3"
 
 
 class SweepError(ReproError):

@@ -45,6 +45,7 @@ from repro.serialization import system_from_dict, system_to_dict, system_with_ov
 from repro.sweep.cache import CACHE_VERSION, ResultCache
 from repro.sweep.grid import SweepGrid, SweepPoint
 from repro.sweep.resilience import (
+    QuarantineReason,
     RetryPolicy,
     SweepCheckpoint,
     WorkerChaos,
@@ -247,7 +248,7 @@ def _attempt_point(
     index = task["index"]
     last_error = "SweepExecutionError"
     last_message = "no attempt ran"
-    timed_out = False
+    last_reason = QuarantineReason.EXCEPTION
     attempts_log: list[dict[str, Any]] = []
     for attempt in range(1, policy.max_attempts + 1):
         payload = dict(task)
@@ -274,17 +275,17 @@ def _attempt_point(
             last_message = (
                 f"attempt exceeded the {policy.timeout_s}s budget and was killed"
             )
-            timed_out = True
+            last_reason = QuarantineReason.TIMEOUT
         elif status["status"] == "crashed":
             last_error = "WorkerCrash"
             last_message = (
                 f"worker died without reporting (exit code {status.get('exitcode')})"
             )
-            timed_out = False
+            last_reason = QuarantineReason.WORKER_CRASH
         else:
             last_error = status.get("error", "Exception")
             last_message = status.get("message", "")
-            timed_out = False
+            last_reason = QuarantineReason.EXCEPTION
         if attempt < policy.max_attempts:
             time.sleep(policy.backoff_for(index, attempt))
     failure = failure_record(
@@ -293,7 +294,8 @@ def _attempt_point(
         error=last_error,
         message=last_message,
         attempts=policy.max_attempts,
-        timed_out=timed_out,
+        timed_out=last_reason is QuarantineReason.TIMEOUT,
+        reason=last_reason,
     )
     return {
         "status": "failed",
@@ -603,7 +605,9 @@ def run_sweep(
                     failure = entry["failure"]
                     failures.append(failure)
                     if status is not None:
-                        status.mark_failed(failure["index"])
+                        status.mark_failed(
+                            failure["index"], reason=failure.get("reason")
+                        )
                         if entry["retries"]:
                             status.mark_retry(
                                 failure["index"], entry["retries"]
@@ -612,6 +616,7 @@ def run_sweep(
                         "point quarantined",
                         point=failure["index"],
                         error=failure["error"],
+                        reason=failure.get("reason"),
                         attempts=failure["attempts"],
                     )
                 since_snapshot += 1

@@ -106,7 +106,9 @@ class TestLogRecord:
             validate_log_line('{"schema": "other"}')
 
     def test_context_keys_are_the_registered_schema(self):
-        assert CONTEXT_KEYS == ("run_id", "point_id", "worker_id", "attempt")
+        assert CONTEXT_KEYS == (
+            "run_id", "point_id", "worker_id", "attempt", "request_id",
+        )
 
 
 class TestRingBufferSink:

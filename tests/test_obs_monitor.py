@@ -120,6 +120,20 @@ class TestSweepStatus:
         assert snap["failed"] == 0
         assert snap["workers"] == {}
 
+    def test_failure_reasons_tally_in_snapshot(self):
+        status = SweepStatus()
+        status.start_run(6, run_id="reasons")
+        status.mark_failed(0, reason="timeout")
+        status.mark_failed(1, reason="timeout")
+        status.mark_failed(2, reason="exception")
+        status.mark_failed(3)  # legacy callers: no reason, no tally
+        snap = status.snapshot()
+        assert snap["failed"] == 4
+        assert snap["failure_reasons"] == {"exception": 1, "timeout": 2}
+        # A new run clears the breakdown with the other counters.
+        status.start_run(2, run_id="fresh")
+        assert status.snapshot()["failure_reasons"] == {}
+
 
 @pytest.fixture()
 def monitor():

@@ -1,0 +1,220 @@
+"""Property-based suites for the serving state machines.
+
+Seeded and deterministic (``derandomize=True``) with capped
+``max_examples`` so CI time stays bounded; marked ``property`` so they
+can be selected or skipped as a group (``-m property``).
+
+The three pinned invariants from the issue:
+
+* admission conservation -- ``accepted + shed == submitted`` and
+  ``completed + cancelled + depth == accepted`` after *any* operation
+  sequence;
+* the breaker never authorises compute while OPEN inside its cool-down;
+* draining never drops an accepted request -- every accepted request
+  still reaches a terminal disposition, and nothing new sneaks in.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import AdmissionController, CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+
+pytestmark = pytest.mark.property
+
+#: Shared cap: plenty of coverage for these small state machines.
+MAX_EXAMPLES = 200
+
+
+def _drive_admission(admission, ops):
+    """Apply an op sequence, only completing/cancelling live requests."""
+    live = 0
+    for op in ops:
+        if op == "admit":
+            if admission.try_admit():
+                live += 1
+        elif op == "complete" and live > 0:
+            admission.complete()
+            live -= 1
+        elif op == "cancel" and live > 0:
+            admission.cancel()
+            live -= 1
+        elif op == "drain":
+            admission.begin_drain()
+    return live
+
+
+class TestAdmissionConservation:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None, derandomize=True)
+    @given(
+        limit=st.integers(min_value=1, max_value=8),
+        ops=st.lists(
+            st.sampled_from(["admit", "complete", "cancel", "drain"]),
+            max_size=80,
+        ),
+    )
+    def test_counters_always_conserve(self, limit, ops):
+        admission = AdmissionController(limit=limit)
+        live = _drive_admission(admission, ops)
+        admission.check_invariants()
+        snap = admission.snapshot()
+        assert snap["accepted"] + snap["shed"] == snap["submitted"]
+        assert (
+            snap["completed"] + snap["cancelled"] + snap["depth"]
+            == snap["accepted"]
+        )
+        assert snap["depth"] == live
+        assert 0 <= snap["depth"] <= limit
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None, derandomize=True)
+    @given(
+        limit=st.integers(min_value=1, max_value=8),
+        ops=st.lists(
+            st.sampled_from(["admit", "complete", "cancel"]), max_size=40
+        ),
+        after=st.lists(st.just("admit"), min_size=1, max_size=10),
+    )
+    def test_drain_sheds_new_but_never_drops_accepted(
+        self, limit, ops, after
+    ):
+        admission = AdmissionController(limit=limit)
+        live = _drive_admission(admission, ops)
+        accepted_before = admission.snapshot()["accepted"]
+        admission.begin_drain()
+        for _ in after:
+            assert not admission.try_admit()  # drain admits nothing new
+        snap = admission.snapshot()
+        assert snap["accepted"] == accepted_before
+        # Every accepted request is still accounted for: either already
+        # terminal or still live and completable.
+        assert snap["completed"] + snap["cancelled"] + snap["depth"] == (
+            accepted_before
+        )
+        for _ in range(live):
+            admission.complete()
+        assert admission.idle()
+        admission.check_invariants()
+
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    @given(
+        limit=st.integers(min_value=1, max_value=4),
+        threads=st.integers(min_value=2, max_value=6),
+        per_thread=st.integers(min_value=1, max_value=20),
+    )
+    def test_concurrent_admission_conserves(self, limit, threads, per_thread):
+        admission = AdmissionController(limit=limit)
+
+        def worker():
+            for _ in range(per_thread):
+                if admission.try_admit():
+                    admission.complete()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        admission.check_invariants()
+        snap = admission.snapshot()
+        assert snap["submitted"] == threads * per_thread
+        assert snap["depth"] == 0
+
+
+class TestBreakerSafety:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None, derandomize=True)
+    @given(
+        threshold=st.integers(min_value=1, max_value=5),
+        reset_s=st.floats(min_value=0.5, max_value=60.0),
+        ops=st.lists(
+            st.one_of(
+                st.just("allow"),
+                st.just("success"),
+                st.just("failure"),
+                st.floats(min_value=0.0, max_value=30.0),  # advance clock
+            ),
+            max_size=60,
+        ),
+    )
+    def test_open_never_authorises_compute_in_cooldown(
+        self, threshold, reset_s, ops
+    ):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            threshold=threshold, reset_s=reset_s, clock=lambda: now[0]
+        )
+        opened_at = None
+        allowed = False  # whether an un-reported authorisation is live
+        for op in ops:
+            if isinstance(op, float):
+                now[0] += op
+                continue
+            state = breaker.state
+            if op == "allow":
+                verdict = breaker.allow()
+                if (
+                    state == OPEN
+                    and opened_at is not None
+                    and now[0] - opened_at < reset_s
+                ):
+                    assert not verdict, (
+                        "breaker authorised compute while OPEN inside "
+                        "its cool-down"
+                    )
+                if verdict:
+                    allowed = True
+            elif op == "success" and allowed:
+                breaker.record_success()
+                allowed = False
+                opened_at = None
+            elif op == "failure" and allowed:
+                breaker.record_failure()
+                allowed = False
+                if breaker.state == OPEN:
+                    opened_at = now[0]
+        assert breaker.state in (CLOSED, OPEN, HALF_OPEN)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None, derandomize=True)
+    @given(
+        threshold=st.integers(min_value=1, max_value=5),
+        failures=st.integers(min_value=0, max_value=12),
+    )
+    def test_trips_exactly_at_threshold(self, threshold, failures):
+        breaker = CircuitBreaker(
+            threshold=threshold, reset_s=10.0, clock=lambda: 0.0
+        )
+        for _ in range(failures):
+            breaker.record_failure()
+        if failures >= threshold:
+            assert breaker.state == OPEN
+            assert breaker.trips == 1  # further failures don't re-trip
+        else:
+            assert breaker.state == CLOSED
+            assert breaker.trips == 0
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None, derandomize=True)
+    @given(concurrency=st.integers(min_value=2, max_value=8))
+    def test_half_open_admits_exactly_one_probe(self, concurrency):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, reset_s=1.0, clock=lambda: now[0]
+        )
+        breaker.record_failure()
+        now[0] = 2.0
+        verdicts = []
+        lock = threading.Lock()
+
+        def probe():
+            verdict = breaker.allow()
+            with lock:
+                verdicts.append(verdict)
+
+        pool = [threading.Thread(target=probe) for _ in range(concurrency)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert verdicts.count(True) == 1
+        assert breaker.state == HALF_OPEN

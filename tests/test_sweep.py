@@ -10,6 +10,7 @@ from repro.serialization import stable_digest
 from repro.sweep import (
     CACHE_VERSION,
     ConfigVariant,
+    QuarantineReason,
     ResultCache,
     RetryPolicy,
     SweepCheckpoint,
@@ -20,8 +21,10 @@ from repro.sweep import (
     backoff_jitter,
     grid_from_dict,
     load_grid_spec,
+    reason_for_status,
     run_sweep,
 )
+from repro.sweep.resilience import failure_record
 
 #: Cheap but non-trivial request budget for engine tests.
 SAMPLE = 2_048
@@ -232,7 +235,7 @@ class TestResults:
 
     def test_json_document_shape(self, serial_result):
         doc = serial_result.to_json_dict()
-        assert doc["schema"] == "repro-sweep-result/v2"
+        assert doc["schema"] == "repro-sweep-result/v3"
         assert len(doc["results"]) == 28
         assert doc["grid"]["sizes"] == [128, 256]
         assert doc["failures"] == []
@@ -309,6 +312,54 @@ class TestQuarantine:
         rerun = run_sweep(grid, max_requests=SAMPLE, cache=again)
         assert again.stats.hits == 1
         assert len(rerun.failures) == 1  # the bad point fails afresh
+
+
+class TestQuarantineReasons:
+    """The canonical failure vocabulary is pinned: every failure surface
+    (attempt statuses, quarantine records, /status, degraded envelopes)
+    speaks these exact strings."""
+
+    def test_enum_values_are_frozen(self):
+        assert {r.value for r in QuarantineReason} == {
+            "timeout", "worker-crash", "exception", "cancelled",
+        }
+        assert QuarantineReason.TIMEOUT.value == "timeout"
+        assert QuarantineReason.WORKER_CRASH.value == "worker-crash"
+        assert QuarantineReason.EXCEPTION.value == "exception"
+        assert QuarantineReason.CANCELLED.value == "cancelled"
+        # str-valued members serialize as themselves.
+        assert json.dumps(QuarantineReason.TIMEOUT) == '"timeout"'
+
+    def test_status_mapping_is_total(self):
+        assert reason_for_status("timeout") is QuarantineReason.TIMEOUT
+        assert reason_for_status("crashed") is QuarantineReason.WORKER_CRASH
+        assert reason_for_status("error") is QuarantineReason.EXCEPTION
+        assert reason_for_status("cancelled") is QuarantineReason.CANCELLED
+        with pytest.raises(ConfigError):
+            reason_for_status("mystery")
+
+    def test_failure_record_carries_the_reason(self):
+        record = failure_record(
+            3, {"n": 128}, "TimeoutError", "attempt timed out", 2,
+            timed_out=True, reason=QuarantineReason.TIMEOUT,
+        )
+        assert record["reason"] == "timeout"
+        # Plain strings coerce through the enum (typos raise).
+        assert failure_record(
+            0, {}, "E", "m", 1, reason="worker-crash"
+        )["reason"] == "worker-crash"
+        with pytest.raises(ValueError):
+            failure_record(0, {}, "E", "m", 1, reason="oops")
+
+    def test_chaos_failures_report_reasons_in_documents(self):
+        grid = SweepGrid(sizes=(128,), layouts=("row-major", "ddl"),
+                         heights=(2,))
+        result = run_sweep(
+            grid, max_requests=SAMPLE, jobs=1,
+            policy=RetryPolicy(retries=0),
+            chaos=WorkerChaos(fail_points=(0,)),
+        )
+        assert [f["reason"] for f in result.failures] == ["exception"]
 
 
 class TestResilientExecution:

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Load-shedding smoke gate for ``repro serve``.
+
+Launches the real CLI (``python -m repro serve``) as a subprocess,
+overloads it with a synchronized burst of concurrent plan requests, and
+demands the issue's overload semantics end to end:
+
+* the burst overflows the (deliberately tiny) admission queue, so at
+  least one request is shed with **429 + a ``Retry-After`` header**;
+* every *accepted* request completes cleanly -- **zero 5xx**; accepted
+  work is never lost or double-executed (the response envelopes'
+  ``request_id``\\ s are distinct, their documents identical);
+* a ``/metrics`` scrape parses as valid OpenMetrics and reports the
+  shed count (dumped to ``load-smoke-metrics.prom`` as a CI artifact);
+* **SIGTERM drains cleanly**: the server exits 0 within the drain
+  budget.
+
+A JSON report of every response lands in ``load-smoke-report.json``.
+Exit status: 0 when every property holds, 1 otherwise.
+
+Usage::
+
+    python tools/load_smoke.py [--burst 12] [--queue-limit 2] [--n 256]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.openmetrics import parse_openmetrics  # noqa: E402
+
+
+def free_port() -> int:
+    """An ephemeral TCP port that was free a moment ago."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_healthy(url: str, deadline_s: float = 20.0) -> None:
+    """Poll ``/healthz`` until the server answers (or give up loudly)."""
+    # Host time on purpose: this tool supervises a real server process.
+    deadline = time.monotonic() + deadline_s  # repro: ignore[DET001]
+    while True:
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=2.0):
+                return
+        except (urllib.error.URLError, OSError):
+            if time.monotonic() >= deadline:  # repro: ignore[DET001]
+                raise SystemExit(f"server at {url} never became healthy")
+            time.sleep(0.1)
+
+
+def post_plan(url: str, spec: dict[str, Any]) -> dict[str, Any]:
+    """One ``POST /plan``; returns ``{code, headers, body}``."""
+    body = json.dumps(spec).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/plan", data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120.0) as response:
+            return {
+                "code": response.status,
+                "headers": dict(response.headers),
+                "body": json.loads(response.read()),
+            }
+    except urllib.error.HTTPError as exc:
+        return {
+            "code": exc.code,
+            "headers": dict(exc.headers),
+            "body": json.loads(exc.read()),
+        }
+
+
+def fire_burst(
+    url: str, spec: dict[str, Any], burst: int
+) -> list[dict[str, Any]]:
+    """``burst`` synchronized concurrent requests; returns all responses."""
+    barrier = threading.Barrier(burst)
+    responses: list[dict[str, Any]] = []
+    lock = threading.Lock()
+
+    def shoot() -> None:
+        barrier.wait()
+        response = post_plan(url, spec)
+        with lock:
+            responses.append(response)
+
+    threads = [threading.Thread(target=shoot) for _ in range(burst)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=180.0)
+    return responses
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--burst", type=int, default=12,
+                        help="concurrent requests in the overload burst")
+    parser.add_argument("--queue-limit", type=int, default=2,
+                        help="server admission bound (small = easy to shed)")
+    parser.add_argument("--n", type=int, default=256,
+                        help="matrix size of the planned workload")
+    parser.add_argument("--max-requests", type=int, default=4096,
+                        help="simulated request budget per point")
+    parser.add_argument("--report", default="load-smoke-report.json",
+                        help="where to write the JSON response report")
+    parser.add_argument("--metrics-out", default="load-smoke-metrics.prom",
+                        help="where to dump the OpenMetrics scrape")
+    args = parser.parse_args(argv)
+
+    port = free_port()
+    url = f"http://127.0.0.1:{port}"
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port),
+            "--queue-limit", str(args.queue_limit),
+            "--jobs", "2",
+            "--no-cache",
+            "--drain", "30",
+        ],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    checks: list[tuple[str, bool, str]] = []
+    responses: list[dict[str, Any]] = []
+    try:
+        wait_healthy(url)
+        spec = {"n": args.n, "max_requests": args.max_requests}
+        responses = fire_burst(url, spec, args.burst)
+
+        shed = [r for r in responses if r["code"] == 429]
+        ok = [r for r in responses if r["code"] == 200]
+        fivexx = [r for r in responses if 500 <= r["code"] <= 599]
+        checks.append((
+            "burst fully answered",
+            len(responses) == args.burst,
+            f"{len(responses)}/{args.burst} responses",
+        ))
+        checks.append((
+            ">=1 request shed with 429",
+            len(shed) >= 1,
+            f"{len(shed)} shed",
+        ))
+        checks.append((
+            "every 429 carries Retry-After",
+            all("Retry-After" in r["headers"] for r in shed),
+            f"{sum('Retry-After' in r['headers'] for r in shed)}/{len(shed)}",
+        ))
+        checks.append((
+            "zero 5xx on accepted requests",
+            not fivexx,
+            f"{len(fivexx)} server errors",
+        ))
+        request_ids = [r["body"].get("request_id") for r in ok]
+        documents = {
+            json.dumps(r["body"].get("document"), sort_keys=True) for r in ok
+        }
+        checks.append((
+            "accepted answers distinct-by-id, identical-by-document",
+            len(ok) >= 1
+            and len(set(request_ids)) == len(request_ids)
+            and len(documents) == 1,
+            f"{len(ok)} accepted, {len(set(request_ids))} ids, "
+            f"{len(documents)} distinct documents",
+        ))
+
+        with urllib.request.urlopen(url + "/metrics", timeout=5.0) as resp:
+            exposition = resp.read().decode("utf-8")
+        Path(args.metrics_out).write_text(exposition, encoding="utf-8")
+        families = parse_openmetrics(exposition)
+        shed_total = families["serve_shed"]["samples"]["serve_shed_total"]
+        checks.append((
+            "metrics parse and report the sheds",
+            shed_total >= len(shed) >= 1,
+            f"serve_shed_total={shed_total}",
+        ))
+
+        server.send_signal(signal.SIGTERM)
+        try:
+            code = server.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            code = None
+        checks.append((
+            "SIGTERM drains cleanly (exit 0)",
+            code == 0,
+            f"exit code {code}",
+        ))
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10.0)
+        Path(args.report).write_text(
+            json.dumps(
+                {
+                    "checks": [
+                        {"check": name, "ok": good, "detail": detail}
+                        for name, good, detail in checks
+                    ],
+                    "responses": [
+                        {"code": r["code"], "body": r["body"]}
+                        for r in responses
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    failed = [name for name, good, _ in checks if not good]
+    for name, good, detail in checks:
+        print(f"  [{'ok' if good else 'FAIL':>4s}] {name}: {detail}")
+    if failed:
+        print(f"load smoke: FAILED ({len(failed)} checks)")
+        return 1
+    print("load smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
