@@ -6,21 +6,32 @@ RNG, no wall clocks, atomic writes), unit discipline in the timing and
 energy models (ns vs cycles vs bytes flowing through plain floats), and
 the registered event vocabulary of :mod:`repro.obs`.  ``repro.analysis``
 is a small AST-based lint framework -- visitor core, rule registry,
-per-line suppression via ``# repro: ignore[RULE-ID]``, JSON and human
-diagnostics -- plus the battery of domain rules in
+per-line suppression via ``# repro: ignore[RULE-ID]``, JSON/SARIF and
+human diagnostics -- plus the battery of domain rules in
 :mod:`repro.analysis.rules`.
 
-Run it as ``python -m repro lint [--format json] [--rules ID ...]
-[--changed-only] [paths ...]``; exit code 0 means clean, 2 means
-findings (or a bad invocation).  See ``docs/static-analysis.md`` for
-the rule catalog.
+Per-file rules see one parsed module at a time.  Project-wide rules
+(:class:`ProjectRule`, implemented in :mod:`repro.analysis.flow`) run
+once per lint over a cross-module model -- imports, constants, class
+lock/attribute state and a lightweight call graph -- and check lock
+discipline, blocking calls in coroutines, thread-before-fork pinning
+and wire-schema drift.
+
+Run it as ``python -m repro lint [--format json|sarif] [--rules ID ...]
+[--changed-only] [--skip-flow] [paths ...]``; exit code 0 means clean,
+2 means findings (or a bad invocation).  See
+``docs/static-analysis.md`` for the rule catalog.
 """
 
 from repro.analysis.core import (
+    FAMILY_TITLES,
+    LINT_KEYS,
+    LINT_SCHEMA,
     Diagnostic,
     ImportMap,
     LintContext,
     LintReport,
+    ProjectRule,
     Rule,
     build_rules,
     dotted_name,
@@ -30,6 +41,7 @@ from repro.analysis.core import (
     parse_suppressions,
     register,
     rule_catalog,
+    rule_family,
     run_lint,
 )
 from repro.analysis.project import (
@@ -40,10 +52,14 @@ from repro.analysis.project import (
 
 __all__ = [
     "DEFAULT_LINT_ROOTS",
+    "FAMILY_TITLES",
+    "LINT_KEYS",
+    "LINT_SCHEMA",
     "Diagnostic",
     "ImportMap",
     "LintContext",
     "LintReport",
+    "ProjectRule",
     "Rule",
     "build_rules",
     "changed_python_files",
@@ -55,5 +71,6 @@ __all__ = [
     "parse_suppressions",
     "register",
     "rule_catalog",
+    "rule_family",
     "run_lint",
 ]

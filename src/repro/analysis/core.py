@@ -24,9 +24,12 @@ import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # circular at runtime: flow builds on this module
+    from repro.analysis.flow.model import ProjectModel
 
 #: Rule id shape: an uppercase category plus a three-digit number.
 RULE_ID_PATTERN = re.compile(r"^[A-Z]{3,8}\d{3}$")
@@ -38,6 +41,35 @@ _SUPPRESSION = re.compile(
 
 #: Synthetic rule id attached to unparseable files.
 SYNTAX_RULE_ID = "SYNTAX"
+
+#: Wire-schema tag of the JSON lint report (``render_json``).
+LINT_SCHEMA = "repro-lint/v1"
+
+#: Exact top-level key set a ``repro-lint/v1`` document carries.
+LINT_KEYS = frozenset(
+    {"schema", "files_checked", "rules", "count", "diagnostics"}
+)
+
+#: SARIF version emitted by ``render_sarif``.
+SARIF_VERSION = "2.1.0"
+
+#: Rule-id prefix -> family title, for the grouped ``--list-rules`` view.
+FAMILY_TITLES = {
+    "API": "Facade integrity",
+    "CFG": "Configuration hygiene",
+    "CLI": "CLI discipline",
+    "CONC": "Concurrency contracts",
+    "DET": "Determinism",
+    "LOG": "Logging discipline",
+    "OBS": "Observability vocabulary",
+    "SCHEMA": "Wire-schema contracts",
+    "UNIT": "Unit discipline",
+}
+
+
+def rule_family(rule_id: str) -> str:
+    """The alphabetic family prefix of a rule id (``CONC001`` -> ``CONC``)."""
+    return rule_id.rstrip("0123456789")
 
 
 @dataclass(frozen=True, order=True)
@@ -116,6 +148,9 @@ class Rule:
     title: ClassVar[str] = ""
     #: Why the invariant matters (rendered into the rule catalog docs).
     rationale: ClassVar[str] = ""
+    #: ``"file"`` rules check one module at a time; ``"project"`` rules
+    #: walk the cross-module :class:`repro.analysis.flow.ProjectModel`.
+    scope: ClassVar[str] = "file"
 
     def applies_to(self, ctx: LintContext) -> bool:
         """Whether this rule should run over ``ctx`` at all."""
@@ -123,6 +158,29 @@ class Rule:
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
         """Yield every violation found in the module."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+
+class ProjectRule(Rule):
+    """Base class for rules that need the whole project at once.
+
+    Project rules do not implement :meth:`check`; they run *after* the
+    per-file pass, once, over a :class:`repro.analysis.flow.ProjectModel`
+    built from every successfully parsed module of the run.  Per-line
+    ``# repro: ignore[RULE-ID]`` suppression applies unchanged --
+    :func:`run_lint` filters their findings through the owning module's
+    suppression table.
+    """
+
+    scope: ClassVar[str] = "project"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        """Project rules have no per-file pass."""
+        return iter(())
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Diagnostic]:
+        """Yield every violation found across the project model."""
         raise NotImplementedError
         yield  # pragma: no cover - makes every override a generator
 
@@ -277,7 +335,7 @@ class LintReport:
     def render_json(self) -> str:
         """Deterministic JSON document (sorted keys, trailing newline)."""
         document = {
-            "schema": "repro-lint/v1",
+            "schema": LINT_SCHEMA,
             "files_checked": self.files_checked,
             "rules": list(self.rules_run),
             "count": len(self.diagnostics),
@@ -285,11 +343,79 @@ class LintReport:
         }
         return json.dumps(document, indent=2, sort_keys=True) + "\n"
 
+    def render_sarif(self) -> str:
+        """SARIF 2.1.0 document for GitHub code-scanning upload.
+
+        Deterministic like :meth:`render_json`: sorted keys, sorted
+        diagnostics, one run, one tool driver (``repro-lint``) whose
+        rule metadata comes straight from the registry catalog.
+        """
+        catalog = rule_catalog()
+        rule_ids = sorted(
+            set(self.rules_run) | {d.rule_id for d in self.diagnostics}
+        )
+        sarif_rules = []
+        for rule_id in rule_ids:
+            cls = catalog.get(rule_id)
+            descriptor: dict[str, object] = {"id": rule_id}
+            if cls is not None:
+                descriptor["shortDescription"] = {"text": cls.title}
+                descriptor["fullDescription"] = {"text": cls.rationale}
+                descriptor["properties"] = {
+                    "family": rule_family(rule_id),
+                    "scope": cls.scope,
+                }
+            else:  # SYNTAX pseudo-rule
+                descriptor["shortDescription"] = {
+                    "text": "file does not parse as Python"
+                }
+            sarif_rules.append(descriptor)
+        results = [
+            {
+                "ruleId": diag.rule_id,
+                "level": "error",
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": diag.path},
+                            "region": {
+                                "startLine": diag.line,
+                                "startColumn": diag.col,
+                            },
+                        }
+                    }
+                ],
+            }
+            for diag in self.diagnostics
+        ]
+        document = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": SARIF_VERSION,
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "version": "1.0.0",
+                            "rules": sarif_rules,
+                        }
+                    },
+                    "columnKind": "unicodeCodePoints",
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
 
 def lint_file(
     path: Path, rules: Sequence[Rule], root: Path | None = None
 ) -> list[Diagnostic]:
-    """Run ``rules`` over one file, honouring suppressions."""
+    """Run per-file ``rules`` over one file, honouring suppressions."""
     ctx = load_context(path, root)
     if ctx is None:
         return [
@@ -301,9 +427,13 @@ def lint_file(
                 message="file does not parse as Python",
             )
         ]
+    return _check_context(ctx, rules)
+
+
+def _check_context(ctx: LintContext, rules: Sequence[Rule]) -> list[Diagnostic]:
     findings: list[Diagnostic] = []
     for rule in rules:
-        if not rule.applies_to(ctx):
+        if rule.scope != "file" or not rule.applies_to(ctx):
             continue
         for diag in rule.check(ctx):
             if not ctx.is_suppressed(diag.line, diag.rule_id):
@@ -311,18 +441,64 @@ def lint_file(
     return findings
 
 
+def _run_project_pass(
+    rules: Sequence[Rule], contexts: Sequence[LintContext]
+) -> list[Diagnostic]:
+    """Run the project-scoped rules over one shared cross-module model."""
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    if not project_rules or not contexts:
+        return []
+    from repro.analysis.flow.model import ProjectModel  # circular at top
+
+    model = ProjectModel.build(contexts)
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    findings: list[Diagnostic] = []
+    for rule in project_rules:
+        for diag in rule.check_project(model):
+            ctx = by_rel.get(diag.path)
+            if ctx is not None and ctx.is_suppressed(diag.line, diag.rule_id):
+                continue
+            findings.append(diag)
+    return findings
+
+
 def run_lint(
     paths: Iterable[Path | str],
     rule_ids: Sequence[str] | None = None,
     root: Path | None = None,
+    flow: bool = True,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` with the selected rules."""
+    """Lint every Python file under ``paths`` with the selected rules.
+
+    Per-file rules run module by module; project-scoped rules (see
+    :class:`ProjectRule`) run once afterwards over a cross-module model
+    built from every file that parsed.  ``flow=False`` skips the
+    project pass -- the right call when linting an arbitrary file
+    subset, where cross-module conclusions would be drawn from a
+    partial view of the tree.
+    """
     rules = build_rules(rule_ids)
     diagnostics: list[Diagnostic] = []
+    contexts: list[LintContext] = []
     files = 0
     for path in iter_python_files(paths):
         files += 1
-        diagnostics.extend(lint_file(path, rules, root))
+        ctx = load_context(path, root)
+        if ctx is None:
+            diagnostics.append(
+                Diagnostic(
+                    path=_display_path(Path(path), root),
+                    line=1,
+                    col=1,
+                    rule_id=SYNTAX_RULE_ID,
+                    message="file does not parse as Python",
+                )
+            )
+            continue
+        contexts.append(ctx)
+        diagnostics.extend(_check_context(ctx, rules))
+    if flow:
+        diagnostics.extend(_run_project_pass(rules, contexts))
     diagnostics.sort()
     return LintReport(
         diagnostics=diagnostics,

@@ -1,0 +1,80 @@
+"""SCHEMA001: wire-envelope producers must match their declared key set.
+
+The serve/obs layers speak versioned JSON envelopes -- tagged with a
+``"schema"`` key holding a ``repro-*/vN`` string -- and consumers
+(clients, CI artifact diffing, ``repro tail``) key off the declared
+shape.  The contract is declared by convention next to each tag:
+
+.. code-block:: python
+
+    RESPONSE_SCHEMA = "repro-serve-response/v1"
+    RESPONSE_KEYS = frozenset({"schema", "request_id", ...})
+
+This rule resolves every dict literal that carries a ``"schema"`` key
+(through constants and import aliases, project-wide) back to a declared
+``*_SCHEMA``/``*_KEYS`` pair and reports keys the producer adds or
+drops relative to the declaration.  Tags without a declared key set,
+and dict literals with dynamic keys (``**spread`` or computed keys),
+are out of scope -- there is no static contract to drift from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.core import Diagnostic, ProjectRule, register
+from repro.analysis.flow.model import ProjectModel
+
+
+@register
+class SchemaDriftRule(ProjectRule):
+    """SCHEMA001: producers of a declared envelope carry exactly its keys."""
+
+    id = "SCHEMA001"
+    title = (
+        "dict literals tagged with a declared repro-*/vN schema must "
+        "carry exactly its declared keys"
+    )
+    rationale = (
+        "The serve responses, status snapshots, log records and lint "
+        "reports are consumed by byte-diffing CI artifacts and external "
+        "clients; a key silently added to (or dropped from) a producer "
+        "drifts the wire format away from the *_KEYS declaration that "
+        "validators and docs are written against.  Version the schema "
+        "tag instead of mutating v1 in place."
+    )
+
+    def check_project(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        declared = model.declared_schema_keys()
+        for name in sorted(model.modules):
+            info = model.modules[name]
+            if info.is_test:
+                continue
+            for schema_dict in info.schema_dicts:
+                if schema_dict.dynamic_keys:
+                    continue
+                tag = model.resolve_string_constant(
+                    info, schema_dict.tag_expr
+                )
+                if tag is None or tag not in declared:
+                    continue
+                keys, _, _ = declared[tag]
+                missing = sorted(keys - schema_dict.literal_keys)
+                extra = sorted(schema_dict.literal_keys - keys)
+                if not missing and not extra:
+                    continue
+                details: list[str] = []
+                if missing:
+                    details.append(
+                        "missing declared key(s) " + ", ".join(missing)
+                    )
+                if extra:
+                    details.append(
+                        "undeclared key(s) " + ", ".join(extra)
+                    )
+                yield info.ctx.diagnostic(
+                    self.id,
+                    schema_dict.node,
+                    f"envelope tagged '{tag}' drifts from its declared "
+                    f"key set: {'; '.join(details)}",
+                )

@@ -6,20 +6,35 @@ triggers the import lazily so the core never depends on the rules.
 
 Shipped rules:
 
-========  ==============================================================
-DET001    no wall-clock reads outside ``repro.obs`` and benches
-DET002    no unseeded global RNG in ``memory3d`` / ``sweep`` / ``faults``
-DET003    cache/checkpoint writes must be atomic (tmp + ``os.replace``)
-DET004    ``repro.memory3d.vector`` hot paths loop over ``range`` only
-UNIT001   call sites must not mix unit suffixes (``_ns`` vs ``_cycles``)
-CFG001    unit-suffixed dataclass defaults respect their unit
-OBS001    record calls use registered event names
-API001    façade re-exports and ``__all__`` entries resolve
-CLI001    CLI handlers honour the ReproError exit-2 contract
-LOG001    no bare ``print()`` outside the CLI/report rendering paths
-========  ==============================================================
+=========  =============================================================
+DET001     no wall-clock reads outside ``repro.obs`` and benches
+DET002     no unseeded global RNG in ``memory3d`` / ``sweep`` / ``faults``
+DET003     cache/checkpoint writes must be atomic (tmp + ``os.replace``)
+DET004     ``repro.memory3d.vector`` hot paths loop over ``range`` only
+UNIT001    call sites must not mix unit suffixes (``_ns`` vs ``_cycles``)
+CFG001     unit-suffixed dataclass defaults respect their unit
+OBS001     record calls use registered event names
+API001     façade re-exports and ``__all__`` entries resolve
+CLI001     CLI handlers honour the ReproError exit-2 contract
+LOG001     no bare ``print()`` outside the CLI/report rendering paths
+CONC001    lock-owning classes write shared attributes under the lock
+CONC002    ``async def`` coroutines never call blocking primitives
+CONC003    forks where threads are alive pin the mp start method
+SCHEMA001  tagged envelope producers match their declared key sets
+=========  =============================================================
+
+The CONC/SCHEMA families are project-scoped
+(:class:`repro.analysis.core.ProjectRule`): they live under
+:mod:`repro.analysis.flow` and run once per lint over the cross-module
+model, but register here with everything else.
 """
 
+from repro.analysis.flow.concurrency import (
+    AsyncBlockingRule,
+    LockDisciplineRule,
+    ThreadBeforeForkRule,
+)
+from repro.analysis.flow.schema import SchemaDriftRule
 from repro.analysis.rules.api import ReExportRule
 from repro.analysis.rules.cli_rules import CliDisciplineRule
 from repro.analysis.rules.determinism import (
@@ -33,13 +48,17 @@ from repro.analysis.rules.obs import EventNameRule
 from repro.analysis.rules.units import ConfigDefaultRule, UnitMismatchRule
 
 __all__ = [
+    "AsyncBlockingRule",
     "BarePrintRule",
     "CliDisciplineRule",
     "ConfigDefaultRule",
     "EventNameRule",
+    "LockDisciplineRule",
     "NonAtomicWriteRule",
     "PerRequestLoopRule",
     "ReExportRule",
+    "SchemaDriftRule",
+    "ThreadBeforeForkRule",
     "UnitMismatchRule",
     "UnseededRandomRule",
     "WallClockRule",

@@ -650,15 +650,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import (
+        FAMILY_TITLES,
         changed_python_files,
         default_lint_paths,
         rule_catalog,
+        rule_family,
         run_lint,
     )
 
     if args.list_rules:
-        for rule_id, rule_cls in rule_catalog().items():
-            print(f"{rule_id}  {rule_cls.title}")
+        catalog = rule_catalog()
+        families: dict[str, list[str]] = {}
+        for rule_id in catalog:
+            families.setdefault(rule_family(rule_id), []).append(rule_id)
+        for family in sorted(families):
+            title = FAMILY_TITLES.get(family, family)
+            print(f"{family} — {title}")
+            for rule_id in families[family]:
+                rule_cls = catalog[rule_id]
+                scope = (
+                    "project-wide" if rule_cls.scope == "project" else "per-file"
+                )
+                print(f"  {rule_id}  [{scope}]  {rule_cls.title}")
         return 0
     root = Path.cwd()
     if args.changed_only:
@@ -678,9 +691,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         paths = [Path(p) for p in args.paths]
     else:
         paths = default_lint_paths(root)
-    report = run_lint(paths, rule_ids=args.rules, root=root)
+    report = run_lint(
+        paths, rule_ids=args.rules, root=root, flow=not args.skip_flow
+    )
     if args.format == "json":
         print(report.render_json(), end="")
+    elif args.format == "sarif":
+        print(report.render_sarif(), end="")
     else:
         print(report.render_text())
     return 0 if report.clean else 2
@@ -1190,9 +1207,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pl.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="diagnostics output format",
+        help="diagnostics output format (sarif: SARIF 2.1.0 for code "
+             "scanning upload)",
+    )
+    pl.add_argument(
+        "--skip-flow",
+        action="store_true",
+        help="skip the project-wide (cross-module) rule pass; per-file "
+             "rules only — for linting partial file subsets",
     )
     pl.add_argument(
         "--rules",

@@ -59,6 +59,22 @@ from repro.errors import ReproError
 #: Schema tag stamped into every serialized log record.
 LOG_SCHEMA = "repro-log/v1"
 
+#: Exact key set of a serialized ``repro-log/v1`` record.  SCHEMA001
+#: holds every producer of the tag to this declaration; adding a key
+#: means versioning the tag, since JSONL consumers byte-diff records.
+LOG_KEYS = frozenset(
+    {
+        "schema",
+        "level",
+        "logger",
+        "message",
+        "ts_s",
+        "perf_s",
+        "context",
+        "fields",
+    }
+)
+
 #: The registered correlation-context keys (the logging counterpart of
 #: the event registry): everything a record can be joined on.
 #: ``request_id`` correlates ``repro serve`` request lifecycles.

@@ -48,6 +48,32 @@ from repro.obs.openmetrics import render_openmetrics
 #: Schema tag stamped into every ``/status`` document.
 STATUS_SCHEMA = "repro-status/v1"
 
+#: Exact key set of a ``repro-status/v1`` document.  SCHEMA001 holds
+#: every producer of the tag to this declaration (``repro tail`` and CI
+#: scrapers key off it); new fields need a new tag version.
+STATUS_KEYS = frozenset(
+    {
+        "schema",
+        "run_id",
+        "state",
+        "total",
+        "completed",
+        "simulated",
+        "cached",
+        "resumed",
+        "failed",
+        "failure_reasons",
+        "retries",
+        "jobs",
+        "progress",
+        "cache_hit_rate",
+        "elapsed_s",
+        "throughput_pts_per_s",
+        "eta_s",
+        "workers",
+    }
+)
+
 #: Content type served by ``/metrics`` (OpenMetrics text exposition).
 OPENMETRICS_CONTENT_TYPE = (
     "application/openmetrics-text; version=1.0.0; charset=utf-8"

@@ -35,6 +35,22 @@ from repro.sweep.runner import DEFAULT_SWEEP_REQUESTS, validate_grid
 #: Schema tag of every plan response envelope.
 RESPONSE_SCHEMA = "repro-serve-response/v1"
 
+#: Exact key set of a ``repro-serve-response/v1`` envelope.  SCHEMA001
+#: holds every producer of the tag to this declaration, project-wide;
+#: adding a key here without versioning the tag is a wire break.
+RESPONSE_KEYS = frozenset(
+    {
+        "schema",
+        "request_id",
+        "degraded",
+        "cached",
+        "computed",
+        "coalesced",
+        "best",
+        "document",
+    }
+)
+
 #: Schema tag of the service ``/status`` document.
 SERVE_STATUS_SCHEMA = "repro-serve-status/v1"
 

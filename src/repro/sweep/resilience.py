@@ -274,6 +274,11 @@ def run_attempt(
 
     started = time.perf_counter()  # repro: ignore[DET001]
     parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+    # Forked children run _attempt_child only: it re-seeds, touches no
+    # parent locks, and reports over its own pipe end, so the
+    # thread-before-fork hazard cannot bite; spawn would pay a full
+    # interpreter+numpy start per attempt (many per point under retry).
+    # repro: ignore[CONC003]
     proc = multiprocessing.Process(
         target=_attempt_child, args=(child_conn, task), daemon=True
     )

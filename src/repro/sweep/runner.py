@@ -350,6 +350,11 @@ def _iter_outcomes_fast(
         for task in tasks:
             yield outcome_of(task, lambda task=task: _execute_task(task))
         return
+    # Workers are forked before this module's thread pool exists (the
+    # resilient path uses _attempt_point's fresh children instead), and
+    # the worker body re-imports everything it touches; spawn would add
+    # a full interpreter+numpy start per worker for no safety gain.
+    # repro: ignore[CONC003]
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         futures: dict[Future[Any], dict[str, Any]] = {
             pool.submit(_execute_task, task): task for task in tasks

@@ -12,6 +12,13 @@ It resolves the changed file set with git, then invokes the in-process
 equivalent of ``python -m repro lint <files>`` and exits with the same
 code (0 clean, 2 findings / bad invocation).  Extra arguments after
 ``--`` are forwarded to the lint command (e.g. ``-- --format json``).
+
+The per-file battery runs over the changed files only; when any changed
+file lives under ``src/repro``, the project-wide (cross-module) rules
+additionally run over the *whole* ``src/repro`` tree -- they reason
+about locks, call graphs and schema producers across modules, so a
+file-subset view would draw conclusions from a partial project.
+``--skip-flow`` disables that second pass.
 """
 
 from __future__ import annotations
@@ -43,9 +50,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="diff the index instead of the working tree (pre-commit)",
     )
+    parser.add_argument(
+        "--skip-flow",
+        action="store_true",
+        help="skip the project-wide rule pass over src/repro even when "
+             "src/repro files changed",
+    )
     args = parser.parse_args(raw)
 
-    from repro.analysis import changed_python_files
+    from repro.analysis import changed_python_files, rule_catalog
     from repro.cli import main as repro_main
     from repro.errors import ReproError
 
@@ -61,7 +74,33 @@ def main(argv: list[str] | None = None) -> int:
         print("lint-changed: no changed Python files")
         return 0
     print(f"lint-changed: {len(files)} file(s) vs {args.base}")
-    return repro_main(["lint", *forwarded, *(str(path) for path in files)])
+    # Per-file battery over the changed subset; the cross-module pass is
+    # meaningless on a partial view, so it is skipped here and (below)
+    # re-run over the full src/repro tree when that tree changed at all.
+    code = repro_main(
+        ["lint", "--skip-flow", *forwarded, *(str(p) for p in files)]
+    )
+    src_repro = (REPO_ROOT / "src" / "repro").resolve()
+    touched_repro = any(
+        path.resolve().is_relative_to(src_repro) for path in files
+    )
+    if touched_repro and not args.skip_flow:
+        project_rules = sorted(
+            rule_id
+            for rule_id, cls in rule_catalog().items()
+            if cls.scope == "project"
+        )
+        print(
+            "lint-changed: src/repro changed; running project-wide rules "
+            f"({', '.join(project_rules)}) over the full tree"
+        )
+        # Path before --rules: the option is nargs="+" and would
+        # otherwise swallow the positional.
+        flow_code = repro_main(
+            ["lint", str(src_repro), "--rules", *project_rules]
+        )
+        code = code or flow_code
+    return code
 
 
 if __name__ == "__main__":
