@@ -1,0 +1,106 @@
+"""Engineering guard -- request tracing must be (nearly) free.
+
+PR 10 threads a trace context through every serving layer and observes
+four latency histograms per request.  This benchmark pins two things:
+
+* **tracing-off latency** -- a service built *without* a tracer must
+  answer warm ``POST /plan`` requests inside the same p50/p99 band the
+  pre-tracing serve benchmark established (the histogram observes and
+  trace_id envelope plumbing stay on: they are part of the product);
+* **tracing-on overhead** -- switching the tracer on may not multiply
+  warm latency: the p50 ratio traced/untraced is capped.
+
+Run quick mode (``pytest benchmarks/bench_tracing.py --quick``) for the
+CI smoke variant: smaller workloads, looser thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+from conftest import banner, write_bench_json
+from repro.obs.tracectx import RequestTracer
+from repro.serve import PlanServer, PlanService
+from repro.sweep import ResultCache
+
+#: (warm requests, p99 cap s, max traced/untraced p50 ratio) per mode.
+FULL = (200, 0.25, 3.0)
+QUICK = (50, 1.0, 5.0)
+
+#: The planned workload (small: the warm path never simulates).
+SPEC = {"n": 256, "max_requests": 2048}
+
+
+def post_plan(url: str, spec: dict) -> dict:
+    body = json.dumps(spec).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/plan", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=60.0) as response:
+        return json.loads(response.read())
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in [0, 1])."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def warm_latencies(tracer, cache_dir, warm_n: int) -> list[float]:
+    """Warm-path latencies of one service (first request primes the cache)."""
+    service = PlanService(cache=ResultCache(cache_dir), jobs=4, tracer=tracer)
+    latencies: list[float] = []
+    with service, PlanServer(service) as server:
+        post_plan(server.url, SPEC)  # prime: compute + fill the cache
+        for _ in range(warm_n):
+            start = time.perf_counter()
+            envelope = post_plan(server.url, SPEC)
+            latencies.append(time.perf_counter() - start)
+        assert envelope["trace_id"]  # the envelope contract holds either way
+    return latencies
+
+
+def test_tracing_off_band_and_tracing_on_overhead(quick, tmp_path):
+    warm_n, p99_cap, ratio_cap = QUICK if quick else FULL
+
+    plain = warm_latencies(None, tmp_path / "cache-off", warm_n)
+    traced = warm_latencies(
+        RequestTracer(), tmp_path / "cache-on", warm_n
+    )
+
+    p50_off = percentile(plain, 0.50)
+    p99_off = percentile(plain, 0.99)
+    p50_on = percentile(traced, 0.50)
+    p99_on = percentile(traced, 0.99)
+    ratio = p50_on / p50_off if p50_off > 0 else 1.0
+
+    print(banner("TRACING: warm serve latency, tracer off vs on"))
+    print(f"  tracing off p50     : {1e3 * p50_off:7.2f} ms")
+    print(f"  tracing off p99     : {1e3 * p99_off:7.2f} ms")
+    print(f"  tracing on  p50     : {1e3 * p50_on:7.2f} ms")
+    print(f"  tracing on  p99     : {1e3 * p99_on:7.2f} ms")
+    print(f"  p50 overhead ratio  : {ratio:7.2f}x (cap {ratio_cap:.1f}x)")
+
+    write_bench_json(
+        "tracing",
+        {
+            "off_p50_ms": 1e3 * p50_off,
+            "off_p99_ms": 1e3 * p99_off,
+            "on_p50_ms": 1e3 * p50_on,
+            "on_p99_ms": 1e3 * p99_on,
+            "p50_overhead_ratio": ratio,
+        },
+        info={"warm_requests": warm_n, "quick": quick},
+    )
+
+    assert p99_off <= p99_cap, (
+        f"tracing-off warm p99 {1e3 * p99_off:.1f} ms exceeds the "
+        f"{1e3 * p99_cap:.0f} ms cap (PR 8 serve band)"
+    )
+    assert ratio <= ratio_cap, (
+        f"tracer-on p50 is {ratio:.2f}x the tracing-off p50 "
+        f"(cap {ratio_cap:.1f}x)"
+    )

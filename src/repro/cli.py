@@ -14,6 +14,7 @@ Commands regenerate the paper's evaluation artifacts:
 * ``sweep``            -- parallel design-space sweep with result caching
 * ``serve``            -- resilient layout-planning HTTP service
 * ``tail``             -- live progress view of a monitored sweep
+* ``bundle``           -- fetch or inspect a flight-recorder bundle
 * ``faults``           -- layout degradation under injected memory faults
 * ``report``           -- self-contained static HTML run report
 * ``lint``             -- repo-specific static analysis (domain rules)
@@ -510,6 +511,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.tracectx import RequestTracer
     from repro.serve import CircuitBreaker, PlanService, serve_forever
     from repro.sweep import RetryPolicy
 
@@ -530,10 +533,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             reset_s=args.breaker_reset,
         ),
         engine=args.engine,
+        tracer=None if args.no_trace else RequestTracer(),
+        recorder=FlightRecorder(out_dir=args.flight_dir),
     )
     return serve_forever(
         service, port=args.port, host=args.host, announce=sys.stderr
     )
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    import json
+    import urllib.request
+
+    from repro.obs.flight import (
+        FlightError,
+        load_flight_bundle,
+        render_flight_bundle,
+        validate_flight_bundle,
+    )
+
+    if args.inspect:
+        print(render_flight_bundle(load_flight_bundle(args.inspect)))
+        return 0
+    url = args.url.rstrip("/") + "/debug/bundle"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            bundle = json.load(resp)
+    except (OSError, ValueError) as exc:
+        raise FlightError(f"cannot fetch {url} ({exc})") from exc
+    validate_flight_bundle(bundle)
+    name = bundle.get("trace_id") or bundle.get("trigger") or "bundle"
+    out = args.out or f"flight-{name}.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out}")
+    if args.show:
+        print()
+        print(render_flight_bundle(bundle))
+    return 0
 
 
 def _cmd_tail(args: argparse.Namespace) -> int:
@@ -1052,7 +1090,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk result cache",
     )
+    pz.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable request tracing (trace_id envelopes remain; only "
+             "the in-memory span rings are skipped)",
+    )
+    pz.add_argument(
+        "--flight-dir",
+        type=str,
+        default=".",
+        help="directory for crash-forensics flight-recorder bundles "
+             "(flight-<trace_id>.json on quarantine/breaker-open/SIGTERM)",
+    )
     pz.set_defaults(func=_cmd_serve)
+
+    pb = sub.add_parser(
+        "bundle",
+        help="fetch a live flight-recorder bundle or inspect a saved one",
+    )
+    pb.add_argument(
+        "--url",
+        type=str,
+        default="http://127.0.0.1:8790",
+        help="base URL of a running repro serve (GET /debug/bundle)",
+    )
+    pb.add_argument(
+        "--inspect",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="pretty-print a saved flight-<trace_id>.json instead of "
+             "fetching one",
+    )
+    pb.add_argument(
+        "--out", type=str, default=None,
+        help="output path for the fetched bundle "
+             "(default: flight-<trace_id>.json)",
+    )
+    pb.add_argument(
+        "--show",
+        action="store_true",
+        help="also pretty-print the fetched bundle after writing it",
+    )
+    pb.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-request timeout in seconds",
+    )
+    pb.set_defaults(func=_cmd_bundle)
 
     pq = sub.add_parser(
         "tail",

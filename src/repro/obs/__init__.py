@@ -32,6 +32,17 @@ with zero third-party dependencies:
   :class:`SweepStatus` accounting plus the embedded ``/status`` +
   ``/metrics`` + ``/logs`` HTTP server behind ``repro sweep --monitor``
   and ``repro tail``.
+* :mod:`repro.obs.tracectx` -- W3C-traceparent-style request tracing:
+  deterministic :class:`repro.obs.tracectx.TraceContext` trace/span ids
+  and the :class:`RequestTracer` span/link rings behind the serving
+  stack's end-to-end Perfetto trees.
+* :mod:`repro.obs.histogram` -- shared latency-histogram bucket
+  boundaries plus exemplar-aware observe/summarize helpers
+  (p50/p95/p99 for ``/status`` and ``repro tail``).
+* :mod:`repro.obs.flight` -- the crash-forensics
+  :class:`FlightRecorder`: snapshot logs, metrics, traces and in-flight
+  state into ``flight-<trace_id>.json`` bundles on quarantine,
+  breaker-open or SIGTERM (``repro bundle`` fetches and inspects them).
 * :mod:`repro.obs.report` -- the self-contained static HTML run report
   behind ``python -m repro report --html``.
 
@@ -56,6 +67,19 @@ from repro.obs.export import (
     vault_utilization_table,
     write_chrome_trace,
 )
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    load_flight_bundle,
+    render_flight_bundle,
+    validate_flight_bundle,
+)
+from repro.obs.histogram import (
+    latency_summary,
+    observe_latency,
+    quantile_from_snapshot,
+    summarize_latencies,
+)
 from repro.obs.logging import (
     CONTEXT_KEYS,
     LOG_SCHEMA,
@@ -79,6 +103,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     merge_registries,
+    pick_exemplar,
 )
 from repro.obs.monitor import (
     STATUS_SCHEMA,
@@ -99,6 +124,11 @@ from repro.obs.telemetry import (
     TraceContext,
     WorkerTelemetry,
 )
+from repro.obs.tracectx import (
+    TRACEPARENT_SCHEMA,
+    RequestTracer,
+    parse_traceparent,
+)
 
 __all__ = [
     "CONTEXT_KEYS",
@@ -108,6 +138,8 @@ __all__ = [
     "Event",
     "EventKind",
     "EventTrace",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -119,6 +151,7 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
+    "RequestTracer",
     "RingBufferSink",
     "RunTelemetry",
     "STATUS_SCHEMA",
@@ -128,6 +161,7 @@ __all__ = [
     "StructuredLogger",
     "SweepMonitor",
     "SweepStatus",
+    "TRACEPARENT_SCHEMA",
     "TraceContext",
     "WorkerTelemetry",
     "chrome_trace",
@@ -136,16 +170,25 @@ __all__ = [
     "get_logger",
     "global_pipeline",
     "global_ring",
+    "latency_summary",
+    "load_flight_bundle",
     "merge_registries",
+    "observe_latency",
     "parse_openmetrics",
+    "parse_traceparent",
+    "pick_exemplar",
     "profile_call",
+    "quantile_from_snapshot",
     "registered_event_names",
+    "render_flight_bundle",
     "render_openmetrics",
     "render_status_line",
     "reset_logging",
     "shutdown_logging",
     "span_or_null",
     "stats_vault_table",
+    "summarize_latencies",
+    "validate_flight_bundle",
     "validate_log_line",
     "vault_utilization_table",
     "write_chrome_trace",

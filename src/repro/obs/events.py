@@ -48,6 +48,21 @@ repository from one vocabulary:
     A point needed extra attempts under the resilient executor.
 ``CACHE_HIT``
     A point was replayed from the on-disk result cache.
+
+Kinds ``REQUEST_START`` .. ``FLIGHT_DUMP`` are *request-tracing*
+events recorded at the serving edge (:mod:`repro.obs.tracectx` /
+:mod:`repro.obs.flight`), also in host seconds:
+
+``REQUEST_START``
+    A ``POST /plan`` request was admitted and a trace root created.
+``COALESCE_LINK``
+    A request attached to another request's in-flight computation; the
+    trace carries a link to the shared computation's trace.
+``BREAKER_TRANSITION``
+    The serve circuit breaker changed state (closed/open/half-open).
+``FLIGHT_DUMP``
+    A flight-recorder bundle was written (quarantine, breaker-open,
+    SIGTERM, or on demand).
 """
 
 from __future__ import annotations
@@ -73,6 +88,11 @@ class EventKind(IntEnum):
     QUEUE_WAIT = 7
     RETRY = 8
     CACHE_HIT = 9
+    # Request-tracing kinds (serve edge, recorded via repro.obs.tracectx).
+    REQUEST_START = 10
+    COALESCE_LINK = 11
+    BREAKER_TRANSITION = 12
+    FLIGHT_DUMP = 13
 
 
 #: The engine-emitted kinds: events with device (vault/bank/row)
@@ -116,6 +136,10 @@ EV_WORKER_END = int(EVENT_REGISTRY["WORKER_END"])
 EV_QUEUE_WAIT = int(EVENT_REGISTRY["QUEUE_WAIT"])
 EV_RETRY = int(EVENT_REGISTRY["RETRY"])
 EV_CACHE_HIT = int(EVENT_REGISTRY["CACHE_HIT"])
+EV_REQUEST_START = int(EVENT_REGISTRY["REQUEST_START"])
+EV_COALESCE_LINK = int(EVENT_REGISTRY["COALESCE_LINK"])
+EV_BREAKER_TRANSITION = int(EVENT_REGISTRY["BREAKER_TRANSITION"])
+EV_FLIGHT_DUMP = int(EVENT_REGISTRY["FLIGHT_DUMP"])
 
 
 @dataclass(frozen=True)

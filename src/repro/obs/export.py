@@ -36,6 +36,10 @@ _EVENT_NAMES = {
     int(EventKind.QUEUE_WAIT): "QUEUE_WAIT",
     int(EventKind.RETRY): "RETRY",
     int(EventKind.CACHE_HIT): "CACHE_HIT",
+    int(EventKind.REQUEST_START): "REQUEST_START",
+    int(EventKind.COALESCE_LINK): "COALESCE_LINK",
+    int(EventKind.BREAKER_TRANSITION): "BREAKER_TRANSITION",
+    int(EventKind.FLIGHT_DUMP): "FLIGHT_DUMP",
 }
 
 

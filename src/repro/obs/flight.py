@@ -1,0 +1,207 @@
+"""Crash-forensics flight recorder: one self-contained post-mortem bundle.
+
+A :class:`FlightRecorder` is wired up once per process with *providers*
+-- zero-argument callables that snapshot a subsystem (log ring, metrics
+registry, serve status, breaker state, resolved config, in-flight
+request table, recent traces).  When something goes wrong (quarantine,
+breaker-open, SIGTERM) or on demand (``repro bundle`` /
+``GET /debug/bundle``) the recorder captures every provider into a
+single ``flight-<trace_id>.json`` so the forensic record survives the
+process.
+
+Providers are captured defensively: a provider that raises contributes
+``{"error": ...}`` instead of sinking the whole bundle -- a flight
+recorder that crashes during the crash is worse than useless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections.abc import Callable
+from typing import IO
+
+from repro.errors import ReproError
+
+FLIGHT_SCHEMA = "repro-flight/v1"
+FLIGHT_KEYS = frozenset(
+    {
+        "schema",
+        "trigger",
+        "trace_id",
+        "created_unix_s",
+        "sections",
+    }
+)
+
+#: Section names a bundle may carry (providers register under these).
+FLIGHT_SECTIONS = (
+    "logs",
+    "metrics",
+    "status",
+    "breaker",
+    "config",
+    "in_flight",
+    "traces",
+)
+
+
+class FlightError(ReproError):
+    """Malformed flight bundle or recorder misuse."""
+
+
+class FlightRecorder:
+    """Collects subsystem snapshots into dumpable post-mortem bundles."""
+
+    def __init__(self, out_dir: str = ".") -> None:
+        self.out_dir = out_dir
+        self._providers: dict[str, Callable[[], object]] = {}
+        self._lock = threading.Lock()
+        self.dumps = 0
+
+    def register(self, section: str, provider: Callable[[], object]) -> None:
+        """Attach ``provider`` as the snapshot source for ``section``."""
+        if section not in FLIGHT_SECTIONS:
+            raise FlightError(
+                f"unknown flight section {section!r}; "
+                f"expected one of {sorted(FLIGHT_SECTIONS)}"
+            )
+        with self._lock:
+            self._providers[section] = provider
+
+    def capture(self, trigger: str, trace_id: str | None = None) -> dict:
+        """Snapshot every registered provider into one bundle dict."""
+        with self._lock:
+            providers = dict(self._providers)
+        sections: dict[str, object] = {}
+        for section, provider in sorted(providers.items()):
+            try:
+                sections[section] = provider()
+            except Exception as exc:  # noqa: BLE001 - forensics must not raise
+                sections[section] = {"error": f"{type(exc).__name__}: {exc}"}
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "trigger": trigger,
+            "trace_id": trace_id,
+            "created_unix_s": time.time(),
+            "sections": sections,
+        }
+
+    def dump(self, trigger: str, trace_id: str | None = None) -> str:
+        """Capture a bundle and write it to ``flight-<trace_id>.json``.
+
+        Returns the written path.  The filename falls back to the
+        trigger when no trace is implicated (e.g. SIGTERM).
+        """
+        bundle = self.capture(trigger, trace_id=trace_id)
+        stem = trace_id if trace_id else trigger.replace("_", "-")
+        path = os.path.join(self.out_dir, f"flight-{stem}.json")
+        os.makedirs(self.out_dir, exist_ok=True)
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+        with self._lock:
+            self.dumps += 1
+        return path
+
+
+def validate_flight_bundle(bundle: dict) -> dict:
+    """Validate a bundle's envelope; returns it for chaining."""
+    if not isinstance(bundle, dict):
+        raise FlightError(f"flight bundle must be a dict, got {type(bundle)}")
+    if bundle.get("schema") != FLIGHT_SCHEMA:
+        raise FlightError(
+            f"expected {FLIGHT_SCHEMA}, got {bundle.get('schema')!r}"
+        )
+    missing = FLIGHT_KEYS - set(bundle)
+    if missing:
+        raise FlightError(f"flight bundle missing keys: {sorted(missing)}")
+    sections = bundle["sections"]
+    if not isinstance(sections, dict):
+        raise FlightError("flight bundle 'sections' must be a dict")
+    unknown = set(sections) - set(FLIGHT_SECTIONS)
+    if unknown:
+        raise FlightError(f"unknown flight sections: {sorted(unknown)}")
+    return bundle
+
+
+def load_flight_bundle(source: str | IO[str]) -> dict:
+    """Read and validate a ``flight-*.json`` bundle from a path or file."""
+    try:
+        if isinstance(source, str):
+            with open(source, encoding="utf-8") as handle:
+                bundle = json.load(handle)
+        else:
+            bundle = json.load(source)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FlightError(f"cannot read flight bundle ({exc})") from exc
+    return validate_flight_bundle(bundle)
+
+
+def render_flight_bundle(bundle: dict) -> str:
+    """A human-oriented summary of a bundle (``repro bundle --inspect``)."""
+    validate_flight_bundle(bundle)
+    lines = [
+        f"flight bundle ({bundle['schema']})",
+        f"  trigger:  {bundle['trigger']}",
+        f"  trace_id: {bundle['trace_id'] or '-'}",
+        f"  captured: {bundle['created_unix_s']:.3f} (unix)",
+    ]
+    sections = bundle["sections"]
+    for name in FLIGHT_SECTIONS:
+        if name not in sections:
+            continue
+        lines.append(f"  [{name}]")
+        lines.extend(f"    {line}" for line in _render_section(name, sections[name]))
+    return "\n".join(lines)
+
+
+def _render_section(name: str, payload: object) -> list[str]:
+    if isinstance(payload, dict) and "error" in payload and len(payload) == 1:
+        return [f"capture failed: {payload['error']}"]
+    if name == "logs" and isinstance(payload, dict):
+        records = payload.get("records", [])
+        lines = [
+            f"{len(records)} records, {payload.get('dropped', 0)} dropped"
+        ]
+        for record in records[-5:]:
+            if isinstance(record, dict):
+                lines.append(
+                    f"{record.get('level', '?'):<8} {record.get('message', '')}"
+                )
+        return lines
+    if name == "metrics" and isinstance(payload, dict):
+        histograms = sum(
+            1
+            for entry in payload.values()
+            if isinstance(entry, dict) and entry.get("type") == "histogram"
+        )
+        return [f"{len(payload)} instruments ({histograms} histograms)"]
+    if name == "traces" and isinstance(payload, list):
+        lines = [f"{len(payload)} traces retained"]
+        for trace in payload[-3:]:
+            if isinstance(trace, dict):
+                lines.append(
+                    f"{trace.get('trace_id', '?')}: "
+                    f"{len(trace.get('spans', []))} spans, "
+                    f"{len(trace.get('links', []))} links"
+                )
+        return lines
+    if name == "in_flight" and isinstance(payload, list):
+        lines = [f"{len(payload)} requests in flight"]
+        for entry in payload[:5]:
+            if isinstance(entry, dict):
+                lines.append(
+                    f"{entry.get('request_id', '?')} "
+                    f"trace={entry.get('trace_id', '?')} "
+                    f"age={entry.get('age_s', 0):.3f}s"
+                )
+        return lines
+    text = json.dumps(payload, sort_keys=True, default=str)
+    if len(text) > 200:
+        text = text[:197] + "..."
+    return [text]

@@ -77,8 +77,16 @@ LOG_KEYS = frozenset(
 
 #: The registered correlation-context keys (the logging counterpart of
 #: the event registry): everything a record can be joined on.
-#: ``request_id`` correlates ``repro serve`` request lifecycles.
-CONTEXT_KEYS = ("run_id", "point_id", "worker_id", "attempt", "request_id")
+#: ``request_id`` correlates ``repro serve`` request lifecycles;
+#: ``trace_id`` joins records to the end-to-end request trace.
+CONTEXT_KEYS = (
+    "run_id",
+    "point_id",
+    "worker_id",
+    "attempt",
+    "request_id",
+    "trace_id",
+)
 
 #: Level numbers (stdlib-compatible spacing, but no stdlib dependency).
 DEBUG = 10

@@ -29,6 +29,22 @@ class MetricsError(ReproError):
     """Invalid metric construction or use."""
 
 
+def pick_exemplar(
+    current: tuple[float, str] | None, candidate: tuple[float, str]
+) -> tuple[float, str]:
+    """Choose between two bucket exemplars, order-independently.
+
+    The slower observation wins (exemplars exist to explain the bucket
+    tail); equal values tie-break on the lexicographically smaller
+    label, so any observation/merge order converges on the same pick.
+    """
+    if current is None:
+        return candidate
+    if candidate[0] != current[0]:
+        return candidate if candidate[0] > current[0] else current
+    return candidate if candidate[1] < current[1] else current
+
+
 @dataclass
 class Counter:
     """A monotonically increasing count (requests served, events seen)."""
@@ -87,6 +103,8 @@ class Histogram:
     count: int = 0
     min_value: float = float("inf")
     max_value: float = float("-inf")
+    #: bucket index -> (observed value, exemplar label, e.g. a trace_id)
+    exemplars: dict[int, tuple[float, str]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.bounds = tuple(float(b) for b in self.bounds)
@@ -99,15 +117,26 @@ class Histogram:
         if not self.counts:
             self.counts = [0] * (len(self.bounds) + 1)
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.counts[bisect_left(self.bounds, value)] += 1
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation, optionally tagged with an exemplar.
+
+        An exemplar ties the bucket tail back to the event that produced
+        it (by convention a trace_id).  Each bucket keeps one exemplar,
+        chosen by :func:`pick_exemplar` so the choice is independent of
+        observation and merge order.
+        """
+        index = bisect_left(self.bounds, value)
+        self.counts[index] += 1
         self.total += value
         self.count += 1
         if value < self.min_value:
             self.min_value = value
         if value > self.max_value:
             self.max_value = value
+        if exemplar is not None:
+            self.exemplars[index] = pick_exemplar(
+                self.exemplars.get(index), (value, exemplar)
+            )
 
     @property
     def mean(self) -> float:
@@ -146,6 +175,10 @@ class Histogram:
             "min": self.min_value if self.count else 0.0,
             "max": self.max_value if self.count else 0.0,
             "help": self.help,
+            "exemplars": {
+                str(index): [value, label]
+                for index, (value, label) in sorted(self.exemplars.items())
+            },
         }
 
 
@@ -261,7 +294,8 @@ class MetricsRegistry:
             lines += [
                 f"**`{name}`** -- {entry['count']:,} observations, "
                 f"mean {entry['mean']:,.3g}, "
-                f"p50 {hist.quantile(0.5):,.3g}, p95 {hist.quantile(0.95):,.3g}",
+                f"p50 {hist.quantile(0.5):,.3g}, p95 {hist.quantile(0.95):,.3g}, "
+                f"p99 {hist.quantile(0.99):,.3g}",
                 "",
                 "| bucket | count |",
                 "|---|---|",
@@ -299,5 +333,10 @@ def merge_registries(target: MetricsRegistry, source: Mapping[str, dict]) -> Non
             if entry["count"]:
                 hist.min_value = min(hist.min_value, entry["min"])
                 hist.max_value = max(hist.max_value, entry["max"])
+            for raw_index, (value, label) in entry.get("exemplars", {}).items():
+                index = int(raw_index)
+                hist.exemplars[index] = pick_exemplar(
+                    hist.exemplars.get(index), (float(value), str(label))
+                )
         else:
             raise MetricsError(f"unknown instrument type {kind!r} for {name!r}")

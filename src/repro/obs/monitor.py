@@ -41,17 +41,50 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ReproError
+from repro.obs.histogram import (
+    POINT_DURATION_BOUNDS,
+    observe_latency,
+    summarize_latencies,
+)
 from repro.obs.logging import RingBufferSink, get_logger, global_ring
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.openmetrics import render_openmetrics
 
-#: Schema tag stamped into every ``/status`` document.
-STATUS_SCHEMA = "repro-status/v1"
+#: Schema tag stamped into every ``/status`` document (v2 added the
+#: ``latency`` summary section).
+STATUS_SCHEMA = "repro-status/v2"
 
-#: Exact key set of a ``repro-status/v1`` document.  SCHEMA001 holds
+#: Exact key set of a ``repro-status/v2`` document.  SCHEMA001 holds
 #: every producer of the tag to this declaration (``repro tail`` and CI
 #: scrapers key off it); new fields need a new tag version.
 STATUS_KEYS = frozenset(
+    {
+        "schema",
+        "run_id",
+        "state",
+        "total",
+        "completed",
+        "simulated",
+        "cached",
+        "resumed",
+        "failed",
+        "failure_reasons",
+        "retries",
+        "jobs",
+        "progress",
+        "cache_hit_rate",
+        "elapsed_s",
+        "throughput_pts_per_s",
+        "eta_s",
+        "workers",
+        "latency",
+    }
+)
+
+#: The retired v1 status contract, kept declared so SCHEMA001 still
+#: recognizes recorded v1 documents (no shipped producer remains).
+STATUS_V1_SCHEMA = "repro-status/v1"
+STATUS_V1_KEYS = frozenset(
     {
         "schema",
         "run_id",
@@ -156,16 +189,28 @@ class SweepStatus:
         index: int,
         worker_id: int | None = None,
         metrics: dict[str, Any] | None = None,
+        duration_s: float | None = None,
     ) -> None:
         """One point simulated successfully.
 
         ``metrics`` is the worker's registry snapshot; folding it here
-        keeps ``/metrics`` live instead of end-of-run.
+        keeps ``/metrics`` live instead of end-of-run.  ``duration_s``
+        (the winning attempt's wall time) feeds the
+        ``sweep.point_duration_s`` latency histogram behind the
+        ``latency`` section of ``/status``.
         """
         with self._lock:
             self.simulated += 1
             if metrics:
                 self._registry.merge_snapshot(metrics)
+            if duration_s is not None:
+                observe_latency(
+                    self._registry,
+                    "sweep.point_duration_s",
+                    float(duration_s),
+                    POINT_DURATION_BOUNDS,
+                    help="per-point simulation wall time",
+                )
             if worker_id is not None:
                 entry = self._workers.setdefault(
                     worker_id, {"points": 0, "last_point": None,
@@ -245,6 +290,7 @@ class SweepStatus:
                     str(worker_id): dict(entry)
                     for worker_id, entry in sorted(self._workers.items())
                 },
+                "latency": summarize_latencies(self._registry.as_dict()),
             }
 
     def metrics_snapshot(self) -> dict[str, dict]:
@@ -460,6 +506,16 @@ def render_status_line(snapshot: dict[str, Any], width: int = 24) -> str:
     throughput = snapshot.get("throughput_pts_per_s") or 0.0
     if throughput > 0:
         parts.append(f"{throughput:.2f} pt/s")
+    latency = snapshot.get("latency") or {}
+    summary = (
+        latency.get("sweep.point_duration_s")
+        or latency.get("serve.request_s")
+    )
+    if summary and summary.get("count"):
+        p50 = summary.get("p50_s")
+        p99 = summary.get("p99_s")
+        if p50 is not None and p99 is not None:
+            parts.append(f"p50 {p50:.3g}s p99 {p99:.3g}s")
     eta = snapshot.get("eta_s")
     if state == "done":
         parts.append("done")

@@ -29,7 +29,8 @@ _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r" (?P<value>[^ ]+)$"
+    r" (?P<value>[^ ]+)"
+    r"(?: # \{(?P<exemplar_labels>[^}]*)\} (?P<exemplar_value>[^ ]+))?$"
 )
 
 
@@ -54,6 +55,20 @@ def _fmt(value: float) -> str:
 
 def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _exemplar_suffix(exemplars: Mapping[str, list], index: int) -> str:
+    """The ``# {trace_id="..."} value`` exemplar tail for bucket ``index``.
+
+    ``exemplars`` is the ``as_dict()`` form (string bucket indices, no
+    entry for un-exemplared buckets); buckets without one get no suffix.
+    """
+    entry = exemplars.get(str(index))
+    if not entry:
+        return ""
+    value, label = entry
+    escaped = str(label).replace("\\", "\\\\").replace('"', '\\"')
+    return f' # {{trace_id="{escaped}"}} {_fmt(float(value))}'
 
 
 def render_openmetrics(
@@ -85,16 +100,19 @@ def render_openmetrics(
             lines.append(f"# TYPE {name} histogram")
             if help_text:
                 lines.append(f"# HELP {name} {help_text}")
+            exemplars = entry.get("exemplars", {})
             cumulative = 0
-            for bound, count in zip(
-                entry["bounds"], entry["counts"][:-1], strict=True
+            for index, (bound, count) in enumerate(
+                zip(entry["bounds"], entry["counts"][:-1], strict=True)
             ):
                 cumulative += count
-                lines.append(
-                    f'{name}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
-                )
+                sample = f'{name}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+                lines.append(sample + _exemplar_suffix(exemplars, index))
             cumulative += entry["counts"][-1]
-            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            sample = f'{name}_bucket{{le="+Inf"}} {cumulative}'
+            lines.append(
+                sample + _exemplar_suffix(exemplars, len(entry["bounds"]))
+            )
             lines.append(
                 f"{name}_sum {_fmt(entry['mean'] * entry['count'])}"
             )
@@ -122,11 +140,14 @@ def write_openmetrics(
 def parse_openmetrics(text: str) -> dict[str, dict]:
     """Parse (and validate) an exposition produced by this module.
 
-    Returns ``{family_name: {"type": ..., "samples": {sample_key: value}}}``
-    where histogram sample keys include their ``le`` label.  Raises
-    :class:`OpenMetricsError` on structural violations: missing ``# EOF``,
-    samples without a preceding ``# TYPE``, bad names, non-cumulative or
-    ``+Inf``-less histogram buckets, counters without ``_total``.
+    Returns ``{family_name: {"type": ..., "samples": {sample_key: value},
+    "exemplars": {sample_key: {"labels": ..., "value": ...}}}`` where
+    histogram sample keys include their ``le`` label and ``exemplars``
+    holds any ``# {...} value`` tails.  Raises :class:`OpenMetricsError`
+    on structural violations: missing ``# EOF``, samples without a
+    preceding ``# TYPE``, bad names, non-cumulative or ``+Inf``-less
+    histogram buckets, counters without ``_total``, exemplars on
+    non-histogram samples.
     """
     lines = text.splitlines()
     if not lines or lines[-1] != "# EOF":
@@ -144,7 +165,7 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
             if kind not in ("counter", "gauge", "histogram"):
                 raise OpenMetricsError(f"bad metric type {kind!r} for {name}")
             types[name] = kind
-            families[name] = {"type": kind, "samples": {}}
+            families[name] = {"type": kind, "samples": {}, "exemplars": {}}
             continue
         if line.startswith("#"):
             continue
@@ -163,6 +184,19 @@ def parse_openmetrics(text: str) -> dict[str, dict]:
         except ValueError as exc:
             raise OpenMetricsError(f"bad value in {line!r}") from exc
         families[family]["samples"][key] = value
+        if match.group("exemplar_labels") is not None:
+            if not sample.endswith("_bucket"):
+                raise OpenMetricsError(
+                    f"exemplar on non-bucket sample {sample!r}"
+                )
+            try:
+                exemplar_value = float(match.group("exemplar_value"))
+            except ValueError as exc:
+                raise OpenMetricsError(f"bad exemplar in {line!r}") from exc
+            families[family]["exemplars"][key] = {
+                "labels": match.group("exemplar_labels"),
+                "value": exemplar_value,
+            }
     _validate_families(families)
     return families
 

@@ -271,25 +271,28 @@ class WorkerTelemetry:
         """This process's monotonic clock (``perf_counter`` seconds)."""
         return time.perf_counter()
 
-    def logger(self, name: str = "repro.sweep.worker") -> StructuredLogger:
+    def logger(
+        self, name: str = "repro.sweep.worker", **extra: Any
+    ) -> StructuredLogger:
         """A logger whose records are captured into :attr:`logs`.
 
         The returned logger is pre-bound with the full correlation
-        context (run, point, worker pid, attempt) and writes into this
+        context (run, point, worker pid, attempt, plus any non-``None``
+        ``extra`` context such as a ``trace_id``) and writes into this
         payload only -- records travel home with the task outcome and
         reach the parent's sinks via
         :meth:`RunTelemetry.merge_worker`, clock-aligned like spans.
         """
-        return StructuredLogger(
-            name,
-            {
-                "run_id": self.context.run_id,
-                "point_id": self.context.point_id,
-                "worker_id": self.worker_id,
-                "attempt": self.context.attempt,
-            },
-            self._log_pipeline,
+        context: dict[str, Any] = {
+            "run_id": self.context.run_id,
+            "point_id": self.context.point_id,
+            "worker_id": self.worker_id,
+            "attempt": self.context.attempt,
+        }
+        context.update(
+            {key: value for key, value in extra.items() if value is not None}
         )
+        return StructuredLogger(name, context, self._log_pipeline)
 
     def record_event(
         self, kind: int, dur_s: float = 0.0, ts_s: float | None = None,

@@ -14,7 +14,14 @@ ports via ``port=0``, idempotent ``close()``.  Endpoints:
 * ``GET /status``  -- the service status document
   (:data:`~repro.serve.schemas.SERVE_STATUS_SCHEMA`).
 * ``GET /metrics`` -- OpenMetrics text exposition of the ``serve_*``
-  family.
+  family (bucket tails carry trace_id exemplars).
+* ``GET /debug/bundle`` -- an on-demand flight-recorder bundle
+  (:data:`~repro.obs.flight.FLIGHT_SCHEMA`); 404 when the service runs
+  without a recorder.
+
+``POST /plan`` honours an incoming W3C ``traceparent`` header and
+returns one on every response, so callers can stitch the service's
+span tree into their own traces.
 
 :func:`serve_forever` is the CLI body: it installs SIGTERM/SIGINT
 handlers that trigger graceful shutdown -- stop admission, drain
@@ -65,6 +72,18 @@ class _ServeHandler(BaseHTTPRequestHandler):
         elif self.path == "/metrics":
             text = render_openmetrics(self._service.metrics_snapshot())
             self._send(200, OPENMETRICS_CONTENT_TYPE, text.encode("utf-8"))
+        elif self.path == "/debug/bundle":
+            recorder = self._service.recorder
+            if recorder is None:
+                self._send_json(
+                    error_envelope(
+                        "no-recorder",
+                        "service is running without a flight recorder",
+                    ),
+                    code=404,
+                )
+            else:
+                self._send_json(recorder.capture("on-demand"))
         else:
             self._send_json(
                 {
@@ -74,6 +93,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
                         "/readyz",
                         "/status",
                         "/metrics",
+                        "/debug/bundle",
                         "POST /plan",
                     ],
                 },
@@ -107,7 +127,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
             )
             return
         try:
-            code, payload, headers = self._service.handle(data)
+            code, payload, headers = self._service.handle(
+                data, traceparent=self.headers.get("traceparent")
+            )
         except ServeError as exc:
             self._send_json(
                 error_envelope("unavailable", str(exc)), code=503
@@ -267,6 +289,9 @@ def serve_forever(
         # every platform (a bare Event.wait() may block them).
         while not stop.is_set():
             stop.wait(0.2)
+        # Forensics first: snapshot the live state before the drain
+        # empties the in-flight table.
+        service.dump_flight("sigterm")
         drained = service.drain()
     finally:
         server.close()

@@ -47,6 +47,11 @@ class CircuitBreaker:
         reset_s: cool-down before an OPEN breaker lets one probe through.
         clock: monotonic-seconds source (injected for deterministic
             tests; defaults to :func:`time.monotonic`).
+        on_transition: optional ``(old_state, new_state, snapshot)``
+            observer, invoked *outside* the breaker lock after every
+            state change (the service hangs trace events and flight
+            dumps off it); observer exceptions are swallowed so
+            forensics can never wedge the breaker.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class CircuitBreaker:
         threshold: int = 5,
         reset_s: float = 30.0,
         clock: Callable[[], float] | None = None,
+        on_transition: Callable[[str, str, dict], None] | None = None,
     ) -> None:
         if threshold < 1:
             raise ConfigError(
@@ -68,6 +74,7 @@ class CircuitBreaker:
         # The service is the obs-adjacent host-time zone; the default
         # clock is wall time by design.
         self._clock = clock if clock is not None else time.monotonic
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._state = CLOSED
         self._failures = 0
@@ -89,37 +96,54 @@ class CircuitBreaker:
         transitions to HALF_OPEN and admits exactly one probe; further
         callers are refused until that probe reports an outcome.
         """
+        transition: tuple[str, str] | None = None
         with self._lock:
             if self._state == CLOSED:
-                return True
-            if self._state == OPEN:
+                allowed = True
+            elif self._state == OPEN:
                 if self._clock() - self._opened_at < self.reset_s:
-                    return False
-                self._state = HALF_OPEN
+                    allowed = False
+                else:
+                    self._state = HALF_OPEN
+                    self._probe_in_flight = True
+                    transition = (OPEN, HALF_OPEN)
+                    allowed = True
+            elif self._probe_in_flight:
+                # HALF_OPEN: one probe at a time.
+                allowed = False
+            else:
                 self._probe_in_flight = True
-                return True
-            # HALF_OPEN: one probe at a time.
-            if self._probe_in_flight:
-                return False
-            self._probe_in_flight = True
-            return True
+                allowed = True
+        if transition is not None:
+            self._notify(*transition)
+        return allowed
 
     def record_success(self) -> None:
         """A compute the breaker allowed succeeded: close fully."""
+        transition: tuple[str, str] | None = None
         with self._lock:
+            if self._state != CLOSED:
+                transition = (self._state, CLOSED)
             self._state = CLOSED
             self._failures = 0
             self._probe_in_flight = False
+        if transition is not None:
+            self._notify(*transition)
 
     def record_failure(self) -> None:
         """A compute the breaker allowed failed."""
+        transition: tuple[str, str] | None = None
         with self._lock:
             if self._state == HALF_OPEN:
+                transition = (self._state, OPEN)
                 self._trip()
-                return
-            self._failures += 1
-            if self._state == CLOSED and self._failures >= self.threshold:
-                self._trip()
+            else:
+                self._failures += 1
+                if self._state == CLOSED and self._failures >= self.threshold:
+                    transition = (self._state, OPEN)
+                    self._trip()
+        if transition is not None:
+            self._notify(*transition)
 
     def _trip(self) -> None:
         self._state = OPEN
@@ -127,6 +151,15 @@ class CircuitBreaker:
         self._probe_in_flight = False
         self._opened_at = self._clock()
         self.trips += 1
+
+    def _notify(self, old_state: str, new_state: str) -> None:
+        observer = self.on_transition
+        if observer is None:
+            return
+        try:
+            observer(old_state, new_state, self.snapshot())
+        except Exception:  # noqa: BLE001 - observers must not wedge the breaker
+            pass
 
     # ------------------------------------------------------------------ views
     def retry_after_s(self) -> float:

@@ -32,13 +32,31 @@ from repro.sweep.grid import ConfigVariant, SweepGrid
 from repro.sweep.results import SweepResult
 from repro.sweep.runner import DEFAULT_SWEEP_REQUESTS, validate_grid
 
-#: Schema tag of every plan response envelope.
-RESPONSE_SCHEMA = "repro-serve-response/v1"
+#: Schema tag of every plan response envelope.  v2 added ``trace_id``
+#: (PR 10); the v1 contract below stays declared for old captures.
+RESPONSE_SCHEMA = "repro-serve-response/v2"
 
-#: Exact key set of a ``repro-serve-response/v1`` envelope.  SCHEMA001
+#: Exact key set of a ``repro-serve-response/v2`` envelope.  SCHEMA001
 #: holds every producer of the tag to this declaration, project-wide;
 #: adding a key here without versioning the tag is a wire break.
 RESPONSE_KEYS = frozenset(
+    {
+        "schema",
+        "request_id",
+        "trace_id",
+        "degraded",
+        "cached",
+        "computed",
+        "coalesced",
+        "best",
+        "document",
+    }
+)
+
+#: The retired v1 envelope contract, kept declared so SCHEMA001 still
+#: recognizes recorded v1 payloads (no shipped producer remains).
+RESPONSE_V1_SCHEMA = "repro-serve-response/v1"
+RESPONSE_V1_KEYS = frozenset(
     {
         "schema",
         "request_id",
@@ -51,8 +69,9 @@ RESPONSE_KEYS = frozenset(
     }
 )
 
-#: Schema tag of the service ``/status`` document.
-SERVE_STATUS_SCHEMA = "repro-serve-status/v1"
+#: Schema tag of the service ``/status`` document (v2 added the
+#: ``latency`` summary section).
+SERVE_STATUS_SCHEMA = "repro-serve-status/v2"
 
 #: Schema tag of error envelopes (shed, degraded, deadline, failure).
 ERROR_SCHEMA = "repro-serve-error/v1"
@@ -242,12 +261,14 @@ def response_envelope(
     computed: int,
     coalesced: int,
     degraded: bool = False,
+    trace_id: str | None = None,
 ) -> dict[str, Any]:
     """The success envelope around one request's deterministic document.
 
     ``document`` is exactly the :meth:`SweepResult.to_json_dict` payload
     ``repro sweep`` would emit for the same grid -- the envelope adds
-    service metadata *around* it, never inside it.
+    service metadata *around* it (``trace_id`` joins the envelope to
+    logs, exemplars and flight bundles), never inside it.
     """
     document = SweepResult(
         grid=request.grid(),
@@ -257,6 +278,7 @@ def response_envelope(
     return {
         "schema": RESPONSE_SCHEMA,
         "request_id": request_id,
+        "trace_id": trace_id,
         "degraded": degraded,
         "cached": cached,
         "computed": computed,
@@ -271,12 +293,15 @@ def error_envelope(
     message: str,
     request_id: str | None = None,
     reason: str | None = None,
+    trace_id: str | None = None,
 ) -> dict[str, Any]:
     """The envelope of every non-2xx service answer.
 
     ``reason`` reuses the canonical
     :class:`~repro.sweep.resilience.QuarantineReason` vocabulary when a
-    worker outcome caused the error.
+    worker outcome caused the error; ``trace_id`` (when the request got
+    far enough to have one) joins the error to its trace and any flight
+    bundle it triggered.
     """
     payload: dict[str, Any] = {
         "schema": ERROR_SCHEMA,
@@ -287,4 +312,6 @@ def error_envelope(
         payload["request_id"] = request_id
     if reason is not None:
         payload["reason"] = reason
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
     return payload

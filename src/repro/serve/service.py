@@ -45,10 +45,22 @@ from typing import Any
 
 from repro.core.config import SystemConfig
 from repro.errors import ConfigError
-from repro.obs.logging import get_logger
+from repro.obs.flight import FlightRecorder
+from repro.obs.histogram import (
+    ATTEMPT_BOUNDS,
+    ENGINE_PHASE_BOUNDS,
+    QUEUE_WAIT_BOUNDS,
+    SERVE_LATENCY_BOUNDS,
+    observe_latency,
+    summarize_latencies,
+)
+from repro.obs.logging import get_logger, global_ring
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import ClockAnchor, TelemetryError, WorkerTelemetry
+from repro.obs.tracectx import RequestTracer, TraceContext, parse_traceparent
+from repro.serialization import system_to_dict
 from repro.serve.admission import AdmissionController
-from repro.serve.breaker import CLOSED, STATE_VALUES, CircuitBreaker
+from repro.serve.breaker import CLOSED, OPEN, STATE_VALUES, CircuitBreaker
 from repro.serve.schemas import (
     SERVE_STATUS_SCHEMA,
     PlanRequest,
@@ -94,24 +106,37 @@ class _PointFailure(ServeError):
 class _SharedPoint:
     """One in-flight point computation, shared by coalesced waiters."""
 
-    __slots__ = ("key", "task", "cancel_event", "waiters")
+    __slots__ = ("key", "task", "cancel_event", "waiters", "trace_id")
 
     def __init__(
         self,
         key: str,
         task: "asyncio.Task[dict[str, Any] | None]",
         cancel_event: threading.Event,
+        trace_id: str | None = None,
     ) -> None:
         self.key = key
         self.task = task
         self.cancel_event = cancel_event
         self.waiters = 0
+        #: Trace of the request that started the computation; coalesced
+        #: joiners link their traces to it.
+        self.trace_id = trace_id
 
 
 def _consume_exception(task: "asyncio.Task[Any]") -> None:
     """Done-callback: retrieve an abandoned task's exception quietly."""
     if not task.cancelled():
         task.exception()
+
+
+def _log_ring_snapshot(n: int = 200) -> dict[str, Any]:
+    """The process log ring as a flight-bundle section."""
+    ring = global_ring()
+    return {
+        "records": [record.as_dict() for record in ring.tail(n)],
+        "dropped": ring.dropped,
+    }
 
 
 class PlanService:
@@ -134,6 +159,13 @@ class PlanService:
         breaker: circuit breaker (injectable clock for tests).
         chaos: worker fault injection (tests; point index is always 0).
         engine: timing engine for workers (never affects results).
+        tracer: span collector for end-to-end request traces; ``None``
+            disables span retention (every response still carries a
+            deterministic trace_id -- result bytes are identical either
+            way, enforced by test).
+        recorder: flight recorder for crash-forensics bundles; the
+            service registers its providers and auto-dumps on
+            quarantine and breaker-open transitions.
     """
 
     def __init__(
@@ -148,6 +180,8 @@ class PlanService:
         breaker: CircuitBreaker | None = None,
         chaos: WorkerChaos | None = None,
         engine: str = "vector",
+        tracer: RequestTracer | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"serve jobs must be >= 1, got {jobs}")
@@ -180,10 +214,89 @@ class PlanService:
             "degraded_answers": 0,
             "degraded_refusals": 0,
             "compute_failures": 0,
+            "flight_dumps": 0,
         }
         #: canonical QuarantineReason value -> count of failed points.
         self._failure_reasons: dict[str, int] = {}
         self._closed = False
+        self.tracer = tracer
+        self.recorder = recorder
+        #: Clock anchor pairing wall and perf time, used to shift worker
+        #: span timestamps into this process's perf domain.
+        self._anchor = ClockAnchor.now()
+        #: Latency histograms (end-to-end, queue-wait, attempt, engine
+        #: phase), guarded by ``_metrics_lock`` like the counters.
+        self._latency = MetricsRegistry()
+        #: request_id -> in-flight descriptor (the flight recorder's
+        #: in-flight request table).
+        self._active: dict[str, dict[str, Any]] = {}
+        if self.breaker.on_transition is None:
+            self.breaker.on_transition = self._on_breaker_transition
+        if recorder is not None:
+            self._register_flight_providers(recorder)
+
+    # ------------------------------------------------------------- forensics
+    def _register_flight_providers(self, recorder: FlightRecorder) -> None:
+        """Wire every flight-bundle section to its live snapshot source."""
+        recorder.register("status", self.status_snapshot)
+        recorder.register("metrics", self.metrics_snapshot)
+        recorder.register("breaker", self.breaker.snapshot)
+        recorder.register(
+            "config", lambda: system_to_dict(self.config)
+        )
+        recorder.register("in_flight", self.inflight_snapshot)
+        recorder.register("logs", _log_ring_snapshot)
+        recorder.register(
+            "traces",
+            lambda: self.tracer.snapshot() if self.tracer is not None else [],
+        )
+
+    def inflight_snapshot(self) -> list[dict[str, Any]]:
+        """The in-flight request table (flight-bundle section)."""
+        now = time.perf_counter()
+        with self._metrics_lock:
+            entries = [dict(entry) for entry in self._active.values()]
+        for entry in entries:
+            entry["age_s"] = max(0.0, now - entry.pop("started_s"))
+        return entries
+
+    def dump_flight(self, trigger: str, trace_id: str | None = None) -> str | None:
+        """Write a flight bundle; forensics failures never propagate."""
+        if self.recorder is None:
+            return None
+        try:
+            path = self.recorder.dump(trigger, trace_id=trace_id)
+        except Exception as exc:  # noqa: BLE001 - never fail the request path
+            get_logger("repro.serve").error(
+                "flight dump failed", trigger=trigger, error=str(exc)
+            )
+            return None
+        self._bump("flight_dumps")
+        log = (
+            get_logger("repro.serve", trace_id=trace_id)
+            if trace_id
+            else get_logger("repro.serve")
+        )
+        log.warning(
+            "flight bundle dumped", event="FLIGHT_DUMP", trigger=trigger, path=path
+        )
+        return path
+
+    def _on_breaker_transition(
+        self, old_state: str, new_state: str, snapshot: dict[str, Any]
+    ) -> None:
+        """Breaker observer (runs outside the breaker lock): log every
+        transition, dump a flight bundle when the breaker opens."""
+        get_logger("repro.serve").warning(
+            "breaker transition",
+            event="BREAKER_TRANSITION",
+            old=old_state,
+            new=new_state,
+            consecutive_failures=snapshot["consecutive_failures"],
+            trips=snapshot["trips"],
+        )
+        if new_state == OPEN:
+            self.dump_flight("breaker-open")
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "PlanService":
@@ -277,12 +390,34 @@ class PlanService:
             and self.breaker.state == CLOSED
         )
 
-    def handle(self, data: Any) -> tuple[int, dict[str, Any], dict[str, str]]:
+    def _trace_root(
+        self, request_id: str, traceparent: str | None
+    ) -> TraceContext:
+        """The root trace context of one request.
+
+        Without an incoming header the root is derived from the request
+        id alone (deterministic); with one, the request joins the
+        remote trace as a child span.
+        """
+        if traceparent:
+            try:
+                remote = parse_traceparent(traceparent)
+            except Exception:  # noqa: BLE001 - bad headers never fail a request
+                return TraceContext.root(request_id)
+            return remote.child(f"request:{request_id}")
+        return TraceContext.root(request_id)
+
+    def handle(
+        self, data: Any, traceparent: str | None = None
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
         """Answer one decoded request body; ``(code, payload, headers)``.
 
         Called from transport threads.  Validation failures are 400 and
         never enter admission; shed requests are 429 with
-        ``Retry-After`` and never schedule work.
+        ``Retry-After`` and never schedule work.  Every response --
+        including errors -- carries a ``trace_id``; ``traceparent`` (the
+        W3C header, when the caller sent one) makes the request a child
+        of the caller's trace.
         """
         if self._loop is None or self._closed:
             raise ServeError("service is not running (call start())")
@@ -290,7 +425,15 @@ class PlanService:
             request = parse_plan_request(data)
             payloads = request.point_payloads(self.config)
         except ConfigError as exc:
-            return 400, error_envelope("bad-request", str(exc)), {}
+            ctx = self._trace_root(f"bad-request-{next(self._seq)}", traceparent)
+            return (
+                400,
+                error_envelope("bad-request", str(exc), trace_id=ctx.trace_id),
+                {"traceparent": ctx.format_traceparent()},
+            )
+        request_id = f"{request.digest()[:8]}-{next(self._seq)}"
+        ctx = self._trace_root(request_id, traceparent)
+        trace_headers = {"traceparent": ctx.format_traceparent()}
         if not self.admission.try_admit():
             why = "draining" if self.admission.draining else "queue full"
             return (
@@ -298,18 +441,31 @@ class PlanService:
                 error_envelope(
                     "shed",
                     f"request shed ({why}); retry after a backoff",
+                    request_id=request_id,
+                    trace_id=ctx.trace_id,
                 ),
-                {"Retry-After": str(SHED_RETRY_AFTER_S)},
+                {"Retry-After": str(SHED_RETRY_AFTER_S), **trace_headers},
             )
-        request_id = f"{request.digest()[:8]}-{next(self._seq)}"
         disposition = "cancelled"
+        admitted_s = time.perf_counter()
+        with self._metrics_lock:
+            self._active[request_id] = {
+                "request_id": request_id,
+                "trace_id": ctx.trace_id,
+                "n": request.n,
+                "points": len(payloads),
+                "started_s": admitted_s,
+            }
+        code = 0
         try:
             future = asyncio.run_coroutine_threadsafe(
-                self._handle(request, request_id, payloads), self._loop
+                self._handle(request, request_id, payloads, ctx, admitted_s),
+                self._loop,
             )
             code, payload, headers, disposition = future.result()
-            return code, payload, headers
+            return code, payload, {**headers, **trace_headers}
         except (FutureCancelled, asyncio.CancelledError):
+            code = 503
             return (
                 503,
                 error_envelope(
@@ -317,10 +473,31 @@ class PlanService:
                     "service shut down before the request completed",
                     request_id=request_id,
                     reason=QuarantineReason.CANCELLED.value,
+                    trace_id=ctx.trace_id,
                 ),
-                {},
+                trace_headers,
             )
         finally:
+            duration_s = time.perf_counter() - admitted_s
+            with self._metrics_lock:
+                self._active.pop(request_id, None)
+                observe_latency(
+                    self._latency,
+                    "serve.request_s",
+                    duration_s,
+                    SERVE_LATENCY_BOUNDS,
+                    exemplar=ctx.trace_id,
+                    help="end-to-end POST /plan latency (seconds)",
+                )
+            if self.tracer is not None:
+                self.tracer.record(
+                    ctx,
+                    "request",
+                    start_s=admitted_s,
+                    duration_s=duration_s,
+                    request_id=request_id,
+                    code=code,
+                )
             if disposition == "completed":
                 self.admission.complete()
             else:
@@ -332,9 +509,23 @@ class PlanService:
         request: PlanRequest,
         request_id: str,
         payloads: list[tuple[str, dict[str, Any]]],
+        ctx: TraceContext,
+        admitted_s: float,
     ) -> tuple[int, dict[str, Any], dict[str, str], str]:
         """One admitted request on the loop: cache, breaker, compute."""
-        log = get_logger("repro.serve", request_id=request_id)
+        log = get_logger(
+            "repro.serve", request_id=request_id, trace_id=ctx.trace_id
+        )
+        queue_wait_s = max(0.0, time.perf_counter() - admitted_s)
+        with self._metrics_lock:
+            observe_latency(
+                self._latency,
+                "serve.queue_wait_s",
+                queue_wait_s,
+                QUEUE_WAIT_BOUNDS,
+                exemplar=ctx.trace_id,
+                help="admission-to-loop-pickup wait (seconds)",
+            )
         deadline_s = request.deadline_s or self.default_deadline_s
         results: dict[int, dict[str, Any]] = {}
         missing: list[tuple[int, str, dict[str, Any]]] = []
@@ -349,6 +540,7 @@ class PlanService:
             self._bump("cache_hits", cached)
         log.info(
             "request admitted",
+            event="REQUEST_START",
             n=request.n,
             points=len(payloads),
             cached=cached,
@@ -374,14 +566,29 @@ class PlanService:
                         f"{len(missing)} point(s) not cached",
                         request_id=request_id,
                         reason=self._last_failure_reason(),
+                        trace_id=ctx.trace_id,
                     ),
                     {"Retry-After": str(retry_after)},
                     "completed",
                 )
-            shares = [self._acquire(key, payload) for _, key, payload in missing]
+            shares = [self._acquire(key, payload, ctx) for _, key, payload in missing]
             coalesced = sum(1 for share in shares if share.waiters > 1)
             if coalesced:
                 self._bump("coalesced", coalesced)
+            for share in shares:
+                if (
+                    share.waiters > 1
+                    and share.trace_id is not None
+                    and share.trace_id != ctx.trace_id
+                ):
+                    if self.tracer is not None:
+                        self.tracer.link(ctx, share.trace_id, "coalesced")
+                    log.info(
+                        "coalesce link",
+                        event="COALESCE_LINK",
+                        linked_trace_id=share.trace_id,
+                        key=share.key[:12],
+                    )
             try:
                 computed = await asyncio.wait_for(
                     asyncio.gather(
@@ -402,6 +609,7 @@ class PlanService:
                         "abandoned work was cancelled",
                         request_id=request_id,
                         reason=QuarantineReason.TIMEOUT.value,
+                        trace_id=ctx.trace_id,
                     ),
                     {},
                     "cancelled",
@@ -411,6 +619,7 @@ class PlanService:
                 log.error(
                     "compute failed", error=exc.error, reason=exc.reason
                 )
+                self.dump_flight("quarantine", trace_id=ctx.trace_id)
                 return (
                     500,
                     error_envelope(
@@ -418,6 +627,7 @@ class PlanService:
                         exc.detail,
                         request_id=request_id,
                         reason=exc.reason,
+                        trace_id=ctx.trace_id,
                     ),
                     {},
                     "completed",
@@ -443,6 +653,7 @@ class PlanService:
             computed=len(missing),
             coalesced=coalesced,
             degraded=degraded,
+            trace_id=ctx.trace_id,
         )
         log.info(
             "request served",
@@ -454,17 +665,25 @@ class PlanService:
         return 200, envelope, {}, "completed"
 
     # ------------------------------------------------------------- coalescing
-    def _acquire(self, key: str, payload: dict[str, Any]) -> _SharedPoint:
+    def _acquire(
+        self, key: str, payload: dict[str, Any], ctx: TraceContext | None = None
+    ) -> _SharedPoint:
         """Join (or start) the in-flight computation for ``key``."""
         assert self._loop is not None
         shared = self._inflight.get(key)
         if shared is None:
             cancel_event = threading.Event()
+            point_ctx = ctx.child(f"point:{key[:12]}") if ctx is not None else None
             task = self._loop.create_task(
-                self._run_point(key, payload, cancel_event)
+                self._run_point(key, payload, cancel_event, point_ctx)
             )
             task.add_done_callback(_consume_exception)
-            shared = _SharedPoint(key, task, cancel_event)
+            shared = _SharedPoint(
+                key,
+                task,
+                cancel_event,
+                trace_id=ctx.trace_id if ctx is not None else None,
+            )
             self._inflight[key] = shared
         shared.waiters += 1
         return shared
@@ -487,30 +706,69 @@ class PlanService:
         return result
 
     async def _run_point(
-        self, key: str, payload: dict[str, Any], cancel_event: threading.Event
+        self,
+        key: str,
+        payload: dict[str, Any],
+        cancel_event: threading.Event,
+        ctx: TraceContext | None = None,
     ) -> dict[str, Any] | None:
         """The single shared task computing one point on the pool."""
         assert self._loop is not None and self._pool is not None
         try:
             return await self._loop.run_in_executor(
-                self._pool, self._compute_point, key, payload, cancel_event
+                self._pool, self._compute_point, key, payload, cancel_event, ctx
             )
         finally:
             self._inflight.pop(key, None)
 
     # ----------------------------------------------------------- worker bridge
     def _compute_point(
-        self, key: str, payload: dict[str, Any], cancel_event: threading.Event
+        self,
+        key: str,
+        payload: dict[str, Any],
+        cancel_event: threading.Event,
+        ctx: TraceContext | None = None,
     ) -> dict[str, Any] | None:
         """Pool-thread body: retries of one killable child-process attempt.
 
         Returns the point result, ``None`` when cancelled, or raises
         :class:`_PointFailure` after the policy is exhausted.  Breaker
-        outcomes are recorded here, per point.
+        outcomes are recorded here, per point.  With a tracer attached,
+        each attempt ships its trace context into the worker child and
+        folds the returned telemetry spans back into the request tree;
+        the task payload mutations happen *after* the cache key is
+        fixed, so results and keys are byte-identical either way.
         """
         task = dict(payload)
         task["index"] = 0
         task["engine"] = self.engine
+        last_error = "SweepExecutionError"
+        last_message = "no attempt ran"
+        last_reason = QuarantineReason.EXCEPTION
+        point_start_s = time.perf_counter()
+        try:
+            return self._attempt_loop(
+                task, key, payload, cancel_event, ctx
+            )
+        finally:
+            if self.tracer is not None and ctx is not None:
+                self.tracer.record(
+                    ctx,
+                    "point",
+                    start_s=point_start_s,
+                    duration_s=time.perf_counter() - point_start_s,
+                    key=key[:12],
+                )
+
+    def _attempt_loop(
+        self,
+        task: dict[str, Any],
+        key: str,
+        payload: dict[str, Any],
+        cancel_event: threading.Event,
+        ctx: TraceContext | None,
+    ) -> dict[str, Any] | None:
+        """The retrying attempt loop of :meth:`_compute_point`."""
         last_error = "SweepExecutionError"
         last_message = "no attempt ran"
         last_reason = QuarantineReason.EXCEPTION
@@ -522,11 +780,52 @@ class PlanService:
             chaos = self.chaos
             if chaos is not None:
                 attempt_task["chaos"] = chaos.as_dict()
+            attempt_ctx = (
+                ctx.child("attempt", attempt) if ctx is not None else None
+            )
+            if attempt_ctx is not None and self.tracer is not None:
+                attempt_task["telemetry"] = {
+                    "run_id": f"trace:{attempt_ctx.trace_id}",
+                    "point_id": 0,
+                    "attempt": attempt,
+                }
+                attempt_task["tracectx"] = attempt_ctx.as_dict()
+            attempt_start_s = time.perf_counter()
             status = run_attempt(
                 attempt_task, self.policy.timeout_s, cancel_event=cancel_event
             )
+            attempt_duration_s = float(
+                status.get("duration_s", time.perf_counter() - attempt_start_s)
+            )
+            exemplar = (
+                attempt_ctx.trace_id
+                if attempt_ctx is not None
+                else (ctx.trace_id if ctx is not None else None)
+            )
+            with self._metrics_lock:
+                observe_latency(
+                    self._latency,
+                    "serve.attempt_s",
+                    attempt_duration_s,
+                    ATTEMPT_BOUNDS,
+                    exemplar=exemplar,
+                    help="one killable worker attempt (seconds)",
+                )
+            if self.tracer is not None and attempt_ctx is not None:
+                self.tracer.record(
+                    attempt_ctx,
+                    "attempt",
+                    start_s=attempt_start_s,
+                    duration_s=attempt_duration_s,
+                    attempt=attempt,
+                    status=status["status"],
+                )
             if status["status"] == "ok":
                 result = status["outcome"]["result"]
+                if self.tracer is not None and attempt_ctx is not None:
+                    self._merge_worker_trace(
+                        attempt_ctx, status["outcome"].get("telemetry")
+                    )
                 self.breaker.record_success()
                 if self.cache is not None:
                     self.cache.put(
@@ -554,6 +853,58 @@ class PlanService:
             )
         raise _PointFailure(last_error, last_message, last_reason.value)
 
+    def _merge_worker_trace(
+        self, attempt_ctx: TraceContext, payload: dict[str, Any] | None
+    ) -> None:
+        """Fold a worker child's telemetry spans into the request trace.
+
+        Worker timestamps are shifted into this process's perf domain
+        via the anchor pair; span parentage is preserved by deriving a
+        deterministic context per worker span.  Telemetry defects are
+        swallowed -- tracing must never fail a successful compute.
+        """
+        if self.tracer is None or not payload:
+            return
+        try:
+            telemetry = WorkerTelemetry.from_dict(payload)
+        except TelemetryError:
+            return
+        offset = telemetry.anchor.offset_to(self._anchor)
+        contexts: dict[int, TraceContext] = {}
+        for span_id, span in enumerate(telemetry.timeline.spans):
+            derived = attempt_ctx.child("wspan", span_id)
+            parent = contexts.get(span.parent)
+            span_ctx = TraceContext(
+                trace_id=derived.trace_id,
+                span_id=derived.span_id,
+                parent_id=(
+                    parent.span_id if parent is not None else attempt_ctx.span_id
+                ),
+            )
+            contexts[span_id] = span_ctx
+            duration_s = (
+                max(0.0, span.end_s - span.start_s)
+                if span.end_s is not None
+                else 0.0
+            )
+            self.tracer.record(
+                span_ctx,
+                f"worker:{span.name}",
+                start_s=span.start_s + offset,
+                duration_s=duration_s,
+                **span.meta,
+            )
+            if span.name == "simulate":
+                with self._metrics_lock:
+                    observe_latency(
+                        self._latency,
+                        "serve.engine_phase_s",
+                        duration_s,
+                        ENGINE_PHASE_BOUNDS,
+                        exemplar=span_ctx.trace_id,
+                        help="engine simulation phase inside a worker (seconds)",
+                    )
+
     # ----------------------------------------------------------------- metrics
     def _bump(self, name: str, by: int = 1) -> None:
         with self._metrics_lock:
@@ -575,6 +926,7 @@ class PlanService:
         with self._metrics_lock:
             counters = dict(self._counters)
             reasons = dict(sorted(self._failure_reasons.items()))
+            latency = self._latency.as_dict()
         return {
             "schema": SERVE_STATUS_SCHEMA,
             "state": "draining" if admission["draining"] else "serving",
@@ -583,6 +935,7 @@ class PlanService:
             "breaker": self.breaker.snapshot(),
             "counters": counters,
             "failure_reasons": reasons,
+            "latency": summarize_latencies(latency),
         }
 
     def metrics_snapshot(self) -> dict[str, dict]:
@@ -643,4 +996,10 @@ class PlanService:
         registry.counter(
             "serve.compute_failures", help="requests failed by workers"
         ).inc(counters["compute_failures"])
+        registry.counter(
+            "serve.flight_dumps", help="flight-recorder bundles written"
+        ).inc(counters["flight_dumps"])
+        with self._metrics_lock:
+            latency = self._latency.as_dict()
+        registry.merge_snapshot(latency)
         return registry.as_dict()

@@ -185,6 +185,13 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
     if chaos:
         apply_chaos(chaos, task["index"], task.get("attempt", 1))
     ctx_data = task.get("telemetry")
+    tracectx = task.get("tracectx")
+    trace_id = (
+        str(tracectx["trace_id"])
+        if isinstance(tracectx, dict) and tracectx.get("trace_id")
+        else None
+    )
+    trace_meta = {"trace_id": trace_id} if trace_id else {}
     worker_tel: WorkerTelemetry | None = None
     if ctx_data:
         ctx = TraceContext.from_dict(ctx_data)
@@ -206,6 +213,7 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
             layout=point.layout,
             config=point.config_label,
             attempt=task.get("attempt", 1),
+            **trace_meta,
         ):
             with worker_tel.timeline.span("simulate"):
                 result = point_result(
@@ -220,8 +228,8 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
         "metrics": registry.as_dict(),
     }
     if worker_tel is not None:
-        worker_tel.record_event(EV_WORKER_END, point=task["index"])
-        worker_tel.logger().debug(
+        worker_tel.record_event(EV_WORKER_END, point=task["index"], **trace_meta)
+        worker_tel.logger(**trace_meta).debug(
             "point simulated",
             n=result["n"],
             layout=result["layout"],
@@ -588,10 +596,16 @@ def run_sweep(
                         )
                         worker_id = worker_record["worker_id"]
                     if status is not None:
+                        attempts_log = entry.get("attempts_log") or []
                         status.mark_ok(
                             index,
                             worker_id=worker_id,
                             metrics=outcome["metrics"],
+                            duration_s=(
+                                attempts_log[-1].get("duration_s")
+                                if attempts_log
+                                else None
+                            ),
                         )
                         if entry["retries"]:
                             status.mark_retry(index, entry["retries"])

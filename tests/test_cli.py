@@ -249,6 +249,58 @@ class TestFaultsCommand:
         assert "two-dead" in target.read_text(encoding="utf-8")
 
 
+class TestBundleCommand:
+    def saved_bundle(self, tmp_path):
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        recorder.register("status", lambda: {"state": "serving"})
+        recorder.register(
+            "logs", lambda: {"records": [], "dropped": 0}
+        )
+        return recorder.dump("quarantine", trace_id="ab" * 16)
+
+    def test_inspect_renders_a_saved_bundle(self, tmp_path, capsys):
+        path = self.saved_bundle(tmp_path)
+        assert main(["bundle", "--inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "flight bundle (repro-flight/v1)" in out
+        assert "trigger:  quarantine" in out
+        assert "ab" * 16 in out
+
+    def test_inspect_missing_file_exits_2(self, capsys):
+        assert main(["bundle", "--inspect", "/nonexistent/flight.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro bundle: error:")
+
+    def test_inspect_invalid_bundle_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "flight-bad.json"
+        bad.write_text('{"schema": "repro-flight/v1"}', encoding="utf-8")
+        assert main(["bundle", "--inspect", str(bad)]) == 2
+        assert "missing keys" in capsys.readouterr().err
+
+    def test_fetch_writes_and_shows_a_live_bundle(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.flight import FlightRecorder, load_flight_bundle
+        from repro.serve import PlanServer, PlanService
+
+        monkeypatch.chdir(tmp_path)
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        service = PlanService(jobs=1, recorder=recorder)
+        with service, PlanServer(service) as server:
+            assert main(["bundle", "--url", server.url, "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote flight-on-demand.json" in out
+        assert "trigger:  on-demand" in out
+        bundle = load_flight_bundle(str(tmp_path / "flight-on-demand.json"))
+        assert bundle["trigger"] == "on-demand"
+
+    def test_fetch_unreachable_url_exits_2(self, capsys):
+        assert main(
+            ["bundle", "--url", "http://127.0.0.1:9", "--timeout", "0.5"]
+        ) == 2
+        assert "cannot fetch" in capsys.readouterr().err
+
+
 class TestExitCodeDiscipline:
     """Every ReproError becomes a one-line stderr message and exit 2."""
 

@@ -1,0 +1,126 @@
+"""The crash-forensics flight recorder and its bundle format."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FLIGHT_SECTIONS,
+    FlightError,
+    FlightRecorder,
+    load_flight_bundle,
+    render_flight_bundle,
+    validate_flight_bundle,
+)
+
+
+def make_recorder(out_dir="."):
+    recorder = FlightRecorder(out_dir=str(out_dir))
+    recorder.register("status", lambda: {"state": "running"})
+    recorder.register(
+        "logs",
+        lambda: {
+            "records": [{"level": "warning", "message": "breaker opened"}],
+            "dropped": 0,
+        },
+    )
+    recorder.register("metrics", lambda: {})
+    return recorder
+
+
+class TestFlightRecorder:
+    def test_capture_has_envelope_and_sections(self):
+        bundle = make_recorder().capture("on-demand")
+        validate_flight_bundle(bundle)
+        assert bundle["schema"] == FLIGHT_SCHEMA
+        assert bundle["trigger"] == "on-demand"
+        assert bundle["trace_id"] is None
+        assert set(bundle["sections"]) == {"status", "logs", "metrics"}
+
+    def test_register_rejects_unknown_section(self):
+        with pytest.raises(FlightError):
+            FlightRecorder().register("secrets", dict)
+
+    def test_failing_provider_degrades_to_error_entry(self):
+        recorder = make_recorder()
+
+        def boom():
+            raise RuntimeError("subsystem wedged")
+
+        recorder.register("breaker", boom)
+        bundle = recorder.capture("quarantine", trace_id="a" * 32)
+        assert bundle["sections"]["breaker"] == {
+            "error": "RuntimeError: subsystem wedged"
+        }
+        # The healthy sections still capture.
+        assert bundle["sections"]["status"] == {"state": "running"}
+
+    def test_dump_writes_named_json_file(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        path = recorder.dump("quarantine", trace_id="ab12" * 8)
+        assert path.endswith(f"flight-{'ab12' * 8}.json")
+        assert recorder.dumps == 1
+        bundle = load_flight_bundle(path)
+        assert bundle["trigger"] == "quarantine"
+
+    def test_dump_falls_back_to_trigger_name(self, tmp_path):
+        path = make_recorder(tmp_path).dump("sigterm")
+        assert path.endswith("flight-sigterm.json")
+        load_flight_bundle(path)
+
+
+class TestBundleValidation:
+    def test_rejects_non_dict_and_wrong_schema(self):
+        with pytest.raises(FlightError):
+            validate_flight_bundle([])
+        with pytest.raises(FlightError):
+            validate_flight_bundle({"schema": "repro-status/v2"})
+
+    def test_rejects_missing_keys_and_unknown_sections(self):
+        bundle = make_recorder().capture("on-demand")
+        clipped = {k: v for k, v in bundle.items() if k != "created_unix_s"}
+        with pytest.raises(FlightError):
+            validate_flight_bundle(clipped)
+        poisoned = dict(bundle, sections={"surprise": 1})
+        with pytest.raises(FlightError):
+            validate_flight_bundle(poisoned)
+
+    def test_load_accepts_file_objects(self, tmp_path):
+        path = tmp_path / "flight-x.json"
+        path.write_text(
+            json.dumps(make_recorder().capture("on-demand")),
+            encoding="utf-8",
+        )
+        with open(path, encoding="utf-8") as handle:
+            bundle = load_flight_bundle(handle)
+        assert bundle["schema"] == FLIGHT_SCHEMA
+
+
+class TestRenderBundle:
+    def test_render_summarizes_each_section(self):
+        recorder = make_recorder()
+        recorder.register("in_flight", lambda: [
+            {"request_id": "req-1", "trace_id": "t" * 32, "age_s": 0.25}
+        ])
+        recorder.register("traces", lambda: [
+            {"trace_id": "t" * 32, "spans": [{}, {}], "links": []}
+        ])
+        text = render_flight_bundle(
+            recorder.capture("breaker-open", trace_id="t" * 32)
+        )
+        assert "trigger:  breaker-open" in text
+        assert "breaker opened" in text
+        assert "1 requests in flight" in text
+        assert "2 spans" in text
+        # Sections render in the canonical order.
+        positions = [
+            text.index(f"[{name}]")
+            for name in FLIGHT_SECTIONS
+            if f"[{name}]" in text
+        ]
+        assert positions == sorted(positions)
+
+    def test_render_rejects_invalid_bundles(self):
+        with pytest.raises(FlightError):
+            render_flight_bundle({"schema": FLIGHT_SCHEMA})

@@ -108,6 +108,7 @@ class TestLogRecord:
     def test_context_keys_are_the_registered_schema(self):
         assert CONTEXT_KEYS == (
             "run_id", "point_id", "worker_id", "attempt", "request_id",
+            "trace_id",
         )
 
 

@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, merge_registries
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+    pick_exemplar,
+)
 from repro.obs.metrics import MetricsError
 
 
@@ -161,3 +168,61 @@ class TestMerge:
         source.histogram("lat", bounds=(2.0,)).observe(0.5)
         with pytest.raises(MetricsError):
             merge_registries(target, source.as_dict())
+
+
+class TestExemplars:
+    def test_observe_stores_exemplar_per_bucket(self):
+        hist = Histogram("lat", bounds=(1.0, 10.0))
+        hist.observe(0.5, exemplar="aa")
+        hist.observe(5.0, exemplar="bb")
+        hist.observe(50.0, exemplar="cc")
+        assert hist.exemplars == {
+            0: (0.5, "aa"), 1: (5.0, "bb"), 2: (50.0, "cc")
+        }
+
+    def test_slowest_observation_wins_the_bucket(self):
+        hist = Histogram("lat", bounds=(10.0,))
+        hist.observe(2.0, exemplar="fast")
+        hist.observe(8.0, exemplar="slow")
+        hist.observe(3.0, exemplar="middling")
+        assert hist.exemplars[0] == (8.0, "slow")
+
+    def test_ties_break_to_smaller_label(self):
+        assert pick_exemplar((1.0, "bbb"), (1.0, "aaa")) == (1.0, "aaa")
+        assert pick_exemplar((1.0, "aaa"), (1.0, "bbb")) == (1.0, "aaa")
+        assert pick_exemplar(None, (1.0, "zz")) == (1.0, "zz")
+
+    def test_observations_without_exemplar_leave_bucket_bare(self):
+        hist = Histogram("lat", bounds=(1.0,))
+        hist.observe(0.5)
+        assert hist.exemplars == {}
+        assert hist.as_dict()["exemplars"] == {}
+
+    def test_as_dict_uses_string_indexes(self):
+        hist = Histogram("lat", bounds=(1.0,))
+        hist.observe(0.5, exemplar="aa")
+        snapshot = hist.as_dict()
+        assert snapshot["exemplars"] == {"0": [0.5, "aa"]}
+        json.dumps(snapshot)  # must stay JSON-ready
+
+    def test_merge_folds_exemplars(self):
+        target = MetricsRegistry()
+        target.histogram("lat", bounds=(1.0, 10.0)).observe(5.0, exemplar="aa")
+        source = MetricsRegistry()
+        source.histogram("lat", bounds=(1.0, 10.0)).observe(7.0, exemplar="bb")
+        source.histogram("lat").observe(0.5, exemplar="cc")
+        merge_registries(target, source.as_dict())
+        merged = target.histogram("lat")
+        assert merged.exemplars[1] == (7.0, "bb")
+        assert merged.exemplars[0] == (0.5, "cc")
+
+    def test_merge_tolerates_exemplar_free_snapshots(self):
+        target = MetricsRegistry()
+        target.histogram("lat", bounds=(1.0,)).observe(0.5, exemplar="aa")
+        legacy = MetricsRegistry()
+        legacy.histogram("lat", bounds=(1.0,)).observe(0.6)
+        snapshot = legacy.as_dict()
+        del snapshot["lat"]["exemplars"]
+        merge_registries(target, snapshot)
+        assert target.histogram("lat").exemplars[0] == (0.5, "aa")
+        assert target.histogram("lat").count == 2

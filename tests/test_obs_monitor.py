@@ -91,6 +91,28 @@ class TestSweepStatus:
         # Elapsed freezes once finished.
         assert done["elapsed_s"] == status.snapshot()["elapsed_s"]
 
+    def test_mark_ok_duration_feeds_latency_summary(self):
+        status = SweepStatus()
+        status.start_run(4, run_id="r")
+        status.mark_ok(0, duration_s=0.2)
+        status.mark_ok(1, duration_s=0.3)
+        status.mark_ok(2)  # no duration: must not observe
+        snap = status.snapshot()
+        assert snap["schema"] == STATUS_SCHEMA
+        summary = snap["latency"]["sweep.point_duration_s"]
+        assert summary["count"] == 2
+        assert summary["p50_s"] > 0
+        assert summary["p99_s"] >= summary["p50_s"]
+        # The histogram also reaches /metrics.
+        metrics = status.metrics_snapshot()
+        assert metrics["sweep.point_duration_s"]["type"] == "histogram"
+
+    def test_latency_section_empty_without_durations(self):
+        status = SweepStatus()
+        status.start_run(2)
+        status.mark_ok(0)
+        assert status.snapshot()["latency"] == {}
+
     def test_metrics_snapshot_carries_progress_gauges(self):
         status = SweepStatus()
         status.start_run(2, run_id="r")
@@ -291,6 +313,38 @@ class TestStatusLine:
         assert "3 retries" in line
         assert "2.00 pt/s" in line
         assert "ETA 2s" in line
+
+    def test_render_appends_latency_quantiles_when_present(self):
+        line = render_status_line(
+            {
+                "run_id": "feedface",
+                "state": "running",
+                "total": 4,
+                "completed": 2,
+                "progress": 0.5,
+                "workers": {},
+                "latency": {
+                    "sweep.point_duration_s": {
+                        "count": 2, "p50_s": 0.25, "p95_s": 0.5, "p99_s": 0.5,
+                    }
+                },
+            }
+        )
+        assert "p50 0.25s p99 0.5s" in line
+
+    def test_render_ignores_empty_latency_section(self):
+        line = render_status_line(
+            {
+                "run_id": "feedface",
+                "state": "running",
+                "total": 4,
+                "completed": 2,
+                "progress": 0.5,
+                "workers": {},
+                "latency": {},
+            }
+        )
+        assert "p50" not in line
 
     def test_render_done_snapshot_omits_eta(self):
         line = render_status_line(

@@ -149,3 +149,70 @@ class TestParse:
         text = "# TYPE h histogram\n" 'h_bucket{le="+Inf"} 1\n# EOF'
         with pytest.raises(OpenMetricsError, match="_sum/_count"):
             parse_openmetrics(text)
+
+
+class TestExemplars:
+    def exemplared_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "serve.request_s", bounds=(0.1, 1.0), help="request latency"
+        )
+        hist.observe(0.05, exemplar="a" * 32)
+        hist.observe(0.7, exemplar="b" * 32)
+        hist.observe(5.0, exemplar="c" * 32)
+        return registry
+
+    def test_buckets_carry_trace_id_exemplars(self):
+        text = render_openmetrics(self.exemplared_registry())
+        assert (
+            'serve_request_s_bucket{le="0.1"} 1'
+            f' # {{trace_id="{"a" * 32}"}} 0.05' in text
+        )
+        assert (
+            'serve_request_s_bucket{le="+Inf"} 3'
+            f' # {{trace_id="{"c" * 32}"}} 5' in text
+        )
+
+    def test_unexemplared_buckets_stay_bare(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        text = render_openmetrics(registry)
+        assert "#" not in text.splitlines()[1].replace("# TYPE", "")
+        assert 'h_bucket{le="1"} 1\n' in text
+
+    def test_parse_round_trips_exemplars(self):
+        families = parse_openmetrics(
+            render_openmetrics(self.exemplared_registry())
+        )
+        exemplars = families["serve_request_s"]["exemplars"]
+        assert exemplars['serve_request_s_bucket{le="0.1"}'] == {
+            "labels": f'trace_id="{"a" * 32}"',
+            "value": 0.05,
+        }
+        assert len(exemplars) == 3
+
+    def test_exemplar_on_non_bucket_sample_rejected(self):
+        text = (
+            "# TYPE x counter\n"
+            'x_total 1 # {trace_id="abc"} 1\n# EOF'
+        )
+        with pytest.raises(OpenMetricsError, match="non-bucket"):
+            parse_openmetrics(text)
+
+    def test_bad_exemplar_value_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1 # {trace_id="abc"} nope\n'
+            "h_sum 1\nh_count 1\n# EOF"
+        )
+        with pytest.raises(OpenMetricsError, match="bad exemplar"):
+            parse_openmetrics(text)
+
+    def test_quoted_label_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0,)).observe(
+            0.5, exemplar='tricky"label'
+        )
+        text = render_openmetrics(registry)
+        assert 'trace_id="tricky\\"label"' in text
+        parse_openmetrics(text)  # still a valid exposition

@@ -69,6 +69,35 @@ class TestExperimentsRecordsPaperNumbers:
         assert "Deviations / substitutions" in experiments_text
 
 
+class TestNoTrackedRunArtifacts:
+    """Run outputs must never be committed (they drift every run)."""
+
+    def test_no_metrics_or_trace_artifacts_tracked(self):
+        import fnmatch
+        import subprocess
+
+        try:
+            listing = subprocess.run(
+                ["git", "ls-files"],
+                cwd=ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.SubprocessError):
+            pytest.skip("git unavailable")
+        tracked = listing.stdout.splitlines()
+        offenders = [
+            path
+            for path in tracked
+            if fnmatch.fnmatch(path, "*.prom")
+            or fnmatch.fnmatch(Path(path).name, "sweep-trace*.json")
+            or fnmatch.fnmatch(Path(path).name, "flight-*.json")
+        ]
+        assert not offenders, f"run artifacts committed: {offenders}"
+
+
 class TestMemoryFitValidation:
     def test_architecture_rejects_oversized_matrix(self):
         from repro.core import BaselineArchitecture

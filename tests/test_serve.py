@@ -490,6 +490,226 @@ class TestServiceHTTP:
         assert service.admission.draining
 
 
+# -------------------------------------------------------------------- tracing
+class TestRequestTracing:
+    def test_every_response_carries_trace_id_and_traceparent(self):
+        with PlanService(jobs=1) as service, PlanServer(service) as server:
+            code, headers, envelope = post(server.url + "/plan", SPEC)
+            assert code == 200
+            assert len(envelope["trace_id"]) == 32
+            assert headers["traceparent"].startswith(
+                f"00-{envelope['trace_id']}-"
+            )
+            code, headers, envelope = post(server.url + "/plan", {"n": -4})
+            assert code == 400
+            assert envelope["trace_id"]
+            assert "traceparent" in headers
+
+    def test_shed_responses_carry_trace_id(self):
+        with PlanService(jobs=1) as service, PlanServer(service) as server:
+            service.begin_drain()
+            code, headers, envelope = post(server.url + "/plan", SPEC)
+            assert code == 429 and envelope["error"] == "shed"
+            assert envelope["trace_id"]
+            assert "traceparent" in headers
+            service.drain(deadline_s=5.0)
+
+    def test_incoming_traceparent_is_honoured(self):
+        from repro.obs.tracectx import TraceContext
+
+        remote = TraceContext.root("caller-request")
+        with PlanService(jobs=1) as service:
+            code, envelope, headers = service.handle(
+                dict(SPEC), traceparent=remote.format_traceparent()
+            )
+        assert code == 200
+        assert envelope["trace_id"] == remote.trace_id
+        assert headers["traceparent"].startswith(f"00-{remote.trace_id}-")
+
+    def test_malformed_traceparent_falls_back_to_fresh_trace(self):
+        with PlanService(jobs=1) as service:
+            code, envelope, _ = service.handle(
+                dict(SPEC), traceparent="not-a-header"
+            )
+        assert code == 200
+        assert len(envelope["trace_id"]) == 32
+
+    def test_tracer_builds_one_tree_down_to_the_engine(self):
+        from repro.obs.tracectx import RequestTracer
+
+        tracer = RequestTracer()
+        service = PlanService(jobs=1, tracer=tracer)
+        with service, PlanServer(service) as server:
+            code, _, envelope = post(server.url + "/plan", SPEC)
+            assert code == 200
+        trace_id = envelope["trace_id"]
+        spans = tracer.spans_for(trace_id)
+        names = {span.name for span in spans}
+        assert "request" in names
+        assert "attempt" in names
+        # Worker spans came back via telemetry and were clock-aligned.
+        assert "worker:point" in names
+        assert "worker:simulate" in names
+        events = tracer.to_chrome_events(trace_id)
+        complete = [e for e in events if e["ph"] == "X"]
+        by_span = {e["args"]["span_id"]: e for e in complete}
+        orphans = [
+            e for e in complete
+            if e["args"]["parent_id"] is not None
+            and e["args"]["parent_id"] not in by_span
+        ]
+        assert not orphans  # one connected tree, HTTP accept to engine
+        assert json.dumps(events)  # Perfetto-loadable
+
+    def test_coalesced_requests_link_to_the_owner_trace(self):
+        from repro.obs.tracectx import RequestTracer
+
+        tracer = RequestTracer()
+        service = PlanService(jobs=4, tracer=tracer)
+        responses = []
+        with service, PlanServer(service) as server:
+            lock = threading.Lock()
+
+            def fire():
+                response = post(server.url + "/plan", SPEC, timeout=60.0)
+                with lock:
+                    responses.append(response)
+
+            threads = [threading.Thread(target=fire) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+        coalesced = sum(env["coalesced"] for _, _, env in responses)
+        links = [
+            link
+            for trace_id in tracer.trace_ids()
+            for link in tracer.links_for(trace_id)
+        ]
+        assert len(links) == coalesced
+        response_ids = {env["trace_id"] for _, _, env in responses}
+        for link in links:
+            assert link.reason == "coalesced"
+            assert link.linked_trace_id in response_ids
+            assert link.context.trace_id != link.linked_trace_id
+
+    def test_document_bytes_identical_with_tracing_on(self):
+        from repro.obs.tracectx import RequestTracer
+
+        with PlanService(jobs=2, tracer=RequestTracer()) as service:
+            _, traced, _ = service.handle(dict(SPEC))
+        with PlanService(jobs=2) as service:
+            _, plain, _ = service.handle(dict(SPEC))
+        assert json.dumps(traced["document"], sort_keys=True) == json.dumps(
+            plain["document"], sort_keys=True
+        )
+
+    def test_status_and_metrics_expose_latency_histograms(self):
+        with PlanService(jobs=1) as service, PlanServer(service) as server:
+            post(server.url + "/plan", SPEC)
+            _, _, body = get(server.url + "/status")
+            status = json.loads(body)
+            latency = status["latency"]
+            assert latency["serve.request_s"]["count"] == 1
+            assert latency["serve.queue_wait_s"]["count"] == 1
+            assert latency["serve.attempt_s"]["count"] >= 1
+            assert latency["serve.request_s"]["p99_s"] >= (
+                latency["serve.request_s"]["p50_s"]
+            )
+            _, _, body = get(server.url + "/metrics")
+            families = parse_openmetrics(body.decode("utf-8"))
+            assert "serve_request_s" in families
+            # Bucket tails carry the request's trace_id as exemplar.
+            exemplars = families["serve_request_s"]["exemplars"]
+            assert exemplars
+            for entry in exemplars.values():
+                assert 'trace_id="' in entry["labels"]
+
+
+# ------------------------------------------------------------- flight recorder
+class TestFlightRecorder:
+    def test_debug_bundle_endpoint_serves_a_valid_bundle(self, tmp_path):
+        from repro.obs.flight import FlightRecorder, validate_flight_bundle
+
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        service = PlanService(jobs=1, recorder=recorder)
+        with service, PlanServer(service) as server:
+            post(server.url + "/plan", SPEC)
+            code, _, body = get(server.url + "/debug/bundle")
+            assert code == 200
+            bundle = validate_flight_bundle(json.loads(body))
+        assert bundle["trigger"] == "on-demand"
+        sections = bundle["sections"]
+        assert sections["status"]["schema"] == SERVE_STATUS_SCHEMA
+        assert sections["breaker"]["state"] == CLOSED
+        assert "records" in sections["logs"]
+        assert isinstance(sections["in_flight"], list)
+        assert "memory" in sections["config"]  # the resolved SystemConfig
+
+    def test_debug_bundle_404_without_recorder(self):
+        with PlanService(jobs=1) as service, PlanServer(service) as server:
+            code, _, body = get(server.url + "/debug/bundle")
+        assert code == 404
+        assert json.loads(body)["error"] == "no-recorder"
+
+    def test_breaker_open_auto_dumps_an_inspectable_bundle(self, tmp_path):
+        from repro.obs.flight import (
+            FlightRecorder,
+            load_flight_bundle,
+            render_flight_bundle,
+        )
+
+        recorder = FlightRecorder(out_dir=str(tmp_path / "flight"))
+        service = PlanService(
+            jobs=1,
+            policy=RetryPolicy(retries=0),
+            breaker=CircuitBreaker(threshold=1, reset_s=30.0),
+            recorder=recorder,
+        )
+        with service, PlanServer(service) as server:
+            service.chaos = WorkerChaos(fail_points=(0,))
+            code, _, envelope = post(server.url + "/plan", SPEC)
+            assert code == 500
+            assert service.breaker.state == OPEN
+        dump = tmp_path / "flight" / "flight-breaker-open.json"
+        assert dump.exists()
+        bundle = load_flight_bundle(str(dump))
+        assert bundle["trigger"] == "breaker-open"
+        text = render_flight_bundle(bundle)
+        assert "trigger:  breaker-open" in text
+        # The quarantine that tripped the breaker dumped its own bundle,
+        # named after the failing request's trace.
+        quarantine = tmp_path / "flight" / f"flight-{envelope['trace_id']}.json"
+        assert quarantine.exists()
+        assert load_flight_bundle(str(quarantine))["trigger"] == "quarantine"
+        assert service.status_snapshot()["counters"]["flight_dumps"] >= 2
+
+    def test_sigterm_shutdown_dumps_a_bundle(self, tmp_path):
+        from repro.obs.flight import FlightRecorder, load_flight_bundle
+
+        recorder = FlightRecorder(out_dir=str(tmp_path))
+        service = PlanService(jobs=1, recorder=recorder)
+        stop = threading.Event()
+        outcome = {}
+
+        def run():
+            outcome["code"] = serve_forever(
+                service, port=0, stop_event=stop, install_signals=False
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while service._loop is None:
+            assert time.monotonic() < deadline, "service never started"
+            time.sleep(0.01)
+        stop.set()
+        thread.join(timeout=30.0)
+        assert outcome["code"] == 0
+        bundle = load_flight_bundle(str(tmp_path / "flight-sigterm.json"))
+        assert bundle["trigger"] == "sigterm"
+
+
 # ------------------------------------------------------------------ tail retry
 class TestTailRetries:
     def test_exhausted_retries_exit_2_with_one_line(self, capsys):

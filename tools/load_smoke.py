@@ -12,8 +12,12 @@ demands the issue's overload semantics end to end:
   ``request_id``\\ s are distinct, their documents identical);
 * a ``/metrics`` scrape parses as valid OpenMetrics and reports the
   shed count (dumped to ``load-smoke-metrics.prom`` as a CI artifact);
+* **every response carries a trace** -- accepted and shed envelopes
+  alike expose a 32-hex ``trace_id`` (PR 10 end-to-end tracing);
+* ``GET /debug/bundle`` returns a valid flight-recorder bundle
+  (dumped to ``load-smoke-bundle.json`` as a CI artifact);
 * **SIGTERM drains cleanly**: the server exits 0 within the drain
-  budget.
+  budget and leaves a ``flight-sigterm.json`` forensic bundle behind.
 
 A JSON report of every response lands in ``load-smoke-report.json``.
 Exit status: 0 when every property holds, 1 otherwise.
@@ -42,7 +46,17 @@ from typing import Any
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.flight import load_flight_bundle, validate_flight_bundle  # noqa: E402
 from repro.obs.openmetrics import parse_openmetrics  # noqa: E402
+
+
+def is_trace_id(value: Any) -> bool:
+    """True when ``value`` looks like a 32-hex W3C trace id."""
+    return (
+        isinstance(value, str)
+        and len(value) == 32
+        and all(ch in "0123456789abcdef" for ch in value)
+    )
 
 
 def free_port() -> int:
@@ -123,6 +137,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="where to write the JSON response report")
     parser.add_argument("--metrics-out", default="load-smoke-metrics.prom",
                         help="where to dump the OpenMetrics scrape")
+    parser.add_argument("--bundle-out", default="load-smoke-bundle.json",
+                        help="where to dump the on-demand /debug/bundle")
+    parser.add_argument("--flight-dir", default="load-smoke-flight",
+                        help="server-side directory for flight-recorder dumps")
     args = parser.parse_args(argv)
 
     port = free_port()
@@ -135,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
             "--jobs", "2",
             "--no-cache",
             "--drain", "30",
+            "--flight-dir", args.flight_dir,
         ],
         cwd=REPO_ROOT,
         env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
@@ -182,6 +201,42 @@ def main(argv: list[str] | None = None) -> int:
             f"{len(documents)} distinct documents",
         ))
 
+        traced = [r for r in responses if is_trace_id(r["body"].get("trace_id"))]
+        checks.append((
+            "every response (200 and 429) carries a trace_id",
+            len(traced) == len(responses),
+            f"{len(traced)}/{len(responses)} traced envelopes",
+        ))
+        header_traced = sum(
+            "Traceparent" in r["headers"] or "traceparent" in r["headers"]
+            for r in responses
+        )
+        checks.append((
+            "every response carries a traceparent header",
+            header_traced == len(responses),
+            f"{header_traced}/{len(responses)} traceparent headers",
+        ))
+
+        with urllib.request.urlopen(url + "/debug/bundle", timeout=10.0) as resp:
+            bundle = json.loads(resp.read())
+        Path(args.bundle_out).write_text(
+            json.dumps(bundle, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        try:
+            validate_flight_bundle(bundle)
+            bundle_ok, bundle_detail = True, (
+                f"trigger={bundle['trigger']}, "
+                f"{len(bundle['sections'])} sections"
+            )
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+            bundle_ok, bundle_detail = False, f"{type(exc).__name__}: {exc}"
+        checks.append((
+            "/debug/bundle returns a valid flight bundle",
+            bundle_ok,
+            bundle_detail,
+        ))
+
         with urllib.request.urlopen(url + "/metrics", timeout=5.0) as resp:
             exposition = resp.read().decode("utf-8")
         Path(args.metrics_out).write_text(exposition, encoding="utf-8")
@@ -202,6 +257,18 @@ def main(argv: list[str] | None = None) -> int:
             "SIGTERM drains cleanly (exit 0)",
             code == 0,
             f"exit code {code}",
+        ))
+
+        sigterm_bundle = REPO_ROOT / args.flight_dir / "flight-sigterm.json"
+        try:
+            load_flight_bundle(str(sigterm_bundle))
+            sigterm_ok, sigterm_detail = True, str(sigterm_bundle)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+            sigterm_ok, sigterm_detail = False, f"{type(exc).__name__}: {exc}"
+        checks.append((
+            "SIGTERM leaves a valid flight-sigterm.json bundle",
+            sigterm_ok,
+            sigterm_detail,
         ))
     finally:
         if server.poll() is None:
